@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the allocation strategies themselves (the pure
+//! distribution and rank-assignment algorithms of Section 4.3), at the scale
+//! of the paper's largest experiment: 600 processes over the 350 Grid'5000
+//! hosts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pmpi_core::rank::assign_ranks;
+use p2pmpi_core::strategy::StrategyKind;
+use p2pmpi_grid5000::testbed::grid5000_topology;
+use std::hint::black_box;
+
+/// Capacities of the 350 Grid'5000 hosts (P = cores per node), capped at n.
+fn grid_capacities(n: u32) -> Vec<u32> {
+    grid5000_topology()
+        .hosts()
+        .iter()
+        .map(|h| (h.cores as u32).min(n))
+        .collect()
+}
+
+fn bench_distribute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_distribute");
+    for &n in &[100u32, 300, 600] {
+        let caps = grid_capacities(n);
+        for strategy in [StrategyKind::Spread, StrategyKind::Concentrate] {
+            group.bench_with_input(BenchmarkId::new(strategy.name(), n), &n, |b, &n| {
+                b.iter(|| strategy.distribute(black_box(&caps), black_box(n)));
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("balanced_2", n), &n, |b, &n| {
+            let strategy = StrategyKind::Balanced { max_per_host: 2 };
+            b.iter(|| strategy.distribute(black_box(&caps), black_box(n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rank_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_assignment");
+    for &(n, r) in &[(600u32, 1u32), (300, 2)] {
+        let caps = grid_capacities(n);
+        let counts = StrategyKind::Spread.distribute(&caps, n * r);
+        group.bench_with_input(
+            BenchmarkId::new("spread_counts", format!("n{n}_r{r}")),
+            &n,
+            |b, &n| {
+                b.iter(|| assign_ranks(black_box(&counts), black_box(n)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_distribute, bench_rank_assignment
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Benchmarks of the MPI runtime itself: how fast the simulation executes
+//! collectives (wall-clock cost of reproducing one Figure 4 point), for both
+//! a local and a cross-site placement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pmpi_grid5000::testbed::grid5000_topology;
+use p2pmpi_mpi::datatype::ReduceOp;
+use p2pmpi_mpi::placement::Placement;
+use p2pmpi_mpi::runtime::MpiRuntime;
+use p2pmpi_nas::classes::Class;
+use p2pmpi_nas::ep::{ep_kernel, EpConfig};
+use p2pmpi_nas::is::{is_kernel, IsConfig};
+use p2pmpi_simgrid::topology::HostId;
+use std::hint::black_box;
+
+fn nancy_hosts(count: usize) -> Vec<HostId> {
+    let topo = grid5000_topology();
+    let nancy = topo.site_by_name("nancy").unwrap().id;
+    topo.hosts_at_site(nancy).take(count).map(|h| h.id).collect()
+}
+
+fn mixed_hosts(count: usize) -> Vec<HostId> {
+    let topo = grid5000_topology();
+    let per_site: Vec<Vec<HostId>> = topo
+        .sites()
+        .iter()
+        .map(|s| topo.hosts_at_site(s.id).map(|h| h.id).collect())
+        .collect();
+    let mut hosts: Vec<HostId> = Vec::new();
+    let mut i = 0;
+    while hosts.len() < count {
+        for site in &per_site {
+            if hosts.len() == count {
+                break;
+            }
+            if let Some(&h) = site.get(i) {
+                hosts.push(h);
+            }
+        }
+        i += 1;
+    }
+    hosts
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let topo = grid5000_topology();
+    let runtime = MpiRuntime::new(topo);
+    let mut group = c.benchmark_group("collectives_runtime");
+    group.sample_size(10);
+
+    for (label, hosts) in [("local_32", nancy_hosts(32)), ("wan_32", mixed_hosts(32))] {
+        let placement = Placement::one_per_host(&hosts);
+        group.bench_function(BenchmarkId::new("allreduce_x32", label), |b| {
+            b.iter(|| {
+                let result = runtime.run(&placement, |comm| {
+                    for _ in 0..32 {
+                        comm.allreduce(ReduceOp::Sum, &[comm.rank() as i64])?;
+                    }
+                    Ok(())
+                });
+                black_box(result.makespan)
+            });
+        });
+        group.bench_function(BenchmarkId::new("alltoall_x8", label), |b| {
+            b.iter(|| {
+                let result = runtime.run(&placement, |comm| {
+                    let block = vec![comm.rank() as i32; comm.size() as usize * 16];
+                    for _ in 0..8 {
+                        comm.alltoall(&block)?;
+                    }
+                    Ok(())
+                });
+                black_box(result.makespan)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nas_points(c: &mut Criterion) {
+    let topo = grid5000_topology();
+    let runtime = MpiRuntime::new(topo);
+    let mut group = c.benchmark_group("nas_kernels");
+    group.sample_size(10);
+
+    let placement = Placement::one_per_host(&nancy_hosts(32));
+    group.bench_function("ep_class_s_32procs", |b| {
+        let config = EpConfig::new(Class::S);
+        b.iter(|| {
+            let result = runtime.run(&placement, move |comm| ep_kernel(comm, &config));
+            black_box(result.makespan)
+        });
+    });
+    group.bench_function("is_class_s_32procs", |b| {
+        let config = IsConfig::new(Class::S);
+        b.iter(|| {
+            let result = runtime.run(&placement, move |comm| is_kernel(comm, &config));
+            black_box(result.makespan)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives, bench_nas_points);
+criterion_main!(benches);

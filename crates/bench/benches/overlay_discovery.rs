@@ -1,0 +1,42 @@
+//! Benchmarks of the overlay's discovery path: supernode cache refresh and
+//! the latency-probing rounds the submitter performs before booking
+//! (Section 4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2pmpi_grid5000::testbed::{grid5000_testbed, grid5000_topology};
+use p2pmpi_overlay::boot::OverlayBuilder;
+use p2pmpi_simgrid::noise::NoiseModel;
+use std::hint::black_box;
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_discovery");
+    group.sample_size(10);
+
+    group.bench_function("boot_and_register_350_peers", |b| {
+        let topology = grid5000_topology();
+        b.iter(|| {
+            let mut overlay = OverlayBuilder::new(topology.clone())
+                .seed(1)
+                .peer_per_host_with_core_capacity()
+                .build();
+            overlay.boot_all();
+            black_box(overlay.supernode().len())
+        });
+    });
+
+    group.bench_function("probe_round_349_peers", |b| {
+        let mut tb = grid5000_testbed(3, NoiseModel::default());
+        let submitter = tb.submitter;
+        b.iter(|| black_box(tb.overlay.probe_round(submitter)));
+    });
+
+    group.bench_function("latency_ranking_350_peers", |b| {
+        let tb = grid5000_testbed(3, NoiseModel::default());
+        b.iter(|| black_box(tb.overlay.latency_ranking(tb.submitter).len()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_bootstrap);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Benchmarks of the full co-allocation procedure (Section 4.2) on the
+//! Grid'5000 testbed, including the overbooking ablation called out in
+//! DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pmpi_core::prelude::*;
+use p2pmpi_grid5000::testbed::grid5000_testbed;
+use p2pmpi_simgrid::noise::NoiseModel;
+use std::hint::black_box;
+
+fn bench_coallocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coallocation");
+    group.sample_size(10);
+
+    for &n in &[100u32, 300, 600] {
+        for strategy in [StrategyKind::Concentrate, StrategyKind::Spread] {
+            group.bench_with_input(BenchmarkId::new(strategy.name(), n), &n, |b, &n| {
+                b.iter_batched(
+                    || grid5000_testbed(11, NoiseModel::default()),
+                    |mut tb| {
+                        let report = allocate(
+                            &mut tb.overlay,
+                            tb.submitter,
+                            &JobRequest::new(n, strategy, "hostname"),
+                        );
+                        black_box(report.is_success())
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_overbooking_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overbooking");
+    group.sample_size(10);
+    let policies = [
+        ("none", OverbookingPolicy::None),
+        ("factor_1.5", OverbookingPolicy::Factor(1.5)),
+        ("additive_50", OverbookingPolicy::Additive(50)),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(BenchmarkId::new("spread_300", name), |b| {
+            b.iter_batched(
+                || grid5000_testbed(13, NoiseModel::default()),
+                |mut tb| {
+                    let allocator = CoAllocator::with_params(CoAllocatorParams {
+                        overbooking: policy,
+                        ..CoAllocatorParams::default()
+                    });
+                    let report = allocator.allocate(
+                        &mut tb.overlay,
+                        tb.submitter,
+                        &JobRequest::new(300, StrategyKind::Spread, "hostname"),
+                    );
+                    black_box(report.booked)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coallocation, bench_overbooking_policies);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Figure 2: where the *concentrate* strategy places processes
+//! (hosts and cores allocated per site) as the demanded process count grows
+//! from 100 to 600.
+//!
+//! ```text
+//! cargo run --release -p p2pmpi-bench --bin fig2_concentrate [-- --seed N --sigma S]
+//! ```
+
+use p2pmpi_bench::cliargs as util;
+use p2pmpi_bench::experiments::fig2_fig3_sweep;
+use p2pmpi_bench::output::print_sweep_tables;
+use p2pmpi_core::strategy::StrategyKind;
+
+fn main() {
+    let seed = util::flag_u64("--seed").unwrap_or(2008);
+    let sigma = util::flag_f64("--sigma").unwrap_or(0.06);
+    eprintln!("# concentrate sweep, seed={seed}, probe noise sigma={sigma}");
+    let rows = fig2_fig3_sweep(StrategyKind::Concentrate, seed, sigma);
+    print!("{}", print_sweep_tables(&rows));
+}

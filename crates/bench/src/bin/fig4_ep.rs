@@ -1,0 +1,54 @@
+//! Regenerates Figure 4 (left): execution times of NAS EP class B from 32 to
+//! 512 processes, under the *concentrate* and *spread* strategies.
+//!
+//! ```text
+//! cargo run --release -p p2pmpi-bench --bin fig4_ep [-- --class B --divisor 512 --alpha A]
+//! ```
+//!
+//! The reported times are *virtual* (cost-model) seconds: the shape —
+//! spread slightly ahead of concentrate until the per-process problem size
+//! shrinks at 512 processes — is what reproduces the paper, not the absolute
+//! values.
+
+use p2pmpi_bench::cliargs as util;
+use p2pmpi_bench::experiments::{fig4_kernel_times, Fig4Kernel, Fig4Settings};
+use p2pmpi_bench::output::print_fig4_table;
+use p2pmpi_core::strategy::StrategyKind;
+use p2pmpi_grid5000::scenario::paper_ep_process_counts;
+use p2pmpi_nas::classes::Class;
+
+fn main() {
+    let class: Class = util::flag_value("--class")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(Class::B);
+    let divisor = util::flag_u64("--divisor").unwrap_or(512);
+    let settings = Fig4Settings {
+        class,
+        ep_sample_divisor: divisor,
+        contention_alpha: util::flag_f64("--alpha"),
+        ..Fig4Settings::default()
+    };
+    let counts = paper_ep_process_counts();
+    eprintln!(
+        "# EP class {class}, sample divisor {divisor}, processes {counts:?}"
+    );
+    let concentrate = fig4_kernel_times(
+        Fig4Kernel::Ep,
+        StrategyKind::Concentrate,
+        &counts,
+        &settings,
+    );
+    let spread = fig4_kernel_times(Fig4Kernel::Ep, StrategyKind::Spread, &counts, &settings);
+    assert!(
+        concentrate.iter().chain(&spread).all(|p| p.verified),
+        "EP verification failed on at least one point"
+    );
+    print!(
+        "{}",
+        print_fig4_table(
+            "EP",
+            &class.to_string(),
+            &[("concentrate", &concentrate), ("spread", &spread)]
+        )
+    );
+}

@@ -1,0 +1,55 @@
+//! Regenerates Figure 4 (right): execution times of NAS IS class B from 32
+//! to 128 processes, under the *concentrate* and *spread* strategies.
+//!
+//! ```text
+//! cargo run --release -p p2pmpi-bench --bin fig4_is [-- --class B --divisor 8 --alpha A]
+//! ```
+//!
+//! The reported times are *virtual* (cost-model) seconds.  The expected shape
+//! (Section 5.2): at 32 processes spread wins because all processes still fit
+//! in the Nancy cluster with one per host; from 64 processes on, spread pays
+//! inter-site latency for its Alltoall/Allreduce traffic while concentrate
+//! stays local and roughly flat.
+
+use p2pmpi_bench::cliargs as util;
+use p2pmpi_bench::experiments::{fig4_kernel_times, Fig4Kernel, Fig4Settings};
+use p2pmpi_bench::output::print_fig4_table;
+use p2pmpi_core::strategy::StrategyKind;
+use p2pmpi_grid5000::scenario::paper_is_process_counts;
+use p2pmpi_nas::classes::Class;
+
+fn main() {
+    let class: Class = util::flag_value("--class")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(Class::B);
+    let divisor = util::flag_u64("--divisor").unwrap_or(8);
+    let settings = Fig4Settings {
+        class,
+        is_sample_divisor: divisor,
+        contention_alpha: util::flag_f64("--alpha"),
+        ..Fig4Settings::default()
+    };
+    let counts = paper_is_process_counts();
+    eprintln!(
+        "# IS class {class}, sample divisor {divisor}, processes {counts:?}"
+    );
+    let concentrate = fig4_kernel_times(
+        Fig4Kernel::Is,
+        StrategyKind::Concentrate,
+        &counts,
+        &settings,
+    );
+    let spread = fig4_kernel_times(Fig4Kernel::Is, StrategyKind::Spread, &counts, &settings);
+    assert!(
+        concentrate.iter().chain(&spread).all(|p| p.verified),
+        "IS verification failed on at least one point"
+    );
+    print!(
+        "{}",
+        print_fig4_table(
+            "IS",
+            &class.to_string(),
+            &[("concentrate", &concentrate), ("spread", &spread)]
+        )
+    );
+}

@@ -1,0 +1,138 @@
+//! Extra experiments backing the paper's narrative and the design-choice
+//! ablations listed in DESIGN.md.
+//!
+//! ```text
+//! cargo run --release -p p2pmpi-bench --bin sweep -- latency-ranking [--sigma S]
+//! cargo run --release -p p2pmpi-bench --bin sweep -- overbooking [--churn F]
+//! cargo run --release -p p2pmpi-bench --bin sweep -- contention
+//! ```
+//!
+//! * `latency-ranking` — compares the application-level RTT ranking measured
+//!   by the Nancy submitter against the ICMP ranking (Section 5.1's
+//!   discussion of measurement accuracy and the Lyon/Rennes/Bordeaux
+//!   interleaving).
+//! * `overbooking` — co-allocation success rate and booking effort for the
+//!   different overbooking policies when a fraction of the peers has crashed.
+//! * `contention` — the EP spread/concentrate gap as a function of the
+//!   memory-contention coefficient (ablation of the cost model).
+
+use p2pmpi_bench::cliargs as util;
+use p2pmpi_bench::experiments::{run_kernel_once, Fig4Kernel, Fig4Settings};
+use p2pmpi_core::prelude::*;
+use p2pmpi_grid5000::scenario::probe_vs_icmp_ranking;
+use p2pmpi_grid5000::testbed::grid5000_testbed;
+use p2pmpi_overlay::churn::random_churn;
+use p2pmpi_simgrid::noise::NoiseModel;
+use p2pmpi_simgrid::rngutil;
+use p2pmpi_simgrid::time::SimDuration;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: sweep <latency-ranking|overbooking|contention> [flags]");
+        std::process::exit(2);
+    });
+    match mode.as_str() {
+        "latency-ranking" => latency_ranking(),
+        "overbooking" => overbooking(),
+        "contention" => contention(),
+        other => {
+            eprintln!("unknown sweep '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Probe-vs-ICMP ranking per site, for several noise levels.
+fn latency_ranking() {
+    let sigmas = [0.0, 0.03, 0.06, 0.12];
+    println!("# sigma\trank\tsite\tmeasured_rtt_ms\ticmp_rtt_ms");
+    for (i, &sigma) in sigmas.iter().enumerate() {
+        let noise = if sigma == 0.0 {
+            NoiseModel::disabled()
+        } else {
+            NoiseModel::with_sigma(sigma)
+        };
+        let tb = grid5000_testbed(100 + i as u64, noise);
+        for (rank, (site, measured, icmp)) in probe_vs_icmp_ranking(&tb).iter().enumerate() {
+            println!("{sigma}\t{rank}\t{site}\t{measured:.3}\t{icmp:.3}");
+        }
+    }
+}
+
+/// Overbooking ablation: allocation success and booking effort under churn.
+fn overbooking() {
+    let churn_fraction = util::flag_f64("--churn").unwrap_or(0.15);
+    let demand = util::flag_u64("--processes").unwrap_or(300) as u32;
+    let policies: [(&str, OverbookingPolicy); 4] = [
+        ("none", OverbookingPolicy::None),
+        ("factor_1.25", OverbookingPolicy::Factor(1.25)),
+        ("factor_1.5", OverbookingPolicy::Factor(1.5)),
+        ("factor_2.0", OverbookingPolicy::Factor(2.0)),
+    ];
+    println!("# policy\tsuccess\thosts_used\tbooked\tgranted\tdead\tcancelled\telapsed_ms");
+    for (name, policy) in policies {
+        let mut tb = grid5000_testbed(9, NoiseModel::default());
+        // Crash a fraction of the peers before the submission arrives.
+        let peers: Vec<_> = tb
+            .overlay
+            .peer_ids()
+            .into_iter()
+            .filter(|&p| p != tb.submitter)
+            .collect();
+        let mut rng = rngutil::substream(77, 1);
+        let schedule = random_churn(
+            &peers,
+            churn_fraction,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3600),
+            &mut rng,
+        );
+        tb.overlay.schedule_churn(schedule.finish());
+        tb.overlay.advance(SimDuration::from_secs(2));
+
+        let allocator = CoAllocator::with_params(CoAllocatorParams {
+            overbooking: policy,
+            ..CoAllocatorParams::default()
+        });
+        let report = allocator.allocate(
+            &mut tb.overlay,
+            tb.submitter,
+            &JobRequest::new(demand, StrategyKind::Spread, "hostname"),
+        );
+        let hosts_used = report
+            .outcome
+            .as_ref()
+            .map(|a| a.hosts_used())
+            .unwrap_or(0);
+        println!(
+            "{name}\t{}\t{hosts_used}\t{}\t{}\t{}\t{}\t{:.2}",
+            report.is_success(),
+            report.booked,
+            report.granted,
+            report.dead,
+            report.cancelled_unused,
+            report.elapsed.as_millis_f64()
+        );
+    }
+}
+
+/// Memory-contention ablation: the EP gap between strategies vs alpha.
+fn contention() {
+    let alphas = [0.0, 0.1, 0.28, 0.5];
+    let n = util::flag_u64("--processes").unwrap_or(128) as u32;
+    println!("# alpha\tconcentrate_s\tspread_s\tratio");
+    for alpha in alphas {
+        let settings = Fig4Settings {
+            contention_alpha: Some(alpha),
+            ..Fig4Settings::default()
+        };
+        let c = run_kernel_once(Fig4Kernel::Ep, StrategyKind::Concentrate, n, &settings);
+        let s = run_kernel_once(Fig4Kernel::Ep, StrategyKind::Spread, n, &settings);
+        println!(
+            "{alpha}\t{:.3}\t{:.3}\t{:.3}",
+            c.makespan.as_secs_f64(),
+            s.makespan.as_secs_f64(),
+            c.makespan.as_secs_f64() / s.makespan.as_secs_f64().max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 1 of the paper: the characteristics of the available
+//! computing resources at the different Grid'5000 sites.
+//!
+//! ```text
+//! cargo run -p p2pmpi-bench --bin table1
+//! ```
+
+use p2pmpi_bench::output::format_table1;
+use p2pmpi_grid5000::sites::TABLE1;
+
+fn main() {
+    print!("{}", format_table1(TABLE1));
+}

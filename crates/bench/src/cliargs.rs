@@ -1,0 +1,45 @@
+//! Tiny command-line flag helpers shared by the experiment binaries.
+
+/// Returns the value following `flag` on the command line, if present.
+pub fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    flag_value_in(&args, flag)
+}
+
+/// Returns the value following `flag` in an explicit argument list.
+pub fn flag_value_in(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses the value following `flag` as a `u64`.
+pub fn flag_u64(flag: &str) -> Option<u64> {
+    flag_value(flag).and_then(|v| v.parse().ok())
+}
+
+/// Parses the value following `flag` as an `f64`.
+pub fn flag_f64(flag: &str) -> Option<f64> {
+    flag_value(flag).and_then(|v| v.parse().ok())
+}
+
+/// True if `flag` appears on the command line.
+pub fn flag_present(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_value_in_finds_following_token() {
+        let args: Vec<String> = ["prog", "--seed", "42", "--fast"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value_in(&args, "--seed"), Some("42".to_string()));
+        assert_eq!(flag_value_in(&args, "--sigma"), None);
+        assert_eq!(flag_value_in(&args, "--fast"), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! Experiment drivers shared by the figure-regeneration binaries and the
+//! integration tests.
+
+use p2pmpi_core::prelude::*;
+use p2pmpi_grid5000::scenario::{coallocation_sweep, paper_demand_steps, SweepRow};
+use p2pmpi_grid5000::testbed::grid5000_testbed;
+use p2pmpi_mpi::placement::Placement;
+use p2pmpi_mpi::runtime::MpiRuntime;
+use p2pmpi_nas::classes::Class;
+use p2pmpi_nas::ep::{ep_kernel, EpConfig};
+use p2pmpi_nas::is::{is_kernel, IsConfig};
+use p2pmpi_simgrid::memory::MemoryContentionModel;
+use p2pmpi_simgrid::noise::NoiseModel;
+use p2pmpi_simgrid::time::SimDuration;
+
+/// Runs the Figure 2 / Figure 3 co-allocation sweep (100..600 processes by
+/// 50) for a strategy, with the given probe-noise sigma (0 disables noise).
+pub fn fig2_fig3_sweep(strategy: StrategyKind, seed: u64, noise_sigma: f64) -> Vec<SweepRow> {
+    let noise = if noise_sigma == 0.0 {
+        NoiseModel::disabled()
+    } else {
+        NoiseModel::with_sigma(noise_sigma)
+    };
+    coallocation_sweep(strategy, &paper_demand_steps(), seed, noise)
+}
+
+/// Which NAS kernel a Figure 4 run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig4Kernel {
+    /// Embarrassingly Parallel (Figure 4, left).
+    Ep,
+    /// Integer Sort (Figure 4, right).
+    Is,
+}
+
+impl Fig4Kernel {
+    /// Program name used on the `p2pmpirun` command line.
+    pub fn program(&self) -> &'static str {
+        match self {
+            Fig4Kernel::Ep => "NAS.EP",
+            Fig4Kernel::Is => "NAS.IS",
+        }
+    }
+}
+
+/// Knobs of a Figure 4 style run.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Settings {
+    /// NAS problem class (the paper uses B).
+    pub class: Class,
+    /// EP sampling divisor (the charged time stays class-accurate; see
+    /// `p2pmpi-nas`).  EP class B generates 2^30 pairs, so some sampling is
+    /// needed to keep wall-clock time reasonable.
+    pub ep_sample_divisor: u64,
+    /// IS sampling divisor (1 = sort the full key array).
+    pub is_sample_divisor: u64,
+    /// RNG seed for the testbed (probe noise).
+    pub seed: u64,
+    /// Override of the memory-contention coefficient (ablation); `None`
+    /// keeps the default model.
+    pub contention_alpha: Option<f64>,
+}
+
+impl Default for Fig4Settings {
+    fn default() -> Self {
+        Fig4Settings {
+            class: Class::B,
+            ep_sample_divisor: 512,
+            is_sample_divisor: 8,
+            seed: 42,
+            contention_alpha: None,
+        }
+    }
+}
+
+impl Fig4Settings {
+    /// A configuration small enough for unit/integration tests.
+    pub fn test_sized() -> Self {
+        Fig4Settings {
+            class: Class::S,
+            ep_sample_divisor: 16,
+            is_sample_divisor: 4,
+            seed: 7,
+            contention_alpha: None,
+        }
+    }
+}
+
+/// One measured point of Figure 4.
+#[derive(Debug, Clone)]
+pub struct Fig4Point {
+    /// Number of MPI processes.
+    pub processes: u32,
+    /// Allocation strategy used.
+    pub strategy: StrategyKind,
+    /// Distinct hosts the job ran on.
+    pub hosts_used: usize,
+    /// Virtual execution time of the kernel.
+    pub makespan: SimDuration,
+    /// Whether the kernel's own verification passed.
+    pub verified: bool,
+}
+
+/// Measures the kernel's virtual execution time for each process count under
+/// one allocation strategy, on a fresh Grid'5000 testbed per point (as in
+/// the paper, each point is an independent run).
+pub fn fig4_kernel_times(
+    kernel: Fig4Kernel,
+    strategy: StrategyKind,
+    counts: &[u32],
+    settings: &Fig4Settings,
+) -> Vec<Fig4Point> {
+    counts
+        .iter()
+        .map(|&n| run_kernel_once(kernel, strategy, n, settings))
+        .collect()
+}
+
+/// Allocates `n` processes with `strategy` on a fresh testbed and runs the
+/// kernel once, returning the measured point.
+pub fn run_kernel_once(
+    kernel: Fig4Kernel,
+    strategy: StrategyKind,
+    n: u32,
+    settings: &Fig4Settings,
+) -> Fig4Point {
+    let mut tb = grid5000_testbed(
+        settings.seed.wrapping_add(n as u64),
+        NoiseModel::default(),
+    );
+    let request = JobRequest::new(n, strategy, kernel.program());
+    let report = allocate(&mut tb.overlay, tb.submitter, &request);
+    let allocation = report.allocation().clone();
+    let placement = Placement::from_allocation(&allocation);
+
+    let mut runtime = MpiRuntime::new(tb.topology.clone());
+    if let Some(alpha) = settings.contention_alpha {
+        runtime = runtime.with_contention(MemoryContentionModel::with_alpha(alpha));
+    }
+
+    let (makespan, verified) = match kernel {
+        Fig4Kernel::Ep => {
+            let config = EpConfig::sampled(settings.class, settings.ep_sample_divisor);
+            let result = runtime.run(&placement, move |comm| ep_kernel(comm, &config));
+            let ok = result.all_ranks_completed()
+                && result.result_of(0).map(|r| r.verify()).unwrap_or(false);
+            (result.makespan, ok)
+        }
+        Fig4Kernel::Is => {
+            let config = IsConfig::sampled(settings.class, settings.is_sample_divisor);
+            let result = runtime.run(&placement, move |comm| is_kernel(comm, &config));
+            let ok = result.all_ranks_completed()
+                && result.result_of(0).map(|r| r.verified).unwrap_or(false);
+            (result.makespan, ok)
+        }
+    };
+
+    Fig4Point {
+        processes: n,
+        strategy,
+        hosts_used: allocation.hosts_used(),
+        makespan,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_kernel_metadata() {
+        assert_eq!(Fig4Kernel::Ep.program(), "NAS.EP");
+        assert_eq!(Fig4Kernel::Is.program(), "NAS.IS");
+        let d = Fig4Settings::default();
+        assert_eq!(d.class, Class::B);
+        assert!(d.ep_sample_divisor > 1);
+        let t = Fig4Settings::test_sized();
+        assert_eq!(t.class, Class::S);
+    }
+
+    #[test]
+    fn small_ep_point_runs_and_verifies() {
+        let settings = Fig4Settings {
+            ep_sample_divisor: 1,
+            ..Fig4Settings::test_sized()
+        };
+        let point = run_kernel_once(Fig4Kernel::Ep, StrategyKind::Concentrate, 8, &settings);
+        assert_eq!(point.processes, 8);
+        assert!(point.verified);
+        assert!(point.makespan > SimDuration::ZERO);
+        // 8 processes concentrate onto two quad-core Nancy nodes.
+        assert_eq!(point.hosts_used, 2);
+    }
+
+    #[test]
+    fn small_is_point_runs_and_verifies() {
+        let settings = Fig4Settings::test_sized();
+        let point = run_kernel_once(Fig4Kernel::Is, StrategyKind::Spread, 8, &settings);
+        assert!(point.verified);
+        assert_eq!(point.hosts_used, 8);
+        assert!(point.makespan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fig2_sweep_first_point_is_nancy_only_under_concentrate() {
+        let rows = fig2_fig3_sweep(StrategyKind::Concentrate, 1, 0.0);
+        assert_eq!(rows.len(), 11);
+        let first = &rows[0];
+        assert_eq!(first.demanded, 100);
+        assert!(first.success);
+        let nancy = first.usage.iter().find(|u| u.site_name == "nancy").unwrap();
+        assert_eq!(nancy.processes, 100);
+    }
+}

@@ -1,0 +1,26 @@
+//! # p2pmpi-bench
+//!
+//! Experiment harness for the `p2pmpi-rs` reproduction: the binaries in
+//! `src/bin/` regenerate every table and figure of the paper's evaluation
+//! (Section 5), and the Criterion benches in `benches/` measure the cost of
+//! the co-allocation machinery itself.
+//!
+//! | Paper artefact | Binary |
+//! |---|---|
+//! | Table 1 (available resources) | `table1` |
+//! | Figure 2 (concentrate: hosts & cores per site) | `fig2_concentrate` |
+//! | Figure 3 (spread: hosts & cores per site) | `fig3_spread` |
+//! | Figure 4 left (EP class B execution times) | `fig4_ep` |
+//! | Figure 4 right (IS class B execution times) | `fig4_is` |
+//! | §5.1 latency-ranking discussion & ablations | `sweep` |
+
+#![warn(missing_docs)]
+
+pub mod cliargs;
+pub mod experiments;
+pub mod output;
+
+pub use experiments::{
+    fig2_fig3_sweep, fig4_kernel_times, Fig4Kernel, Fig4Point, Fig4Settings,
+};
+pub use output::{print_fig4_table, print_legend, print_sweep_tables};

@@ -1,0 +1,215 @@
+//! MPI rank assignment.
+//!
+//! Once a strategy has decided how many process instances `u_i` each selected
+//! host receives, ranks are assigned with the paper's algorithm
+//! (Section 4.3): walk the hosts in `slist` order, give each host `u_i`
+//! consecutive ranks from a counter that wraps at `n`, and cancel the
+//! reservation of hosts with `u_i = 0`.
+//!
+//! Criterion (b) — "no two copies of a process are on the same processor" —
+//! follows from `u_i ≤ c_i ≤ n`: a host receives at most `n` consecutive
+//! values of a counter that wraps at `n`, hence never the same rank twice.
+
+use p2pmpi_overlay::messages::RankAssignment;
+
+/// Rank assignments for one host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostRanks {
+    /// Index of the host in the `slist` (latency order).
+    pub slist_index: usize,
+    /// The rank instances this host will run.
+    pub ranks: Vec<RankAssignment>,
+}
+
+/// Assigns ranks (and replica indices) to hosts from the per-host counts.
+///
+/// `counts[i]` is the number of process instances host `i` of the `slist`
+/// receives; `n` is the number of logical ranks.  Hosts with a zero count are
+/// omitted from the result — their reservation is to be cancelled, as the
+/// paper prescribes.
+///
+/// The replica index attached to each assignment counts how many times that
+/// rank has been assigned so far (0 for the primary copy, then 1, 2, …).
+///
+/// # Panics
+///
+/// Panics if `n == 0` while `counts` is non-zero, or if any `counts[i] > n`
+/// (which would force two copies of a rank onto one host).
+pub fn assign_ranks(counts: &[u32], n: u32) -> Vec<HostRanks> {
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    assert!(n > 0, "cannot assign ranks for a zero-process job");
+    assert!(
+        counts.iter().all(|&c| c <= n),
+        "a host was given more instances than there are ranks"
+    );
+
+    let mut result = Vec::new();
+    let mut rank = 0u32;
+    // How many copies of each rank have been handed out so far; used to give
+    // each copy a distinct replica index.
+    let mut copies = vec![0u32; n as usize];
+    for (i, &ui) in counts.iter().enumerate() {
+        if ui == 0 {
+            continue; // reservation cancelled
+        }
+        let mut ranks = Vec::with_capacity(ui as usize);
+        for _ in 0..ui {
+            let replica = copies[rank as usize];
+            copies[rank as usize] += 1;
+            ranks.push(RankAssignment { rank, replica });
+            rank += 1;
+            if rank >= n {
+                rank = 0;
+            }
+        }
+        result.push(HostRanks {
+            slist_index: i,
+            ranks,
+        });
+    }
+    result
+}
+
+/// Checks the replica-separation criterion on an assignment: no host holds
+/// two copies of the same rank.  Used by tests and by the allocation
+/// validator.
+pub fn replicas_are_separated(assignment: &[HostRanks]) -> bool {
+    assignment.iter().all(|h| {
+        let mut seen = std::collections::HashSet::new();
+        h.ranks.iter().all(|r| seen.insert(r.rank))
+    })
+}
+
+/// Checks that every rank `0..n` appears exactly `r` times overall.
+pub fn replication_is_complete(assignment: &[HostRanks], n: u32, r: u32) -> bool {
+    let mut counts = vec![0u32; n as usize];
+    for h in assignment {
+        for ra in &h.ranks {
+            if ra.rank >= n {
+                return false;
+            }
+            counts[ra.rank as usize] += 1;
+        }
+    }
+    counts.iter().all(|&c| c == r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_concentrate_style_assignment() {
+        // n=4, one host of capacity 4: ranks 0..3 on that host.
+        let a = assign_ranks(&[4], 4);
+        assert_eq!(a.len(), 1);
+        assert_eq!(
+            a[0].ranks.iter().map(|r| r.rank).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert!(replicas_are_separated(&a));
+        assert!(replication_is_complete(&a, 4, 1));
+    }
+
+    #[test]
+    fn paper_example_n3_r2_two_hosts() {
+        // "processes P0, P1 and P2 ... mapped on H0 and their replicas P'0,
+        // P'1 and P'2 on H1".
+        let a = assign_ranks(&[3, 3], 3);
+        assert_eq!(a.len(), 2);
+        assert_eq!(
+            a[0].ranks,
+            vec![
+                RankAssignment { rank: 0, replica: 0 },
+                RankAssignment { rank: 1, replica: 0 },
+                RankAssignment { rank: 2, replica: 0 }
+            ]
+        );
+        assert_eq!(
+            a[1].ranks,
+            vec![
+                RankAssignment { rank: 0, replica: 1 },
+                RankAssignment { rank: 1, replica: 1 },
+                RankAssignment { rank: 2, replica: 1 }
+            ]
+        );
+        assert!(replicas_are_separated(&a));
+        assert!(replication_is_complete(&a, 3, 2));
+    }
+
+    #[test]
+    fn zero_count_hosts_are_cancelled() {
+        let a = assign_ranks(&[2, 0, 2], 4);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].slist_index, 0);
+        assert_eq!(a[1].slist_index, 2);
+        assert_eq!(
+            a[1].ranks.iter().map(|r| r.rank).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn spread_style_replication_interleaves_copies() {
+        // n=2, r=2 over 4 hosts, one instance each: ranks 0,1,0,1 with
+        // replica indices 0,0,1,1.
+        let a = assign_ranks(&[1, 1, 1, 1], 2);
+        let flat: Vec<(u32, u32)> = a
+            .iter()
+            .flat_map(|h| h.ranks.iter().map(|r| (r.rank, r.replica)))
+            .collect();
+        assert_eq!(flat, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+        assert!(replication_is_complete(&a, 2, 2));
+    }
+
+    #[test]
+    fn empty_counts_yield_empty_assignment() {
+        assert!(assign_ranks(&[0, 0], 4).is_empty());
+        assert!(assign_ranks(&[], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "more instances than there are ranks")]
+    fn overfull_host_panics() {
+        assign_ranks(&[5], 4);
+    }
+
+    proptest! {
+        /// For any feasible strategy output, the paper's criterion (b) holds:
+        /// no host carries two copies of the same rank, and with
+        /// `Σ u_i = n × r` every rank gets exactly `r` copies.
+        #[test]
+        fn assignment_invariants(
+            n in 1u32..20,
+            r in 1u32..4,
+            extra_hosts in 0usize..10,
+            seed in any::<u64>(),
+        ) {
+            // Build a random feasible distribution of n*r over enough hosts
+            // with per-host counts <= n.
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let total = n * r;
+            let mut remaining = total;
+            let mut counts = Vec::new();
+            while remaining > 0 {
+                let c = rng.gen_range(0..=n.min(remaining));
+                counts.push(c);
+                remaining -= c;
+            }
+            counts.extend(std::iter::repeat_n(0u32, extra_hosts));
+            let a = assign_ranks(&counts, n);
+            prop_assert!(replicas_are_separated(&a));
+            prop_assert!(replication_is_complete(&a, n, r));
+            // Hosts in the result appear in slist order.
+            let idx: Vec<usize> = a.iter().map(|h| h.slist_index).collect();
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(idx, sorted);
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! The co-allocation procedure (Section 4.2, Figure 1).
+//!
+//! [`CoAllocator::allocate`] drives the eight steps of the paper's job
+//! submission procedure against a simulated [`Overlay`]:
+//!
+//! 1. **Submission** — the user's `JobRequest` reaches the local MPD.
+//! 2. **Booking** — the MPD checks it knows at least `n × r` peers
+//!    (refreshing its cache from the supernode otherwise), sorts its cache by
+//!    ascending latency and books hosts from the front, overbooking to
+//!    anticipate unavailable hosts.
+//! 3. **RS–RS brokering** — the local RS sends reservation requests carrying
+//!    a unique hash key.
+//! 4. Remote RSs accept (OK + their `P`) or refuse (NOK).
+//! 5. **RS–MPD response** — answers are gathered into `rlist`; peers that did
+//!    not answer before the timeout are marked dead and dropped from the
+//!    cache.
+//! 6. **Allocation** — `slist` is the first `min(|rlist|, n × r)` hosts;
+//!    surplus reservations are cancelled; feasibility is checked; the chosen
+//!    strategy distributes processes; ranks are assigned.
+//! 7. Remote MPDs verify the key.
+//! 8. Remote MPDs launch the processes.
+
+use crate::allocation::{AllocatedHost, Allocation};
+use crate::capacity::host_capacity;
+use crate::feasibility::{check_feasibility, Infeasibility};
+use crate::overbooking::OverbookingPolicy;
+use crate::rank::assign_ranks;
+use crate::request::{JobRequest, RequestError};
+use p2pmpi_overlay::messages::{ReservationKey, ReservationReply, StartReply};
+use p2pmpi_overlay::overlay::{Overlay, RsOutcome};
+use p2pmpi_overlay::peer::PeerId;
+use p2pmpi_simgrid::time::SimDuration;
+use p2pmpi_simgrid::trace::TraceCategory;
+use std::fmt;
+
+/// Why a co-allocation attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocationError {
+    /// The request itself was invalid.
+    InvalidRequest(RequestError),
+    /// The selected hosts cannot satisfy the request (step 6 conditions).
+    Infeasible(Infeasibility),
+    /// A remote MPD refused or failed the start request (steps 7–8).
+    StartFailed {
+        /// The peer whose start failed.
+        peer: PeerId,
+        /// What it answered.
+        reply: StartReply,
+    },
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocationError::InvalidRequest(e) => write!(f, "invalid request: {e}"),
+            AllocationError::Infeasible(e) => write!(f, "allocation infeasible: {e}"),
+            AllocationError::StartFailed { peer, reply } => {
+                write!(f, "start request to {peer} failed: {reply:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// Statistics describing one co-allocation attempt.
+#[derive(Debug, Clone)]
+pub struct CoAllocationReport {
+    /// The reservation key used for this round.
+    pub key: ReservationKey,
+    /// The resulting allocation, or why it failed.
+    pub outcome: Result<Allocation, AllocationError>,
+    /// Number of reservation requests sent (booking size after overbooking).
+    pub booked: usize,
+    /// Number of OK answers.
+    pub granted: usize,
+    /// Number of NOK answers.
+    pub refused: usize,
+    /// Number of peers marked dead (timeouts).
+    pub dead: usize,
+    /// Reservations granted but cancelled because they were not needed.
+    pub cancelled_unused: usize,
+    /// Virtual time spent on the whole procedure (booking, brokering,
+    /// starting), assuming each phase contacts peers concurrently.
+    pub elapsed: SimDuration,
+}
+
+impl CoAllocationReport {
+    /// True if an allocation was produced.
+    pub fn is_success(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// The allocation, panicking on failure (convenience for tests and
+    /// experiment harnesses).
+    pub fn allocation(&self) -> &Allocation {
+        self.outcome
+            .as_ref()
+            .expect("co-allocation failed; check outcome before unwrapping")
+    }
+}
+
+/// Parameters of the co-allocation driver.
+#[derive(Debug, Clone, Copy)]
+pub struct CoAllocatorParams {
+    /// Overbooking policy applied at the booking step.
+    pub overbooking: OverbookingPolicy,
+    /// Whether to pull a fresh host list from the supernode (and probe the
+    /// newcomers) when the cache holds fewer peers than `n × r`.
+    pub refresh_cache_if_short: bool,
+    /// Whether the submitter's own host is a candidate resource (it is in
+    /// the paper's experiments: the Nancy submitter is part of the Nancy
+    /// pool).
+    pub include_submitter: bool,
+}
+
+impl Default for CoAllocatorParams {
+    fn default() -> Self {
+        CoAllocatorParams {
+            overbooking: OverbookingPolicy::default(),
+            refresh_cache_if_short: true,
+            include_submitter: true,
+        }
+    }
+}
+
+/// Drives the reservation procedure over an overlay.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoAllocator {
+    params: CoAllocatorParams,
+}
+
+impl CoAllocator {
+    /// A driver with default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A driver with explicit parameters.
+    pub fn with_params(params: CoAllocatorParams) -> Self {
+        CoAllocator { params }
+    }
+
+    /// The driver parameters.
+    pub fn params(&self) -> CoAllocatorParams {
+        self.params
+    }
+
+    /// Runs the full procedure for `request`, submitted from `submitter`.
+    pub fn allocate(
+        &self,
+        overlay: &mut Overlay,
+        submitter: PeerId,
+        request: &JobRequest,
+    ) -> CoAllocationReport {
+        let key = overlay.generate_key();
+        let mut report = CoAllocationReport {
+            key,
+            outcome: Err(AllocationError::InvalidRequest(RequestError::ZeroProcesses)),
+            booked: 0,
+            granted: 0,
+            refused: 0,
+            dead: 0,
+            cancelled_unused: 0,
+            elapsed: SimDuration::ZERO,
+        };
+        if let Err(e) = request.validate() {
+            report.outcome = Err(AllocationError::InvalidRequest(e));
+            return report;
+        }
+        let n = request.processes;
+        let r = request.replication;
+        let total = request.total_instances();
+
+        // Step 2 — booking: make sure enough peers are known, then walk the
+        // cache in ascending-latency order.
+        if self.params.refresh_cache_if_short
+            && overlay.node(submitter).cache.len() < total as usize
+        {
+            let (added, d) = overlay.refresh_cache(submitter);
+            report.elapsed += d;
+            if added > 0 {
+                report.elapsed += overlay.probe_round(submitter);
+            }
+        }
+        let mut candidates: Vec<PeerId> = Vec::new();
+        if self.params.include_submitter {
+            candidates.push(submitter);
+        }
+        candidates.extend(overlay.latency_ranking(submitter));
+        let booking_target = self
+            .params
+            .overbooking
+            .booking_target(total as usize, candidates.len());
+        let booked: Vec<PeerId> = candidates.into_iter().take(booking_target).collect();
+        report.booked = booked.len();
+
+        // Steps 3–5 — RS brokering.  Requests go out concurrently, so the
+        // elapsed time of the phase is the slowest individual exchange.
+        let mut rlist: Vec<(PeerId, u32)> = Vec::new(); // (peer, owner P)
+        let mut phase_elapsed = SimDuration::ZERO;
+        for &peer in &booked {
+            match overlay.rs_request(submitter, peer, key, total) {
+                RsOutcome::Reply { reply, elapsed } => {
+                    phase_elapsed = phase_elapsed.max(elapsed);
+                    match reply {
+                        ReservationReply::Ok { capacity_p } => {
+                            report.granted += 1;
+                            rlist.push((peer, capacity_p));
+                        }
+                        ReservationReply::Nok(_) => report.refused += 1,
+                    }
+                }
+                RsOutcome::Timeout { elapsed } => {
+                    phase_elapsed = phase_elapsed.max(elapsed);
+                    report.dead += 1;
+                    // Step 5: dead peers are removed from the cached list.
+                    overlay.node_mut(submitter).cache.remove(peer);
+                }
+            }
+        }
+        report.elapsed += phase_elapsed;
+
+        // Step 6 — slist extraction and cancellation of surplus reservations.
+        let slist_len = rlist.len().min(total as usize);
+        let (slist, surplus) = rlist.split_at(slist_len);
+        for &(peer, _) in surplus {
+            overlay.rs_cancel(submitter, peer, key);
+            report.cancelled_unused += 1;
+        }
+
+        // Feasibility.
+        let capacities: Vec<u32> = slist.iter().map(|&(_, p)| host_capacity(p, n)).collect();
+        if let Err(inf) = check_feasibility(&capacities, n, r) {
+            for &(peer, _) in slist {
+                overlay.rs_cancel(submitter, peer, key);
+            }
+            overlay.tracer().record(
+                overlay.now(),
+                TraceCategory::Allocation,
+                format!("allocation of '{}' infeasible: {inf}", request.program),
+            );
+            report.outcome = Err(AllocationError::Infeasible(inf));
+            return report;
+        }
+
+        // Strategy distribution and rank assignment.
+        let counts = request.strategy.distribute(&capacities, total);
+        let assignment = assign_ranks(&counts, n);
+
+        // Hosts that ended up with zero processes lose their reservation.
+        for (i, &(peer, _)) in slist.iter().enumerate() {
+            if counts[i] == 0 {
+                overlay.rs_cancel(submitter, peer, key);
+                report.cancelled_unused += 1;
+            }
+        }
+
+        // Steps 7–8 — start requests (again concurrent).
+        let mut start_elapsed = SimDuration::ZERO;
+        let mut hosts = Vec::with_capacity(assignment.len());
+        for host_ranks in &assignment {
+            let (peer, owner_p) = slist[host_ranks.slist_index];
+            let (reply, elapsed) = overlay.mpd_start(
+                submitter,
+                peer,
+                key,
+                &host_ranks.ranks,
+                &request.program,
+            );
+            start_elapsed = start_elapsed.max(elapsed);
+            if reply != StartReply::Started {
+                // Roll back everything started so far and give up.
+                for started in &hosts {
+                    let h: &AllocatedHost = started;
+                    overlay.complete_job(h.peer, key);
+                }
+                report.elapsed += start_elapsed;
+                report.outcome = Err(AllocationError::StartFailed { peer, reply });
+                return report;
+            }
+            hosts.push(AllocatedHost {
+                peer,
+                host: overlay.host_of(peer),
+                capacity: host_capacity(owner_p, n),
+                ranks: host_ranks.ranks.clone(),
+            });
+        }
+        report.elapsed += start_elapsed;
+
+        let allocation = Allocation {
+            key,
+            processes: n,
+            replication: r,
+            strategy: request.strategy,
+            hosts,
+        };
+        debug_assert!(allocation.validate().is_ok());
+        overlay.tracer().record(
+            overlay.now(),
+            TraceCategory::Allocation,
+            format!(
+                "'{}' allocated: {} instance(s) on {} host(s) with {}",
+                request.program,
+                allocation.total_instances(),
+                allocation.hosts_used(),
+                request.strategy
+            ),
+        );
+        report.outcome = Ok(allocation);
+        report
+    }
+}
+
+/// Convenience wrapper: allocate with default parameters.
+pub fn allocate(
+    overlay: &mut Overlay,
+    submitter: PeerId,
+    request: &JobRequest,
+) -> CoAllocationReport {
+    CoAllocator::new().allocate(overlay, submitter, request)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+    use p2pmpi_overlay::boot::OverlayBuilder;
+    use p2pmpi_overlay::config::OwnerConfig;
+    use p2pmpi_simgrid::noise::NoiseModel;
+    use p2pmpi_simgrid::topology::{NodeSpec, Topology, TopologyBuilder};
+    use std::sync::Arc;
+
+    // Two sites: "local" with 3 quad-core hosts, "remote" with 4 dual-core
+    // hosts, 10 ms apart.
+    fn topology() -> Arc<Topology> {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_site("local");
+        let s1 = b.add_site("remote");
+        b.add_cluster(s0, "l", "cpu", 3, NodeSpec { cores: 4, ..NodeSpec::default() });
+        b.add_cluster(s1, "r", "cpu", 4, NodeSpec { cores: 2, ..NodeSpec::default() });
+        b.set_rtt(s0, s1, p2pmpi_simgrid::time::SimDuration::from_millis(10));
+        Arc::new(b.build())
+    }
+
+    fn booted_overlay() -> (Overlay, PeerId) {
+        let topo = topology();
+        let mut o = OverlayBuilder::new(topo.clone())
+            .seed(7)
+            .noise(NoiseModel::disabled())
+            .peer_per_host_with_core_capacity()
+            .build();
+        o.boot_all();
+        let submitter = o
+            .peer_on_host(topo.host_by_name("l-0").unwrap().id)
+            .unwrap();
+        o.bootstrap_peer(submitter);
+        (o, submitter)
+    }
+
+    #[test]
+    fn concentrate_fills_local_site_first() {
+        let (mut o, submitter) = booted_overlay();
+        let req = JobRequest::new(8, StrategyKind::Concentrate, "hostname");
+        let report = allocate(&mut o, submitter, &req);
+        assert!(report.is_success(), "{:?}", report.outcome);
+        let alloc = report.allocation();
+        assert!(alloc.validate().is_ok());
+        assert_eq!(alloc.total_instances(), 8);
+        // 8 processes fit on two local quad-core hosts: no remote host used.
+        assert_eq!(alloc.hosts_used(), 2);
+        let topo = o.topology().clone();
+        for h in &alloc.hosts {
+            assert_eq!(topo.host(h.host).site, topo.site_by_name("local").unwrap().id);
+        }
+    }
+
+    #[test]
+    fn spread_uses_one_process_per_host_when_possible() {
+        let (mut o, submitter) = booted_overlay();
+        let req = JobRequest::new(6, StrategyKind::Spread, "hostname");
+        let report = allocate(&mut o, submitter, &req);
+        let alloc = report.allocation();
+        assert_eq!(alloc.hosts_used(), 6);
+        assert!(alloc.hosts.iter().all(|h| h.instances() == 1));
+    }
+
+    #[test]
+    fn replication_places_copies_on_distinct_hosts() {
+        let (mut o, submitter) = booted_overlay();
+        let req = JobRequest::replicated(4, 2, StrategyKind::Spread, "prog");
+        let report = allocate(&mut o, submitter, &req);
+        let alloc = report.allocation();
+        assert!(alloc.validate().is_ok());
+        for rank in 0..4 {
+            let h0 = alloc.host_of(rank, 0).unwrap();
+            let h1 = alloc.host_of(rank, 1).unwrap();
+            assert_ne!(h0, h1, "replicas of rank {rank} share a host");
+        }
+    }
+
+    #[test]
+    fn infeasible_when_capacity_is_too_small() {
+        let (mut o, submitter) = booted_overlay();
+        // 3*4 + 4*2 = 20 total slots; ask for more.
+        let req = JobRequest::new(21, StrategyKind::Concentrate, "prog");
+        let report = allocate(&mut o, submitter, &req);
+        assert!(matches!(
+            report.outcome,
+            Err(AllocationError::Infeasible(Infeasibility::InsufficientCapacity { .. }))
+        ));
+        // All granted reservations must have been cancelled.
+        for id in o.peer_ids() {
+            assert_eq!(o.node(id).rs.active_applications(), 0);
+        }
+    }
+
+    #[test]
+    fn replication_higher_than_host_count_is_infeasible() {
+        let (mut o, submitter) = booted_overlay();
+        let req = JobRequest::replicated(1, 8, StrategyKind::Spread, "prog");
+        let report = allocate(&mut o, submitter, &req);
+        assert!(matches!(
+            report.outcome,
+            Err(AllocationError::Infeasible(
+                Infeasibility::NotEnoughHostsForReplication { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn dead_peers_are_marked_and_skipped() {
+        let (mut o, submitter) = booted_overlay();
+        // Kill two remote peers; the job still fits on the remaining hosts.
+        let victims: Vec<PeerId> = o
+            .peer_ids()
+            .into_iter()
+            .filter(|&p| p != submitter)
+            .take(2)
+            .collect();
+        for &v in &victims {
+            o.kill_peer(v);
+        }
+        let req = JobRequest::new(12, StrategyKind::Concentrate, "prog");
+        let report = allocate(&mut o, submitter, &req);
+        assert!(report.is_success(), "{:?}", report.outcome);
+        assert_eq!(report.dead, 2);
+        // Dead peers were dropped from the submitter's cache (step 5).
+        for &v in &victims {
+            assert!(o.node(submitter).cache.get(v).is_none());
+        }
+        let alloc = report.allocation();
+        assert!(victims.iter().all(|v| alloc.hosts.iter().all(|h| h.peer != *v)));
+    }
+
+    #[test]
+    fn unused_overbooked_reservations_are_cancelled() {
+        let (mut o, submitter) = booted_overlay();
+        let req = JobRequest::new(2, StrategyKind::Concentrate, "prog");
+        let params = CoAllocatorParams {
+            overbooking: OverbookingPolicy::Additive(4),
+            ..CoAllocatorParams::default()
+        };
+        let report = CoAllocator::with_params(params).allocate(&mut o, submitter, &req);
+        assert!(report.is_success());
+        assert_eq!(report.booked, 6);
+        assert!(report.cancelled_unused >= 4);
+        // Only the host actually running processes keeps a reservation.
+        let running: usize = o
+            .peer_ids()
+            .iter()
+            .filter(|&&p| o.node(p).rs.running_processes() > 0)
+            .count();
+        assert_eq!(running, 1);
+    }
+
+    #[test]
+    fn invalid_request_short_circuits() {
+        let (mut o, submitter) = booted_overlay();
+        let req = JobRequest::new(0, StrategyKind::Spread, "prog");
+        let report = allocate(&mut o, submitter, &req);
+        assert_eq!(report.booked, 0);
+        assert!(matches!(
+            report.outcome,
+            Err(AllocationError::InvalidRequest(RequestError::ZeroProcesses))
+        ));
+    }
+
+    #[test]
+    fn busy_peers_refuse_and_are_counted() {
+        let (mut o, submitter) = booted_overlay();
+        // First job occupies every host (J defaults to 1 app per node).
+        let req1 = JobRequest::new(20, StrategyKind::Concentrate, "first");
+        let r1 = allocate(&mut o, submitter, &req1);
+        assert!(r1.is_success());
+        // Second job cannot reserve anything: every RS refuses.
+        let req2 = JobRequest::new(2, StrategyKind::Concentrate, "second");
+        let r2 = allocate(&mut o, submitter, &req2);
+        assert!(!r2.is_success());
+        assert!(r2.refused > 0);
+        assert_eq!(r2.granted, 0);
+        // Completing the first job frees the gatekeepers.
+        let alloc = r1.allocation();
+        for h in &alloc.hosts {
+            assert!(o.complete_job(h.peer, r1.key));
+        }
+        let r3 = allocate(&mut o, submitter, &req2);
+        assert!(r3.is_success());
+    }
+
+    #[test]
+    fn elapsed_time_reflects_remote_latency() {
+        let (mut o, submitter) = booted_overlay();
+        // A local-only job should broker faster than one forced to remote
+        // hosts (higher booking because of more processes).
+        let small = allocate(
+            &mut o,
+            submitter,
+            &JobRequest::new(2, StrategyKind::Concentrate, "a"),
+        );
+        for id in o.peer_ids() {
+            o.node_mut(id).rs.cancel(small.key);
+        }
+        let large = allocate(
+            &mut o,
+            submitter,
+            &JobRequest::new(18, StrategyKind::Concentrate, "b"),
+        );
+        assert!(small.is_success() && large.is_success());
+        assert!(large.elapsed > small.elapsed);
+    }
+
+    #[test]
+    fn excluding_submitter_keeps_its_host_free() {
+        let topo = topology();
+        let mut o = OverlayBuilder::new(topo.clone())
+            .seed(3)
+            .noise(NoiseModel::disabled())
+            .peer_per_host(|h| OwnerConfig::with_procs(h.cores as u32))
+            .build();
+        o.boot_all();
+        let submitter = o
+            .peer_on_host(topo.host_by_name("l-0").unwrap().id)
+            .unwrap();
+        o.bootstrap_peer(submitter);
+        let params = CoAllocatorParams {
+            include_submitter: false,
+            ..CoAllocatorParams::default()
+        };
+        let req = JobRequest::new(4, StrategyKind::Concentrate, "prog");
+        let report = CoAllocator::with_params(params).allocate(&mut o, submitter, &req);
+        let alloc = report.allocation();
+        assert!(alloc.hosts.iter().all(|h| h.peer != submitter));
+    }
+}

@@ -1,0 +1,200 @@
+//! Allocation strategies.
+//!
+//! A strategy decides how many process instances `u_i` each selected host
+//! receives, given the host capacities `c_i` (in ascending-latency order) and
+//! the total `n × r` to place.  The paper proposes two strategies, *spread*
+//! and *concentrate* (Section 4.3); this crate adds a *balanced* strategy as
+//! an instance of the "mixed strategies" the conclusion lists as future work.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A process-distribution policy.
+///
+/// Implementations must satisfy, for `distribute(c, total)` whenever
+/// `Σ c_i ≥ total`:
+///
+/// * the result has the same length as `c`,
+/// * `u_i ≤ c_i` for every `i`,
+/// * `Σ u_i = total`.
+///
+/// These invariants are checked by the property tests in this module and are
+/// what the rank-assignment step relies on.
+pub trait AllocationStrategy {
+    /// Short machine-readable name (used by `-a` on the command line).
+    fn name(&self) -> &'static str;
+
+    /// Distributes `total` process instances over hosts with capacities
+    /// `capacities`, listed in ascending latency order.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `Σ capacities < total`; callers are expected
+    /// to have verified feasibility first (step 6 of the procedure).
+    fn distribute(&self, capacities: &[u32], total: u32) -> Vec<u32>;
+}
+
+/// The built-in strategies, as selected by `p2pmpirun -a <name>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Round-robin one process at a time over the selected hosts
+    /// (maximises aggregate memory; locality is secondary).
+    Spread,
+    /// Fill each host to its capacity starting with the closest
+    /// (maximises locality).
+    Concentrate,
+    /// Future-work extension: fill hosts like *concentrate* but never beyond
+    /// `max_per_host` processes, then round-robin the remainder like
+    /// *spread*.
+    Balanced {
+        /// Per-host cap applied before falling back to round-robin.
+        max_per_host: u32,
+    },
+}
+
+impl StrategyKind {
+    /// The strategy's command-line name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::Spread => "spread",
+            StrategyKind::Concentrate => "concentrate",
+            StrategyKind::Balanced { .. } => "balanced",
+        }
+    }
+
+    /// Instantiates the strategy implementation.
+    pub fn build(&self) -> Box<dyn AllocationStrategy> {
+        match *self {
+            StrategyKind::Spread => Box::new(crate::spread::Spread),
+            StrategyKind::Concentrate => Box::new(crate::concentrate::Concentrate),
+            StrategyKind::Balanced { max_per_host } => {
+                Box::new(crate::balanced::Balanced::new(max_per_host))
+            }
+        }
+    }
+
+    /// Distributes using this strategy (convenience wrapper over
+    /// [`StrategyKind::build`]).
+    pub fn distribute(&self, capacities: &[u32], total: u32) -> Vec<u32> {
+        self.build().distribute(capacities, total)
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyKind::Balanced { max_per_host } => write!(f, "balanced({max_per_host})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+impl FromStr for StrategyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "spread" => Ok(StrategyKind::Spread),
+            "concentrate" => Ok(StrategyKind::Concentrate),
+            other => {
+                if let Some(rest) = other.strip_prefix("balanced:") {
+                    let k: u32 = rest
+                        .parse()
+                        .map_err(|_| format!("bad balanced cap: {rest}"))?;
+                    if k == 0 {
+                        return Err("balanced cap must be >= 1".to_string());
+                    }
+                    Ok(StrategyKind::Balanced { max_per_host: k })
+                } else {
+                    Err(format!(
+                        "unknown strategy '{other}' (expected spread, concentrate or balanced:<k>)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Asserts the common preconditions of the strategy implementations.
+pub(crate) fn check_preconditions(capacities: &[u32], total: u32) {
+    let cap: u64 = capacities.iter().map(|&c| c as u64).sum();
+    assert!(
+        cap >= total as u64,
+        "infeasible distribution: total capacity {cap} < {total} requested \
+         (feasibility must be checked before distributing)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn names_and_parsing() {
+        assert_eq!(StrategyKind::Spread.name(), "spread");
+        assert_eq!(StrategyKind::Concentrate.to_string(), "concentrate");
+        assert_eq!(
+            StrategyKind::Balanced { max_per_host: 2 }.to_string(),
+            "balanced(2)"
+        );
+        assert_eq!("spread".parse::<StrategyKind>().unwrap(), StrategyKind::Spread);
+        assert_eq!(
+            "Concentrate".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Concentrate
+        );
+        assert_eq!(
+            "balanced:3".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Balanced { max_per_host: 3 }
+        );
+        assert!("balanced:0".parse::<StrategyKind>().is_err());
+        assert!("balanced:x".parse::<StrategyKind>().is_err());
+        assert!("random".parse::<StrategyKind>().is_err());
+    }
+
+    #[test]
+    fn build_returns_matching_impl() {
+        assert_eq!(StrategyKind::Spread.build().name(), "spread");
+        assert_eq!(StrategyKind::Concentrate.build().name(), "concentrate");
+        assert_eq!(
+            StrategyKind::Balanced { max_per_host: 2 }.build().name(),
+            "balanced"
+        );
+    }
+
+    /// The three strategy invariants hold for every built-in strategy on
+    /// arbitrary feasible inputs.
+    fn strategy_invariants(kind: StrategyKind, capacities: Vec<u32>, total: u32) {
+        let u = kind.distribute(&capacities, total);
+        assert_eq!(u.len(), capacities.len());
+        for (ui, ci) in u.iter().zip(&capacities) {
+            assert!(ui <= ci, "{kind}: u {ui} exceeds capacity {ci}");
+        }
+        assert_eq!(u.iter().map(|&x| x as u64).sum::<u64>(), total as u64);
+    }
+
+    proptest! {
+        #[test]
+        fn all_strategies_respect_invariants(
+            caps in prop::collection::vec(0u32..8, 1..40),
+            frac in 0.0f64..1.0,
+            balanced_cap in 1u32..6,
+        ) {
+            let cap_sum: u64 = caps.iter().map(|&c| c as u64).sum();
+            let total = (cap_sum as f64 * frac).floor() as u32;
+            strategy_invariants(StrategyKind::Spread, caps.clone(), total);
+            strategy_invariants(StrategyKind::Concentrate, caps.clone(), total);
+            strategy_invariants(
+                StrategyKind::Balanced { max_per_host: balanced_cap },
+                caps,
+                total,
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_distribution_panics() {
+        StrategyKind::Spread.distribute(&[1, 1], 3);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types of the communication library.
+
+use std::fmt;
+
+/// MPI process instances are addressed by logical rank and replica index.
+pub type Rank = u32;
+
+/// Message tags, as in MPI.
+pub type Tag = u16;
+
+/// Errors surfaced to user code running inside an MPI process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// This process instance was killed by the failure-injection plan; the
+    /// kernel should unwind (`?`) so the replica stops participating.
+    ProcessFailed,
+    /// A rank outside `0..size` was addressed.
+    InvalidRank {
+        /// The offending rank.
+        rank: Rank,
+        /// The communicator size.
+        size: u32,
+    },
+    /// The channel to a destination process is gone (its thread ended
+    /// without replicas to take over).
+    PeerUnreachable {
+        /// The destination rank.
+        rank: Rank,
+    },
+    /// A collective was called with inconsistent arguments (e.g. mismatched
+    /// counts in `alltoallv`).
+    CollectiveMismatch(String),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::ProcessFailed => write!(f, "this process instance has been failed"),
+            MpiError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} is outside the communicator (size {size})")
+            }
+            MpiError::PeerUnreachable { rank } => {
+                write!(f, "no live replica of rank {rank} is reachable")
+            }
+            MpiError::CollectiveMismatch(msg) => write!(f, "collective mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Result alias used throughout the library.
+pub type MpiResult<T> = Result<T, MpiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(MpiError::ProcessFailed.to_string().contains("failed"));
+        assert!(MpiError::InvalidRank { rank: 9, size: 4 }
+            .to_string()
+            .contains("rank 9"));
+        assert!(MpiError::PeerUnreachable { rank: 2 }
+            .to_string()
+            .contains("rank 2"));
+        assert!(MpiError::CollectiveMismatch("bad counts".into())
+            .to_string()
+            .contains("bad counts"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(MpiError::ProcessFailed, MpiError::ProcessFailed);
+        assert_ne!(
+            MpiError::ProcessFailed,
+            MpiError::PeerUnreachable { rank: 0 }
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! The MPD's cached peer list with measured latencies.
+//!
+//! Each MPD keeps a local cache of the supernode's host list; "to each host
+//! in the cache list is associated a network latency value" obtained by
+//! periodically ping'ing it (Section 4.1).  The booking step of the
+//! reservation procedure sorts this cache by ascending latency and books
+//! hosts from the front.
+
+use crate::peer::{PeerDescriptor, PeerId};
+use p2pmpi_simgrid::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One cached peer with its latest latency estimate.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The cached peer.
+    pub descriptor: PeerDescriptor,
+    /// Smoothed latency estimate from application-level probes; `None` until
+    /// the first probe completes.
+    pub latency: Option<SimDuration>,
+    /// Time of the last successful probe.
+    pub last_probe: Option<SimTime>,
+    /// Consecutive failed probes / timeouts.
+    pub failed_probes: u32,
+}
+
+/// Exponential smoothing factor applied to successive probe measurements:
+/// `new = (1-EWMA_ALPHA)*old + EWMA_ALPHA*sample`.
+pub const EWMA_ALPHA: f64 = 0.5;
+
+/// The MPD's cached list.
+#[derive(Debug, Default)]
+pub struct CachedList {
+    entries: HashMap<PeerId, CacheEntry>,
+}
+
+impl CachedList {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CachedList {
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Merges descriptors retrieved from the supernode into the cache,
+    /// keeping existing latency estimates.  Returns the number of peers that
+    /// were new to this cache.
+    pub fn merge(&mut self, peers: impl IntoIterator<Item = PeerDescriptor>) -> usize {
+        let mut added = 0;
+        for d in peers {
+            self.entries.entry(d.id).or_insert_with(|| {
+                added += 1;
+                CacheEntry {
+                    descriptor: d,
+                    latency: None,
+                    last_probe: None,
+                    failed_probes: 0,
+                }
+            });
+        }
+        added
+    }
+
+    /// Records a successful probe measurement for `peer`, smoothing with the
+    /// previous estimate.
+    pub fn record_probe(&mut self, peer: PeerId, sample: SimDuration, now: SimTime) {
+        if let Some(e) = self.entries.get_mut(&peer) {
+            let new = match e.latency {
+                Some(old) => {
+                    let blended = old.as_secs_f64() * (1.0 - EWMA_ALPHA)
+                        + sample.as_secs_f64() * EWMA_ALPHA;
+                    SimDuration::from_secs_f64(blended)
+                }
+                None => sample,
+            };
+            e.latency = Some(new);
+            e.last_probe = Some(now);
+            e.failed_probes = 0;
+        }
+    }
+
+    /// Records a failed probe (timeout) for `peer`.  Returns the new failure
+    /// count, or `None` if the peer is not cached.
+    pub fn record_probe_failure(&mut self, peer: PeerId) -> Option<u32> {
+        self.entries.get_mut(&peer).map(|e| {
+            e.failed_probes += 1;
+            e.failed_probes
+        })
+    }
+
+    /// Removes a peer (e.g. marked dead during a reservation round).
+    pub fn remove(&mut self, peer: PeerId) -> bool {
+        self.entries.remove(&peer).is_some()
+    }
+
+    /// Looks up a cached entry.
+    pub fn get(&self, peer: PeerId) -> Option<&CacheEntry> {
+        self.entries.get(&peer)
+    }
+
+    /// Number of cached peers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All cached peers in unspecified order.
+    pub fn peers(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.values()
+    }
+
+    /// The cache sorted by ascending latency, which is exactly the order the
+    /// booking step walks.  Peers without a measurement sort last (they are
+    /// the least attractive candidates), ties broken by peer id for
+    /// determinism.
+    pub fn sorted_by_latency(&self) -> Vec<&CacheEntry> {
+        let mut v: Vec<&CacheEntry> = self.entries.values().collect();
+        v.sort_by(|a, b| match (a.latency, b.latency) {
+            (Some(x), Some(y)) => x.cmp(&y).then(a.descriptor.id.cmp(&b.descriptor.id)),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => a.descriptor.id.cmp(&b.descriptor.id),
+        });
+        v
+    }
+
+    /// Convenience: peer ids in ascending-latency order.
+    pub fn ranking(&self) -> Vec<PeerId> {
+        self.sorted_by_latency()
+            .into_iter()
+            .map(|e| e.descriptor.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmpi_simgrid::topology::HostId;
+
+    fn desc(i: usize) -> PeerDescriptor {
+        PeerDescriptor::new(PeerId(i), HostId(i))
+    }
+
+    #[test]
+    fn merge_adds_only_new_peers() {
+        let mut c = CachedList::new();
+        assert_eq!(c.merge(vec![desc(0), desc(1)]), 2);
+        assert_eq!(c.merge(vec![desc(1), desc(2)]), 1);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn probes_smooth_with_ewma() {
+        let mut c = CachedList::new();
+        c.merge(vec![desc(0)]);
+        c.record_probe(PeerId(0), SimDuration::from_millis(10), SimTime::ZERO);
+        assert_eq!(c.get(PeerId(0)).unwrap().latency, Some(SimDuration::from_millis(10)));
+        c.record_probe(PeerId(0), SimDuration::from_millis(20), SimTime::from_secs(1));
+        // 0.5*10 + 0.5*20 = 15 ms
+        assert_eq!(c.get(PeerId(0)).unwrap().latency, Some(SimDuration::from_millis(15)));
+        assert_eq!(c.get(PeerId(0)).unwrap().failed_probes, 0);
+    }
+
+    #[test]
+    fn failures_count_and_reset() {
+        let mut c = CachedList::new();
+        c.merge(vec![desc(0)]);
+        assert_eq!(c.record_probe_failure(PeerId(0)), Some(1));
+        assert_eq!(c.record_probe_failure(PeerId(0)), Some(2));
+        assert_eq!(c.record_probe_failure(PeerId(9)), None);
+        c.record_probe(PeerId(0), SimDuration::from_millis(5), SimTime::ZERO);
+        assert_eq!(c.get(PeerId(0)).unwrap().failed_probes, 0);
+    }
+
+    #[test]
+    fn sorting_puts_lowest_latency_first_and_unprobed_last() {
+        let mut c = CachedList::new();
+        c.merge(vec![desc(0), desc(1), desc(2), desc(3)]);
+        c.record_probe(PeerId(2), SimDuration::from_millis(1), SimTime::ZERO);
+        c.record_probe(PeerId(0), SimDuration::from_millis(12), SimTime::ZERO);
+        c.record_probe(PeerId(1), SimDuration::from_millis(5), SimTime::ZERO);
+        assert_eq!(
+            c.ranking(),
+            vec![PeerId(2), PeerId(1), PeerId(0), PeerId(3)]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_peer_id() {
+        let mut c = CachedList::new();
+        c.merge(vec![desc(5), desc(3)]);
+        c.record_probe(PeerId(5), SimDuration::from_millis(7), SimTime::ZERO);
+        c.record_probe(PeerId(3), SimDuration::from_millis(7), SimTime::ZERO);
+        assert_eq!(c.ranking(), vec![PeerId(3), PeerId(5)]);
+    }
+
+    #[test]
+    fn remove_deletes_entry() {
+        let mut c = CachedList::new();
+        c.merge(vec![desc(0)]);
+        assert!(c.remove(PeerId(0)));
+        assert!(!c.remove(PeerId(0)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn probing_unknown_peer_is_ignored() {
+        let mut c = CachedList::new();
+        c.record_probe(PeerId(4), SimDuration::from_millis(1), SimTime::ZERO);
+        assert!(c.get(PeerId(4)).is_none());
+    }
+}

@@ -1,0 +1,179 @@
+//! Fault injection: peer churn.
+//!
+//! The paper motivates P2P middleware by the dynamicity of grids ("failures
+//! are far more frequent than on supercomputers").  This module provides a
+//! schedule of join/crash/recover events applied to the overlay as virtual
+//! time advances, used by the reservation tests and the replication
+//! experiments.
+
+use crate::peer::PeerId;
+use p2pmpi_simgrid::time::{SimDuration, SimTime};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// What happens to a peer at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The peer's MPD stops answering (crash / network partition).
+    Crash,
+    /// The peer comes back and re-registers with the supernode.
+    Recover,
+}
+
+/// One scheduled churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// When the event takes effect.
+    pub time: SimTime,
+    /// The affected peer.
+    pub peer: PeerId,
+    /// Crash or recovery.
+    pub kind: ChurnKind,
+}
+
+/// A time-ordered churn schedule.
+#[derive(Debug, Default, Clone)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one event (the schedule is re-sorted lazily on
+    /// [`ChurnSchedule::finish`]).
+    pub fn push(&mut self, event: ChurnEvent) -> &mut Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Convenience: schedule a crash.
+    pub fn crash(&mut self, peer: PeerId, at: SimTime) -> &mut Self {
+        self.push(ChurnEvent {
+            time: at,
+            peer,
+            kind: ChurnKind::Crash,
+        })
+    }
+
+    /// Convenience: schedule a recovery.
+    pub fn recover(&mut self, peer: PeerId, at: SimTime) -> &mut Self {
+        self.push(ChurnEvent {
+            time: at,
+            peer,
+            kind: ChurnKind::Recover,
+        })
+    }
+
+    /// Sorts the schedule by time (stable, so same-instant events keep their
+    /// insertion order) and returns it.
+    pub fn finish(mut self) -> Vec<ChurnEvent> {
+        self.events.sort_by_key(|e| e.time);
+        self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Generates a random crash/recovery schedule: each selected peer crashes at
+/// a uniformly random instant of `[0, horizon)` and recovers `downtime`
+/// later.  `fraction` of the given peers (rounded down) are affected.
+pub fn random_churn<R: Rng + ?Sized>(
+    peers: &[PeerId],
+    fraction: f64,
+    horizon: SimDuration,
+    downtime: SimDuration,
+    rng: &mut R,
+) -> ChurnSchedule {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let mut schedule = ChurnSchedule::new();
+    let count = ((peers.len() as f64) * fraction).floor() as usize;
+    let mut shuffled = peers.to_vec();
+    shuffled.shuffle(rng);
+    for &peer in shuffled.iter().take(count) {
+        let at = SimTime::from_nanos(rng.gen_range(0..horizon.as_nanos().max(1)));
+        schedule.crash(peer, at);
+        schedule.recover(peer, at + downtime);
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmpi_simgrid::rngutil::seeded;
+
+    #[test]
+    fn schedule_sorts_by_time() {
+        let mut s = ChurnSchedule::new();
+        s.crash(PeerId(1), SimTime::from_secs(10));
+        s.recover(PeerId(1), SimTime::from_secs(20));
+        s.crash(PeerId(2), SimTime::from_secs(5));
+        assert_eq!(s.len(), 3);
+        let events = s.finish();
+        assert_eq!(events[0].peer, PeerId(2));
+        assert_eq!(events[1].kind, ChurnKind::Crash);
+        assert_eq!(events[2].kind, ChurnKind::Recover);
+    }
+
+    #[test]
+    fn random_churn_respects_fraction_and_pairs_events() {
+        let peers: Vec<PeerId> = (0..20).map(PeerId).collect();
+        let mut rng = seeded(5);
+        let s = random_churn(
+            &peers,
+            0.25,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(30),
+            &mut rng,
+        );
+        let events = s.finish();
+        assert_eq!(events.len(), 10); // 5 peers x (crash + recover)
+        let crashes = events.iter().filter(|e| e.kind == ChurnKind::Crash).count();
+        assert_eq!(crashes, 5);
+        // Every crash has a matching later recovery for the same peer.
+        for c in events.iter().filter(|e| e.kind == ChurnKind::Crash) {
+            assert!(events
+                .iter()
+                .any(|r| r.kind == ChurnKind::Recover && r.peer == c.peer && r.time > c.time));
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_empty() {
+        let peers: Vec<PeerId> = (0..10).map(PeerId).collect();
+        let mut rng = seeded(5);
+        let s = random_churn(
+            &peers,
+            0.0,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(1),
+            &mut rng,
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_fraction_panics() {
+        let mut rng = seeded(1);
+        random_churn(
+            &[PeerId(0)],
+            1.5,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+            &mut rng,
+        );
+    }
+}

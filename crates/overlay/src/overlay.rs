@@ -1,0 +1,712 @@
+//! The overlay simulation driver.
+//!
+//! [`Overlay`] owns the supernode, every peer's MPD/RS state, the network
+//! and noise models, and a virtual clock.  It exposes exactly the
+//! interactions the paper's job-submission procedure needs:
+//!
+//! * membership (register, alive signals, expiry),
+//! * cache refresh from the supernode and latency probing,
+//! * RS↔RS reservation brokering (with timeouts when a peer is dead),
+//! * MPD start requests with key verification,
+//! * fault injection (crash/recover, scheduled churn).
+//!
+//! The co-allocation procedure itself lives in the `p2pmpi-core` crate and
+//! drives this type.
+
+use crate::cache::CacheEntry;
+use crate::churn::{ChurnEvent, ChurnKind};
+use crate::messages::{
+    RankAssignment, ReservationKey, ReservationReply, ReservationRequest, StartReply,
+};
+use crate::mpd::MpdNode;
+use crate::peer::{PeerDescriptor, PeerId, PeerState};
+use crate::ping::LatencyProber;
+use crate::supernode::Supernode;
+use p2pmpi_simgrid::network::NetworkModel;
+use p2pmpi_simgrid::time::{SimDuration, SimTime};
+use p2pmpi_simgrid::topology::{HostId, Topology};
+use p2pmpi_simgrid::trace::{TraceCategory, Tracer};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Tunable parameters of the overlay protocol simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlayParams {
+    /// How long the submitter waits for an RS answer before marking the peer
+    /// dead (step 5 of the procedure).
+    pub rs_timeout: SimDuration,
+    /// Number of probe rounds performed when bootstrapping a fresh cache.
+    pub bootstrap_probe_rounds: usize,
+    /// Period of the MPD alive signal to the supernode.
+    pub heartbeat_period: SimDuration,
+    /// Size in bytes of an RS reservation-request message.
+    pub rs_message_bytes: u64,
+    /// Size in bytes of an MPD start-request message (program name + ranks).
+    pub start_message_bytes: u64,
+}
+
+impl Default for OverlayParams {
+    fn default() -> Self {
+        OverlayParams {
+            rs_timeout: SimDuration::from_secs(2),
+            bootstrap_probe_rounds: 3,
+            heartbeat_period: SimDuration::from_secs(120),
+            rs_message_bytes: 256,
+            start_message_bytes: 2048,
+        }
+    }
+}
+
+/// Outcome of an RS→RS reservation request as seen by the submitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsOutcome {
+    /// The remote RS answered within the timeout.
+    Reply {
+        /// The OK/NOK answer.
+        reply: ReservationReply,
+        /// Round-trip time of the exchange.
+        elapsed: SimDuration,
+    },
+    /// The remote peer never answered; it is to be marked dead.
+    Timeout {
+        /// Time spent waiting (the RS timeout).
+        elapsed: SimDuration,
+    },
+}
+
+impl RsOutcome {
+    /// Time spent on this interaction.
+    pub fn elapsed(&self) -> SimDuration {
+        match self {
+            RsOutcome::Reply { elapsed, .. } | RsOutcome::Timeout { elapsed } => *elapsed,
+        }
+    }
+}
+
+/// The simulated P2P-MPI overlay.
+pub struct Overlay {
+    topology: Arc<Topology>,
+    network: NetworkModel,
+    prober: LatencyProber,
+    supernode: Supernode,
+    supernode_host: HostId,
+    nodes: Vec<MpdNode>,
+    host_to_peer: HashMap<HostId, PeerId>,
+    now: SimTime,
+    rng: StdRng,
+    tracer: Tracer,
+    params: OverlayParams,
+    churn: Vec<ChurnEvent>,
+    churn_cursor: usize,
+}
+
+impl Overlay {
+    /// Assembles an overlay; normally called through
+    /// [`crate::boot::OverlayBuilder`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        topology: Arc<Topology>,
+        network: NetworkModel,
+        prober: LatencyProber,
+        supernode_host: HostId,
+        nodes: Vec<MpdNode>,
+        rng: StdRng,
+        tracer: Tracer,
+        params: OverlayParams,
+    ) -> Self {
+        let host_to_peer = nodes
+            .iter()
+            .map(|n| (n.descriptor.host, n.descriptor.id))
+            .collect();
+        Overlay {
+            topology,
+            network,
+            prober,
+            supernode: Supernode::default(),
+            supernode_host,
+            nodes,
+            host_to_peer,
+            now: SimTime::ZERO,
+            rng,
+            tracer,
+            params,
+            churn: Vec::new(),
+            churn_cursor: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The topology the overlay runs on.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// The network cost model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// The latency prober (network + noise).
+    pub fn prober(&self) -> &LatencyProber {
+        &self.prober
+    }
+
+    /// The trace recorder.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Protocol parameters.
+    pub fn params(&self) -> OverlayParams {
+        self.params
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of peers (alive or dead).
+    pub fn peer_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All peer ids.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        self.nodes.iter().map(|n| n.descriptor.id).collect()
+    }
+
+    /// Immutable access to a peer's MPD state.
+    pub fn node(&self, peer: PeerId) -> &MpdNode {
+        &self.nodes[peer.0]
+    }
+
+    /// Mutable access to a peer's MPD state.
+    pub fn node_mut(&mut self, peer: PeerId) -> &mut MpdNode {
+        &mut self.nodes[peer.0]
+    }
+
+    /// The peer whose MPD runs on `host`, if any.
+    pub fn peer_on_host(&self, host: HostId) -> Option<PeerId> {
+        self.host_to_peer.get(&host).copied()
+    }
+
+    /// The host a peer runs on.
+    pub fn host_of(&self, peer: PeerId) -> HostId {
+        self.nodes[peer.0].descriptor.host
+    }
+
+    /// The supernode registry (read-only).
+    pub fn supernode(&self) -> &Supernode {
+        &self.supernode
+    }
+
+    /// Generates a fresh unique reservation key (step 3 of the procedure).
+    pub fn generate_key(&mut self) -> ReservationKey {
+        ReservationKey(self.rng.gen())
+    }
+
+    // ------------------------------------------------------------------
+    // Time and fault injection
+    // ------------------------------------------------------------------
+
+    /// Advances the virtual clock, applying any scheduled churn events that
+    /// become due.
+    pub fn advance(&mut self, d: SimDuration) {
+        let target = self.now + d;
+        while self.churn_cursor < self.churn.len() && self.churn[self.churn_cursor].time <= target {
+            let ev = self.churn[self.churn_cursor];
+            self.churn_cursor += 1;
+            self.now = self.now.max(ev.time);
+            match ev.kind {
+                ChurnKind::Crash => self.kill_peer(ev.peer),
+                ChurnKind::Recover => self.revive_peer(ev.peer),
+            }
+        }
+        self.now = target;
+    }
+
+    /// Installs a churn schedule (events must not be in the past).
+    pub fn schedule_churn(&mut self, events: Vec<ChurnEvent>) {
+        let mut events = events;
+        events.sort_by_key(|e| e.time);
+        if let Some(first) = events.first() {
+            assert!(
+                first.time >= self.now,
+                "churn events must be in the future"
+            );
+        }
+        self.churn = events;
+        self.churn_cursor = 0;
+    }
+
+    /// Marks a peer dead immediately.
+    pub fn kill_peer(&mut self, peer: PeerId) {
+        self.nodes[peer.0].state = PeerState::Dead;
+        self.tracer
+            .record(self.now, TraceCategory::Fault, format!("{peer} crashed"));
+    }
+
+    /// Brings a peer back and re-registers it with the supernode.
+    pub fn revive_peer(&mut self, peer: PeerId) {
+        self.nodes[peer.0].state = PeerState::Alive;
+        let d = self.nodes[peer.0].descriptor.clone();
+        self.supernode.register(d, self.now);
+        self.tracer
+            .record(self.now, TraceCategory::Fault, format!("{peer} recovered"));
+    }
+
+    /// Number of peers currently alive.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_alive()).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Membership
+    // ------------------------------------------------------------------
+
+    /// Registers every alive peer with the supernode ("mpiboot" on all
+    /// machines).
+    pub fn boot_all(&mut self) {
+        for node in &self.nodes {
+            if node.is_alive() {
+                self.supernode.register(node.descriptor.clone(), self.now);
+            }
+        }
+        self.tracer.record(
+            self.now,
+            TraceCategory::Membership,
+            format!("{} peers registered with supernode", self.supernode.len()),
+        );
+    }
+
+    /// One round of alive signals from every alive peer, followed by an
+    /// expiry sweep at the supernode.  Returns the number of expired peers.
+    pub fn heartbeat_round(&mut self) -> usize {
+        for node in &self.nodes {
+            if node.is_alive() {
+                self.supernode.alive(node.descriptor.id, self.now);
+            }
+        }
+        let dropped = self.supernode.expire_stale(self.now);
+        if dropped > 0 {
+            self.tracer.record(
+                self.now,
+                TraceCategory::Membership,
+                format!("supernode expired {dropped} stale peers"),
+            );
+        }
+        dropped
+    }
+
+    // ------------------------------------------------------------------
+    // Cache management and probing
+    // ------------------------------------------------------------------
+
+    /// The MPD of `peer` pulls the supernode host list into its cache
+    /// (a "cached list update request", step 2).  Returns the number of new
+    /// peers learned and the elapsed round-trip time.
+    pub fn refresh_cache(&mut self, peer: PeerId) -> (usize, SimDuration) {
+        let src = self.nodes[peer.0].descriptor.host;
+        let elapsed = self
+            .network
+            .transfer_time(src, self.supernode_host, 128)
+            + self
+                .network
+                .transfer_time(self.supernode_host, src, 64 * self.supernode.len() as u64 + 64);
+        let list: Vec<PeerDescriptor> = self
+            .supernode
+            .host_list()
+            .into_iter()
+            .map(|e| e.descriptor)
+            .filter(|d| d.id != peer)
+            .collect();
+        let added = self.nodes[peer.0].cache.merge(list);
+        self.tracer.record(
+            self.now,
+            TraceCategory::Membership,
+            format!("{peer} refreshed cache (+{added} peers)"),
+        );
+        (added, elapsed)
+    }
+
+    /// One probe round: `peer` pings every cached peer once and updates its
+    /// latency estimates.  Dead peers record a probe failure.  Returns the
+    /// virtual time the round took (probes are sent concurrently, so this is
+    /// the slowest individual probe).
+    pub fn probe_round(&mut self, peer: PeerId) -> SimDuration {
+        let src = self.nodes[peer.0].descriptor.host;
+        let targets: Vec<(PeerId, HostId, bool)> = self.nodes[peer.0]
+            .cache
+            .peers()
+            .map(|e| {
+                let id = e.descriptor.id;
+                (id, e.descriptor.host, self.nodes[id.0].is_alive())
+            })
+            .collect();
+        let mut slowest = SimDuration::ZERO;
+        let mut measurements = Vec::with_capacity(targets.len());
+        let mut failures = Vec::new();
+        for (id, host, alive) in targets {
+            if alive {
+                let rtt = self.prober.probe(src, host, &mut self.rng);
+                slowest = slowest.max(rtt);
+                measurements.push((id, rtt));
+            } else {
+                slowest = slowest.max(self.params.rs_timeout);
+                failures.push(id);
+            }
+        }
+        let now = self.now;
+        let node = &mut self.nodes[peer.0];
+        for (id, rtt) in measurements {
+            node.cache.record_probe(id, rtt, now);
+        }
+        for id in failures {
+            node.cache.record_probe_failure(id);
+        }
+        self.tracer.record(
+            self.now,
+            TraceCategory::Probe,
+            format!("{peer} probed its cache ({} entries)", self.nodes[peer.0].cache.len()),
+        );
+        slowest
+    }
+
+    /// Boots `peer`'s view of the overlay: refresh the cache from the
+    /// supernode and run the configured number of probe rounds.  Returns the
+    /// elapsed virtual time.
+    pub fn bootstrap_peer(&mut self, peer: PeerId) -> SimDuration {
+        let (_, mut elapsed) = self.refresh_cache(peer);
+        for _ in 0..self.params.bootstrap_probe_rounds {
+            elapsed += self.probe_round(peer);
+        }
+        elapsed
+    }
+
+    /// The submitter's cached list sorted by ascending measured latency —
+    /// the order the booking step walks.
+    pub fn latency_ranking(&self, peer: PeerId) -> Vec<PeerId> {
+        self.nodes[peer.0].cache.ranking()
+    }
+
+    /// Snapshot of the cached entries of `peer` sorted by latency.
+    pub fn sorted_cache(&self, peer: PeerId) -> Vec<CacheEntry> {
+        self.nodes[peer.0]
+            .cache
+            .sorted_by_latency()
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // RS brokering and start requests
+    // ------------------------------------------------------------------
+
+    /// RS→RS reservation request from `from` to `to` (steps 3–4).
+    pub fn rs_request(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        key: ReservationKey,
+        total_processes: u32,
+    ) -> RsOutcome {
+        let src = self.nodes[from.0].descriptor.host;
+        let dst = self.nodes[to.0].descriptor.host;
+        if !self.nodes[to.0].is_alive() {
+            self.tracer.record(
+                self.now,
+                TraceCategory::Reservation,
+                format!("{from} -> {to}: reservation timed out (peer dead)"),
+            );
+            return RsOutcome::Timeout {
+                elapsed: self.params.rs_timeout,
+            };
+        }
+        let elapsed = self
+            .network
+            .transfer_time(src, dst, self.params.rs_message_bytes)
+            + self
+                .network
+                .transfer_time(dst, src, self.params.rs_message_bytes);
+        let req = ReservationRequest {
+            key,
+            requester: from,
+            requester_address: self.nodes[from.0].descriptor.address.clone(),
+            total_processes,
+        };
+        let now = self.now;
+        let config = self.nodes[to.0].config.clone();
+        let reply = self.nodes[to.0].rs.handle_request(&req, &config, now);
+        self.tracer.record(
+            self.now,
+            TraceCategory::Reservation,
+            format!("{from} -> {to}: {reply:?}"),
+        );
+        RsOutcome::Reply { reply, elapsed }
+    }
+
+    /// Cancels a reservation previously granted by `to` (unused reservations
+    /// from the overbooked `rlist`, step 6).  Returns `true` if the remote RS
+    /// actually held it.
+    pub fn rs_cancel(&mut self, from: PeerId, to: PeerId, key: ReservationKey) -> bool {
+        if !self.nodes[to.0].is_alive() {
+            return false;
+        }
+        let cancelled = self.nodes[to.0].rs.cancel(key);
+        if cancelled {
+            self.tracer.record(
+                self.now,
+                TraceCategory::Reservation,
+                format!("{from} cancelled reservation on {to}"),
+            );
+        }
+        cancelled
+    }
+
+    /// MPD start request (steps 6–8): `from` asks `to` to start `ranks` of
+    /// `program` under reservation `key`.  The remote MPD verifies the key
+    /// against its RS before launching.
+    pub fn mpd_start(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        key: ReservationKey,
+        ranks: &[RankAssignment],
+        program: &str,
+    ) -> (StartReply, SimDuration) {
+        let src = self.nodes[from.0].descriptor.host;
+        let dst = self.nodes[to.0].descriptor.host;
+        if !self.nodes[to.0].is_alive() {
+            return (StartReply::Timeout, self.params.rs_timeout);
+        }
+        let elapsed = self
+            .network
+            .transfer_time(src, dst, self.params.start_message_bytes)
+            + self.network.transfer_time(dst, src, 64);
+        let node = &mut self.nodes[to.0];
+        if !node.rs.verify_key(key) {
+            return (StartReply::KeyMismatch, elapsed);
+        }
+        let config = node.config.clone();
+        match node.rs.start(key, ranks.len() as u32, &config) {
+            Ok(()) => {
+                self.tracer.record(
+                    self.now,
+                    TraceCategory::Runtime,
+                    format!("{to} started {} process(es) of {program}", ranks.len()),
+                );
+                (StartReply::Started, elapsed)
+            }
+            Err(_) => (StartReply::KeyMismatch, elapsed),
+        }
+    }
+
+    /// Marks the application under `key` as finished on `peer`, freeing the
+    /// gatekeeper slot.
+    pub fn complete_job(&mut self, peer: PeerId, key: ReservationKey) -> bool {
+        self.nodes[peer.0].rs.complete(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boot::OverlayBuilder;
+    use crate::config::OwnerConfig;
+    use p2pmpi_simgrid::noise::NoiseModel;
+    use p2pmpi_simgrid::topology::{NodeSpec, TopologyBuilder};
+
+    fn small_topology() -> Arc<Topology> {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_site("local");
+        let s1 = b.add_site("remote");
+        b.add_cluster(s0, "l", "cpu", 3, NodeSpec { cores: 2, ..NodeSpec::default() });
+        b.add_cluster(s1, "r", "cpu", 3, NodeSpec { cores: 4, ..NodeSpec::default() });
+        b.set_rtt(s0, s1, SimDuration::from_millis(10));
+        Arc::new(b.build())
+    }
+
+    fn overlay() -> Overlay {
+        let topo = small_topology();
+        OverlayBuilder::new(topo)
+            .seed(1)
+            .noise(NoiseModel::disabled())
+            .peer_per_host_with_core_capacity()
+            .build()
+    }
+
+    #[test]
+    fn boot_and_bootstrap_builds_latency_ranking() {
+        let mut o = overlay();
+        o.boot_all();
+        assert_eq!(o.supernode().len(), 6);
+        let submitter = o.peer_on_host(o.topology().host_by_name("l-0").unwrap().id).unwrap();
+        o.bootstrap_peer(submitter);
+        let ranking = o.latency_ranking(submitter);
+        assert_eq!(ranking.len(), 5); // everyone but the submitter
+        // The two other local hosts come before the three remote ones.
+        let local_hosts: Vec<HostId> = o
+            .topology()
+            .hosts_at_site(o.topology().site_by_name("local").unwrap().id)
+            .map(|h| h.id)
+            .collect();
+        for &p in &ranking[..2] {
+            assert!(local_hosts.contains(&o.host_of(p)));
+        }
+        for &p in &ranking[2..] {
+            assert!(!local_hosts.contains(&o.host_of(p)));
+        }
+    }
+
+    #[test]
+    fn rs_request_grants_then_respects_j() {
+        let mut o = overlay();
+        o.boot_all();
+        let ids = o.peer_ids();
+        let (from, to) = (ids[0], ids[1]);
+        let k1 = o.generate_key();
+        let k2 = o.generate_key();
+        assert_ne!(k1, k2);
+        match o.rs_request(from, to, k1, 4) {
+            RsOutcome::Reply { reply, elapsed } => {
+                assert!(reply.is_ok());
+                assert!(elapsed > SimDuration::ZERO);
+            }
+            RsOutcome::Timeout { .. } => panic!("unexpected timeout"),
+        }
+        // Default J=1: a second application is refused.
+        match o.rs_request(from, to, k2, 4) {
+            RsOutcome::Reply { reply, .. } => assert!(!reply.is_ok()),
+            RsOutcome::Timeout { .. } => panic!("unexpected timeout"),
+        }
+        // Cancelling frees the slot.
+        assert!(o.rs_cancel(from, to, k1));
+        assert!(matches!(
+            o.rs_request(from, to, k2, 4),
+            RsOutcome::Reply { reply, .. } if reply.is_ok()
+        ));
+    }
+
+    #[test]
+    fn dead_peers_time_out_and_probe_failures_accumulate() {
+        let mut o = overlay();
+        o.boot_all();
+        let ids = o.peer_ids();
+        let (from, to) = (ids[0], ids[3]);
+        o.bootstrap_peer(from);
+        o.kill_peer(to);
+        assert_eq!(o.alive_count(), 5);
+        let k = o.generate_key();
+        match o.rs_request(from, to, k, 1) {
+            RsOutcome::Timeout { elapsed } => assert_eq!(elapsed, o.params().rs_timeout),
+            RsOutcome::Reply { .. } => panic!("dead peer answered"),
+        }
+        o.probe_round(from);
+        assert_eq!(o.node(from).cache.get(to).unwrap().failed_probes, 1);
+        o.revive_peer(to);
+        assert_eq!(o.alive_count(), 6);
+        assert!(matches!(o.rs_request(from, to, k, 1), RsOutcome::Reply { .. }));
+    }
+
+    #[test]
+    fn start_requires_matching_key() {
+        let mut o = overlay();
+        o.boot_all();
+        let ids = o.peer_ids();
+        let (from, to) = (ids[0], ids[2]);
+        let key = o.generate_key();
+        let wrong = o.generate_key();
+        assert!(matches!(
+            o.rs_request(from, to, key, 2),
+            RsOutcome::Reply { reply, .. } if reply.is_ok()
+        ));
+        let ranks = vec![RankAssignment { rank: 0, replica: 0 }];
+        let (reply, _) = o.mpd_start(from, to, wrong, &ranks, "prog");
+        assert_eq!(reply, StartReply::KeyMismatch);
+        let (reply, _) = o.mpd_start(from, to, key, &ranks, "prog");
+        assert_eq!(reply, StartReply::Started);
+        assert!(o.complete_job(to, key));
+        assert!(!o.complete_job(to, key));
+    }
+
+    #[test]
+    fn churn_schedule_is_applied_on_advance() {
+        let mut o = overlay();
+        o.boot_all();
+        let victim = o.peer_ids()[1];
+        let mut schedule = crate::churn::ChurnSchedule::new();
+        schedule.crash(victim, SimTime::from_secs(10));
+        schedule.recover(victim, SimTime::from_secs(30));
+        o.schedule_churn(schedule.finish());
+        o.advance(SimDuration::from_secs(5));
+        assert!(o.node(victim).is_alive());
+        o.advance(SimDuration::from_secs(10));
+        assert!(!o.node(victim).is_alive());
+        o.advance(SimDuration::from_secs(20));
+        assert!(o.node(victim).is_alive());
+        assert_eq!(o.now(), SimTime::from_secs(35));
+        assert!(o.tracer().count(TraceCategory::Fault) >= 2);
+    }
+
+    #[test]
+    fn heartbeats_keep_peers_registered_and_silence_expires_them() {
+        let mut o = overlay();
+        o.boot_all();
+        let victim = o.peer_ids()[0];
+        o.kill_peer(victim);
+        // Advance past the supernode expiry and heartbeat.
+        o.advance(SimDuration::from_secs(400));
+        let dropped = o.heartbeat_round();
+        assert_eq!(dropped, 1);
+        assert!(!o.supernode().knows(victim));
+        assert_eq!(o.supernode().len(), 5);
+    }
+
+    #[test]
+    fn owner_deny_list_is_enforced_end_to_end() {
+        let topo = small_topology();
+        let mut o = OverlayBuilder::new(topo)
+            .seed(3)
+            .noise(NoiseModel::disabled())
+            .peer_per_host_with_core_capacity()
+            .build();
+        o.boot_all();
+        let ids = o.peer_ids();
+        let (from, to) = (ids[0], ids[1]);
+        let from_addr = o.node(from).descriptor.address.clone();
+        o.node_mut(to).config.deny(from_addr);
+        let k = o.generate_key();
+        match o.rs_request(from, to, k, 1) {
+            RsOutcome::Reply { reply, .. } => assert_eq!(
+                reply,
+                ReservationReply::Nok(crate::messages::RefusalReason::RequesterDenied)
+            ),
+            RsOutcome::Timeout { .. } => panic!("unexpected timeout"),
+        }
+    }
+
+    #[test]
+    fn capacity_reflects_owner_config() {
+        let topo = small_topology();
+        let mut o = OverlayBuilder::new(topo.clone())
+            .seed(9)
+            .peer_per_host(|h| OwnerConfig::with_procs(h.cores as u32))
+            .build();
+        o.boot_all();
+        let remote = o
+            .peer_on_host(topo.host_by_name("r-0").unwrap().id)
+            .unwrap();
+        assert_eq!(o.node(remote).capacity_per_app(), 4);
+        let local = o
+            .peer_on_host(topo.host_by_name("l-0").unwrap().id)
+            .unwrap();
+        assert_eq!(o.node(local).capacity_per_app(), 2);
+    }
+}

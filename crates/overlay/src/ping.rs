@@ -1,0 +1,162 @@
+//! Application-level latency probing.
+//!
+//! "Each neighbor in the cache is periodically ping'ed to assess network
+//! latency to it.  Notice that this 'ping' test is a standard P2P-MPI
+//! communication and does not rely on an ICMP echo measurement" (Section 4.1).
+//! The probe therefore goes through the same cost model as real messages
+//! (including software overhead) and is perturbed by the load-noise model.
+
+use p2pmpi_simgrid::network::NetworkModel;
+use p2pmpi_simgrid::noise::NoiseModel;
+use p2pmpi_simgrid::time::SimDuration;
+use p2pmpi_simgrid::topology::HostId;
+use rand::Rng;
+
+/// Produces noisy application-level RTT measurements between hosts.
+#[derive(Debug, Clone)]
+pub struct LatencyProber {
+    network: NetworkModel,
+    noise: NoiseModel,
+}
+
+impl LatencyProber {
+    /// Creates a prober over the given network model and noise model.
+    pub fn new(network: NetworkModel, noise: NoiseModel) -> Self {
+        LatencyProber { network, noise }
+    }
+
+    /// Creates a noise-free prober (useful for deterministic tests).
+    pub fn noiseless(network: NetworkModel) -> Self {
+        LatencyProber {
+            network,
+            noise: NoiseModel::disabled(),
+        }
+    }
+
+    /// The network model used by the prober.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// The noise model used by the prober.
+    pub fn noise(&self) -> NoiseModel {
+        self.noise
+    }
+
+    /// One RTT probe from `src` to `dst`.
+    pub fn probe<R: Rng + ?Sized>(&self, src: HostId, dst: HostId, rng: &mut R) -> SimDuration {
+        let base = self.network.probe_rtt(src, dst);
+        self.noise.perturb(base, rng)
+    }
+
+    /// Average of `count` probes (the MPD smooths measurements over time;
+    /// this helper is used when bootstrapping a cache in one go).
+    pub fn probe_avg<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        count: usize,
+        rng: &mut R,
+    ) -> SimDuration {
+        assert!(count > 0, "need at least one probe");
+        let total: SimDuration = (0..count).map(|_| self.probe(src, dst, rng)).sum();
+        total / count as u64
+    }
+
+    /// The noise-free ICMP-style RTT, for comparing rankings as Section 5.1
+    /// of the paper does.
+    pub fn icmp_rtt(&self, src: HostId, dst: HostId) -> SimDuration {
+        self.network.icmp_rtt(src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmpi_simgrid::rngutil::seeded;
+    use p2pmpi_simgrid::topology::{NodeSpec, TopologyBuilder};
+    use std::sync::Arc;
+
+    fn prober(sigma: f64) -> (LatencyProber, HostId, HostId, HostId) {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_site("origin");
+        let s1 = b.add_site("near");
+        let s2 = b.add_site("far");
+        b.add_cluster(s0, "o", "cpu", 1, NodeSpec::default());
+        b.add_cluster(s1, "n", "cpu", 1, NodeSpec::default());
+        b.add_cluster(s2, "f", "cpu", 1, NodeSpec::default());
+        b.set_rtt(s0, s1, SimDuration::from_millis(10));
+        b.set_rtt(s0, s2, SimDuration::from_millis(17));
+        b.set_rtt(s1, s2, SimDuration::from_millis(15));
+        let t = Arc::new(b.build());
+        let o = t.host_by_name("o-0").unwrap().id;
+        let n = t.host_by_name("n-0").unwrap().id;
+        let f = t.host_by_name("f-0").unwrap().id;
+        let network = NetworkModel::new(t);
+        let noise = if sigma == 0.0 {
+            NoiseModel::disabled()
+        } else {
+            NoiseModel::with_sigma(sigma)
+        };
+        (LatencyProber::new(network, noise), o, n, f)
+    }
+
+    #[test]
+    fn noiseless_probe_is_deterministic_and_ordered() {
+        let (p, o, n, f) = prober(0.0);
+        let mut rng = seeded(1);
+        let a = p.probe(o, n, &mut rng);
+        let b = p.probe(o, n, &mut rng);
+        assert_eq!(a, b);
+        assert!(p.probe(o, n, &mut rng) < p.probe(o, f, &mut rng));
+        // Application-level probe exceeds the ICMP RTT (software overhead).
+        assert!(a > p.icmp_rtt(o, n));
+    }
+
+    #[test]
+    fn noisy_probe_varies_but_preserves_coarse_ranking() {
+        let (p, o, n, f) = prober(0.06);
+        let mut rng = seeded(7);
+        let a = p.probe(o, n, &mut rng);
+        let b = p.probe(o, n, &mut rng);
+        assert_ne!(a, b);
+        // With a 7 ms RTT gap, 6 % noise never flips near/far.
+        for _ in 0..2_000 {
+            assert!(p.probe(o, n, &mut rng) < p.probe(o, f, &mut rng));
+        }
+    }
+
+    #[test]
+    fn probe_avg_reduces_variance() {
+        let (p, o, n, _) = prober(0.06);
+        let mut rng = seeded(11);
+        let singles: Vec<f64> = (0..200)
+            .map(|_| p.probe(o, n, &mut rng).as_millis_f64())
+            .collect();
+        let avgs: Vec<f64> = (0..200)
+            .map(|_| p.probe_avg(o, n, 8, &mut rng).as_millis_f64())
+            .collect();
+        let var = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(var(&avgs) < var(&singles));
+    }
+
+    #[test]
+    fn noiseless_constructor_disables_noise() {
+        let (p, o, n, _) = prober(0.06);
+        let q = LatencyProber::noiseless(p.network().clone());
+        let mut rng = seeded(3);
+        assert_eq!(q.probe(o, n, &mut rng), q.probe(o, n, &mut rng));
+        assert!(q.noise().is_disabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn probe_avg_zero_count_panics() {
+        let (p, o, n, _) = prober(0.0);
+        let mut rng = seeded(1);
+        p.probe_avg(o, n, 0, &mut rng);
+    }
+}

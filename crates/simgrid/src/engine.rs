@@ -1,0 +1,289 @@
+//! Closure-based discrete-event engine.
+//!
+//! The engine owns a virtual clock and a queue of closures.  Each closure
+//! receives `&mut Engine` when it fires, so it can schedule follow-up events,
+//! inspect the clock, or stop the run.  This is the substrate on which the
+//! overlay's periodic behaviours (alive signals, cache refreshes, latency
+//! probes, reservation timeouts) are simulated.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A schedulable action.
+pub type Action = Box<dyn FnOnce(&mut Engine)>;
+
+/// Discrete-event engine with a closure event model.
+pub struct Engine {
+    now: SimTime,
+    queue: EventQueue<Action>,
+    processed: u64,
+    stopped: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+            stopped: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests the run loop to stop after the current event.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// True if [`Engine::stop`] has been called.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Schedules `action` at absolute time `at`.  Scheduling in the past is a
+    /// logic error and panics to surface protocol bugs early.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut Engine) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past ({} < {})",
+            at,
+            self.now
+        );
+        self.queue.push(at, Box::new(action));
+    }
+
+    /// Schedules `action` after the given delay.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, action: F)
+    where
+        F: FnOnce(&mut Engine) + 'static,
+    {
+        let at = self.now + delay;
+        self.queue.push(at, Box::new(action));
+    }
+
+    /// Executes the next pending event, advancing the clock.  Returns `false`
+    /// if the queue was empty or the engine was stopped.
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.time >= self.now, "event queue went backwards");
+                self.now = ev.time;
+                self.processed += 1;
+                (ev.payload)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains or [`Engine::stop`] is called.  Returns the
+    /// number of events executed by this call.
+    pub fn run(&mut self) -> u64 {
+        let before = self.processed;
+        while self.step() {}
+        self.processed - before
+    }
+
+    /// Runs until virtual time would exceed `deadline` (events at exactly
+    /// `deadline` are executed), the queue drains, or the engine is stopped.
+    /// The clock is left at `min(deadline, time of last executed event)` or at
+    /// `deadline` if the queue drained earlier, so repeated calls with
+    /// increasing deadlines behave like a wall clock.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.processed;
+        while !self.stopped {
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if !self.stopped && self.now < deadline {
+            self.now = deadline;
+        }
+        self.processed - before
+    }
+
+    /// Runs for `span` of virtual time from the current clock.
+    pub fn run_for(&mut self, span: SimDuration) -> u64 {
+        let deadline = self.now + span;
+        self.run_until(deadline)
+    }
+}
+
+/// Helper for periodic behaviours: reschedules itself every `period` until
+/// `until` (exclusive), invoking `tick` each time.  Returns immediately; the
+/// ticking happens as the engine runs.
+pub fn schedule_periodic<F>(engine: &mut Engine, period: SimDuration, until: SimTime, tick: F)
+where
+    F: FnMut(&mut Engine) + 'static,
+{
+    assert!(!period.is_zero(), "periodic events need a non-zero period");
+    fn arm<F>(engine: &mut Engine, period: SimDuration, until: SimTime, mut tick: F)
+    where
+        F: FnMut(&mut Engine) + 'static,
+    {
+        let next = engine.now() + period;
+        if next >= until {
+            return;
+        }
+        engine.schedule_at(next, move |e| {
+            tick(e);
+            arm(e, period, until, tick);
+        });
+    }
+    arm(engine, period, until, tick);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut e = Engine::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        e.schedule_at(SimTime::from_millis(10), move |eng| {
+            h.borrow_mut().push(eng.now());
+        });
+        let h = hits.clone();
+        e.schedule_at(SimTime::from_millis(5), move |eng| {
+            h.borrow_mut().push(eng.now());
+        });
+        assert_eq!(e.run(), 2);
+        assert_eq!(
+            *hits.borrow(),
+            vec![SimTime::from_millis(5), SimTime::from_millis(10)]
+        );
+        assert_eq!(e.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn events_can_schedule_followups() {
+        let mut e = Engine::new();
+        let count = Rc::new(RefCell::new(0u32));
+        let c = count.clone();
+        e.schedule_in(SimDuration::from_secs(1), move |eng| {
+            *c.borrow_mut() += 1;
+            let c2 = c.clone();
+            eng.schedule_in(SimDuration::from_secs(1), move |_| {
+                *c2.borrow_mut() += 1;
+            });
+        });
+        e.run();
+        assert_eq!(*count.borrow(), 2);
+        assert_eq!(e.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut e = Engine::new();
+        let fired = Rc::new(RefCell::new(0));
+        for i in 1..=10u64 {
+            let f = fired.clone();
+            e.schedule_at(SimTime::from_secs(i), move |_| {
+                *f.borrow_mut() += 1;
+            });
+        }
+        assert_eq!(e.run_until(SimTime::from_secs(4)), 4);
+        assert_eq!(*fired.borrow(), 4);
+        assert_eq!(e.now(), SimTime::from_secs(4));
+        assert_eq!(e.pending(), 6);
+        // Advancing further picks up where we left off.
+        assert_eq!(e.run_until(SimTime::from_secs(20)), 6);
+        assert_eq!(e.now(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn run_for_advances_relative() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(3), |_| {});
+        e.run_for(SimDuration::from_secs(1));
+        assert_eq!(e.now(), SimTime::from_secs(1));
+        e.run_for(SimDuration::from_secs(5));
+        assert_eq!(e.now(), SimTime::from_secs(6));
+        assert_eq!(e.processed(), 1);
+    }
+
+    #[test]
+    fn stop_halts_run() {
+        let mut e = Engine::new();
+        let seen = Rc::new(RefCell::new(0));
+        for i in 0..5u64 {
+            let s = seen.clone();
+            e.schedule_at(SimTime::from_secs(i + 1), move |eng| {
+                *s.borrow_mut() += 1;
+                if *s.borrow() == 2 {
+                    eng.stop();
+                }
+            });
+        }
+        e.run();
+        assert_eq!(*seen.borrow(), 2);
+        assert!(e.is_stopped());
+        assert_eq!(e.pending(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(2), |_| {});
+        e.run();
+        e.schedule_at(SimTime::from_secs(1), |_| {});
+    }
+
+    #[test]
+    fn periodic_ticks_until_deadline() {
+        let mut e = Engine::new();
+        let ticks = Rc::new(RefCell::new(Vec::new()));
+        let t = ticks.clone();
+        schedule_periodic(
+            &mut e,
+            SimDuration::from_secs(2),
+            SimTime::from_secs(9),
+            move |eng| t.borrow_mut().push(eng.now().as_nanos() / 1_000_000_000),
+        );
+        e.run();
+        assert_eq!(*ticks.borrow(), vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero period")]
+    fn periodic_zero_period_panics() {
+        let mut e = Engine::new();
+        schedule_periodic(&mut e, SimDuration::ZERO, SimTime::from_secs(1), |_| {});
+    }
+}

@@ -1,0 +1,185 @@
+//! Time-ordered event queue with FIFO tie-breaking.
+//!
+//! The queue is generic over the payload type so that the closure-based
+//! [`crate::engine::Engine`] and the typed actor network used by the overlay
+//! crate can share the same ordering semantics: events scheduled for the same
+//! virtual instant are delivered in the order they were scheduled.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue: payload plus its firing time and insertion sequence.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest seq)
+        // entry is popped first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A scheduled event popped from the queue.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Virtual instant at which the event fires.
+    pub time: SimTime,
+    /// The event payload.
+    pub payload: E,
+}
+
+/// Min-queue of events ordered by firing time, FIFO among equal times.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|e| Scheduled {
+            time: e.time,
+            payload: e.payload,
+        })
+    }
+
+    /// Firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), "c");
+        q.push(SimTime::from_millis(10), "a");
+        q.push(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(5), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_count(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        let base = SimTime::ZERO;
+        q.push(base + SimDuration::from_millis(5), 5);
+        q.push(base + SimDuration::from_millis(1), 1);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        q.push(base + SimDuration::from_millis(3), 3);
+        q.push(base + SimDuration::from_millis(4), 4);
+        assert_eq!(q.pop().unwrap().payload, 3);
+        assert_eq!(q.pop().unwrap().payload, 4);
+        assert_eq!(q.pop().unwrap().payload, 5);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn scheduled_struct_reports_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(42), "x");
+        let s = q.pop().unwrap();
+        assert_eq!(s.time, SimTime::from_micros(42));
+        assert_eq!(s.payload, "x");
+    }
+}

@@ -1,0 +1,244 @@
+//! Lightweight event tracing for experiments and debugging.
+//!
+//! Components record [`TraceEvent`]s into a shared [`Tracer`]; experiment
+//! harnesses query or dump them to explain *why* an allocation came out the
+//! way it did (which hosts answered NOK, which reservations were cancelled,
+//! which peers were marked dead, …).
+
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Category of a trace event, used for filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceCategory {
+    /// Overlay membership: registrations, alive signals, cache refreshes.
+    Membership,
+    /// Latency probing.
+    Probe,
+    /// Reservation protocol (booking, OK/NOK, cancellation).
+    Reservation,
+    /// Process-to-host allocation decisions.
+    Allocation,
+    /// MPI runtime events (launch, completion, failures).
+    Runtime,
+    /// Fault injection (churn, crashes).
+    Fault,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceCategory::Membership => "membership",
+            TraceCategory::Probe => "probe",
+            TraceCategory::Reservation => "reservation",
+            TraceCategory::Allocation => "allocation",
+            TraceCategory::Runtime => "runtime",
+            TraceCategory::Fault => "fault",
+            TraceCategory::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Virtual time at which the event occurred.
+    pub time: SimTime,
+    /// Category for filtering.
+    pub category: TraceCategory,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.time, self.category, self.message)
+    }
+}
+
+/// Thread-safe, clonable event recorder.
+///
+/// Cloning a `Tracer` yields a handle onto the same underlying buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+struct TracerInner {
+    events: Vec<TraceEvent>,
+    capacity: Option<usize>,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Creates an unbounded tracer.
+    pub fn new() -> Self {
+        Tracer {
+            inner: Arc::new(Mutex::new(TracerInner {
+                events: Vec::new(),
+                capacity: None,
+                dropped: 0,
+                enabled: true,
+            })),
+        }
+    }
+
+    /// Creates a tracer that keeps at most `capacity` events (older events
+    /// beyond the cap are dropped and counted).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            inner: Arc::new(Mutex::new(TracerInner {
+                events: Vec::with_capacity(capacity.min(4096)),
+                capacity: Some(capacity),
+                dropped: 0,
+                enabled: true,
+            })),
+        }
+    }
+
+    /// Creates a tracer that records nothing (cheap to pass around when
+    /// tracing is not wanted, e.g. inside Criterion benchmarks).
+    pub fn disabled() -> Self {
+        Tracer {
+            inner: Arc::new(Mutex::new(TracerInner {
+                events: Vec::new(),
+                capacity: None,
+                dropped: 0,
+                enabled: false,
+            })),
+        }
+    }
+
+    /// Records an event.
+    pub fn record(&self, time: SimTime, category: TraceCategory, message: impl Into<String>) {
+        let mut inner = self.inner.lock();
+        if !inner.enabled {
+            return;
+        }
+        if let Some(cap) = inner.capacity {
+            if inner.events.len() >= cap {
+                inner.dropped += 1;
+                return;
+            }
+        }
+        inner.events.push(TraceEvent {
+            time,
+            category,
+            message: message.into(),
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events dropped because of the capacity cap.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Snapshot of all recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Snapshot of the events of one category.
+    pub fn events_in(&self, category: TraceCategory) -> Vec<TraceEvent> {
+        self.inner
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.category == category)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events in one category.
+    pub fn count(&self, category: TraceCategory) -> usize {
+        self.inner
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.category == category)
+            .count()
+    }
+
+    /// Clears the buffer (keeps the capacity and enabled flag).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.events.clear();
+        inner.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let t = Tracer::new();
+        t.record(SimTime::from_secs(1), TraceCategory::Probe, "ping lyon");
+        t.record(SimTime::from_secs(2), TraceCategory::Reservation, "book 10");
+        t.record(SimTime::from_secs(3), TraceCategory::Probe, "ping rennes");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.count(TraceCategory::Probe), 2);
+        assert_eq!(t.events_in(TraceCategory::Reservation).len(), 1);
+        assert!(!t.is_empty());
+        let shown = format!("{}", t.events()[0]);
+        assert!(shown.contains("probe") && shown.contains("ping lyon"));
+    }
+
+    #[test]
+    fn capacity_drops_extra_events() {
+        let t = Tracer::with_capacity(2);
+        for i in 0..5 {
+            t.record(SimTime::from_secs(i), TraceCategory::Other, "x");
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        t.clear();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.record(SimTime::ZERO, TraceCategory::Fault, "crash");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = Tracer::new();
+        let t2 = t.clone();
+        t2.record(SimTime::ZERO, TraceCategory::Runtime, "start");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn category_display_names() {
+        assert_eq!(TraceCategory::Membership.to_string(), "membership");
+        assert_eq!(TraceCategory::Allocation.to_string(), "allocation");
+        assert_eq!(TraceCategory::Fault.to_string(), "fault");
+    }
+}

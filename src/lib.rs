@@ -1,0 +1,58 @@
+//! # p2p-mpi
+//!
+//! Facade crate for **p2pmpi-rs**, a Rust reproduction of
+//! *"Large-Scale Experiment of Co-allocation Strategies for Peer-to-Peer
+//! SuperComputing in P2P-MPI"* (Genaud & Rattanapoka, IPDPS/HPGC 2008).
+//!
+//! The workspace is organised as one crate per subsystem; this crate simply
+//! re-exports them under stable names and hosts the runnable examples and
+//! the cross-crate integration tests.
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`simgrid`] | `p2pmpi-simgrid` | virtual time, topology, network/compute/memory cost models |
+//! | [`overlay`] | `p2pmpi-overlay` | supernode, MPD, Reservation Service, latency probing, churn |
+//! | [`core`] | `p2pmpi-core` | spread/concentrate strategies, rank assignment, reservation procedure |
+//! | [`mpi`] | `p2pmpi-mpi` | MPJ-like communication library with replication and virtual clocks |
+//! | [`nas`] | `p2pmpi-nas` | NAS EP and IS kernels, problem classes, the hostname program |
+//! | [`grid5000`] | `p2pmpi-grid5000` | the Table 1 testbed model and experiment scenarios |
+//!
+//! ```
+//! use p2p_mpi::prelude::*;
+//!
+//! // Build the paper's testbed, submit from Nancy, run the hostname job.
+//! let mut tb = p2p_mpi::grid5000::testbed::grid5000_testbed(
+//!     1,
+//!     p2p_mpi::simgrid::noise::NoiseModel::disabled(),
+//! );
+//! let report = allocate(
+//!     &mut tb.overlay,
+//!     tb.submitter,
+//!     &JobRequest::new(100, StrategyKind::Concentrate, "hostname"),
+//! );
+//! assert!(report.is_success());
+//! ```
+
+pub use p2pmpi_core as core;
+pub use p2pmpi_grid5000 as grid5000;
+pub use p2pmpi_mpi as mpi;
+pub use p2pmpi_nas as nas;
+pub use p2pmpi_overlay as overlay;
+pub use p2pmpi_simgrid as simgrid;
+
+/// One-stop imports for examples and quick experiments.
+pub mod prelude {
+    pub use p2pmpi_core::prelude::*;
+    pub use p2pmpi_grid5000::testbed::{grid5000_testbed, grid5000_topology, Grid5000Testbed};
+    pub use p2pmpi_mpi::prelude::*;
+    pub use p2pmpi_nas::{
+        classes::Class,
+        ep::{ep_kernel, EpConfig},
+        hostname::hostname_kernel,
+        is::{is_kernel, IsConfig},
+    };
+    pub use p2pmpi_overlay::{OverlayBuilder, OwnerConfig};
+    pub use p2pmpi_simgrid::noise::NoiseModel;
+    pub use p2pmpi_simgrid::time::{SimDuration, SimTime};
+    pub use p2pmpi_simgrid::topology::{NodeSpec, TopologyBuilder};
+}

@@ -1,0 +1,139 @@
+//! Integration tests of the NAS kernels over the MPI runtime: numerical
+//! correctness, independence from the process count, and verification at
+//! several classes and placements.
+
+use p2p_mpi::prelude::*;
+use p2pmpi_mpi::placement::Placement;
+use p2pmpi_nas::ep::EpResult;
+use p2pmpi_simgrid::topology::{HostId, Topology};
+use std::sync::Arc;
+
+fn flat_topology(hosts: usize, cores: usize) -> Arc<Topology> {
+    let mut b = TopologyBuilder::new();
+    let s = b.add_site("site");
+    b.add_cluster(
+        s,
+        "c",
+        "cpu",
+        hosts,
+        NodeSpec {
+            cores,
+            ..NodeSpec::default()
+        },
+    );
+    Arc::new(b.build())
+}
+
+fn hosts_of(t: &Topology) -> Vec<HostId> {
+    t.hosts().iter().map(|h| h.id).collect()
+}
+
+fn run_ep(nprocs: u32, class: Class) -> EpResult {
+    let topo = flat_topology(nprocs as usize, 2);
+    let runtime = MpiRuntime::new(topo.clone());
+    let placement = Placement::round_robin(nprocs, &hosts_of(&topo));
+    let config = EpConfig::new(class);
+    let result = runtime.run(&placement, move |comm| ep_kernel(comm, &config));
+    assert!(result.all_ranks_completed(), "{:?}", result.failures());
+    result.result_of(0).unwrap().clone()
+}
+
+#[test]
+fn ep_class_s_verifies_and_is_independent_of_process_count() {
+    let with_2 = run_ep(2, Class::S);
+    let with_4 = run_ep(4, Class::S);
+    let with_7 = run_ep(7, Class::S);
+    assert!(with_2.verify());
+    // The NPB seed-jumping makes the global sums identical whatever the
+    // process count (up to floating-point addition order in the reduction;
+    // the annulus counts are exactly equal).
+    assert_eq!(with_2.counts, with_4.counts);
+    assert_eq!(with_2.counts, with_7.counts);
+    assert_eq!(with_2.accepted, with_4.accepted);
+    assert!((with_2.sx - with_4.sx).abs() < 1e-6 * with_2.sx.abs().max(1.0));
+    assert!((with_2.sy - with_7.sy).abs() < 1e-6 * with_2.sy.abs().max(1.0));
+    // Roughly pi/4 of the pairs fall inside the unit circle.
+    let acceptance = with_2.accepted as f64 / with_2.generated as f64;
+    assert!((acceptance - std::f64::consts::FRAC_PI_4).abs() < 0.01);
+}
+
+#[test]
+fn ep_all_ranks_agree_on_the_allreduced_result() {
+    let topo = flat_topology(4, 2);
+    let runtime = MpiRuntime::new(topo.clone());
+    let placement = Placement::one_per_host(&hosts_of(&topo));
+    let config = EpConfig::new(Class::S);
+    let result = runtime.run(&placement, move |comm| ep_kernel(comm, &config));
+    let reference = result.result_of(0).unwrap();
+    for rank in 1..4 {
+        assert_eq!(result.result_of(rank).unwrap(), reference);
+    }
+}
+
+#[test]
+fn is_class_s_sorts_correctly_for_several_process_counts() {
+    for &nprocs in &[2u32, 4, 8] {
+        let topo = flat_topology(nprocs as usize, 2);
+        let runtime = MpiRuntime::new(topo.clone());
+        let placement = Placement::round_robin(nprocs, &hosts_of(&topo));
+        let config = IsConfig::new(Class::S);
+        let result = runtime.run(&placement, move |comm| is_kernel(comm, &config));
+        assert!(result.all_ranks_completed(), "{:?}", result.failures());
+        for rank in 0..nprocs {
+            let r = result.result_of(rank).unwrap();
+            assert!(r.verified, "rank {rank} failed verification at P={nprocs}");
+            assert_eq!(r.total_keys, Class::S.is_keys());
+            assert_eq!(r.iterations, 10);
+        }
+        // The per-rank key counts add up to the class size.
+        let total: u64 = (0..nprocs)
+            .map(|rank| result.result_of(rank).unwrap().my_keys)
+            .sum();
+        assert_eq!(total, Class::S.is_keys());
+    }
+}
+
+#[test]
+fn is_class_w_verifies_with_colocation() {
+    // 4 hosts x 4 co-located processes: verification must hold regardless of
+    // placement, only the virtual time changes.
+    let topo = flat_topology(4, 4);
+    let runtime = MpiRuntime::new(topo.clone());
+    let placement = Placement::round_robin(16, &hosts_of(&topo));
+    let config = IsConfig::sampled(Class::W, 4).with_iterations(5);
+    let result = runtime.run(&placement, move |comm| is_kernel(comm, &config));
+    assert!(result.all_ranks_completed(), "{:?}", result.failures());
+    assert!(result.result_of(0).unwrap().verified);
+}
+
+#[test]
+fn ep_sampling_preserves_timing_but_not_exact_sums() {
+    // The sampled configuration charges the same virtual compute time as the
+    // full one (that is its purpose), while executing fewer pairs.
+    let topo = flat_topology(4, 2);
+    let runtime = MpiRuntime::new(topo.clone());
+    let placement = Placement::one_per_host(&hosts_of(&topo));
+    let full = EpConfig::new(Class::S);
+    let sampled = EpConfig::sampled(Class::S, 8);
+    let r_full = runtime.run(&placement, move |comm| ep_kernel(comm, &full));
+    let r_sampled = runtime.run(&placement, move |comm| ep_kernel(comm, &sampled));
+    let full_res = r_full.result_of(0).unwrap();
+    let sampled_res = r_sampled.result_of(0).unwrap();
+    assert!(sampled_res.generated < full_res.generated);
+    // Identical charged compute -> virtually identical makespans (the only
+    // difference is the few bytes of the final allreduce).
+    let a = r_full.makespan.as_secs_f64();
+    let b = r_sampled.makespan.as_secs_f64();
+    assert!((a - b).abs() / a < 1e-3, "makespans diverged: {a} vs {b}");
+}
+
+#[test]
+fn hostname_kernel_reports_placement() {
+    let topo = flat_topology(3, 2);
+    let runtime = MpiRuntime::new(topo.clone());
+    let hosts = hosts_of(&topo);
+    let placement = Placement::one_per_host(&hosts);
+    let result = runtime.run(&placement, hostname_kernel);
+    assert!(result.all_ranks_completed());
+    assert_eq!(result.result_of(0).unwrap().all_hosts, hosts);
+}

@@ -1,0 +1,107 @@
+//! End-to-end tests of the replication-based fault tolerance: the
+//! co-allocation keeps replicas on distinct hosts, and the communication
+//! library masks replica crashes as long as one copy of each rank survives
+//! (Section 3.2).
+
+use p2p_mpi::prelude::*;
+use p2pmpi_mpi::datatype::ReduceOp;
+use p2pmpi_mpi::placement::Placement;
+use std::time::Duration;
+
+fn replicated_allocation(n: u32, r: u32, seed: u64) -> (Grid5000Testbed, Placement) {
+    let mut tb = grid5000_testbed(seed, NoiseModel::disabled());
+    let report = allocate(
+        &mut tb.overlay,
+        tb.submitter,
+        &JobRequest::replicated(n, r, StrategyKind::Spread, "resilient"),
+    );
+    let allocation = report.allocation().clone();
+    assert!(allocation.validate().is_ok());
+    let placement = Placement::from_allocation(&allocation);
+    assert!(placement.validate().is_ok());
+    (tb, placement)
+}
+
+#[test]
+fn coallocation_separates_replicas_across_hosts() {
+    let (_, placement) = replicated_allocation(16, 3, 1);
+    assert_eq!(placement.total_instances(), 48);
+    for rank in 0..16 {
+        let hosts: std::collections::HashSet<_> = (0..3)
+            .map(|rep| placement.host_of(rank, rep).unwrap())
+            .collect();
+        assert_eq!(hosts.len(), 3, "rank {rank}: replicas must not share hosts");
+    }
+}
+
+#[test]
+fn one_replica_crash_per_rank_is_masked() {
+    let (tb, placement) = replicated_allocation(6, 2, 2);
+    let runtime =
+        MpiRuntime::new(tb.topology.clone()).with_recv_timeout(Duration::from_secs(5));
+    // Kill the primary copy of half the ranks at various points.
+    let plan = FailurePlan::none()
+        .kill(0, 0, 0)
+        .kill(2, 0, 4)
+        .kill(4, 0, 9);
+    let result = runtime.run_with_failures(&placement, &plan, |comm| {
+        let mut acc = 0i64;
+        for _ in 0..4 {
+            comm.compute(1.0e5, MemoryIntensity::CPU_BOUND)?;
+            let sum = comm.allreduce(ReduceOp::Sum, &[1i64])?;
+            acc += sum[0];
+        }
+        Ok(acc)
+    });
+    assert!(result.all_ranks_completed(), "{:?}", result.failures());
+    assert_eq!(result.failures().len(), 3);
+    // Every surviving instance agrees on the same accumulated value.
+    let expected = 4 * 6;
+    for rank in 0..6 {
+        assert_eq!(*result.result_of(rank).unwrap(), expected);
+    }
+}
+
+#[test]
+fn losing_every_replica_of_a_rank_is_fatal() {
+    let (tb, placement) = replicated_allocation(4, 2, 3);
+    let runtime =
+        MpiRuntime::new(tb.topology.clone()).with_recv_timeout(Duration::from_millis(300));
+    let plan = FailurePlan::none().kill(1, 0, 0).kill(1, 1, 0);
+    let result = runtime.run_with_failures(&placement, &plan, |comm| {
+        let sum = comm.allreduce(ReduceOp::Sum, &[1i64])?;
+        Ok(sum[0])
+    });
+    // Rank 1 is gone entirely: the application cannot complete.
+    assert!(!result.all_ranks_completed());
+    assert!(result.failures().len() >= 2);
+}
+
+#[test]
+fn ep_survives_a_replica_crash_and_still_verifies() {
+    let (tb, placement) = replicated_allocation(4, 2, 4);
+    let runtime =
+        MpiRuntime::new(tb.topology.clone()).with_recv_timeout(Duration::from_secs(5));
+    let plan = FailurePlan::none().kill(3, 0, 1);
+    let config = EpConfig::new(Class::S);
+    let result =
+        runtime.run_with_failures(&placement, &plan, move |comm| ep_kernel(comm, &config));
+    assert!(result.all_ranks_completed(), "{:?}", result.failures());
+    let reference = result.result_of(0).unwrap();
+    assert!(reference.verify());
+    // The surviving replica of rank 3 reaches the same global result.
+    assert_eq!(result.result_of(3).unwrap(), reference);
+}
+
+#[test]
+fn replication_degree_one_offers_no_protection() {
+    let (tb, placement) = replicated_allocation(4, 1, 5);
+    let runtime =
+        MpiRuntime::new(tb.topology.clone()).with_recv_timeout(Duration::from_millis(300));
+    let plan = FailurePlan::none().kill(2, 0, 0);
+    let result = runtime.run_with_failures(&placement, &plan, |comm| {
+        let sum = comm.allreduce(ReduceOp::Sum, &[1i64])?;
+        Ok(sum[0])
+    });
+    assert!(!result.all_ranks_completed());
+}
