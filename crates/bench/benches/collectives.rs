@@ -16,7 +16,10 @@ use std::hint::black_box;
 fn nancy_hosts(count: usize) -> Vec<HostId> {
     let topo = grid5000_topology();
     let nancy = topo.site_by_name("nancy").unwrap().id;
-    topo.hosts_at_site(nancy).take(count).map(|h| h.id).collect()
+    topo.hosts_at_site(nancy)
+        .take(count)
+        .map(|h| h.id)
+        .collect()
 }
 
 fn mixed_hosts(count: usize) -> Vec<HostId> {

@@ -1,8 +1,10 @@
 //! Benchmarks of the full co-allocation procedure (Section 4.2) on the
 //! Grid'5000 testbed, including the overbooking ablation called out in
-//! DESIGN.md.
+//! DESIGN.md and the `job_sweep` hot-path benchmark: Poisson-arriving job
+//! submissions against a warm 350-host cache, with tracing on and off.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pmpi_bench::sweepgen::PoissonArrivals;
 use p2pmpi_core::prelude::*;
 use p2pmpi_grid5000::testbed::grid5000_testbed;
 use p2pmpi_simgrid::noise::NoiseModel;
@@ -64,5 +66,49 @@ fn bench_overbooking_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_coallocation, bench_overbooking_policies);
+/// The hot path at sweep scale: a warm 350-host testbed receives a stream of
+/// Poisson-arriving jobs; each job books, brokers, allocates, runs and
+/// completes.  The cache is never re-sorted (incremental index), the
+/// allocator reuses its scratch buffers, and — in the `tracing_off` variant —
+/// no trace message is ever formatted.
+fn bench_job_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("job_sweep");
+    group.sample_size(10);
+
+    const JOBS_PER_ITER: usize = 20;
+    for (label, tracing) in [("tracing_off", false), ("tracing_on", true)] {
+        group.bench_function(BenchmarkId::new("poisson_100proc", label), |b| {
+            let mut tb = grid5000_testbed(17, NoiseModel::disabled());
+            tb.overlay.tracer().set_enabled(tracing);
+            let allocator = CoAllocator::new();
+            let request = JobRequest::new(100, StrategyKind::Concentrate, "hostname");
+            // Mean inter-arrival of 30 s of virtual time (a busy submitter).
+            let mut arrivals = PoissonArrivals::new(1.0 / 30.0, 23);
+            b.iter(|| {
+                let mut successes = 0usize;
+                for _ in 0..JOBS_PER_ITER {
+                    tb.overlay.advance(arrivals.next_gap());
+                    let report = allocator.allocate(&mut tb.overlay, tb.submitter, &request);
+                    if let Ok(alloc) = &report.outcome {
+                        successes += 1;
+                        for h in &alloc.hosts {
+                            tb.overlay.complete_job(h.peer, report.key);
+                        }
+                    }
+                }
+                // Keep the trace buffer bounded across samples.
+                tb.overlay.tracer().clear();
+                black_box(successes)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coallocation,
+    bench_overbooking_policies,
+    bench_job_sweep
+);
 criterion_main!(benches);

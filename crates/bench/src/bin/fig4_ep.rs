@@ -29,9 +29,7 @@ fn main() {
         ..Fig4Settings::default()
     };
     let counts = paper_ep_process_counts();
-    eprintln!(
-        "# EP class {class}, sample divisor {divisor}, processes {counts:?}"
-    );
+    eprintln!("# EP class {class}, sample divisor {divisor}, processes {counts:?}");
     let concentrate = fig4_kernel_times(
         Fig4Kernel::Ep,
         StrategyKind::Concentrate,

@@ -30,9 +30,7 @@ fn main() {
         ..Fig4Settings::default()
     };
     let counts = paper_is_process_counts();
-    eprintln!(
-        "# IS class {class}, sample divisor {divisor}, processes {counts:?}"
-    );
+    eprintln!("# IS class {class}, sample divisor {divisor}, processes {counts:?}");
     let concentrate = fig4_kernel_times(
         Fig4Kernel::Is,
         StrategyKind::Concentrate,

@@ -1,0 +1,192 @@
+//! Hot-path performance report.
+//!
+//! Measures the co-allocation hot path on the warm Grid'5000 testbed and
+//! writes `BENCH_hotpath.json` so successive PRs accumulate a perf
+//! trajectory.  Three measurements:
+//!
+//! 1. **ranking** — walking the booking order of a warm 349-peer cache via
+//!    the incremental index versus the seed's naive sort-per-read.
+//! 2. **allocate_warm** — full job submissions (book → broker → distribute →
+//!    start → complete) with tracing off and on, compared against the seed
+//!    tree's measured cost for the identical workload.
+//! 3. **job_sweep_poisson** — throughput of a Poisson-arriving sweep, the
+//!    workload the Figure 2–4 reproductions submit at scale.
+//!
+//! Usage:
+//! `cargo run --release -p p2pmpi-bench --bin perf_report [out.json] [--seed-allocate-ns N]`
+//!
+//! The seed baseline defaults to the median of five runs of the seed tree
+//! (commit `fa2eb37`, rebuilt with this workspace's manifests and vendored
+//! deps, same machine) driving the identical warm 100-process concentrate
+//! workload.  To re-measure it: check out the seed commit in a worktree,
+//! copy in `Cargo.toml`, `crates/*/Cargo.toml` and `vendor/`, add a driver
+//! that loops `CoAllocator::allocate` on `grid5000_topology()` with a
+//! disabled tracer, and pass its ns/job via `--seed-allocate-ns`.
+
+use p2pmpi_bench::sweepgen::PoissonArrivals;
+use p2pmpi_core::prelude::*;
+use p2pmpi_grid5000::testbed::{grid5000_testbed, Grid5000Testbed};
+use p2pmpi_simgrid::noise::NoiseModel;
+use std::hint::black_box;
+use std::time::Instant;
+
+const RANKING_REPS: usize = 2_000;
+const ALLOC_JOBS: usize = 400;
+const SWEEP_JOBS: usize = 1_000;
+
+/// Median warm-allocate cost of the seed tree (ns/job, tracing disabled) for
+/// the same workload; see the module docs for how to re-measure.
+const SEED_ALLOCATE_NS_PER_JOB: f64 = 65_556.0;
+
+fn ns_per_iter(total_ns: u128, iters: usize) -> f64 {
+    total_ns as f64 / iters.max(1) as f64
+}
+
+/// One full job submission, completed immediately so the next job finds the
+/// gatekeepers free.  Returns the number of booked hosts.
+fn submit_one(tb: &mut Grid5000Testbed, allocator: &CoAllocator, request: &JobRequest) -> usize {
+    let report = allocator.allocate(&mut tb.overlay, tb.submitter, request);
+    if let Ok(alloc) = &report.outcome {
+        for h in &alloc.hosts {
+            tb.overlay.complete_job(h.peer, report.key);
+        }
+    }
+    report.booked
+}
+
+fn measure_ranking(tb: &Grid5000Testbed) -> (f64, f64) {
+    let cache = &tb.overlay.node(tb.submitter).cache;
+
+    let start = Instant::now();
+    for _ in 0..RANKING_REPS {
+        // The seed's booking order: collect every entry, sort, materialize.
+        black_box(cache.sorted_by_latency_naive().len());
+    }
+    let naive_ns = ns_per_iter(start.elapsed().as_nanos(), RANKING_REPS);
+
+    let start = Instant::now();
+    for _ in 0..RANKING_REPS {
+        // The incremental index: walk, no sort, no allocation.
+        black_box(cache.ranking_iter().fold(0usize, |acc, p| acc + p.0));
+    }
+    let incremental_ns = ns_per_iter(start.elapsed().as_nanos(), RANKING_REPS);
+
+    (naive_ns, incremental_ns)
+}
+
+fn measure_allocate(tb: &mut Grid5000Testbed) -> (f64, f64) {
+    let allocator = CoAllocator::new();
+    let request = JobRequest::new(100, StrategyKind::Concentrate, "hostname");
+
+    // Warm up scratch buffers and caches.
+    for _ in 0..10 {
+        submit_one(tb, &allocator, &request);
+    }
+
+    tb.overlay.tracer().set_enabled(false);
+    let start = Instant::now();
+    for _ in 0..ALLOC_JOBS {
+        submit_one(tb, &allocator, &request);
+    }
+    let off_ns = ns_per_iter(start.elapsed().as_nanos(), ALLOC_JOBS);
+
+    tb.overlay.tracer().set_enabled(true);
+    let start = Instant::now();
+    for _ in 0..ALLOC_JOBS {
+        submit_one(tb, &allocator, &request);
+    }
+    let on_ns = ns_per_iter(start.elapsed().as_nanos(), ALLOC_JOBS);
+    tb.overlay.tracer().clear();
+    tb.overlay.tracer().set_enabled(false);
+
+    (off_ns, on_ns)
+}
+
+fn measure_sweep(tb: &mut Grid5000Testbed) -> (f64, f64) {
+    let allocator = CoAllocator::new();
+    let request = JobRequest::new(100, StrategyKind::Concentrate, "hostname");
+    let mut arrivals = PoissonArrivals::new(1.0 / 30.0, 23);
+    tb.overlay.tracer().set_enabled(false);
+    let start = Instant::now();
+    for _ in 0..SWEEP_JOBS {
+        let gap = arrivals.next_gap();
+        tb.overlay.advance(gap);
+        submit_one(tb, &allocator, &request);
+    }
+    let wall = start.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let jobs_per_sec = SWEEP_JOBS as f64 / wall.as_secs_f64();
+    (wall_ms, jobs_per_sec)
+}
+
+fn main() {
+    let mut out_path = "BENCH_hotpath.json".to_string();
+    let mut seed_allocate_ns = SEED_ALLOCATE_NS_PER_JOB;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed-allocate-ns" => {
+                seed_allocate_ns = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed-allocate-ns takes a number");
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown option: {flag}");
+                eprintln!("usage: perf_report [out.json] [--seed-allocate-ns N]");
+                std::process::exit(2);
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+
+    eprintln!("building warm Grid'5000 testbed (350 hosts)...");
+    let mut tb = grid5000_testbed(17, NoiseModel::disabled());
+    let hosts = tb.topology.host_count();
+    let cached = tb.overlay.node(tb.submitter).cache.len();
+
+    eprintln!("measuring booking-order ranking ({RANKING_REPS} reps)...");
+    let (naive_ns, incremental_ns) = measure_ranking(&tb);
+
+    eprintln!("measuring warm allocate ({ALLOC_JOBS} jobs per variant)...");
+    let (off_ns, on_ns) = measure_allocate(&mut tb);
+
+    eprintln!("measuring Poisson job sweep ({SWEEP_JOBS} jobs)...");
+    let (sweep_wall_ms, sweep_jobs_per_sec) = measure_sweep(&mut tb);
+
+    let ranking_speedup = naive_ns / incremental_ns.max(1.0);
+    let alloc_speedup = seed_allocate_ns / off_ns.max(1.0);
+
+    let json = format!(
+        r#"{{
+  "bench": "hotpath",
+  "generated_by": "perf_report (cargo run --release -p p2pmpi-bench --bin perf_report)",
+  "testbed": {{ "hosts": {hosts}, "cached_peers": {cached} }},
+  "ranking": {{
+    "description": "booking order of the warm submitter cache, per read; before = the seed's sort-per-read (still available as sorted_by_latency_naive), after = the incremental index",
+    "before_naive_sort_ns": {naive_ns:.1},
+    "after_incremental_index_ns": {incremental_ns:.1},
+    "speedup": {ranking_speedup:.1}
+  }},
+  "allocate_warm": {{
+    "description": "full job submission (100 procs, concentrate) on the warm cache; before = seed tree measured with identical workload/vendored deps (see perf_report docs)",
+    "jobs_per_variant": {ALLOC_JOBS},
+    "before_seed_ns_per_job": {seed_allocate_ns:.0},
+    "after_tracing_off_ns_per_job": {off_ns:.0},
+    "after_tracing_on_ns_per_job": {on_ns:.0},
+    "speedup_tracing_off_vs_seed": {alloc_speedup:.2}
+  }},
+  "job_sweep_poisson": {{
+    "description": "Poisson arrivals (mean gap 30 s virtual), tracing off",
+    "jobs": {SWEEP_JOBS},
+    "wall_ms": {sweep_wall_ms:.1},
+    "jobs_per_sec": {sweep_jobs_per_sec:.0}
+  }}
+}}
+"#
+    );
+
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

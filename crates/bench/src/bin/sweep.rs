@@ -99,11 +99,7 @@ fn overbooking() {
             tb.submitter,
             &JobRequest::new(demand, StrategyKind::Spread, "hostname"),
         );
-        let hosts_used = report
-            .outcome
-            .as_ref()
-            .map(|a| a.hosts_used())
-            .unwrap_or(0);
+        let hosts_used = report.outcome.as_ref().map(|a| a.hosts_used()).unwrap_or(0);
         println!(
             "{name}\t{}\t{hosts_used}\t{}\t{}\t{}\t{}\t{:.2}",
             report.is_success(),

@@ -124,10 +124,7 @@ pub fn run_kernel_once(
     n: u32,
     settings: &Fig4Settings,
 ) -> Fig4Point {
-    let mut tb = grid5000_testbed(
-        settings.seed.wrapping_add(n as u64),
-        NoiseModel::default(),
-    );
+    let mut tb = grid5000_testbed(settings.seed.wrapping_add(n as u64), NoiseModel::default());
     let request = JobRequest::new(n, strategy, kernel.program());
     let report = allocate(&mut tb.overlay, tb.submitter, &request);
     let allocation = report.allocation().clone();

@@ -19,8 +19,8 @@
 pub mod cliargs;
 pub mod experiments;
 pub mod output;
+pub mod sweepgen;
 
-pub use experiments::{
-    fig2_fig3_sweep, fig4_kernel_times, Fig4Kernel, Fig4Point, Fig4Settings,
-};
+pub use experiments::{fig2_fig3_sweep, fig4_kernel_times, Fig4Kernel, Fig4Point, Fig4Settings};
 pub use output::{print_fig4_table, print_legend, print_sweep_tables};
+pub use sweepgen::{BurstyArrivals, PoissonArrivals};

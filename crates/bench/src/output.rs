@@ -38,10 +38,7 @@ pub fn print_sweep_tables(rows: &[SweepRow]) -> String {
     let mut out = String::new();
     out.push_str(&print_legend());
 
-    for (title, pick) in [
-        ("allocated_hosts", true),
-        ("allocated_cores", false),
-    ] {
+    for (title, pick) in [("allocated_hosts", true), ("allocated_cores", false)] {
         out.push_str(&format!("\n[{title}]\n"));
         out.push_str("demanded");
         for site in SITE_ORDER {
@@ -99,8 +96,8 @@ pub fn print_fig4_table(kernel: &str, class: &str, series: &[(&str, &[Fig4Point]
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2pmpi_core::strategy::StrategyKind;
     use p2pmpi_core::stats::SiteUsage;
+    use p2pmpi_core::strategy::StrategyKind;
     use p2pmpi_grid5000::sites::TABLE1;
     use p2pmpi_simgrid::time::SimDuration;
     use p2pmpi_simgrid::topology::SiteId;

@@ -1,0 +1,137 @@
+//! Workload generators for job-submission sweeps.
+//!
+//! The paper submits jobs one at a time; pushing the reproduction to sweep
+//! scale needs a synthetic arrival process.  [`PoissonArrivals`] draws
+//! exponential inter-arrival gaps (a homogeneous Poisson process), and
+//! [`BurstyArrivals`] alternates between two rates — a cheap stand-in for
+//! the inhomogeneous-Poisson workloads of Hohmann's IPPP package cited in
+//! PAPERS.md.
+
+use p2pmpi_simgrid::rngutil::seeded;
+use p2pmpi_simgrid::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Homogeneous Poisson arrival process: gaps are `Exp(rate)` distributed.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate_per_sec: f64,
+    rng: StdRng,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given arrival rate (events per second of
+    /// virtual time) and RNG seed.
+    pub fn new(rate_per_sec: f64, seed: u64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive"
+        );
+        PoissonArrivals {
+            rate_per_sec,
+            rng: seeded(seed),
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Draws the next inter-arrival gap.
+    pub fn next_gap(&mut self) -> SimDuration {
+        // Inverse-CDF sampling; 1 - u keeps the argument of ln() positive.
+        let u: f64 = self.rng.gen();
+        let secs = -(1.0 - u).ln() / self.rate_per_sec;
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Draws `n` gaps into a vector (convenience for pre-scheduling a whole
+    /// sweep so the event queue can be `reserve`d once).
+    pub fn gaps(&mut self, n: usize) -> Vec<SimDuration> {
+        (0..n).map(|_| self.next_gap()).collect()
+    }
+}
+
+/// Two-phase inhomogeneous arrivals: `burst_len` arrivals at `burst_rate`,
+/// then `quiet_len` arrivals at `quiet_rate`, repeating.
+#[derive(Debug, Clone)]
+pub struct BurstyArrivals {
+    burst: PoissonArrivals,
+    quiet: PoissonArrivals,
+    burst_len: usize,
+    quiet_len: usize,
+    position: usize,
+}
+
+impl BurstyArrivals {
+    /// Creates the alternating process.  Lengths must be positive.
+    pub fn new(
+        burst_rate: f64,
+        burst_len: usize,
+        quiet_rate: f64,
+        quiet_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            burst_len > 0 && quiet_len > 0,
+            "phase lengths must be positive"
+        );
+        BurstyArrivals {
+            burst: PoissonArrivals::new(burst_rate, seed ^ 0x9E37),
+            quiet: PoissonArrivals::new(quiet_rate, seed ^ 0x79B9),
+            burst_len,
+            quiet_len,
+            position: 0,
+        }
+    }
+
+    /// Draws the next inter-arrival gap.
+    pub fn next_gap(&mut self) -> SimDuration {
+        let cycle = self.burst_len + self.quiet_len;
+        let in_burst = self.position % cycle < self.burst_len;
+        self.position += 1;
+        if in_burst {
+            self.burst.next_gap()
+        } else {
+            self.quiet.next_gap()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_gap_approximates_inverse_rate() {
+        let mut p = PoissonArrivals::new(0.5, 42); // mean gap 2 s
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| p.next_gap().as_secs_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean gap {mean}");
+    }
+
+    #[test]
+    fn gaps_are_deterministic_per_seed() {
+        let a: Vec<_> = PoissonArrivals::new(1.0, 7).gaps(50);
+        let b: Vec<_> = PoissonArrivals::new(1.0, 7).gaps(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bursty_alternates_between_rates() {
+        let mut g = BurstyArrivals::new(100.0, 50, 0.1, 50, 3);
+        let burst_mean: f64 = (0..50).map(|_| g.next_gap().as_secs_f64()).sum::<f64>() / 50.0;
+        let quiet_mean: f64 = (0..50).map(|_| g.next_gap().as_secs_f64()).sum::<f64>() / 50.0;
+        assert!(
+            quiet_mean > burst_mean * 10.0,
+            "quiet {quiet_mean} vs burst {burst_mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        PoissonArrivals::new(0.0, 1);
+    }
+}

@@ -93,7 +93,10 @@ impl fmt::Display for AllocationInvariantError {
                 host,
                 placed,
                 capacity,
-            } => write!(f, "{host} got {placed} instances but capacity is {capacity}"),
+            } => write!(
+                f,
+                "{host} got {placed} instances but capacity is {capacity}"
+            ),
         }
     }
 }
@@ -123,7 +126,8 @@ impl Allocation {
 
     /// Placement table indexed `[rank][replica] → host`.
     pub fn placement(&self) -> Vec<Vec<HostId>> {
-        let mut table = vec![vec![HostId(usize::MAX); self.replication as usize]; self.processes as usize];
+        let mut table =
+            vec![vec![HostId(usize::MAX); self.replication as usize]; self.processes as usize];
         for h in &self.hosts {
             for ra in &h.ranks {
                 table[ra.rank as usize][ra.replica as usize] = h.host;
@@ -134,10 +138,7 @@ impl Allocation {
 
     /// Number of process instances per host, keyed by host.
     pub fn instances_per_host(&self) -> HashMap<HostId, u32> {
-        self.hosts
-            .iter()
-            .map(|h| (h.host, h.instances()))
-            .collect()
+        self.hosts.iter().map(|h| (h.host, h.instances())).collect()
     }
 
     /// Checks every structural invariant the paper requires of a valid

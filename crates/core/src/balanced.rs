@@ -34,13 +34,14 @@ impl AllocationStrategy for Balanced {
         "balanced"
     }
 
-    fn distribute(&self, capacities: &[u32], total: u32) -> Vec<u32> {
+    fn distribute_into(&self, capacities: &[u32], total: u32, out: &mut Vec<u32>) {
         check_preconditions(capacities, total);
-        let mut u = vec![0u32; capacities.len()];
+        out.clear();
+        out.resize(capacities.len(), 0);
         let mut remaining = total;
 
         // Phase 1: concentrate, capped at max_per_host.
-        for (ui, &ci) in u.iter_mut().zip(capacities) {
+        for (ui, &ci) in out.iter_mut().zip(capacities) {
             if remaining == 0 {
                 break;
             }
@@ -52,7 +53,7 @@ impl AllocationStrategy for Balanced {
         // Phase 2: round-robin whatever is left over the residual capacity.
         while remaining > 0 {
             let mut progressed = false;
-            for (ui, &ci) in u.iter_mut().zip(capacities) {
+            for (ui, &ci) in out.iter_mut().zip(capacities) {
                 if remaining == 0 {
                     break;
                 }
@@ -64,7 +65,6 @@ impl AllocationStrategy for Balanced {
             }
             assert!(progressed, "feasibility precondition violated");
         }
-        u
     }
 }
 

@@ -19,23 +19,23 @@ impl AllocationStrategy for Concentrate {
         "concentrate"
     }
 
-    fn distribute(&self, capacities: &[u32], total: u32) -> Vec<u32> {
+    fn distribute_into(&self, capacities: &[u32], total: u32, out: &mut Vec<u32>) {
         check_preconditions(capacities, total);
-        let mut u = vec![0u32; capacities.len()];
+        out.clear();
+        out.resize(capacities.len(), 0);
         let mut d = 0u32;
         let mut cont = total > 0;
         while cont {
             let mut i = 0;
             while i < capacities.len() && cont {
-                u[i] = capacities[i].min(total - d);
-                d += u[i];
+                out[i] = capacities[i].min(total - d);
+                d += out[i];
                 if d == total {
                     cont = false;
                 }
                 i += 1;
             }
         }
-        u
     }
 }
 

@@ -124,17 +124,35 @@ mod tests {
         assert_eq!(
             a[0].ranks,
             vec![
-                RankAssignment { rank: 0, replica: 0 },
-                RankAssignment { rank: 1, replica: 0 },
-                RankAssignment { rank: 2, replica: 0 }
+                RankAssignment {
+                    rank: 0,
+                    replica: 0
+                },
+                RankAssignment {
+                    rank: 1,
+                    replica: 0
+                },
+                RankAssignment {
+                    rank: 2,
+                    replica: 0
+                }
             ]
         );
         assert_eq!(
             a[1].ranks,
             vec![
-                RankAssignment { rank: 0, replica: 1 },
-                RankAssignment { rank: 1, replica: 1 },
-                RankAssignment { rank: 2, replica: 1 }
+                RankAssignment {
+                    rank: 0,
+                    replica: 1
+                },
+                RankAssignment {
+                    rank: 1,
+                    replica: 1
+                },
+                RankAssignment {
+                    rank: 2,
+                    replica: 1
+                }
             ]
         );
         assert!(replicas_are_separated(&a));

@@ -103,7 +103,10 @@ mod tests {
     fn total_instances_is_n_times_r() {
         let j = JobRequest::replicated(3, 2, StrategyKind::Spread, "prog");
         assert_eq!(j.total_instances(), 6);
-        assert_eq!(JobRequest::new(5, StrategyKind::Concentrate, "p").total_instances(), 5);
+        assert_eq!(
+            JobRequest::new(5, StrategyKind::Concentrate, "p").total_instances(),
+            5
+        );
     }
 
     #[test]
@@ -116,7 +119,9 @@ mod tests {
             JobRequest::replicated(3, 0, StrategyKind::Spread, "p").validate(),
             Err(RequestError::ZeroReplication)
         );
-        assert!(JobRequest::new(1, StrategyKind::Spread, "p").validate().is_ok());
+        assert!(JobRequest::new(1, StrategyKind::Spread, "p")
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -128,6 +133,8 @@ mod tests {
     #[test]
     fn errors_format() {
         assert!(RequestError::ZeroProcesses.to_string().contains("process"));
-        assert!(RequestError::ZeroReplication.to_string().contains("replication"));
+        assert!(RequestError::ZeroReplication
+            .to_string()
+            .contains("replication"));
     }
 }

@@ -31,6 +31,7 @@ use p2pmpi_overlay::overlay::{Overlay, RsOutcome};
 use p2pmpi_overlay::peer::PeerId;
 use p2pmpi_simgrid::time::SimDuration;
 use p2pmpi_simgrid::trace::TraceCategory;
+use std::cell::RefCell;
 use std::fmt;
 
 /// Why a co-allocation attempt failed.
@@ -124,10 +125,62 @@ impl Default for CoAllocatorParams {
     }
 }
 
+/// Counters accumulated while the procedure runs; assembled into the
+/// [`CoAllocationReport`] once the outcome is known, so the report never
+/// carries a placeholder error.
+#[derive(Debug, Clone, Copy)]
+struct BrokeringStats {
+    booked: usize,
+    granted: usize,
+    refused: usize,
+    dead: usize,
+    cancelled_unused: usize,
+    elapsed: SimDuration,
+}
+
+impl BrokeringStats {
+    fn new() -> Self {
+        BrokeringStats {
+            booked: 0,
+            granted: 0,
+            refused: 0,
+            dead: 0,
+            cancelled_unused: 0,
+            elapsed: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Reusable buffers for the per-job hot path.  Booking lists, `rlist`,
+/// capacities and per-host counts live here and are cleared — never freed —
+/// between jobs, so a warm allocator submits jobs without heap traffic
+/// beyond the returned [`Allocation`] itself.
+#[derive(Debug, Default)]
+struct AllocScratch {
+    booked: Vec<PeerId>,
+    rlist: Vec<(PeerId, u32)>, // (peer, owner P)
+    capacities: Vec<u32>,
+    counts: Vec<u32>,
+}
+
 /// Drives the reservation procedure over an overlay.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// The driver owns reusable scratch buffers, so keep one allocator alive
+/// across a job sweep instead of constructing one per submission.
+#[derive(Debug, Default)]
 pub struct CoAllocator {
     params: CoAllocatorParams,
+    scratch: RefCell<AllocScratch>,
+}
+
+impl Clone for CoAllocator {
+    fn clone(&self) -> Self {
+        // Scratch space is per-instance; clones start cold.
+        CoAllocator {
+            params: self.params,
+            scratch: RefCell::new(AllocScratch::default()),
+        }
+    }
 }
 
 impl CoAllocator {
@@ -138,7 +191,10 @@ impl CoAllocator {
 
     /// A driver with explicit parameters.
     pub fn with_params(params: CoAllocatorParams) -> Self {
-        CoAllocator { params }
+        CoAllocator {
+            params,
+            scratch: RefCell::new(AllocScratch::default()),
+        }
     }
 
     /// The driver parameters.
@@ -154,20 +210,33 @@ impl CoAllocator {
         request: &JobRequest,
     ) -> CoAllocationReport {
         let key = overlay.generate_key();
-        let mut report = CoAllocationReport {
+        let mut stats = BrokeringStats::new();
+        let outcome = self.run_procedure(overlay, submitter, request, key, &mut stats);
+        CoAllocationReport {
             key,
-            outcome: Err(AllocationError::InvalidRequest(RequestError::ZeroProcesses)),
-            booked: 0,
-            granted: 0,
-            refused: 0,
-            dead: 0,
-            cancelled_unused: 0,
-            elapsed: SimDuration::ZERO,
-        };
-        if let Err(e) = request.validate() {
-            report.outcome = Err(AllocationError::InvalidRequest(e));
-            return report;
+            outcome,
+            booked: stats.booked,
+            granted: stats.granted,
+            refused: stats.refused,
+            dead: stats.dead,
+            cancelled_unused: stats.cancelled_unused,
+            elapsed: stats.elapsed,
         }
+    }
+
+    /// The eight steps proper.  Early exits use `?`/`return Err(..)`;
+    /// `stats` carries whatever counters were accumulated up to that point.
+    fn run_procedure(
+        &self,
+        overlay: &mut Overlay,
+        submitter: PeerId,
+        request: &JobRequest,
+        key: ReservationKey,
+        stats: &mut BrokeringStats,
+    ) -> Result<Allocation, AllocationError> {
+        request
+            .validate()
+            .map_err(AllocationError::InvalidRequest)?;
         let n = request.processes;
         let r = request.replication;
         let total = request.total_instances();
@@ -178,81 +247,94 @@ impl CoAllocator {
             && overlay.node(submitter).cache.len() < total as usize
         {
             let (added, d) = overlay.refresh_cache(submitter);
-            report.elapsed += d;
+            stats.elapsed += d;
             if added > 0 {
-                report.elapsed += overlay.probe_round(submitter);
+                stats.elapsed += overlay.probe_round(submitter);
             }
         }
-        let mut candidates: Vec<PeerId> = Vec::new();
-        if self.params.include_submitter {
-            candidates.push(submitter);
-        }
-        candidates.extend(overlay.latency_ranking(submitter));
+        let mut scratch = self.scratch.borrow_mut();
+        let AllocScratch {
+            booked,
+            rlist,
+            capacities,
+            counts,
+        } = &mut *scratch;
+
+        let candidate_count =
+            usize::from(self.params.include_submitter) + overlay.node(submitter).cache.len();
         let booking_target = self
             .params
             .overbooking
-            .booking_target(total as usize, candidates.len());
-        let booked: Vec<PeerId> = candidates.into_iter().take(booking_target).collect();
-        report.booked = booked.len();
+            .booking_target(total as usize, candidate_count);
+        booked.clear();
+        if self.params.include_submitter && booking_target > 0 {
+            booked.push(submitter);
+        }
+        booked.extend(
+            overlay
+                .ranking_iter(submitter)
+                .take(booking_target - booked.len()),
+        );
+        stats.booked = booked.len();
 
         // Steps 3–5 — RS brokering.  Requests go out concurrently, so the
         // elapsed time of the phase is the slowest individual exchange.
-        let mut rlist: Vec<(PeerId, u32)> = Vec::new(); // (peer, owner P)
+        rlist.clear();
         let mut phase_elapsed = SimDuration::ZERO;
-        for &peer in &booked {
+        for &peer in booked.iter() {
             match overlay.rs_request(submitter, peer, key, total) {
                 RsOutcome::Reply { reply, elapsed } => {
                     phase_elapsed = phase_elapsed.max(elapsed);
                     match reply {
                         ReservationReply::Ok { capacity_p } => {
-                            report.granted += 1;
+                            stats.granted += 1;
                             rlist.push((peer, capacity_p));
                         }
-                        ReservationReply::Nok(_) => report.refused += 1,
+                        ReservationReply::Nok(_) => stats.refused += 1,
                     }
                 }
                 RsOutcome::Timeout { elapsed } => {
                     phase_elapsed = phase_elapsed.max(elapsed);
-                    report.dead += 1;
+                    stats.dead += 1;
                     // Step 5: dead peers are removed from the cached list.
                     overlay.node_mut(submitter).cache.remove(peer);
                 }
             }
         }
-        report.elapsed += phase_elapsed;
+        stats.elapsed += phase_elapsed;
 
         // Step 6 — slist extraction and cancellation of surplus reservations.
         let slist_len = rlist.len().min(total as usize);
         let (slist, surplus) = rlist.split_at(slist_len);
         for &(peer, _) in surplus {
             overlay.rs_cancel(submitter, peer, key);
-            report.cancelled_unused += 1;
+            stats.cancelled_unused += 1;
         }
 
         // Feasibility.
-        let capacities: Vec<u32> = slist.iter().map(|&(_, p)| host_capacity(p, n)).collect();
-        if let Err(inf) = check_feasibility(&capacities, n, r) {
+        capacities.clear();
+        capacities.extend(slist.iter().map(|&(_, p)| host_capacity(p, n)));
+        if let Err(inf) = check_feasibility(capacities, n, r) {
             for &(peer, _) in slist {
                 overlay.rs_cancel(submitter, peer, key);
             }
-            overlay.tracer().record(
-                overlay.now(),
-                TraceCategory::Allocation,
-                format!("allocation of '{}' infeasible: {inf}", request.program),
-            );
-            report.outcome = Err(AllocationError::Infeasible(inf));
-            return report;
+            overlay
+                .tracer()
+                .record(overlay.now(), TraceCategory::Allocation, || {
+                    format!("allocation of '{}' infeasible: {inf}", request.program)
+                });
+            return Err(AllocationError::Infeasible(inf));
         }
 
         // Strategy distribution and rank assignment.
-        let counts = request.strategy.distribute(&capacities, total);
-        let assignment = assign_ranks(&counts, n);
+        request.strategy.distribute_into(capacities, total, counts);
+        let assignment = assign_ranks(counts, n);
 
         // Hosts that ended up with zero processes lose their reservation.
         for (i, &(peer, _)) in slist.iter().enumerate() {
             if counts[i] == 0 {
                 overlay.rs_cancel(submitter, peer, key);
-                report.cancelled_unused += 1;
+                stats.cancelled_unused += 1;
             }
         }
 
@@ -261,13 +343,8 @@ impl CoAllocator {
         let mut hosts = Vec::with_capacity(assignment.len());
         for host_ranks in &assignment {
             let (peer, owner_p) = slist[host_ranks.slist_index];
-            let (reply, elapsed) = overlay.mpd_start(
-                submitter,
-                peer,
-                key,
-                &host_ranks.ranks,
-                &request.program,
-            );
+            let (reply, elapsed) =
+                overlay.mpd_start(submitter, peer, key, &host_ranks.ranks, &request.program);
             start_elapsed = start_elapsed.max(elapsed);
             if reply != StartReply::Started {
                 // Roll back everything started so far and give up.
@@ -275,9 +352,8 @@ impl CoAllocator {
                     let h: &AllocatedHost = started;
                     overlay.complete_job(h.peer, key);
                 }
-                report.elapsed += start_elapsed;
-                report.outcome = Err(AllocationError::StartFailed { peer, reply });
-                return report;
+                stats.elapsed += start_elapsed;
+                return Err(AllocationError::StartFailed { peer, reply });
             }
             hosts.push(AllocatedHost {
                 peer,
@@ -286,7 +362,7 @@ impl CoAllocator {
                 ranks: host_ranks.ranks.clone(),
             });
         }
-        report.elapsed += start_elapsed;
+        stats.elapsed += start_elapsed;
 
         let allocation = Allocation {
             key,
@@ -296,19 +372,18 @@ impl CoAllocator {
             hosts,
         };
         debug_assert!(allocation.validate().is_ok());
-        overlay.tracer().record(
-            overlay.now(),
-            TraceCategory::Allocation,
-            format!(
-                "'{}' allocated: {} instance(s) on {} host(s) with {}",
-                request.program,
-                allocation.total_instances(),
-                allocation.hosts_used(),
-                request.strategy
-            ),
-        );
-        report.outcome = Ok(allocation);
-        report
+        overlay
+            .tracer()
+            .record(overlay.now(), TraceCategory::Allocation, || {
+                format!(
+                    "'{}' allocated: {} instance(s) on {} host(s) with {}",
+                    request.program,
+                    allocation.total_instances(),
+                    allocation.hosts_used(),
+                    request.strategy
+                )
+            });
+        Ok(allocation)
     }
 }
 
@@ -337,8 +412,26 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let s0 = b.add_site("local");
         let s1 = b.add_site("remote");
-        b.add_cluster(s0, "l", "cpu", 3, NodeSpec { cores: 4, ..NodeSpec::default() });
-        b.add_cluster(s1, "r", "cpu", 4, NodeSpec { cores: 2, ..NodeSpec::default() });
+        b.add_cluster(
+            s0,
+            "l",
+            "cpu",
+            3,
+            NodeSpec {
+                cores: 4,
+                ..NodeSpec::default()
+            },
+        );
+        b.add_cluster(
+            s1,
+            "r",
+            "cpu",
+            4,
+            NodeSpec {
+                cores: 2,
+                ..NodeSpec::default()
+            },
+        );
         b.set_rtt(s0, s1, p2pmpi_simgrid::time::SimDuration::from_millis(10));
         Arc::new(b.build())
     }
@@ -371,7 +464,10 @@ mod tests {
         assert_eq!(alloc.hosts_used(), 2);
         let topo = o.topology().clone();
         for h in &alloc.hosts {
-            assert_eq!(topo.host(h.host).site, topo.site_by_name("local").unwrap().id);
+            assert_eq!(
+                topo.host(h.host).site,
+                topo.site_by_name("local").unwrap().id
+            );
         }
     }
 
@@ -407,7 +503,9 @@ mod tests {
         let report = allocate(&mut o, submitter, &req);
         assert!(matches!(
             report.outcome,
-            Err(AllocationError::Infeasible(Infeasibility::InsufficientCapacity { .. }))
+            Err(AllocationError::Infeasible(
+                Infeasibility::InsufficientCapacity { .. }
+            ))
         ));
         // All granted reservations must have been cancelled.
         for id in o.peer_ids() {
@@ -450,7 +548,9 @@ mod tests {
             assert!(o.node(submitter).cache.get(v).is_none());
         }
         let alloc = report.allocation();
-        assert!(victims.iter().all(|v| alloc.hosts.iter().all(|h| h.peer != *v)));
+        assert!(victims
+            .iter()
+            .all(|v| alloc.hosts.iter().all(|h| h.peer != *v)));
     }
 
     #[test]

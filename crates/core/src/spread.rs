@@ -22,16 +22,17 @@ impl AllocationStrategy for Spread {
         "spread"
     }
 
-    fn distribute(&self, capacities: &[u32], total: u32) -> Vec<u32> {
+    fn distribute_into(&self, capacities: &[u32], total: u32, out: &mut Vec<u32>) {
         check_preconditions(capacities, total);
-        let mut u = vec![0u32; capacities.len()];
+        out.clear();
+        out.resize(capacities.len(), 0);
         let mut d = 0u32; // processes distributed so far
         let mut cont = total > 0;
         while cont {
             let mut i = 0;
             while i < capacities.len() && cont {
-                if u[i] < capacities[i] {
-                    u[i] += 1;
+                if out[i] < capacities[i] {
+                    out[i] += 1;
                     d += 1;
                 }
                 if d == total {
@@ -40,7 +41,6 @@ impl AllocationStrategy for Spread {
                 i += 1;
             }
         }
-        u
     }
 }
 

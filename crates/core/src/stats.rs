@@ -70,8 +70,26 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let s0 = b.add_site("nancy");
         let s1 = b.add_site("lyon");
-        b.add_cluster(s0, "grelon", "xeon", 2, NodeSpec { cores: 4, ..NodeSpec::default() });
-        b.add_cluster(s1, "capricorn", "opteron", 2, NodeSpec { cores: 2, ..NodeSpec::default() });
+        b.add_cluster(
+            s0,
+            "grelon",
+            "xeon",
+            2,
+            NodeSpec {
+                cores: 4,
+                ..NodeSpec::default()
+            },
+        );
+        b.add_cluster(
+            s1,
+            "capricorn",
+            "opteron",
+            2,
+            NodeSpec {
+                cores: 2,
+                ..NodeSpec::default()
+            },
+        );
         b.build()
     }
 
@@ -83,7 +101,10 @@ mod tests {
                 host: host.id,
                 capacity: host.cores as u32,
                 ranks: (0..count)
-                    .map(|i| RankAssignment { rank: i, replica: 0 })
+                    .map(|i| RankAssignment {
+                        rank: i,
+                        replica: 0,
+                    })
                     .collect(),
             }
         };

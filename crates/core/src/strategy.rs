@@ -25,13 +25,23 @@ pub trait AllocationStrategy {
     fn name(&self) -> &'static str;
 
     /// Distributes `total` process instances over hosts with capacities
-    /// `capacities`, listed in ascending latency order.
+    /// `capacities` (ascending latency order), writing the per-host counts
+    /// into `out` (cleared first).  This is the hot-path entry point: the
+    /// co-allocation driver reuses one buffer across jobs.
     ///
     /// # Panics
     ///
     /// Implementations panic if `Σ capacities < total`; callers are expected
     /// to have verified feasibility first (step 6 of the procedure).
-    fn distribute(&self, capacities: &[u32], total: u32) -> Vec<u32>;
+    fn distribute_into(&self, capacities: &[u32], total: u32, out: &mut Vec<u32>);
+
+    /// Allocating convenience wrapper over
+    /// [`AllocationStrategy::distribute_into`].
+    fn distribute(&self, capacities: &[u32], total: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(capacities.len());
+        self.distribute_into(capacities, total, &mut out);
+        out
+    }
 }
 
 /// The built-in strategies, as selected by `p2pmpirun -a <name>`.
@@ -73,10 +83,26 @@ impl StrategyKind {
         }
     }
 
-    /// Distributes using this strategy (convenience wrapper over
-    /// [`StrategyKind::build`]).
+    /// Distributes using this strategy into a caller-provided buffer,
+    /// dispatching statically — no boxed strategy object, no result `Vec`.
+    pub fn distribute_into(&self, capacities: &[u32], total: u32, out: &mut Vec<u32>) {
+        match *self {
+            StrategyKind::Spread => crate::spread::Spread.distribute_into(capacities, total, out),
+            StrategyKind::Concentrate => {
+                crate::concentrate::Concentrate.distribute_into(capacities, total, out)
+            }
+            StrategyKind::Balanced { max_per_host } => {
+                crate::balanced::Balanced::new(max_per_host).distribute_into(capacities, total, out)
+            }
+        }
+    }
+
+    /// Distributes using this strategy (allocating convenience wrapper over
+    /// [`StrategyKind::distribute_into`]).
     pub fn distribute(&self, capacities: &[u32], total: u32) -> Vec<u32> {
-        self.build().distribute(capacities, total)
+        let mut out = Vec::with_capacity(capacities.len());
+        self.distribute_into(capacities, total, &mut out);
+        out
     }
 }
 
@@ -138,7 +164,10 @@ mod tests {
             StrategyKind::Balanced { max_per_host: 2 }.to_string(),
             "balanced(2)"
         );
-        assert_eq!("spread".parse::<StrategyKind>().unwrap(), StrategyKind::Spread);
+        assert_eq!(
+            "spread".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Spread
+        );
         assert_eq!(
             "Concentrate".parse::<StrategyKind>().unwrap(),
             StrategyKind::Concentrate

@@ -168,12 +168,7 @@ mod tests {
 
     #[test]
     fn spread_uses_one_process_per_host_at_300() {
-        let rows = coallocation_sweep(
-            StrategyKind::Spread,
-            &[300],
-            7,
-            NoiseModel::disabled(),
-        );
+        let rows = coallocation_sweep(StrategyKind::Spread, &[300], 7, NoiseModel::disabled());
         let row = &rows[0];
         assert!(row.success);
         let hosts: usize = row.usage.iter().map(|u| u.hosts).sum();

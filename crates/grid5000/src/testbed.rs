@@ -164,13 +164,21 @@ mod tests {
     #[test]
     fn bordeaux_bandwidth_is_one_gbps() {
         let t = grid5000_topology();
-        let nancy_host = t.hosts_at_site(t.site_by_name("nancy").unwrap().id).next().unwrap().id;
+        let nancy_host = t
+            .hosts_at_site(t.site_by_name("nancy").unwrap().id)
+            .next()
+            .unwrap()
+            .id;
         let bordeaux_host = t
             .hosts_at_site(t.site_by_name("bordeaux").unwrap().id)
             .next()
             .unwrap()
             .id;
-        let lyon_host = t.hosts_at_site(t.site_by_name("lyon").unwrap().id).next().unwrap().id;
+        let lyon_host = t
+            .hosts_at_site(t.site_by_name("lyon").unwrap().id)
+            .next()
+            .unwrap()
+            .id;
         assert_eq!(t.bandwidth_bps(nancy_host, bordeaux_host), 1e9);
         // Other WAN links are only limited by the NIC.
         assert!(t.bandwidth_bps(nancy_host, lyon_host) >= 1e9);

@@ -136,11 +136,7 @@ impl Comm {
     /// Gathers every rank's buffer at `root`, concatenated in rank order;
     /// `Some` at the root, `None` elsewhere.  Buffers may have different
     /// lengths (this is closer to `MPI_Gatherv`).
-    pub fn gather<T: Datatype>(
-        &mut self,
-        root: Rank,
-        data: &[T],
-    ) -> MpiResult<Option<Vec<T>>> {
+    pub fn gather<T: Datatype>(&mut self, root: Rank, data: &[T]) -> MpiResult<Option<Vec<T>>> {
         let size = self.size();
         if root >= size {
             return Err(MpiError::InvalidRank { rank: root, size });
@@ -224,7 +220,11 @@ impl Comm {
         for step in 1..size {
             let dst = ((rank + step) % size) as Rank;
             let src = ((rank + size - step) % size) as Rank;
-            self.send(dst, tags::ALLTOALL, &data[dst as usize * block..(dst as usize + 1) * block])?;
+            self.send(
+                dst,
+                tags::ALLTOALL,
+                &data[dst as usize * block..(dst as usize + 1) * block],
+            )?;
             let incoming = self.recv::<T>(src, tags::ALLTOALL)?;
             received.push((src as usize, incoming));
         }

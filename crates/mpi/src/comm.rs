@@ -270,8 +270,7 @@ impl Comm {
                     } else {
                         // Drop duplicates of already-consumed messages from
                         // other (src, tag) streams, stash the rest.
-                        let other_expected =
-                            *self.recv_seq.get(&(env.src, env.tag)).unwrap_or(&0);
+                        let other_expected = *self.recv_seq.get(&(env.src, env.tag)).unwrap_or(&0);
                         if env.seq < other_expected {
                             continue;
                         }

@@ -48,7 +48,10 @@ impl fmt::Display for PlacementError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlacementError::IncompleteInstances => {
-                write!(f, "placement does not cover every (rank, replica) exactly once")
+                write!(
+                    f,
+                    "placement does not cover every (rank, replica) exactly once"
+                )
             }
             PlacementError::ReplicasShareHost { rank } => {
                 write!(f, "two replicas of rank {rank} share a host")
@@ -269,8 +272,16 @@ mod tests {
             processes: 1,
             replication: 2,
             procs: vec![
-                ProcSpec { rank: 0, replica: 0, host: HostId(0) },
-                ProcSpec { rank: 0, replica: 1, host: HostId(0) },
+                ProcSpec {
+                    rank: 0,
+                    replica: 0,
+                    host: HostId(0),
+                },
+                ProcSpec {
+                    rank: 0,
+                    replica: 1,
+                    host: HostId(0),
+                },
             ],
         };
         assert_eq!(
@@ -308,7 +319,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(PlacementError::IncompleteInstances.to_string().contains("exactly once"));
+        assert!(PlacementError::IncompleteInstances
+            .to_string()
+            .contains("exactly once"));
         assert!(PlacementError::ReplicasShareHost { rank: 3 }
             .to_string()
             .contains("rank 3"));

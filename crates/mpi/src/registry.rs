@@ -138,7 +138,10 @@ mod tests {
 
     #[test]
     fn plan_thresholds() {
-        let plan = FailurePlan::none().kill(1, 0, 10).kill(1, 0, 5).kill(2, 1, 0);
+        let plan = FailurePlan::none()
+            .kill(1, 0, 10)
+            .kill(1, 0, 5)
+            .kill(2, 1, 0);
         assert_eq!(plan.threshold(1, 0), Some(5));
         assert_eq!(plan.threshold(2, 1), Some(0));
         assert_eq!(plan.threshold(0, 0), None);

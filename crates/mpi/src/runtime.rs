@@ -261,14 +261,20 @@ mod tests {
             "l",
             "cpu",
             hosts_per_site,
-            NodeSpec { cores, ..NodeSpec::default() },
+            NodeSpec {
+                cores,
+                ..NodeSpec::default()
+            },
         );
         b.add_cluster(
             s1,
             "r",
             "cpu",
             hosts_per_site,
-            NodeSpec { cores, ..NodeSpec::default() },
+            NodeSpec {
+                cores,
+                ..NodeSpec::default()
+            },
         );
         b.set_rtt(s0, s1, p2pmpi_simgrid::time::SimDuration::from_millis(10));
         Arc::new(b.build())

@@ -101,8 +101,7 @@ fn generate_keys(rank: u32, size: u32, total: u64, max_key: u64) -> Vec<u32> {
     let mut rng = NasRng::with_offset(DEFAULT_SEED, 4 * offset);
     (0..count)
         .map(|_| {
-            let s =
-                rng.next_f64() + rng.next_f64() + rng.next_f64() + rng.next_f64();
+            let s = rng.next_f64() + rng.next_f64() + rng.next_f64() + rng.next_f64();
             ((s / 4.0) * max_key as f64) as u32 % max_key as u32
         })
         .collect()

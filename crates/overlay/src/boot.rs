@@ -126,9 +126,7 @@ impl OverlayBuilder {
             .peers
             .into_iter()
             .enumerate()
-            .map(|(i, (host, config))| {
-                MpdNode::new(PeerDescriptor::new(PeerId(i), host), config)
-            })
+            .map(|(i, (host, config))| MpdNode::new(PeerDescriptor::new(PeerId(i), host), config))
             .collect();
         let supernode_host = self.supernode_host.unwrap_or(nodes[0].descriptor.host);
         let network = NetworkModel::with_params(self.topology.clone(), self.network_params);
@@ -155,7 +153,16 @@ mod tests {
     fn topo() -> Arc<Topology> {
         let mut b = TopologyBuilder::new();
         let s = b.add_site("s");
-        b.add_cluster(s, "c", "cpu", 4, NodeSpec { cores: 2, ..NodeSpec::default() });
+        b.add_cluster(
+            s,
+            "c",
+            "cpu",
+            4,
+            NodeSpec {
+                cores: 2,
+                ..NodeSpec::default()
+            },
+        );
         Arc::new(b.build())
     }
 

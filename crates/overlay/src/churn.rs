@@ -8,7 +8,6 @@
 
 use crate::peer::PeerId;
 use p2pmpi_simgrid::time::{SimDuration, SimTime};
-use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// What happens to a peer at a scheduled instant.
@@ -41,6 +40,13 @@ impl ChurnSchedule {
     /// Creates an empty schedule.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty schedule pre-sized for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ChurnSchedule {
+            events: Vec::with_capacity(capacity),
+        }
     }
 
     /// Adds one event (the schedule is re-sorted lazily on
@@ -97,11 +103,16 @@ pub fn random_churn<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> ChurnSchedule {
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
-    let mut schedule = ChurnSchedule::new();
     let count = ((peers.len() as f64) * fraction).floor() as usize;
-    let mut shuffled = peers.to_vec();
-    shuffled.shuffle(rng);
-    for &peer in shuffled.iter().take(count) {
+    let mut schedule = ChurnSchedule::with_capacity(count * 2);
+    // Partial Fisher–Yates: only the `count` selected positions are
+    // shuffled, so picking a small fraction of a large overlay costs
+    // O(count) swaps instead of a full-slice shuffle.
+    let mut pool = peers.to_vec();
+    for i in 0..count {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+        let peer = pool[i];
         let at = SimTime::from_nanos(rng.gen_range(0..horizon.as_nanos().max(1)));
         schedule.crash(peer, at);
         schedule.recover(peer, at + downtime);

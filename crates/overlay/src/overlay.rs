@@ -19,7 +19,7 @@ use crate::messages::{
     RankAssignment, ReservationKey, ReservationReply, ReservationRequest, StartReply,
 };
 use crate::mpd::MpdNode;
-use crate::peer::{PeerDescriptor, PeerId, PeerState};
+use crate::peer::{PeerId, PeerState};
 use crate::ping::LatencyProber;
 use crate::supernode::Supernode;
 use p2pmpi_simgrid::network::NetworkModel;
@@ -100,6 +100,22 @@ pub struct Overlay {
     params: OverlayParams,
     churn: Vec<ChurnEvent>,
     churn_cursor: usize,
+    /// Reusable probe-round buffers, so steady-state probing allocates
+    /// nothing (cleared, never shrunk, between rounds).
+    scratch_measurements: Vec<(PeerId, SimDuration)>,
+    scratch_failures: Vec<PeerId>,
+}
+
+/// Returns `(&from, &mut to)` for two *distinct* peers of the node table.
+fn nodes_from_to(nodes: &mut [MpdNode], from: usize, to: usize) -> (&MpdNode, &mut MpdNode) {
+    debug_assert_ne!(from, to, "caller must special-case self requests");
+    if from < to {
+        let (left, right) = nodes.split_at_mut(to);
+        (&left[from], &mut right[0])
+    } else {
+        let (left, right) = nodes.split_at_mut(from);
+        (&right[0], &mut left[to])
+    }
 }
 
 impl Overlay {
@@ -134,6 +150,8 @@ impl Overlay {
             params,
             churn: Vec::new(),
             churn_cursor: 0,
+            scratch_measurements: Vec::new(),
+            scratch_failures: Vec::new(),
         }
     }
 
@@ -236,10 +254,7 @@ impl Overlay {
         let mut events = events;
         events.sort_by_key(|e| e.time);
         if let Some(first) = events.first() {
-            assert!(
-                first.time >= self.now,
-                "churn events must be in the future"
-            );
+            assert!(first.time >= self.now, "churn events must be in the future");
         }
         self.churn = events;
         self.churn_cursor = 0;
@@ -249,7 +264,7 @@ impl Overlay {
     pub fn kill_peer(&mut self, peer: PeerId) {
         self.nodes[peer.0].state = PeerState::Dead;
         self.tracer
-            .record(self.now, TraceCategory::Fault, format!("{peer} crashed"));
+            .record(self.now, TraceCategory::Fault, || format!("{peer} crashed"));
     }
 
     /// Brings a peer back and re-registers it with the supernode.
@@ -257,8 +272,9 @@ impl Overlay {
         self.nodes[peer.0].state = PeerState::Alive;
         let d = self.nodes[peer.0].descriptor.clone();
         self.supernode.register(d, self.now);
-        self.tracer
-            .record(self.now, TraceCategory::Fault, format!("{peer} recovered"));
+        self.tracer.record(self.now, TraceCategory::Fault, || {
+            format!("{peer} recovered")
+        });
     }
 
     /// Number of peers currently alive.
@@ -278,11 +294,10 @@ impl Overlay {
                 self.supernode.register(node.descriptor.clone(), self.now);
             }
         }
-        self.tracer.record(
-            self.now,
-            TraceCategory::Membership,
-            format!("{} peers registered with supernode", self.supernode.len()),
-        );
+        let registered = self.supernode.len();
+        self.tracer.record(self.now, TraceCategory::Membership, || {
+            format!("{registered} peers registered with supernode")
+        });
     }
 
     /// One round of alive signals from every alive peer, followed by an
@@ -295,11 +310,9 @@ impl Overlay {
         }
         let dropped = self.supernode.expire_stale(self.now);
         if dropped > 0 {
-            self.tracer.record(
-                self.now,
-                TraceCategory::Membership,
-                format!("supernode expired {dropped} stale peers"),
-            );
+            self.tracer.record(self.now, TraceCategory::Membership, || {
+                format!("supernode expired {dropped} stale peers")
+            });
         }
         dropped
     }
@@ -313,25 +326,23 @@ impl Overlay {
     /// peers learned and the elapsed round-trip time.
     pub fn refresh_cache(&mut self, peer: PeerId) -> (usize, SimDuration) {
         let src = self.nodes[peer.0].descriptor.host;
-        let elapsed = self
-            .network
-            .transfer_time(src, self.supernode_host, 128)
-            + self
-                .network
-                .transfer_time(self.supernode_host, src, 64 * self.supernode.len() as u64 + 64);
-        let list: Vec<PeerDescriptor> = self
-            .supernode
-            .host_list()
-            .into_iter()
-            .map(|e| e.descriptor)
-            .filter(|d| d.id != peer)
-            .collect();
-        let added = self.nodes[peer.0].cache.merge(list);
-        self.tracer.record(
-            self.now,
-            TraceCategory::Membership,
-            format!("{peer} refreshed cache (+{added} peers)"),
+        let elapsed = self.network.transfer_time(src, self.supernode_host, 128)
+            + self.network.transfer_time(
+                self.supernode_host,
+                src,
+                64 * self.supernode.len() as u64 + 64,
+            );
+        // Merge straight off the supernode's table: no intermediate Vec, and
+        // descriptors are cloned only for peers new to this cache.
+        let added = self.nodes[peer.0].cache.merge_refs(
+            self.supernode
+                .host_list_iter()
+                .map(|e| &e.descriptor)
+                .filter(|d| d.id != peer),
         );
+        self.tracer.record(self.now, TraceCategory::Membership, || {
+            format!("{peer} refreshed cache (+{added} peers)")
+        });
         (added, elapsed)
     }
 
@@ -341,40 +352,35 @@ impl Overlay {
     /// the slowest individual probe).
     pub fn probe_round(&mut self, peer: PeerId) -> SimDuration {
         let src = self.nodes[peer.0].descriptor.host;
-        let targets: Vec<(PeerId, HostId, bool)> = self.nodes[peer.0]
-            .cache
-            .peers()
-            .map(|e| {
-                let id = e.descriptor.id;
-                (id, e.descriptor.host, self.nodes[id.0].is_alive())
-            })
-            .collect();
         let mut slowest = SimDuration::ZERO;
-        let mut measurements = Vec::with_capacity(targets.len());
-        let mut failures = Vec::new();
-        for (id, host, alive) in targets {
-            if alive {
-                let rtt = self.prober.probe(src, host, &mut self.rng);
+        // One pass over the cache, pushing into the reusable scratch buffers:
+        // `nodes` is only read here, so probing borrows it alongside the
+        // mutable rng/scratch fields without an intermediate target list.
+        self.scratch_measurements.clear();
+        self.scratch_failures.clear();
+        for e in self.nodes[peer.0].cache.peers() {
+            let id = e.descriptor.id;
+            if self.nodes[id.0].is_alive() {
+                let rtt = self.prober.probe(src, e.descriptor.host, &mut self.rng);
                 slowest = slowest.max(rtt);
-                measurements.push((id, rtt));
+                self.scratch_measurements.push((id, rtt));
             } else {
                 slowest = slowest.max(self.params.rs_timeout);
-                failures.push(id);
+                self.scratch_failures.push(id);
             }
         }
         let now = self.now;
         let node = &mut self.nodes[peer.0];
-        for (id, rtt) in measurements {
+        for &(id, rtt) in &self.scratch_measurements {
             node.cache.record_probe(id, rtt, now);
         }
-        for id in failures {
+        for &id in &self.scratch_failures {
             node.cache.record_probe_failure(id);
         }
-        self.tracer.record(
-            self.now,
-            TraceCategory::Probe,
-            format!("{peer} probed its cache ({} entries)", self.nodes[peer.0].cache.len()),
-        );
+        let cache_len = node.cache.len();
+        self.tracer.record(self.now, TraceCategory::Probe, || {
+            format!("{peer} probed its cache ({cache_len} entries)")
+        });
         slowest
     }
 
@@ -395,6 +401,13 @@ impl Overlay {
         self.nodes[peer.0].cache.ranking()
     }
 
+    /// Borrowing form of [`Overlay::latency_ranking`]: walks the cache's
+    /// incremental latency index without sorting or allocating.  This is
+    /// what the co-allocation booking step uses.
+    pub fn ranking_iter(&self, peer: PeerId) -> impl Iterator<Item = PeerId> + '_ {
+        self.nodes[peer.0].cache.ranking_iter()
+    }
+
     /// Snapshot of the cached entries of `peer` sorted by latency.
     pub fn sorted_cache(&self, peer: PeerId) -> Vec<CacheEntry> {
         self.nodes[peer.0]
@@ -410,6 +423,11 @@ impl Overlay {
     // ------------------------------------------------------------------
 
     /// RS→RS reservation request from `from` to `to` (steps 3–4).
+    ///
+    /// This is the single hottest call of a job-submission sweep (once per
+    /// booked host per job), so it is allocation-free: the request borrows
+    /// the requester's address, the remote RS reads its owner's config in
+    /// place, and trace messages are built only if the tracer stores them.
     pub fn rs_request(
         &mut self,
         from: PeerId,
@@ -420,11 +438,10 @@ impl Overlay {
         let src = self.nodes[from.0].descriptor.host;
         let dst = self.nodes[to.0].descriptor.host;
         if !self.nodes[to.0].is_alive() {
-            self.tracer.record(
-                self.now,
-                TraceCategory::Reservation,
-                format!("{from} -> {to}: reservation timed out (peer dead)"),
-            );
+            self.tracer
+                .record(self.now, TraceCategory::Reservation, || {
+                    format!("{from} -> {to}: reservation timed out (peer dead)")
+                });
             return RsOutcome::Timeout {
                 elapsed: self.params.rs_timeout,
             };
@@ -435,20 +452,32 @@ impl Overlay {
             + self
                 .network
                 .transfer_time(dst, src, self.params.rs_message_bytes);
-        let req = ReservationRequest {
-            key,
-            requester: from,
-            requester_address: self.nodes[from.0].descriptor.address.clone(),
-            total_processes,
-        };
         let now = self.now;
-        let config = self.nodes[to.0].config.clone();
-        let reply = self.nodes[to.0].rs.handle_request(&req, &config, now);
-        self.tracer.record(
-            self.now,
-            TraceCategory::Reservation,
-            format!("{from} -> {to}: {reply:?}"),
-        );
+        let reply = if from.0 == to.0 {
+            // A submitter reserving its own host: every piece (address,
+            // config, RS) is a disjoint field of the same node.
+            let node = &mut self.nodes[to.0];
+            let req = ReservationRequest {
+                key,
+                requester: from,
+                requester_address: &node.descriptor.address,
+                total_processes,
+            };
+            node.rs.handle_request(&req, &node.config, now)
+        } else {
+            let (from_node, to_node) = nodes_from_to(&mut self.nodes, from.0, to.0);
+            let req = ReservationRequest {
+                key,
+                requester: from,
+                requester_address: &from_node.descriptor.address,
+                total_processes,
+            };
+            to_node.rs.handle_request(&req, &to_node.config, now)
+        };
+        self.tracer
+            .record(self.now, TraceCategory::Reservation, || {
+                format!("{from} -> {to}: {reply:?}")
+            });
         RsOutcome::Reply { reply, elapsed }
     }
 
@@ -461,11 +490,10 @@ impl Overlay {
         }
         let cancelled = self.nodes[to.0].rs.cancel(key);
         if cancelled {
-            self.tracer.record(
-                self.now,
-                TraceCategory::Reservation,
-                format!("{from} cancelled reservation on {to}"),
-            );
+            self.tracer
+                .record(self.now, TraceCategory::Reservation, || {
+                    format!("{from} cancelled reservation on {to}")
+                });
         }
         cancelled
     }
@@ -494,14 +522,11 @@ impl Overlay {
         if !node.rs.verify_key(key) {
             return (StartReply::KeyMismatch, elapsed);
         }
-        let config = node.config.clone();
-        match node.rs.start(key, ranks.len() as u32, &config) {
+        match node.rs.start(key, ranks.len() as u32, &node.config) {
             Ok(()) => {
-                self.tracer.record(
-                    self.now,
-                    TraceCategory::Runtime,
-                    format!("{to} started {} process(es) of {program}", ranks.len()),
-                );
+                self.tracer.record(self.now, TraceCategory::Runtime, || {
+                    format!("{to} started {} process(es) of {program}", ranks.len())
+                });
                 (StartReply::Started, elapsed)
             }
             Err(_) => (StartReply::KeyMismatch, elapsed),
@@ -527,8 +552,26 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let s0 = b.add_site("local");
         let s1 = b.add_site("remote");
-        b.add_cluster(s0, "l", "cpu", 3, NodeSpec { cores: 2, ..NodeSpec::default() });
-        b.add_cluster(s1, "r", "cpu", 3, NodeSpec { cores: 4, ..NodeSpec::default() });
+        b.add_cluster(
+            s0,
+            "l",
+            "cpu",
+            3,
+            NodeSpec {
+                cores: 2,
+                ..NodeSpec::default()
+            },
+        );
+        b.add_cluster(
+            s1,
+            "r",
+            "cpu",
+            3,
+            NodeSpec {
+                cores: 4,
+                ..NodeSpec::default()
+            },
+        );
         b.set_rtt(s0, s1, SimDuration::from_millis(10));
         Arc::new(b.build())
     }
@@ -547,11 +590,13 @@ mod tests {
         let mut o = overlay();
         o.boot_all();
         assert_eq!(o.supernode().len(), 6);
-        let submitter = o.peer_on_host(o.topology().host_by_name("l-0").unwrap().id).unwrap();
+        let submitter = o
+            .peer_on_host(o.topology().host_by_name("l-0").unwrap().id)
+            .unwrap();
         o.bootstrap_peer(submitter);
         let ranking = o.latency_ranking(submitter);
         assert_eq!(ranking.len(), 5); // everyone but the submitter
-        // The two other local hosts come before the three remote ones.
+                                      // The two other local hosts come before the three remote ones.
         let local_hosts: Vec<HostId> = o
             .topology()
             .hosts_at_site(o.topology().site_by_name("local").unwrap().id)
@@ -612,7 +657,10 @@ mod tests {
         assert_eq!(o.node(from).cache.get(to).unwrap().failed_probes, 1);
         o.revive_peer(to);
         assert_eq!(o.alive_count(), 6);
-        assert!(matches!(o.rs_request(from, to, k, 1), RsOutcome::Reply { .. }));
+        assert!(matches!(
+            o.rs_request(from, to, k, 1),
+            RsOutcome::Reply { .. }
+        ));
     }
 
     #[test]
@@ -627,7 +675,10 @@ mod tests {
             o.rs_request(from, to, key, 2),
             RsOutcome::Reply { reply, .. } if reply.is_ok()
         ));
-        let ranks = vec![RankAssignment { rank: 0, replica: 0 }];
+        let ranks = vec![RankAssignment {
+            rank: 0,
+            replica: 0,
+        }];
         let (reply, _) = o.mpd_start(from, to, wrong, &ranks, "prog");
         assert_eq!(reply, StartReply::KeyMismatch);
         let (reply, _) = o.mpd_start(from, to, key, &ranks, "prog");

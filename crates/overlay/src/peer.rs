@@ -45,7 +45,12 @@ impl PeerDescriptor {
         PeerDescriptor {
             id,
             host,
-            address: format!("10.{}.{}.{}:9200", (host.0 >> 8) & 0xff, host.0 & 0xff, id.0 % 250 + 1),
+            address: format!(
+                "10.{}.{}.{}:9200",
+                (host.0 >> 8) & 0xff,
+                host.0 & 0xff,
+                id.0 % 250 + 1
+            ),
         }
     }
 

@@ -43,7 +43,9 @@ impl LatencyProber {
         self.noise
     }
 
-    /// One RTT probe from `src` to `dst`.
+    /// One RTT probe from `src` to `dst`.  Inlined into the per-peer probe
+    /// loops of the overlay's bootstrap and refresh rounds.
+    #[inline]
     pub fn probe<R: Rng + ?Sized>(&self, src: HostId, dst: HostId, rng: &mut R) -> SimDuration {
         let base = self.network.probe_rtt(src, dst);
         self.noise.perturb(base, rng)
@@ -65,6 +67,7 @@ impl LatencyProber {
 
     /// The noise-free ICMP-style RTT, for comparing rankings as Section 5.1
     /// of the paper does.
+    #[inline]
     pub fn icmp_rtt(&self, src: HostId, dst: HostId) -> SimDuration {
         self.network.icmp_rtt(src, dst)
     }

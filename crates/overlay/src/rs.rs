@@ -66,13 +66,15 @@ impl ReservationService {
     }
 
     /// Handles an incoming reservation request (step 4 of the procedure).
+    /// The requester address is copied only on the grant path, where the RS
+    /// stores it in the held [`Reservation`]; refusals allocate nothing.
     pub fn handle_request(
         &mut self,
-        req: &ReservationRequest,
+        req: &ReservationRequest<'_>,
         config: &OwnerConfig,
         now: SimTime,
     ) -> ReservationReply {
-        if config.is_denied(&req.requester_address) {
+        if config.is_denied(req.requester_address) {
             self.refused_total += 1;
             return ReservationReply::Nok(RefusalReason::RequesterDenied);
         }
@@ -88,7 +90,7 @@ impl ReservationService {
             req.key,
             Reservation {
                 key: req.key,
-                requester_address: req.requester_address.clone(),
+                requester_address: req.requester_address.to_string(),
                 granted_at: now,
                 status: ReservationStatus::Pending,
                 processes: 0,
@@ -194,11 +196,11 @@ mod tests {
     use super::*;
     use crate::peer::PeerId;
 
-    fn request(key: u64, addr: &str) -> ReservationRequest {
+    fn request(key: u64, addr: &str) -> ReservationRequest<'_> {
         ReservationRequest {
             key: ReservationKey(key),
             requester: PeerId(0),
-            requester_address: addr.to_string(),
+            requester_address: addr,
             total_processes: 8,
         }
     }

@@ -99,6 +99,13 @@ impl Supernode {
         v
     }
 
+    /// Borrowing view of the host list in unspecified order, for consumers
+    /// (like the MPD cache refresh) that neither need the stable order nor
+    /// want the per-call clone + sort of [`Supernode::host_list`].
+    pub fn host_list_iter(&self) -> impl Iterator<Item = &HostListEntry> {
+        self.entries.values()
+    }
+
     /// True if `peer` is currently registered.
     pub fn knows(&self, peer: PeerId) -> bool {
         self.entries.contains_key(&peer)

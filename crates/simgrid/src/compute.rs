@@ -54,7 +54,10 @@ impl ComputeModel {
         intensity: MemoryIntensity,
         residents: usize,
     ) -> SimDuration {
-        assert!(ops >= 0.0 && ops.is_finite(), "operation count must be >= 0");
+        assert!(
+            ops >= 0.0 && ops.is_finite(),
+            "operation count must be >= 0"
+        );
         let h = self.topology.host(host);
         let slowdown = self.contention.slowdown(residents, intensity);
         SimDuration::from_secs_f64(ops / h.ops_per_sec * slowdown)

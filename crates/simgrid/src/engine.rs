@@ -37,6 +37,24 @@ impl Engine {
         }
     }
 
+    /// Creates an engine whose queue is pre-sized for `capacity` pending
+    /// events.  Simulations that know their event volume up front (e.g. a
+    /// job sweep scheduling thousands of arrivals) avoid every intermediate
+    /// heap growth.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(capacity),
+            processed: 0,
+            stopped: false,
+        }
+    }
+
+    /// Reserves queue capacity for at least `additional` more events.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -169,6 +187,17 @@ mod tests {
     use super::*;
     use std::cell::RefCell;
     use std::rc::Rc;
+
+    #[test]
+    fn with_capacity_presizes_the_queue() {
+        let mut e = Engine::with_capacity(64);
+        for i in 0..64u64 {
+            e.schedule_at(SimTime::from_secs(i), |_| {});
+        }
+        assert_eq!(e.pending(), 64);
+        e.reserve_events(100);
+        assert_eq!(e.run(), 64);
+    }
 
     #[test]
     fn clock_advances_with_events() {

@@ -78,7 +78,20 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Reserves capacity for at least `additional` more events, so bursts of
+    /// scheduling (e.g. a job sweep enqueueing its whole arrival process)
+    /// do not regrow the heap incrementally.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Current allocated capacity of the underlying heap.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `payload` to fire at `time`.
+    #[inline]
     pub fn push(&mut self, time: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -86,6 +99,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Removes and returns the earliest event, if any.
+    #[inline]
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
         self.heap.pop().map(|e| Scheduled {
             time: e.time,
@@ -172,6 +186,18 @@ mod tests {
         assert_eq!(q.pop().unwrap().payload, 4);
         assert_eq!(q.pop().unwrap().payload, 5);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn reserve_grows_capacity_without_losing_events() {
+        let mut q = EventQueue::with_capacity(2);
+        q.push(SimTime::from_secs(2), "b");
+        q.push(SimTime::from_secs(1), "a");
+        assert!(q.capacity() >= 2);
+        q.reserve(50);
+        assert!(q.capacity() >= 52);
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
     }
 
     #[test]

@@ -43,5 +43,7 @@ pub use memory::{MemoryContentionModel, MemoryIntensity};
 pub use network::{NetworkModel, NetworkParams};
 pub use noise::NoiseModel;
 pub use time::{SimDuration, SimTime};
-pub use topology::{Cluster, ClusterId, Host, HostId, NodeSpec, Site, SiteId, Topology, TopologyBuilder};
+pub use topology::{
+    Cluster, ClusterId, Host, HostId, NodeSpec, Site, SiteId, Topology, TopologyBuilder,
+};
 pub use trace::{TraceCategory, TraceEvent, Tracer};

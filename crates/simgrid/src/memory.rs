@@ -20,7 +20,10 @@ pub struct MemoryIntensity(f64);
 impl MemoryIntensity {
     /// Builds a memory intensity, panicking outside `[0, 1]`.
     pub fn new(v: f64) -> Self {
-        assert!((0.0..=1.0).contains(&v), "memory intensity must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&v),
+            "memory intensity must be in [0,1]"
+        );
         MemoryIntensity(v)
     }
 

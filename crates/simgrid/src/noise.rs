@@ -156,7 +156,10 @@ mod tests {
             }
             assert!(n < l && n < r, "noise re-ordered a local vs remote site");
         }
-        assert!(swaps > 100, "expected close sites to interleave, got {swaps}");
+        assert!(
+            swaps > 100,
+            "expected close sites to interleave, got {swaps}"
+        );
         assert!(swaps < 2_500, "noise should not invert the mean ordering");
     }
 

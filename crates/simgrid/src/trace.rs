@@ -4,10 +4,29 @@
 //! harnesses query or dump them to explain *why* an allocation came out the
 //! way it did (which hosts answered NOK, which reservations were cancelled,
 //! which peers were marked dead, …).
+//!
+//! ## Lazy-recording contract
+//!
+//! [`Tracer::record`] takes the message as a **closure**
+//! (`impl FnOnce() -> String`), not a `String`.  The contract every call
+//! site relies on:
+//!
+//! * When the tracer is **disabled**, `record` costs exactly one relaxed
+//!   atomic load and one branch.  The closure is *never* invoked — no
+//!   `format!`, no allocation, no mutex.
+//! * When the tracer is enabled but the capacity cap is reached, the event
+//!   is counted as dropped and the closure is, again, never invoked.
+//! * Otherwise the closure is invoked exactly once, under the buffer lock.
+//!
+//! Consequently message closures must be cheap to *construct* (capture a few
+//! references) and side-effect free: whether they run at all depends on the
+//! tracer state.  Write call sites as
+//! `tracer.record(now, category, || format!(...))`.
 
 use crate::time::SimTime;
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Category of a trace event, used for filtering.
@@ -66,14 +85,20 @@ impl fmt::Display for TraceEvent {
 /// Cloning a `Tracer` yields a handle onto the same underlying buffer.
 #[derive(Clone)]
 pub struct Tracer {
-    inner: Arc<Mutex<TracerInner>>,
+    shared: Arc<TracerShared>,
+}
+
+struct TracerShared {
+    /// Read on every `record` without taking the lock; the disabled fast
+    /// path is a single relaxed load.
+    enabled: AtomicBool,
+    inner: Mutex<TracerInner>,
 }
 
 struct TracerInner {
     events: Vec<TraceEvent>,
     capacity: Option<usize>,
     dropped: u64,
-    enabled: bool,
 }
 
 impl Default for Tracer {
@@ -83,66 +108,76 @@ impl Default for Tracer {
 }
 
 impl Tracer {
+    fn with_state(capacity: Option<usize>, enabled: bool) -> Self {
+        Tracer {
+            shared: Arc::new(TracerShared {
+                enabled: AtomicBool::new(enabled),
+                inner: Mutex::new(TracerInner {
+                    events: Vec::with_capacity(capacity.unwrap_or(0).min(4096)),
+                    capacity,
+                    dropped: 0,
+                }),
+            }),
+        }
+    }
+
     /// Creates an unbounded tracer.
     pub fn new() -> Self {
-        Tracer {
-            inner: Arc::new(Mutex::new(TracerInner {
-                events: Vec::new(),
-                capacity: None,
-                dropped: 0,
-                enabled: true,
-            })),
-        }
+        Self::with_state(None, true)
     }
 
     /// Creates a tracer that keeps at most `capacity` events (older events
     /// beyond the cap are dropped and counted).
     pub fn with_capacity(capacity: usize) -> Self {
-        Tracer {
-            inner: Arc::new(Mutex::new(TracerInner {
-                events: Vec::with_capacity(capacity.min(4096)),
-                capacity: Some(capacity),
-                dropped: 0,
-                enabled: true,
-            })),
-        }
+        Self::with_state(Some(capacity), true)
     }
 
     /// Creates a tracer that records nothing (cheap to pass around when
-    /// tracing is not wanted, e.g. inside Criterion benchmarks).
+    /// tracing is not wanted, e.g. inside Criterion benchmarks): `record`
+    /// costs one branch and never runs the message closure.
     pub fn disabled() -> Self {
-        Tracer {
-            inner: Arc::new(Mutex::new(TracerInner {
-                events: Vec::new(),
-                capacity: None,
-                dropped: 0,
-                enabled: false,
-            })),
-        }
+        Self::with_state(None, false)
     }
 
-    /// Records an event.
-    pub fn record(&self, time: SimTime, category: TraceCategory, message: impl Into<String>) {
-        let mut inner = self.inner.lock();
-        if !inner.enabled {
+    /// True if this tracer currently records events.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Switches recording on or off at runtime (affects every clone).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.shared.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Records an event.  The message closure runs only if the event is
+    /// actually stored — see the module docs for the full contract.
+    pub fn record<F: FnOnce() -> String>(
+        &self,
+        time: SimTime,
+        category: TraceCategory,
+        message: F,
+    ) {
+        if !self.shared.enabled.load(Ordering::Relaxed) {
             return;
         }
+        let mut inner = self.shared.inner.lock();
         if let Some(cap) = inner.capacity {
             if inner.events.len() >= cap {
                 inner.dropped += 1;
                 return;
             }
         }
+        let message = message();
         inner.events.push(TraceEvent {
             time,
             category,
-            message: message.into(),
+            message,
         });
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.inner.lock().events.len()
+        self.shared.inner.lock().events.len()
     }
 
     /// True if nothing has been recorded.
@@ -152,17 +187,18 @@ impl Tracer {
 
     /// Number of events dropped because of the capacity cap.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().dropped
+        self.shared.inner.lock().dropped
     }
 
     /// Snapshot of all recorded events.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.lock().events.clone()
+        self.shared.inner.lock().events.clone()
     }
 
     /// Snapshot of the events of one category.
     pub fn events_in(&self, category: TraceCategory) -> Vec<TraceEvent> {
-        self.inner
+        self.shared
+            .inner
             .lock()
             .events
             .iter()
@@ -173,7 +209,8 @@ impl Tracer {
 
     /// Number of events in one category.
     pub fn count(&self, category: TraceCategory) -> usize {
-        self.inner
+        self.shared
+            .inner
             .lock()
             .events
             .iter()
@@ -183,7 +220,7 @@ impl Tracer {
 
     /// Clears the buffer (keeps the capacity and enabled flag).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shared.inner.lock();
         inner.events.clear();
         inner.dropped = 0;
     }
@@ -196,9 +233,15 @@ mod tests {
     #[test]
     fn records_and_filters() {
         let t = Tracer::new();
-        t.record(SimTime::from_secs(1), TraceCategory::Probe, "ping lyon");
-        t.record(SimTime::from_secs(2), TraceCategory::Reservation, "book 10");
-        t.record(SimTime::from_secs(3), TraceCategory::Probe, "ping rennes");
+        t.record(SimTime::from_secs(1), TraceCategory::Probe, || {
+            "ping lyon".to_string()
+        });
+        t.record(SimTime::from_secs(2), TraceCategory::Reservation, || {
+            "book 10".to_string()
+        });
+        t.record(SimTime::from_secs(3), TraceCategory::Probe, || {
+            "ping rennes".to_string()
+        });
         assert_eq!(t.len(), 3);
         assert_eq!(t.count(TraceCategory::Probe), 2);
         assert_eq!(t.events_in(TraceCategory::Reservation).len(), 1);
@@ -211,7 +254,7 @@ mod tests {
     fn capacity_drops_extra_events() {
         let t = Tracer::with_capacity(2);
         for i in 0..5 {
-            t.record(SimTime::from_secs(i), TraceCategory::Other, "x");
+            t.record(SimTime::from_secs(i), TraceCategory::Other, || "x".into());
         }
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 3);
@@ -223,15 +266,52 @@ mod tests {
     #[test]
     fn disabled_tracer_records_nothing() {
         let t = Tracer::disabled();
-        t.record(SimTime::ZERO, TraceCategory::Fault, "crash");
+        t.record(SimTime::ZERO, TraceCategory::Fault, || "crash".into());
         assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn disabled_tracer_never_runs_the_closure() {
+        let t = Tracer::disabled();
+        let mut ran = false;
+        t.record(SimTime::ZERO, TraceCategory::Other, || {
+            ran = true;
+            String::new()
+        });
+        assert!(!ran, "message closure ran on a disabled tracer");
+    }
+
+    #[test]
+    fn closure_skipped_once_capacity_is_reached() {
+        let t = Tracer::with_capacity(1);
+        t.record(SimTime::ZERO, TraceCategory::Other, || "kept".into());
+        let mut ran = false;
+        t.record(SimTime::ZERO, TraceCategory::Other, || {
+            ran = true;
+            String::new()
+        });
+        assert!(!ran, "message closure ran for a dropped event");
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn enable_toggle_affects_all_clones() {
+        let t = Tracer::new();
+        let t2 = t.clone();
+        t2.set_enabled(false);
+        t.record(SimTime::ZERO, TraceCategory::Runtime, || "lost".into());
+        assert!(t.is_empty());
+        t2.set_enabled(true);
+        t.record(SimTime::ZERO, TraceCategory::Runtime, || "kept".into());
+        assert_eq!(t2.len(), 1);
     }
 
     #[test]
     fn clones_share_the_buffer() {
         let t = Tracer::new();
         let t2 = t.clone();
-        t2.record(SimTime::ZERO, TraceCategory::Runtime, "start");
+        t2.record(SimTime::ZERO, TraceCategory::Runtime, || "start".into());
         assert_eq!(t.len(), 1);
     }
 

@@ -21,14 +21,20 @@ fn main() {
         "tiny",
         "2-core CPU",
         4,
-        NodeSpec { cores: 2, ..NodeSpec::default() },
+        NodeSpec {
+            cores: 2,
+            ..NodeSpec::default()
+        },
     );
     builder.add_cluster(
         remote,
         "far",
         "4-core CPU",
         4,
-        NodeSpec { cores: 4, ..NodeSpec::default() },
+        NodeSpec {
+            cores: 4,
+            ..NodeSpec::default()
+        },
     );
     builder.set_rtt(local, remote, SimDuration::from_millis(12));
     let topology = Arc::new(builder.build());

@@ -138,7 +138,10 @@ fn balanced_strategy_sits_between_the_two_extremes() {
         let mut tb = grid5000_testbed(seed, NoiseModel::disabled());
         let (report, row) = allocate_on(&mut tb, n, strategy);
         assert!(report.is_success());
-        (total_hosts(&row.usage), usage_by_site(report.allocation(), &tb.topology))
+        (
+            total_hosts(&row.usage),
+            usage_by_site(report.allocation(), &tb.topology),
+        )
     };
     let (concentrate_hosts, _) = hosts_of(StrategyKind::Concentrate, 21);
     let (spread_hosts, _) = hosts_of(StrategyKind::Spread, 22);

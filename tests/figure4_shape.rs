@@ -134,5 +134,8 @@ fn ep_uses_the_placement_the_strategy_produced() {
         ep_kernel(comm, &config)
     });
     assert_eq!(spread_hosts, 64, "spread: one process per host");
-    assert_eq!(conc_hosts, 16, "concentrate: 64 processes on 16 quad-core nancy nodes");
+    assert_eq!(
+        conc_hosts, 16,
+        "concentrate: 64 processes on 16 quad-core nancy nodes"
+    );
 }

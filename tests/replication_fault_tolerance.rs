@@ -37,8 +37,7 @@ fn coallocation_separates_replicas_across_hosts() {
 #[test]
 fn one_replica_crash_per_rank_is_masked() {
     let (tb, placement) = replicated_allocation(6, 2, 2);
-    let runtime =
-        MpiRuntime::new(tb.topology.clone()).with_recv_timeout(Duration::from_secs(5));
+    let runtime = MpiRuntime::new(tb.topology.clone()).with_recv_timeout(Duration::from_secs(5));
     // Kill the primary copy of half the ranks at various points.
     let plan = FailurePlan::none()
         .kill(0, 0, 0)
@@ -80,12 +79,10 @@ fn losing_every_replica_of_a_rank_is_fatal() {
 #[test]
 fn ep_survives_a_replica_crash_and_still_verifies() {
     let (tb, placement) = replicated_allocation(4, 2, 4);
-    let runtime =
-        MpiRuntime::new(tb.topology.clone()).with_recv_timeout(Duration::from_secs(5));
+    let runtime = MpiRuntime::new(tb.topology.clone()).with_recv_timeout(Duration::from_secs(5));
     let plan = FailurePlan::none().kill(3, 0, 1);
     let config = EpConfig::new(Class::S);
-    let result =
-        runtime.run_with_failures(&placement, &plan, move |comm| ep_kernel(comm, &config));
+    let result = runtime.run_with_failures(&placement, &plan, move |comm| ep_kernel(comm, &config));
     assert!(result.all_ranks_completed(), "{:?}", result.failures());
     let reference = result.result_of(0).unwrap();
     assert!(reference.verify());

@@ -91,11 +91,7 @@ fn a_recovered_peer_can_be_used_by_a_later_submission() {
     );
     assert!(first.is_success());
     assert_eq!(first.dead, 1);
-    assert!(first
-        .allocation()
-        .hosts
-        .iter()
-        .all(|h| h.peer != closest));
+    assert!(first.allocation().hosts.iter().all(|h| h.peer != closest));
     // Release the first job.
     let key = first.key;
     for h in &first.allocation().hosts {
@@ -113,11 +109,7 @@ fn a_recovered_peer_can_be_used_by_a_later_submission() {
     );
     assert!(second.is_success());
     assert!(
-        second
-            .allocation()
-            .hosts
-            .iter()
-            .any(|h| h.peer == closest),
+        second.allocation().hosts.iter().any(|h| h.peer == closest),
         "the recovered closest peer should be selected again"
     );
 }

