@@ -3,15 +3,25 @@
 //!
 //! ```text
 //! cargo run --release -p p2pmpi-bench --bin fig4_ep [-- --class B --divisor 512 --alpha A]
+//! cargo run --release -p p2pmpi-bench --bin fig4_ep -- --modeled [--ranks 512,1024,2048] [--scale K]
 //! ```
 //!
 //! The reported times are *virtual* (cost-model) seconds: the shape —
 //! spread slightly ahead of concentrate until the per-process problem size
 //! shrinks at 512 processes — is what reproduces the paper, not the absolute
 //! values.
+//!
+//! `--modeled` switches the collectives to the LogGP analytical backend
+//! (`p2pmpi_mpi::model`): no threads are spawned, so `--ranks` can sweep to
+//! thousands of processes.  Counts beyond the paper grid's 1040 cores run on
+//! a Table-1 grid scaled by `--scale` (default: just large enough), with
+//! placements built synthetically in the co-allocator's idle-grid booking
+//! order.
 
 use p2pmpi_bench::cliargs as util;
-use p2pmpi_bench::experiments::{fig4_kernel_times, Fig4Kernel, Fig4Settings};
+use p2pmpi_bench::experiments::{
+    fig4_kernel_times, modeled_kernel_times, Fig4Kernel, Fig4Settings,
+};
 use p2pmpi_bench::output::print_fig4_table;
 use p2pmpi_core::strategy::StrategyKind;
 use p2pmpi_grid5000::scenario::paper_ep_process_counts;
@@ -28,15 +38,22 @@ fn main() {
         contention_alpha: util::flag_f64("--alpha"),
         ..Fig4Settings::default()
     };
-    let counts = paper_ep_process_counts();
-    eprintln!("# EP class {class}, sample divisor {divisor}, processes {counts:?}");
-    let concentrate = fig4_kernel_times(
-        Fig4Kernel::Ep,
-        StrategyKind::Concentrate,
-        &counts,
-        &settings,
+    let flags = util::sweep_flags();
+    let counts = flags.ranks.clone().unwrap_or_else(paper_ep_process_counts);
+
+    let run = |strategy| {
+        if flags.modeled {
+            modeled_kernel_times(Fig4Kernel::Ep, strategy, &counts, &settings, flags.scale)
+        } else {
+            fig4_kernel_times(Fig4Kernel::Ep, strategy, &counts, &settings)
+        }
+    };
+    eprintln!(
+        "# EP class {class}, sample divisor {divisor}, processes {counts:?}, backend {}",
+        flags.backend_name()
     );
-    let spread = fig4_kernel_times(Fig4Kernel::Ep, StrategyKind::Spread, &counts, &settings);
+    let concentrate = run(StrategyKind::Concentrate);
+    let spread = run(StrategyKind::Spread);
     assert!(
         concentrate.iter().chain(&spread).all(|p| p.verified),
         "EP verification failed on at least one point"

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p p2pmpi-bench --bin fig4_is [-- --class B --divisor 8 --alpha A]
+//! cargo run --release -p p2pmpi-bench --bin fig4_is -- --modeled [--ranks 256,512,1024] [--scale K]
 //! ```
 //!
 //! The reported times are *virtual* (cost-model) seconds.  The expected shape
@@ -10,9 +11,15 @@
 //! in the Nancy cluster with one per host; from 64 processes on, spread pays
 //! inter-site latency for its Alltoall/Allreduce traffic while concentrate
 //! stays local and roughly flat.
+//!
+//! `--modeled` switches to the LogGP analytical backend (see `fig4_ep` for
+//! the flags): IS at 1k+ ranks models the full ring alltoall(v) schedule in
+//! seconds instead of spawning thousands of threads.
 
 use p2pmpi_bench::cliargs as util;
-use p2pmpi_bench::experiments::{fig4_kernel_times, Fig4Kernel, Fig4Settings};
+use p2pmpi_bench::experiments::{
+    fig4_kernel_times, modeled_kernel_times, Fig4Kernel, Fig4Settings,
+};
 use p2pmpi_bench::output::print_fig4_table;
 use p2pmpi_core::strategy::StrategyKind;
 use p2pmpi_grid5000::scenario::paper_is_process_counts;
@@ -29,15 +36,22 @@ fn main() {
         contention_alpha: util::flag_f64("--alpha"),
         ..Fig4Settings::default()
     };
-    let counts = paper_is_process_counts();
-    eprintln!("# IS class {class}, sample divisor {divisor}, processes {counts:?}");
-    let concentrate = fig4_kernel_times(
-        Fig4Kernel::Is,
-        StrategyKind::Concentrate,
-        &counts,
-        &settings,
+    let flags = util::sweep_flags();
+    let counts = flags.ranks.clone().unwrap_or_else(paper_is_process_counts);
+
+    let run = |strategy| {
+        if flags.modeled {
+            modeled_kernel_times(Fig4Kernel::Is, strategy, &counts, &settings, flags.scale)
+        } else {
+            fig4_kernel_times(Fig4Kernel::Is, strategy, &counts, &settings)
+        }
+    };
+    eprintln!(
+        "# IS class {class}, sample divisor {divisor}, processes {counts:?}, backend {}",
+        flags.backend_name()
     );
-    let spread = fig4_kernel_times(Fig4Kernel::Is, StrategyKind::Spread, &counts, &settings);
+    let concentrate = run(StrategyKind::Concentrate);
+    let spread = run(StrategyKind::Spread);
     assert!(
         concentrate.iter().chain(&spread).all(|p| p.verified),
         "IS verification failed on at least one point"

@@ -28,6 +28,41 @@ pub fn flag_present(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// Sweep flags shared by the Figure 4 binaries.
+pub struct SweepFlags {
+    /// `--modeled`: cost collectives with the analytical LogGP backend.
+    pub modeled: bool,
+    /// `--ranks a,b,c`: process counts overriding the paper's defaults.
+    pub ranks: Option<Vec<u32>>,
+    /// `--scale K`: Table-1 grid scale factor for modeled sweeps
+    /// (default: just large enough for the largest count).
+    pub scale: Option<usize>,
+}
+
+impl SweepFlags {
+    /// The backend name for experiment headers.
+    pub fn backend_name(&self) -> &'static str {
+        if self.modeled {
+            "modeled"
+        } else {
+            "executed"
+        }
+    }
+}
+
+/// Parses the `--modeled` / `--ranks` / `--scale` flags.
+pub fn sweep_flags() -> SweepFlags {
+    SweepFlags {
+        modeled: flag_present("--modeled"),
+        ranks: flag_value("--ranks").map(|v| {
+            v.split(',')
+                .map(|n| n.parse().expect("--ranks takes comma-separated counts"))
+                .collect()
+        }),
+        scale: flag_u64("--scale").map(|s| s as usize),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,15 +3,19 @@
 
 use p2pmpi_core::prelude::*;
 use p2pmpi_grid5000::scenario::{coallocation_sweep, paper_demand_steps, SweepRow};
-use p2pmpi_grid5000::testbed::grid5000_testbed;
+use p2pmpi_grid5000::sites::{scale_factor_for_cores, scaled_table1};
+use p2pmpi_grid5000::testbed::{grid5000_testbed, topology_from_specs};
+use p2pmpi_mpi::model::CollectiveBackend;
 use p2pmpi_mpi::placement::Placement;
 use p2pmpi_mpi::runtime::MpiRuntime;
 use p2pmpi_nas::classes::Class;
-use p2pmpi_nas::ep::{ep_kernel, EpConfig};
-use p2pmpi_nas::is::{is_kernel, IsConfig};
+use p2pmpi_nas::ep::{ep_kernel, ep_model, EpConfig};
+use p2pmpi_nas::is::{is_kernel, is_model, IsConfig};
 use p2pmpi_simgrid::memory::MemoryContentionModel;
 use p2pmpi_simgrid::noise::NoiseModel;
 use p2pmpi_simgrid::time::SimDuration;
+use p2pmpi_simgrid::topology::{HostId, Topology};
+use std::sync::Arc;
 
 /// Runs the Figure 2 / Figure 3 co-allocation sweep (100..600 processes by
 /// 50) for a strategy, with the given probe-noise sigma (0 disables noise).
@@ -59,6 +63,10 @@ pub struct Fig4Settings {
     /// Override of the memory-contention coefficient (ablation); `None`
     /// keeps the default model.
     pub contention_alpha: Option<f64>,
+    /// How collectives are costed: executed thread-per-rank (the default) or
+    /// the LogGP analytical model (`p2pmpi_mpi::model`), which scales to
+    /// thousands of ranks.
+    pub backend: CollectiveBackend,
 }
 
 impl Default for Fig4Settings {
@@ -69,6 +77,7 @@ impl Default for Fig4Settings {
             is_sample_divisor: 8,
             seed: 42,
             contention_alpha: None,
+            backend: CollectiveBackend::Executed,
         }
     }
 }
@@ -82,7 +91,14 @@ impl Fig4Settings {
             is_sample_divisor: 4,
             seed: 7,
             contention_alpha: None,
+            backend: CollectiveBackend::Executed,
         }
+    }
+
+    /// The same settings with the analytical backend selected.
+    pub fn modeled(mut self) -> Self {
+        self.backend = CollectiveBackend::Modeled;
+        self
     }
 }
 
@@ -118,6 +134,12 @@ pub fn fig4_kernel_times(
 
 /// Allocates `n` processes with `strategy` on a fresh testbed and runs the
 /// kernel once, returning the measured point.
+///
+/// The collectives are costed by `settings.backend`: executed thread-per-rank
+/// or the analytical model (a modeled point carries `verified = true`, since
+/// the model computes clocks, not data — there is no numerical result to
+/// check).  Either way the placement comes from a real co-allocation on the
+/// overlay, so the two backends are directly comparable point by point.
 pub fn run_kernel_once(
     kernel: Fig4Kernel,
     strategy: StrategyKind,
@@ -129,36 +151,151 @@ pub fn run_kernel_once(
     let report = allocate(&mut tb.overlay, tb.submitter, &request);
     let allocation = report.allocation().clone();
     let placement = Placement::from_allocation(&allocation);
+    run_kernel_on_placement(kernel, strategy, &placement, &tb.topology, settings)
+}
 
-    let mut runtime = MpiRuntime::new(tb.topology.clone());
+/// Runs (or models) the kernel once over an explicit placement; `strategy`
+/// only labels the resulting point (the placement already encodes it).
+pub fn run_kernel_on_placement(
+    kernel: Fig4Kernel,
+    strategy: StrategyKind,
+    placement: &Placement,
+    topology: &Arc<Topology>,
+    settings: &Fig4Settings,
+) -> Fig4Point {
+    let mut runtime = MpiRuntime::new(topology.clone()).with_backend(settings.backend);
     if let Some(alpha) = settings.contention_alpha {
         runtime = runtime.with_contention(MemoryContentionModel::with_alpha(alpha));
     }
 
-    let (makespan, verified) = match kernel {
-        Fig4Kernel::Ep => {
+    let (makespan, verified) = match (settings.backend, kernel) {
+        (CollectiveBackend::Executed, Fig4Kernel::Ep) => {
             let config = EpConfig::sampled(settings.class, settings.ep_sample_divisor);
-            let result = runtime.run(&placement, move |comm| ep_kernel(comm, &config));
+            let result = runtime.run(placement, move |comm| ep_kernel(comm, &config));
             let ok = result.all_ranks_completed()
                 && result.result_of(0).map(|r| r.verify()).unwrap_or(false);
             (result.makespan, ok)
         }
-        Fig4Kernel::Is => {
+        (CollectiveBackend::Executed, Fig4Kernel::Is) => {
             let config = IsConfig::sampled(settings.class, settings.is_sample_divisor);
-            let result = runtime.run(&placement, move |comm| is_kernel(comm, &config));
+            let result = runtime.run(placement, move |comm| is_kernel(comm, &config));
             let ok = result.all_ranks_completed()
                 && result.result_of(0).map(|r| r.verified).unwrap_or(false);
             (result.makespan, ok)
         }
+        (CollectiveBackend::Modeled, Fig4Kernel::Ep) => {
+            let config = EpConfig::sampled(settings.class, settings.ep_sample_divisor);
+            let mut model = runtime.model_comm(placement);
+            (ep_model(&mut model, &config), true)
+        }
+        (CollectiveBackend::Modeled, Fig4Kernel::Is) => {
+            let config = IsConfig::sampled(settings.class, settings.is_sample_divisor);
+            let mut model = runtime.model_comm(placement);
+            (is_model(&mut model, &config), true)
+        }
     };
 
     Fig4Point {
-        processes: n,
+        processes: placement.processes,
         strategy,
-        hosts_used: allocation.hosts_used(),
+        hosts_used: placement.hosts_used(),
         makespan,
         verified,
     }
+}
+
+/// Host booking order the co-allocator uses on an *idle* grid: ascending
+/// application-level RTT from the Nancy submitter (the first Nancy host),
+/// ties broken by host id.
+pub fn hosts_by_rtt(topology: &Topology) -> Vec<HostId> {
+    let submitter = topology
+        .site_by_name("nancy")
+        .map(|s| s.id)
+        .unwrap_or_else(|| topology.sites()[0].id);
+    let submitter_host = topology
+        .hosts_at_site(submitter)
+        .next()
+        .expect("the submitter site has at least one host")
+        .id;
+    let mut hosts: Vec<HostId> = topology.hosts().iter().map(|h| h.id).collect();
+    hosts.sort_by_key(|&h| (topology.rtt(submitter_host, h), h));
+    hosts
+}
+
+/// The placement `strategy` produces on an idle grid, built directly from
+/// the topology (no overlay booking round): *concentrate* fills each host to
+/// its core count in RTT order, *spread* deals one process per host in RTT
+/// order, wrapping only once every host is used.  This is what sweep-scale
+/// modeled experiments use beyond the real grid's 1040-core capacity, where
+/// a live co-allocation could never succeed.
+///
+/// # Panics
+///
+/// Panics if `n` exceeds the topology's total cores, or for the `Balanced`
+/// strategy (not used by any Figure 4 experiment).
+pub fn synthetic_placement(topology: &Topology, strategy: StrategyKind, n: u32) -> Placement {
+    assert!(
+        n as usize <= topology.total_cores(),
+        "{n} processes exceed the grid's {} cores; scale the topology first",
+        topology.total_cores()
+    );
+    let hosts = hosts_by_rtt(topology);
+    let mut slots: Vec<HostId> = Vec::with_capacity(n as usize);
+    match strategy {
+        StrategyKind::Concentrate => {
+            'outer: for &h in &hosts {
+                for _ in 0..topology.host(h).cores {
+                    slots.push(h);
+                    if slots.len() == n as usize {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        StrategyKind::Spread => {
+            let mut filled = vec![0usize; hosts.len()];
+            'rounds: loop {
+                for (i, &h) in hosts.iter().enumerate() {
+                    if filled[i] < topology.host(h).cores {
+                        filled[i] += 1;
+                        slots.push(h);
+                        if slots.len() == n as usize {
+                            break 'rounds;
+                        }
+                    }
+                }
+            }
+        }
+        StrategyKind::Balanced { .. } => {
+            panic!("synthetic placements support concentrate and spread only")
+        }
+    }
+    Placement::one_per_host(&slots)
+}
+
+/// Measures modeled kernel times for each process count under one strategy,
+/// on a Table-1 grid scaled just enough to hold the largest count (see
+/// [`p2pmpi_grid5000::sites::scaled_table1`]).  This is the sweep-scale
+/// entry point: 1k–4k-rank points complete in seconds because no threads are
+/// spawned and no payload bytes move.
+pub fn modeled_kernel_times(
+    kernel: Fig4Kernel,
+    strategy: StrategyKind,
+    counts: &[u32],
+    settings: &Fig4Settings,
+    scale: Option<usize>,
+) -> Vec<Fig4Point> {
+    let max = counts.iter().copied().max().unwrap_or(0) as usize;
+    let factor = scale.unwrap_or_else(|| scale_factor_for_cores(max));
+    let topology = topology_from_specs(&scaled_table1(factor));
+    let settings = settings.modeled();
+    counts
+        .iter()
+        .map(|&n| {
+            let placement = synthetic_placement(&topology, strategy, n);
+            run_kernel_on_placement(kernel, strategy, &placement, &topology, &settings)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -197,6 +334,67 @@ mod tests {
         assert!(point.verified);
         assert_eq!(point.hosts_used, 8);
         assert!(point.makespan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn synthetic_placements_mirror_the_strategies() {
+        let topology = topology_from_specs(&scaled_table1(1));
+        // 64 concentrated processes fill 16 quad-core Nancy nodes.
+        let conc = synthetic_placement(&topology, StrategyKind::Concentrate, 64);
+        assert_eq!(conc.hosts_used(), 16);
+        assert!(conc.validate().is_ok());
+        // 64 spread processes take one host each.
+        let spread = synthetic_placement(&topology, StrategyKind::Spread, 64);
+        assert_eq!(spread.hosts_used(), 64);
+        // Spread wraps once every host is used.
+        let wrapped = synthetic_placement(&topology, StrategyKind::Spread, 400);
+        assert_eq!(wrapped.hosts_used(), 350);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the grid")]
+    fn synthetic_placement_rejects_oversubscription() {
+        let topology = topology_from_specs(&scaled_table1(1));
+        synthetic_placement(&topology, StrategyKind::Spread, 1041);
+    }
+
+    #[test]
+    fn modeled_ep_point_matches_executed_exactly() {
+        // EP's communication is data-independent, so the analytical backend
+        // must reproduce the executed virtual makespan bit-for-bit on the
+        // same placement.
+        let settings = Fig4Settings::test_sized();
+        let executed = run_kernel_once(Fig4Kernel::Ep, StrategyKind::Concentrate, 8, &settings);
+        let modeled = run_kernel_once(
+            Fig4Kernel::Ep,
+            StrategyKind::Concentrate,
+            8,
+            &settings.modeled(),
+        );
+        assert_eq!(modeled.makespan, executed.makespan);
+        assert_eq!(modeled.hosts_used, executed.hosts_used);
+        assert!(modeled.verified);
+    }
+
+    #[test]
+    fn modeled_sweep_scales_past_grid_capacity() {
+        // 2048 ranks exceed the paper grid's 1040 cores; the modeled sweep
+        // auto-scales the Table-1 grid and still produces a point (this runs
+        // in well under a second — the executed backend could not even spawn
+        // the threads comfortably).
+        let settings = Fig4Settings::test_sized();
+        let points = modeled_kernel_times(
+            Fig4Kernel::Ep,
+            StrategyKind::Spread,
+            &[2048],
+            &settings,
+            None,
+        );
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].processes, 2048);
+        assert!(points[0].makespan > SimDuration::ZERO);
+        // scale factor 2 doubles the grid to 700 hosts; spread wraps them.
+        assert_eq!(points[0].hosts_used, 700);
     }
 
     #[test]

@@ -182,6 +182,34 @@ pub fn rtt_between_ms(site_a: &str, site_b: &str) -> Option<f64> {
     Some(a.max(b))
 }
 
+/// Table 1 with every cluster's node count multiplied by `factor` (per-node
+/// shape, CPU models, link specs unchanged).
+///
+/// The paper's grid tops out at 1040 cores, which caps honest Figure 4 runs
+/// at a few hundred ranks; the analytical collective model
+/// (`p2pmpi_mpi::model`) has no such limit, so sweep-scale modeled
+/// experiments run on a "what if every site were k× larger" grid that keeps
+/// the published per-core rates, RTTs and bandwidths.
+pub fn scaled_table1(factor: usize) -> Vec<ClusterSpec> {
+    assert!(factor >= 1, "the scale factor must be >= 1");
+    TABLE1
+        .iter()
+        .map(|spec| ClusterSpec {
+            nodes: spec.nodes * factor,
+            cpus: spec.cpus * factor,
+            cores: spec.cores * factor,
+            ..*spec
+        })
+        .collect()
+}
+
+/// The smallest factor for [`scaled_table1`] such that the grid holds at
+/// least `cores` cores.
+pub fn scale_factor_for_cores(cores: usize) -> usize {
+    let (_, base) = totals();
+    cores.div_ceil(base).max(1)
+}
+
 /// Totals over Table 1: (hosts, cores).
 pub fn totals() -> (usize, usize) {
     TABLE1
@@ -250,6 +278,23 @@ mod tests {
             vec!["nancy", "lyon", "rennes", "bordeaux", "grenoble", "sophia"]
         );
         assert_eq!(rtt_to_nancy_ms("mars"), None);
+    }
+
+    #[test]
+    fn scaled_table1_multiplies_nodes_only() {
+        let doubled = scaled_table1(2);
+        assert_eq!(doubled.len(), TABLE1.len());
+        for (orig, scaled) in TABLE1.iter().zip(&doubled) {
+            assert_eq!(scaled.nodes, orig.nodes * 2);
+            assert_eq!(scaled.cores, orig.cores * 2);
+            assert_eq!(scaled.cores_per_node(), orig.cores_per_node());
+            assert_eq!(scaled.cpus_per_node(), orig.cpus_per_node());
+            assert_eq!(scaled.ops_per_core, orig.ops_per_core);
+        }
+        assert_eq!(scale_factor_for_cores(1), 1);
+        assert_eq!(scale_factor_for_cores(1040), 1);
+        assert_eq!(scale_factor_for_cores(1041), 2);
+        assert_eq!(scale_factor_for_cores(4096), 4);
     }
 
     #[test]

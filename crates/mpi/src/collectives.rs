@@ -214,8 +214,10 @@ impl Comm {
         }
         let block = data.len() / size;
         let rank = self.rank() as usize;
-        let mut result = vec![data[rank * block..(rank + 1) * block].to_vec()];
-        let mut received: Vec<(usize, Vec<T>)> = Vec::with_capacity(size - 1);
+        // One flat result buffer, written in place: cloning the send buffer
+        // leaves the own block (slot `rank`) already correct, and every other
+        // slot is overwritten by exactly one received block below.
+        let mut result = data.to_vec();
         // Ring schedule: at step s exchange with rank+s / rank-s.
         for step in 1..size {
             let dst = ((rank + step) % size) as Rank;
@@ -226,22 +228,24 @@ impl Comm {
                 &data[dst as usize * block..(dst as usize + 1) * block],
             )?;
             let incoming = self.recv::<T>(src, tags::ALLTOALL)?;
-            received.push((src as usize, incoming));
+            if incoming.len() != block {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "alltoall expected a block of {block} elements from rank {src}, got {}",
+                    incoming.len()
+                )));
+            }
+            result[src as usize * block..(src as usize + 1) * block].copy_from_slice(&incoming);
         }
-        received.sort_by_key(|(src, _)| *src);
-        // Rebuild the result in rank order: own block sits at `rank`.
-        let mut ordered: Vec<Vec<T>> = vec![Vec::new(); size];
-        ordered[rank] = result.pop().expect("own block present");
-        for (src, buf) in received {
-            ordered[src] = buf;
-        }
-        Ok(ordered.into_iter().flatten().collect())
+        Ok(result)
     }
 
     /// Exchanges variable-sized blocks between every pair of ranks
-    /// (`MPI_Alltoallv`): `blocks[d]` is sent to rank `d`; the result's entry
-    /// `s` is the block received from rank `s`.
-    pub fn alltoallv<T: Datatype>(&mut self, blocks: &[Vec<T>]) -> MpiResult<Vec<Vec<T>>> {
+    /// (`MPI_Alltoallv`): `blocks[d]` is sent to rank `d`.  Returns the
+    /// received elements as one flat buffer in source-rank order plus the
+    /// per-source element counts (`counts[s]` elements came from rank `s`),
+    /// so callers index block `s` at `counts[..s].sum()..` without any
+    /// nested-vector bookkeeping or flattening pass.
+    pub fn alltoallv<T: Datatype>(&mut self, blocks: &[Vec<T>]) -> MpiResult<(Vec<T>, Vec<usize>)> {
         let size = self.size() as usize;
         if blocks.len() != size {
             return Err(MpiError::CollectiveMismatch(format!(
@@ -250,14 +254,29 @@ impl Comm {
             )));
         }
         let rank = self.rank() as usize;
-        let mut result: Vec<Vec<T>> = vec![Vec::new(); size];
-        result[rank] = blocks[rank].clone();
+        let mut counts = vec![0usize; size];
+        counts[rank] = blocks[rank].len();
+        // Blocks arrive in ring order (rank-1, rank-2, ...), not source
+        // order; park each transport buffer in its source's slot, then copy
+        // every element exactly once into the flat result.
+        let mut received: Vec<Option<Vec<T>>> = (0..size).map(|_| None).collect();
         for step in 1..size {
             let dst = ((rank + step) % size) as Rank;
             let src = ((rank + size - step) % size) as Rank;
             self.send(dst, tags::ALLTOALLV, &blocks[dst as usize])?;
-            result[src as usize] = self.recv::<T>(src, tags::ALLTOALLV)?;
+            let incoming = self.recv::<T>(src, tags::ALLTOALLV)?;
+            counts[src as usize] = incoming.len();
+            received[src as usize] = Some(incoming);
         }
-        Ok(result)
+        let total: usize = counts.iter().sum();
+        let mut result: Vec<T> = Vec::with_capacity(total);
+        for (src, slot) in received.iter_mut().enumerate() {
+            if src == rank {
+                result.extend_from_slice(&blocks[rank]);
+            } else {
+                result.extend_from_slice(&slot.take().expect("one block per remote rank"));
+            }
+        }
+        Ok((result, counts))
     }
 }

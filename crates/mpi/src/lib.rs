@@ -20,6 +20,9 @@
 //!   (the paper's replication-based fault tolerance).
 //! * [`runtime`] — thread-per-process job execution and makespan
 //!   measurement.
+//! * [`model`] — LogGP-style analytical prediction of the collectives'
+//!   virtual-time cost, for sweeps past the thread-per-rank scale
+//!   ([`model::CollectiveBackend`] selects executed vs modeled).
 //!
 //! ## Example
 //!
@@ -51,6 +54,7 @@ pub mod comm;
 pub mod datatype;
 pub mod envelope;
 pub mod error;
+pub mod model;
 pub mod placement;
 pub mod registry;
 pub mod runtime;
@@ -59,6 +63,7 @@ pub mod stats;
 pub use comm::Comm;
 pub use datatype::{Datatype, ReduceOp, Reducible};
 pub use error::{MpiError, MpiResult, Rank, Tag};
+pub use model::{CollectiveBackend, LogGpParams, ModelComm};
 pub use placement::{Placement, PlacementError, ProcSpec};
 pub use registry::{FailurePlan, KillSpec, Registry};
 pub use runtime::{InstanceOutcome, JobResult, MpiRuntime};
@@ -69,6 +74,7 @@ pub mod prelude {
     pub use crate::comm::Comm;
     pub use crate::datatype::{Datatype, ReduceOp, Reducible};
     pub use crate::error::{MpiError, MpiResult, Rank, Tag};
+    pub use crate::model::{CollectiveBackend, ModelComm};
     pub use crate::placement::Placement;
     pub use crate::registry::FailurePlan;
     pub use crate::runtime::{JobResult, MpiRuntime};

@@ -1,0 +1,523 @@
+//! LogGP-style analytical cost model of the collective operations.
+//!
+//! The executed runtime ([`crate::runtime::MpiRuntime::run`]) spawns one OS
+//! thread per rank and lets the virtual-time cost of a collective *emerge*
+//! from thousands of point-to-point messages.  That is faithful but caps
+//! Figure 4 sweeps at a few hundred ranks.  This module predicts the same
+//! virtual clocks *analytically*: one scalar clock per rank, advanced by
+//! walking the exact message schedule of each collective (binomial
+//! broadcast/reduce trees, the ring alltoall(v) schedule, linear
+//! gather/scatter) under the LogGP cost algebra below — no threads, no
+//! channels, no payload bytes.  A 2048-rank NAS-IS iteration that would need
+//! 2048 threads and ~4 M channel messages becomes ~4 M scalar clock updates,
+//! so sweeps scale to thousands of ranks in seconds.
+//!
+//! # The LogGP parameterisation
+//!
+//! LogGP (Alexandrov et al., after the LogP model of Culler et al.) describes
+//! a network by:
+//!
+//! * **L** — the one-way wire latency between two hosts,
+//! * **o** — the per-message CPU overhead paid by the software stack,
+//! * **g** — the minimum gap between consecutive message injections,
+//! * **G** — the gap per byte, i.e. the reciprocal bandwidth for long
+//!   messages.
+//!
+//! The executed runtime's transfer rule (see `p2pmpi_simgrid::network`) is
+//!
+//! ```text
+//! sender:   clock += o                      (software overhead, per message)
+//! receiver: clock  = max(clock, sent_at + L + o + bytes·framing·8/bw)
+//! ```
+//!
+//! which is exactly a LogGP cost with `L = rtt/2`, `o` the per-message
+//! software overhead on either side, `g = o` (the sender can inject the next
+//! message as soon as it has paid the overhead of the previous one) and
+//! `G = framing · 8 / bandwidth` seconds per byte.  [`LogGpParams::between`]
+//! exposes this mapping for a host pair.
+//!
+//! ## How Grid'5000 link specs map to L/o/g/G
+//!
+//! The `p2pmpi-grid5000` crate builds its topology from the paper's Table 1
+//! and figure legends (`p2pmpi_grid5000::sites`), and those published specs
+//! are precisely what instantiate the four parameters:
+//!
+//! * **L** comes from `RTT_TO_NANCY_MS` (halved): e.g. Nancy↔Sophia has an
+//!   RTT of 17.167 ms, so `L ≈ 8.58 ms`; two hosts of the same site use the
+//!   intra-site RTT of 0.087 ms (`L ≈ 43 µs`), and co-located processes the
+//!   loopback RTT.
+//! * **o** and **g** are the 35 µs per-message software overhead of the
+//!   2008-era Java/TCP stack (`NetworkParams::per_message_overhead`), the
+//!   same on every link.
+//! * **G** comes from `wan_bandwidth_bps` and the NIC rate: 10 Gbps between
+//!   most sites but 1 Gbps on any link touching Bordeaux and 1 Gbps at every
+//!   NIC, times the 1.05 protocol-framing factor — so
+//!   `G = 1.05 · 8 / min(link, NIC) ≈ 8.4 ns/byte` on a 1 Gbps bottleneck.
+//!
+//! # Fidelity
+//!
+//! [`ModelComm`] replays the *identical* schedule and clock arithmetic the
+//! executed collectives use (same tree shapes, same per-step send order, the
+//! same `SimDuration::from_secs_f64` roundings via
+//! `NetworkModel::transfer_time`), so for a fixed sequence of collectives
+//! over a fixed placement the modeled per-rank clocks are **equal** to the
+//! executed ones — the property test in `tests/model_agreement.rs` pins this
+//! for every collective at up to 16 ranks over random placements.  Modeled
+//! *kernels* (e.g. `p2pmpi-nas`'s `is_model`) may still diverge slightly
+//! where message sizes are data-dependent and the model substitutes a
+//! balanced approximation; `perf_report` measures and bounds that divergence.
+//!
+//! # Choosing a backend
+//!
+//! [`CollectiveBackend`] selects between the two execution styles;
+//! [`crate::runtime::MpiRuntime::with_backend`] records the choice on the
+//! runtime and [`crate::runtime::MpiRuntime::model_comm`] builds a
+//! [`ModelComm`] sharing the runtime's network and compute models, so the
+//! experiment layer can flip a whole sweep from executed to modeled without
+//! touching the cost parameters.
+
+use crate::error::Rank;
+use crate::placement::Placement;
+use crate::stats::CommStats;
+use p2pmpi_simgrid::compute::ComputeModel;
+use p2pmpi_simgrid::memory::MemoryIntensity;
+use p2pmpi_simgrid::network::NetworkModel;
+use p2pmpi_simgrid::time::{SimDuration, SimTime};
+use p2pmpi_simgrid::topology::HostId;
+
+/// How a job's collectives are costed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectiveBackend {
+    /// One OS thread per rank, real message passing over channels; the cost
+    /// emerges from the point-to-point layer (today's default path).
+    #[default]
+    Executed,
+    /// Analytical LogGP-style prediction on per-rank scalar clocks; no
+    /// threads, scales to thousands of ranks.
+    Modeled,
+}
+
+/// The LogGP parameters of one (src, dst) host pair, derived from the
+/// network model (see the module docs for the mapping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogGpParams {
+    /// `L`: one-way wire latency.
+    pub latency: SimDuration,
+    /// `o`: per-message software overhead (sender side; the receive path
+    /// pays the same once more inside the transfer time).
+    pub overhead: SimDuration,
+    /// `g`: minimum gap between consecutive message injections (equals `o`
+    /// under this runtime's cost rule).
+    pub gap: SimDuration,
+    /// `G`: seconds per payload byte (framing included).
+    pub secs_per_byte: f64,
+}
+
+impl LogGpParams {
+    /// Derives the parameters for messages from `src` to `dst`.
+    pub fn between(network: &NetworkModel, src: HostId, dst: HostId) -> LogGpParams {
+        let params = network.params();
+        let topology = network.topology();
+        let overhead = params.per_message_overhead;
+        LogGpParams {
+            latency: topology.latency(src, dst),
+            overhead,
+            gap: overhead,
+            secs_per_byte: params.framing_factor * 8.0 / topology.bandwidth_bps(src, dst),
+        }
+    }
+}
+
+/// Analytical stand-in for a whole communicator: one virtual clock per rank,
+/// advanced by the same schedules and cost rules as the executed collectives.
+///
+/// Methods mirror [`crate::Comm`]'s collectives but take *byte counts*
+/// instead of data (the model never touches payloads).  Per-rank quantities
+/// (gather contributions, alltoallv block sizes, compute work) are supplied
+/// as closures over the rank index.
+pub struct ModelComm {
+    hosts: Vec<HostId>,
+    residents: Vec<usize>,
+    clocks: Vec<SimTime>,
+    network: NetworkModel,
+    compute: ComputeModel,
+    stats: CommStats,
+    /// Scratch: per-rank send timestamps within one ring step.
+    sent_at: Vec<SimTime>,
+}
+
+impl ModelComm {
+    /// Builds a model communicator for `placement` over the given cost
+    /// models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement is invalid or uses replication (replicas only
+    /// matter under failure injection, which the analytical model does not
+    /// simulate).
+    pub fn new(placement: &Placement, network: NetworkModel, compute: ComputeModel) -> ModelComm {
+        placement
+            .validate()
+            .expect("cannot model an invalid placement");
+        assert_eq!(
+            placement.replication, 1,
+            "the analytical model supports unreplicated placements only"
+        );
+        let n = placement.processes as usize;
+        let mut hosts = vec![HostId(0); n];
+        for spec in &placement.procs {
+            hosts[spec.rank as usize] = spec.host;
+        }
+        let residents_per_host = placement.residents_per_host();
+        let residents = hosts
+            .iter()
+            .map(|h| residents_per_host[h])
+            .collect::<Vec<_>>();
+        ModelComm {
+            hosts,
+            residents,
+            clocks: vec![SimTime::ZERO; n],
+            network,
+            compute,
+            stats: CommStats::default(),
+            sent_at: vec![SimTime::ZERO; n],
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> u32 {
+        self.clocks.len() as u32
+    }
+
+    /// The modeled clock of one rank.
+    pub fn clock(&self, rank: Rank) -> SimTime {
+        self.clocks[rank as usize]
+    }
+
+    /// All per-rank clocks.
+    pub fn clocks(&self) -> &[SimTime] {
+        &self.clocks
+    }
+
+    /// The job makespan so far: the largest per-rank clock.
+    pub fn makespan(&self) -> SimDuration {
+        self.clocks
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .saturating_since(SimTime::ZERO)
+    }
+
+    /// Aggregate modeled traffic and compute counters (what the executed
+    /// job's [`CommStats`] would sum to).
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// One modeled message: the sender pays `o`, the receiver's clock rises
+    /// to the arrival time.  Mirrors `Comm::send`/`Comm::accept` exactly.
+    #[inline]
+    fn message(&mut self, src: usize, dst: usize, bytes: u64) {
+        let overhead = self.network.params().per_message_overhead;
+        self.clocks[src] += overhead;
+        let transfer = self
+            .network
+            .transfer_time(self.hosts[src], self.hosts[dst], bytes);
+        let arrival = self.clocks[src] + transfer;
+        self.clocks[dst] = self.clocks[dst].max(arrival);
+        self.stats.messages_sent += 1;
+        self.stats.messages_received += 1;
+        self.stats.bytes_sent += bytes;
+        self.stats.bytes_received += bytes;
+    }
+
+    /// Charges a compute section to every rank; `ops_of(rank)` gives the
+    /// abstract operation count of each rank's share.
+    pub fn compute<F>(&mut self, intensity: MemoryIntensity, mut ops_of: F)
+    where
+        F: FnMut(Rank) -> f64,
+    {
+        for rank in 0..self.clocks.len() {
+            let ops = ops_of(rank as Rank);
+            let t =
+                self.compute
+                    .compute_time(self.hosts[rank], ops, intensity, self.residents[rank]);
+            self.clocks[rank] += t;
+            self.stats.compute_ops += ops;
+            self.stats.compute_time += t;
+        }
+    }
+
+    /// Advances every rank's clock by `d` (I/O or set-up phases).
+    pub fn advance(&mut self, d: SimDuration) {
+        for c in &mut self.clocks {
+            *c += d;
+        }
+    }
+
+    /// Binomial-tree broadcast of `bytes` from `root` (mirrors
+    /// [`crate::Comm::bcast`]).
+    pub fn bcast(&mut self, root: Rank, bytes: u64) {
+        let size = self.clocks.len();
+        assert!((root as usize) < size, "root {root} outside 0..{size}");
+        if size <= 1 {
+            return;
+        }
+        // Process ranks in increasing *relative* order: a rank's parent has a
+        // smaller relative index, so its (receive, forward...) program has
+        // already run and this rank's clock already reflects the arrival.
+        for rel in 0..size {
+            let me = (rel + root as usize) % size;
+            // Forward to children in the executed send order: masks descend
+            // from just below this rank's receive mask (or from the top for
+            // the root).
+            let mut mask: usize = 1;
+            while mask < size && rel & mask == 0 {
+                mask <<= 1;
+            }
+            mask >>= 1;
+            while mask > 0 {
+                if rel + mask < size {
+                    let child = (rel + mask + root as usize) % size;
+                    self.message(me, child, bytes);
+                }
+                mask >>= 1;
+            }
+        }
+    }
+
+    /// Binomial-tree reduction of `bytes` onto `root` (mirrors
+    /// [`crate::Comm::reduce`]; the element-wise combine is free, as in the
+    /// executed path).
+    pub fn reduce(&mut self, root: Rank, bytes: u64) {
+        let size = self.clocks.len();
+        assert!((root as usize) < size, "root {root} outside 0..{size}");
+        if size <= 1 {
+            return;
+        }
+        // Children have larger relative indices: process them first so each
+        // rank's clock includes every child contribution before it forwards
+        // to its own parent.
+        for rel in (1..size).rev() {
+            let me = (rel + root as usize) % size;
+            let parent_rel = rel & (rel - 1); // clear the lowest set bit
+            let parent = (parent_rel + root as usize) % size;
+            self.message(me, parent, bytes);
+        }
+    }
+
+    /// Reduce-to-0 followed by broadcast (mirrors
+    /// [`crate::Comm::allreduce`]).
+    pub fn allreduce(&mut self, bytes: u64) {
+        self.reduce(0, bytes);
+        self.bcast(0, bytes);
+    }
+
+    /// Empty allreduce (mirrors [`crate::Comm::barrier`]: one `u8`).
+    pub fn barrier(&mut self) {
+        self.allreduce(1);
+    }
+
+    /// Linear gather at `root`; `bytes_of(rank)` is each rank's contribution
+    /// (mirrors [`crate::Comm::gather`]).
+    pub fn gather<F>(&mut self, root: Rank, mut bytes_of: F)
+    where
+        F: FnMut(Rank) -> u64,
+    {
+        let size = self.clocks.len();
+        assert!((root as usize) < size, "root {root} outside 0..{size}");
+        for src in 0..size {
+            if src != root as usize {
+                self.message(src, root as usize, bytes_of(src as Rank));
+            }
+        }
+    }
+
+    /// Gather at 0 then broadcast of the concatenation (mirrors
+    /// [`crate::Comm::allgather`]).
+    pub fn allgather<F>(&mut self, mut bytes_of: F)
+    where
+        F: FnMut(Rank) -> u64,
+    {
+        let total: u64 = (0..self.size()).map(&mut bytes_of).sum();
+        self.gather(0, bytes_of);
+        self.bcast(0, total);
+    }
+
+    /// Linear scatter of `block_bytes` per rank from `root` (mirrors
+    /// [`crate::Comm::scatter`]).
+    pub fn scatter(&mut self, root: Rank, block_bytes: u64) {
+        let size = self.clocks.len();
+        assert!((root as usize) < size, "root {root} outside 0..{size}");
+        for dst in 0..size {
+            if dst != root as usize {
+                self.message(root as usize, dst, block_bytes);
+            }
+        }
+    }
+
+    /// Ring alltoall of equal `block_bytes` blocks (mirrors
+    /// [`crate::Comm::alltoall`]).
+    pub fn alltoall(&mut self, block_bytes: u64) {
+        self.alltoallv(|_, _| block_bytes);
+    }
+
+    /// Ring alltoallv; `bytes(src, dst)` is the block `src` sends to `dst`
+    /// (mirrors [`crate::Comm::alltoallv`]).
+    pub fn alltoallv<F>(&mut self, mut bytes: F)
+    where
+        F: FnMut(Rank, Rank) -> u64,
+    {
+        let size = self.clocks.len();
+        if size <= 1 {
+            return;
+        }
+        let overhead = self.network.params().per_message_overhead;
+        // Ring schedule: at step s every rank sends to rank+s and then blocks
+        // receiving from rank-s.  Two phases per step: all sends are stamped
+        // against the pre-step clocks, then every receive takes the max.
+        for step in 1..size {
+            for (rank, sent) in self.sent_at.iter_mut().enumerate() {
+                self.clocks[rank] += overhead;
+                *sent = self.clocks[rank];
+            }
+            for rank in 0..size {
+                let src = (rank + size - step) % size;
+                let b = bytes(src as Rank, rank as Rank);
+                let transfer = self
+                    .network
+                    .transfer_time(self.hosts[src], self.hosts[rank], b);
+                let arrival = self.sent_at[src] + transfer;
+                self.clocks[rank] = self.clocks[rank].max(arrival);
+                // Each (src → rank) block counts once on each side, as the
+                // executed path does.
+                self.stats.messages_sent += 1;
+                self.stats.messages_received += 1;
+                self.stats.bytes_sent += b;
+                self.stats.bytes_received += b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmpi_simgrid::topology::{NodeSpec, Topology, TopologyBuilder};
+    use std::sync::Arc;
+
+    fn topology() -> Arc<Topology> {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_site("local");
+        let s1 = b.add_site("remote");
+        b.add_cluster(s0, "l", "cpu", 4, NodeSpec::default());
+        b.add_cluster(s1, "r", "cpu", 4, NodeSpec::default());
+        b.set_rtt(s0, s1, SimDuration::from_millis(10));
+        Arc::new(b.build())
+    }
+
+    fn model_for(placement: &Placement, t: &Arc<Topology>) -> ModelComm {
+        ModelComm::new(
+            placement,
+            NetworkModel::new(t.clone()),
+            ComputeModel::new(t.clone()),
+        )
+    }
+
+    #[test]
+    fn loggp_params_reflect_the_link() {
+        let t = topology();
+        let m = NetworkModel::new(t.clone());
+        let l0 = t.host_by_name("l-0").unwrap().id;
+        let r0 = t.host_by_name("r-0").unwrap().id;
+        let local = LogGpParams::between(&m, l0, l0);
+        let wan = LogGpParams::between(&m, l0, r0);
+        assert_eq!(wan.latency, SimDuration::from_millis(5));
+        assert!(local.latency < wan.latency);
+        assert_eq!(wan.overhead, m.params().per_message_overhead);
+        assert_eq!(wan.gap, wan.overhead);
+        // 1 Gbps NIC bottleneck with 1.05 framing: ~8.4 ns per byte.
+        assert!((wan.secs_per_byte - 8.4e-9).abs() < 0.1e-9);
+        // Loopback is modelled faster than the NIC.
+        assert!(local.secs_per_byte < wan.secs_per_byte);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let t = topology();
+        let p = Placement::co_located(1, t.hosts()[0].id);
+        let mut m = model_for(&p, &t);
+        m.bcast(0, 1 << 20);
+        m.reduce(0, 1 << 20);
+        m.allreduce(1 << 20);
+        m.alltoall(1 << 20);
+        assert_eq!(m.makespan(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bcast_cost_grows_logarithmically() {
+        let t = topology();
+        let hosts: Vec<_> = t.hosts().iter().map(|h| h.id).take(4).collect();
+        // 2 ranks: one message; 4 ranks: two latency steps on the critical
+        // path (binomial tree), not three.
+        let mut two = model_for(&Placement::one_per_host(&hosts[..2]), &t);
+        two.bcast(0, 64);
+        let mut four = model_for(&Placement::one_per_host(&hosts), &t);
+        four.bcast(0, 64);
+        let t2 = two.makespan();
+        let t4 = four.makespan();
+        assert!(t4 > t2);
+        assert!(
+            t4 < t2 * 3,
+            "4-rank binomial bcast {t4} must cost ~2 latency steps, not 3 ({t2} each)"
+        );
+        assert_eq!(four.stats().messages_sent, 3);
+    }
+
+    #[test]
+    fn cross_site_collectives_cost_more() {
+        let t = topology();
+        let local: Vec<_> = t.hosts().iter().take(4).map(|h| h.id).collect();
+        let mixed: Vec<_> = t.hosts().iter().skip(2).take(4).map(|h| h.id).collect();
+        let mut a = model_for(&Placement::one_per_host(&local), &t);
+        a.allreduce(1024);
+        let mut b = model_for(&Placement::one_per_host(&mixed), &t);
+        b.allreduce(1024);
+        assert!(b.makespan() > a.makespan() * 10);
+    }
+
+    #[test]
+    fn compute_respects_residents() {
+        let t = topology();
+        let host = t.hosts()[0].id;
+        let spread: Vec<_> = t.hosts().iter().take(4).map(|h| h.id).collect();
+        let mut packed = model_for(&Placement::co_located(4, host), &t);
+        packed.compute(MemoryIntensity::MEMORY_BOUND, |_| 1e9);
+        let mut spread_m = model_for(&Placement::one_per_host(&spread), &t);
+        spread_m.compute(MemoryIntensity::MEMORY_BOUND, |_| 1e9);
+        assert!(packed.makespan() > spread_m.makespan());
+        assert_eq!(packed.stats().compute_ops, 4e9);
+    }
+
+    #[test]
+    fn alltoall_counts_ring_messages() {
+        let t = topology();
+        let hosts: Vec<_> = t.hosts().iter().take(4).map(|h| h.id).collect();
+        let mut m = model_for(&Placement::one_per_host(&hosts), &t);
+        m.alltoall(256);
+        // n(n-1) messages of 256 bytes.
+        assert_eq!(m.stats().messages_sent, 12);
+        assert_eq!(m.stats().bytes_sent, 12 * 256);
+        assert!(m.makespan() > SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreplicated")]
+    fn replicated_placement_is_rejected() {
+        let t = topology();
+        let hosts: Vec<_> = t.hosts().iter().take(4).map(|h| h.id).collect();
+        let p = Placement::replicated_round_robin(2, 2, &hosts);
+        model_for(&p, &t);
+    }
+}

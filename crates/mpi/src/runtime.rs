@@ -4,6 +4,7 @@
 use crate::comm::{Comm, CommConfig, DEFAULT_RECV_TIMEOUT};
 use crate::envelope::Router;
 use crate::error::{MpiError, MpiResult, Rank};
+use crate::model::{CollectiveBackend, ModelComm};
 use crate::placement::Placement;
 use crate::registry::{FailurePlan, Registry};
 use crate::stats::CommStats;
@@ -90,6 +91,7 @@ pub struct MpiRuntime {
     compute: ComputeModel,
     recv_timeout: Duration,
     stack_size: usize,
+    backend: CollectiveBackend,
 }
 
 impl MpiRuntime {
@@ -100,6 +102,7 @@ impl MpiRuntime {
             compute: ComputeModel::new(topology),
             recv_timeout: DEFAULT_RECV_TIMEOUT,
             stack_size: 1 << 20,
+            backend: CollectiveBackend::Executed,
         }
     }
 
@@ -110,7 +113,32 @@ impl MpiRuntime {
             compute,
             recv_timeout: DEFAULT_RECV_TIMEOUT,
             stack_size: 1 << 20,
+            backend: CollectiveBackend::Executed,
         }
+    }
+
+    /// Selects how jobs submitted to this runtime should cost their
+    /// collectives: executed thread-per-rank (the default) or the analytical
+    /// model.  The experiment layer consults [`MpiRuntime::backend`] and,
+    /// for [`CollectiveBackend::Modeled`], drives a
+    /// [`MpiRuntime::model_comm`] instead of calling [`MpiRuntime::run`] —
+    /// closure kernels cannot be modeled, so `run` panics on a runtime whose
+    /// backend is `Modeled` rather than silently spawning threads.
+    pub fn with_backend(mut self, backend: CollectiveBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The collective backend selected for this runtime.
+    pub fn backend(&self) -> CollectiveBackend {
+        self.backend
+    }
+
+    /// Builds an analytical model communicator for `placement` sharing this
+    /// runtime's network and compute models, so modeled and executed runs of
+    /// the same job are costed from identical parameters.
+    pub fn model_comm(&self, placement: &Placement) -> ModelComm {
+        ModelComm::new(placement, self.network.clone(), self.compute.clone())
     }
 
     /// Replaces the memory-contention model (ablation experiments).
@@ -164,6 +192,12 @@ impl MpiRuntime {
         T: Send,
         F: Fn(&mut Comm) -> MpiResult<T> + Send + Sync,
     {
+        assert_eq!(
+            self.backend,
+            CollectiveBackend::Executed,
+            "this runtime selected the analytical backend; closure kernels cannot be modeled — \
+             drive a `model_comm(placement)` instead of calling `run`"
+        );
         placement
             .validate()
             .expect("cannot run an MPI job on an invalid placement");
@@ -371,11 +405,16 @@ mod tests {
             let blocks: Vec<Vec<i64>> = (0..size)
                 .map(|j| vec![rank as i64; (rank + j) as usize])
                 .collect();
-            let vrecv = comm.alltoallv(&blocks)?;
-            for (src, block) in vrecv.iter().enumerate() {
-                assert_eq!(block.len(), src + rank as usize);
-                assert!(block.iter().all(|&x| x == src as i64));
+            let (vrecv, vcounts) = comm.alltoallv(&blocks)?;
+            let mut offset = 0;
+            for (src, &count) in vcounts.iter().enumerate() {
+                assert_eq!(count, src + rank as usize);
+                assert!(vrecv[offset..offset + count]
+                    .iter()
+                    .all(|&x| x == src as i64));
+                offset += count;
             }
+            assert_eq!(offset, vrecv.len());
             // Reduce with Max at root 3.
             let m = comm.reduce(3, ReduceOp::Max, &[rank as i64 * 10])?;
             if rank == 3 {
@@ -506,6 +545,78 @@ mod tests {
         let b = rt.run(&placement, kernel);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn modeled_clocks_match_executed_clocks_exactly() {
+        // The fidelity contract of the analytical backend: for a fixed
+        // sequence of collectives over a fixed placement, the model predicts
+        // every rank's final clock exactly (see mpi::model docs).
+        let t = topology(4, 4);
+        let rt = MpiRuntime::new(t.clone());
+        assert_eq!(rt.backend(), CollectiveBackend::Executed);
+        let mut hosts = local_hosts(&t, 3);
+        hosts.push(
+            t.hosts_at_site(t.site_by_name("remote").unwrap().id)
+                .next()
+                .unwrap()
+                .id,
+        );
+        let placement = Placement::round_robin(6, &hosts);
+
+        let executed = rt.run(&placement, |comm| {
+            comm.compute(1e7 * (comm.rank() as f64 + 1.0), MemoryIntensity::CPU_BOUND)?;
+            comm.bcast(2, vec![0u8; 1000])?;
+            comm.allreduce(ReduceOp::Sum, &[comm.rank() as i64; 8])?;
+            comm.alltoall(&[comm.rank() as i32; 12])?;
+            let blocks: Vec<Vec<u32>> = (0..comm.size())
+                .map(|d| vec![0u32; (comm.rank() + 2 * d) as usize])
+                .collect();
+            comm.alltoallv(&blocks)?;
+            comm.gather(1, &vec![0f64; comm.rank() as usize + 1])?;
+            comm.scatter(0, &vec![0u64; 5 * comm.size() as usize], 5)?;
+            comm.barrier()?;
+            Ok(())
+        });
+        assert!(executed.all_ranks_completed());
+
+        let modeled_rt = rt.clone().with_backend(CollectiveBackend::Modeled);
+        assert_eq!(modeled_rt.backend(), CollectiveBackend::Modeled);
+        let mut model = modeled_rt.model_comm(&placement);
+        model.compute(MemoryIntensity::CPU_BOUND, |rank| 1e7 * (rank as f64 + 1.0));
+        model.bcast(2, 1000);
+        model.allreduce(8 * 8);
+        model.alltoall(2 * 4); // 12 i32 over 6 ranks: 2-element blocks
+        model.alltoallv(|src, dst| (src + 2 * dst) as u64 * 4);
+        model.gather(1, |rank| (rank as u64 + 1) * 8);
+        model.scatter(0, 5 * 8);
+        model.barrier();
+
+        for rank in 0..6u32 {
+            let exec_clock = executed
+                .instances
+                .iter()
+                .find(|i| i.rank == rank)
+                .unwrap()
+                .clock;
+            assert_eq!(
+                model.clock(rank),
+                exec_clock,
+                "rank {rank}: modeled clock must equal the executed clock"
+            );
+        }
+        assert_eq!(model.makespan(), executed.makespan);
+        assert_eq!(model.stats().messages_sent, executed.stats.messages_sent);
+        assert_eq!(model.stats().bytes_sent, executed.stats.bytes_sent);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be modeled")]
+    fn running_a_closure_kernel_on_a_modeled_runtime_panics() {
+        let t = topology(2, 2);
+        let rt = MpiRuntime::new(t.clone()).with_backend(CollectiveBackend::Modeled);
+        let placement = Placement::one_per_host(&local_hosts(&t, 2));
+        let _ = rt.run(&placement, |_comm| Ok(()));
     }
 
     #[test]

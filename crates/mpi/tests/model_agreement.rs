@@ -1,0 +1,146 @@
+//! Property test: the LogGP analytical model (`p2pmpi_mpi::model`) and the
+//! executed thread-per-rank runtime must agree on collective completion
+//! times — **exactly**, per rank — for any placement and any sequence of
+//! collectives with data-independent sizes.
+//!
+//! This is the fidelity contract the modeled Figure 4 sweeps stand on: if
+//! the model's tree/ring schedules or clock arithmetic ever drift from the
+//! executed `Comm`, random small placements (≤ 16 ranks over a three-site
+//! topology with co-location and cross-site hops) catch it here.
+
+use p2pmpi_mpi::datatype::ReduceOp;
+use p2pmpi_mpi::placement::{Placement, ProcSpec};
+use p2pmpi_mpi::runtime::MpiRuntime;
+use p2pmpi_simgrid::rngutil::seeded;
+use p2pmpi_simgrid::topology::{HostId, NodeSpec, Topology, TopologyBuilder};
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Three sites with distinct RTTs (one deliberately slow like Bordeaux's
+/// 1 Gbps link) and eight hosts, so random placements mix loopback,
+/// intra-site and cross-site messaging.
+fn topology() -> Arc<Topology> {
+    let mut b = TopologyBuilder::new();
+    let near = b.add_site("near");
+    let mid = b.add_site("mid");
+    let far = b.add_site("far");
+    b.add_cluster(near, "n", "cpu", 4, NodeSpec::default());
+    b.add_cluster(mid, "m", "cpu", 2, NodeSpec::default());
+    b.add_cluster(
+        far,
+        "f",
+        "cpu",
+        2,
+        NodeSpec {
+            cores: 4,
+            ops_per_sec: 1.5e9,
+            ..NodeSpec::default()
+        },
+    );
+    b.set_rtt(
+        near,
+        mid,
+        p2pmpi_simgrid::time::SimDuration::from_millis(11),
+    );
+    b.set_rtt(
+        near,
+        far,
+        p2pmpi_simgrid::time::SimDuration::from_millis(17),
+    );
+    b.set_rtt(mid, far, p2pmpi_simgrid::time::SimDuration::from_millis(17));
+    b.set_bandwidth(near, far, 1e9);
+    Arc::new(b.build())
+}
+
+/// An unreplicated placement of `n` ranks on uniformly random hosts
+/// (co-location allowed — it exercises loopback costs and the residents
+/// count used by the compute model).
+fn random_placement(topology: &Topology, n: u32, seed: u64) -> Placement {
+    let mut rng = seeded(seed);
+    let hosts = topology.host_count();
+    Placement {
+        processes: n,
+        replication: 1,
+        procs: (0..n)
+            .map(|rank| ProcSpec {
+                rank,
+                replica: 0,
+                host: HostId(rng.gen_range(0..hosts)),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn modeled_clocks_equal_executed_clocks(
+        n in 2u32..17,
+        placement_seed in 0u64..1_000_000,
+        bcast_len in 1usize..700,
+        reduce_len in 1usize..300,
+        block_len in 1usize..50,
+        vstride in 0usize..37,
+        root in 0u32..16,
+    ) {
+        let topology = topology();
+        let placement = random_placement(&topology, n, placement_seed);
+        prop_assert!(placement.validate().is_ok());
+        let runtime = MpiRuntime::new(topology.clone());
+        let root = root % n;
+
+        // Executed: every collective once, with sizes derived from the case.
+        let executed = runtime.run(&placement, move |comm| {
+            let rank = comm.rank();
+            let size = comm.size();
+            comm.compute(1e6 * (rank as f64 + 1.0), p2pmpi_simgrid::memory::MemoryIntensity::MEMORY_BOUND)?;
+            comm.bcast(root, if rank == root { vec![1u8; bcast_len] } else { vec![] })?;
+            comm.allreduce(ReduceOp::Max, &vec![rank as i64; reduce_len])?;
+            comm.alltoall(&vec![rank as i32; block_len * size as usize])?;
+            let blocks: Vec<Vec<u32>> = (0..size)
+                .map(|dst| vec![rank; (rank as usize + dst as usize * vstride) % 91])
+                .collect();
+            comm.alltoallv(&blocks)?;
+            comm.gather(root, &vec![0f64; rank as usize % 7 + 1])?;
+            comm.scatter(root, &vec![0u64; block_len * size as usize], block_len)?;
+            comm.allgather(&vec![rank as u64; rank as usize % 5])?;
+            comm.barrier()?;
+            Ok(())
+        });
+        prop_assert!(executed.all_ranks_completed(), "failures: {:?}", executed.failures());
+
+        // Modeled: the same sequence expressed in bytes.
+        let mut model = runtime.model_comm(&placement);
+        model.compute(p2pmpi_simgrid::memory::MemoryIntensity::MEMORY_BOUND, |rank| {
+            1e6 * (rank as f64 + 1.0)
+        });
+        model.bcast(root, bcast_len as u64);
+        model.allreduce(reduce_len as u64 * 8);
+        model.alltoall(block_len as u64 * 4);
+        model.alltoallv(|src, dst| ((src as usize + dst as usize * vstride) % 91) as u64 * 4);
+        model.gather(root, |rank| (rank as u64 % 7 + 1) * 8);
+        model.scatter(root, block_len as u64 * 8);
+        model.allgather(|rank| (rank % 5) as u64 * 8);
+        model.barrier();
+
+        for rank in 0..n {
+            let executed_clock = executed
+                .instances
+                .iter()
+                .find(|i| i.rank == rank)
+                .expect("every rank has an instance")
+                .clock;
+            prop_assert_eq!(
+                model.clock(rank),
+                executed_clock,
+                "rank {} of {} (placement seed {}): modeled clock diverged",
+                rank,
+                n,
+                placement_seed
+            );
+        }
+        prop_assert_eq!(model.makespan(), executed.makespan);
+        prop_assert_eq!(model.stats().messages_sent, executed.stats.messages_sent);
+        prop_assert_eq!(model.stats().bytes_sent, executed.stats.bytes_sent);
+    }
+}

@@ -14,8 +14,10 @@ use crate::classes::Class;
 use crate::rng::{NasRng, DEFAULT_SEED};
 use p2pmpi_mpi::datatype::ReduceOp;
 use p2pmpi_mpi::error::MpiResult;
+use p2pmpi_mpi::model::ModelComm;
 use p2pmpi_mpi::Comm;
 use p2pmpi_simgrid::memory::MemoryIntensity;
+use p2pmpi_simgrid::time::SimDuration;
 
 /// Abstract operations charged per generated pair.
 ///
@@ -161,6 +163,25 @@ pub fn ep_kernel(comm: &mut Comm, config: &EpConfig) -> MpiResult<EpResult> {
         accepted: totals[10],
         generated: totals[11] as u64,
     })
+}
+
+/// Predicts the EP makespan analytically on a [`ModelComm`].
+///
+/// EP's communication is data-independent (one compute phase, then two
+/// `MPI_Allreduce`s of fixed-size buffers), so the modeled schedule is an
+/// *exact* replay of [`ep_kernel`]'s clock arithmetic: the predicted
+/// makespan equals the executed one bit-for-bit, at any rank count.
+pub fn ep_model(model: &mut ModelComm, config: &EpConfig) -> SimDuration {
+    let size = model.size();
+    let total_pairs = config.class.ep_pairs();
+    model.compute(EP_MEMORY_INTENSITY, |rank| {
+        rank_share(total_pairs, rank, size).1 as f64 * OPS_PER_PAIR
+    });
+    // allreduce(Sum, [sx, sy]): two f64.
+    model.allreduce(2 * 8);
+    // allreduce(Sum, count_buf): twelve i64.
+    model.allreduce(12 * 8);
+    model.makespan()
 }
 
 #[cfg(test)]

@@ -11,8 +11,10 @@ use crate::classes::Class;
 use crate::rng::{NasRng, DEFAULT_SEED};
 use p2pmpi_mpi::datatype::ReduceOp;
 use p2pmpi_mpi::error::{MpiError, MpiResult};
+use p2pmpi_mpi::model::ModelComm;
 use p2pmpi_mpi::Comm;
 use p2pmpi_simgrid::memory::MemoryIntensity;
+use p2pmpi_simgrid::time::SimDuration;
 
 /// Number of histogram buckets used for the key redistribution.
 pub const NUM_BUCKETS: usize = 1 << 10;
@@ -149,16 +151,17 @@ pub fn is_kernel(comm: &mut Comm, config: &IsConfig) -> MpiResult<IsResult> {
         for &k in &keys {
             blocks[bucket_owner[bucket_of(k)] as usize].push(k);
         }
-        let received = comm.alltoallv(&blocks)?;
-        owned = received.into_iter().flatten().collect();
+        let (received, recv_block_counts) = comm.alltoallv(&blocks)?;
+        owned = received;
 
-        // Cross-check the Alltoall announcement against what arrived.
-        let announced: i64 = recv_counts.iter().sum();
-        if announced != owned.len() as i64 {
-            return Err(MpiError::CollectiveMismatch(format!(
-                "announced {announced} keys but received {}",
-                owned.len()
-            )));
+        // Cross-check the Alltoall announcement against what arrived, per
+        // source (the flat alltoallv result carries the counts directly).
+        for (src, (&announced, &got)) in recv_counts.iter().zip(&recv_block_counts).enumerate() {
+            if announced != got as i64 {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "rank {src} announced {announced} keys but delivered {got}"
+                )));
+            }
         }
 
         // Charge the full-class compute cost of the counting/ranking passes.
@@ -211,6 +214,41 @@ pub fn is_kernel(comm: &mut Comm, config: &IsConfig) -> MpiResult<IsResult> {
         verified,
         iterations: config.iterations,
     })
+}
+
+/// Predicts the IS makespan analytically on a [`ModelComm`].
+///
+/// The allreduce/alltoall sizes replay [`is_kernel`] exactly.  The
+/// `MPI_Alltoallv` key redistribution is the one data-dependent part: the
+/// model substitutes the *balanced* exchange the bucket assignment aims for
+/// (each rank sends `count/size` keys to every owner, since every rank draws
+/// from the same global key distribution and each owner is assigned ~1/size
+/// of its mass).  `perf_report` measures the resulting modeled-vs-executed
+/// divergence and fails if it leaves its documented tolerance.
+pub fn is_model(model: &mut ModelComm, config: &IsConfig) -> SimDuration {
+    let size = model.size();
+    let total_keys = config.effective_keys();
+    let full_keys = config.class.is_keys();
+    let max_key = config.class.is_max_key();
+    let buckets = NUM_BUCKETS.min(max_key as usize) as u64;
+    for _ in 0..config.iterations {
+        // Global histogram: allreduce(Sum) of `buckets` i64 counters.
+        model.allreduce(buckets * 8);
+        // Send-count exchange: alltoall of one i64 per rank pair.
+        model.alltoall(8);
+        // Key redistribution: balanced alltoallv of u32 keys.
+        model.alltoallv(|src, _dst| {
+            let (_, count) = crate::ep::rank_share(total_keys, src, size);
+            (count / size as u64) * 4
+        });
+        // Bucket counting + ranking passes, charged at full-class size.
+        model.compute(IS_MEMORY_INTENSITY, |rank| {
+            crate::ep::rank_share(full_keys, rank, size).1 as f64 * OPS_PER_KEY_PER_ITER
+        });
+    }
+    // Final verification: allgather of (count, min, max) u64 per rank.
+    model.allgather(|_| 3 * 8);
+    model.makespan()
 }
 
 /// Splits the bucket histogram into `size` contiguous ranges of roughly equal

@@ -43,7 +43,7 @@ pub mod is;
 pub mod rng;
 
 pub use classes::Class;
-pub use ep::{ep_kernel, EpConfig, EpResult};
+pub use ep::{ep_kernel, ep_model, EpConfig, EpResult};
 pub use hostname::{hostname_kernel, HostnameReport};
-pub use is::{is_kernel, IsConfig, IsResult};
+pub use is::{is_kernel, is_model, IsConfig, IsResult};
 pub use rng::{jump, randlc, NasRng};

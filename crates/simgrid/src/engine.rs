@@ -5,8 +5,15 @@
 //! inspect the clock, or stop the run.  This is the substrate on which the
 //! overlay's periodic behaviours (alive signals, cache refreshes, latency
 //! probes, reservation timeouts) are simulated.
+//!
+//! Closure payloads live in the slab-backed [`crate::event::EventStore`]
+//! behind the queue, and the priority structure is selectable via
+//! [`QueueKind`] ([`Engine::with_queue_kind`]): the default binary heap, or
+//! a calendar queue for sweep-scale event populations.  The scheduling API
+//! ([`Engine::schedule_at`] / [`Engine::schedule_in`]) is identical for
+//! every configuration.
 
-use crate::event::EventQueue;
+use crate::event::{EventQueue, QueueKind};
 use crate::time::{SimDuration, SimTime};
 
 /// A schedulable action.
@@ -29,9 +36,15 @@ impl Default for Engine {
 impl Engine {
     /// Creates an engine with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
+        Self::with_queue_kind(QueueKind::BinaryHeap)
+    }
+
+    /// Creates an engine using the given priority structure for its event
+    /// queue (see [`QueueKind`]); the scheduling API is unaffected.
+    pub fn with_queue_kind(kind: QueueKind) -> Self {
         Engine {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(kind),
             processed: 0,
             stopped: false,
         }
@@ -40,14 +53,24 @@ impl Engine {
     /// Creates an engine whose queue is pre-sized for `capacity` pending
     /// events.  Simulations that know their event volume up front (e.g. a
     /// job sweep scheduling thousands of arrivals) avoid every intermediate
-    /// heap growth.
+    /// growth of the event store.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_kind(capacity, QueueKind::BinaryHeap)
+    }
+
+    /// Creates a pre-sized engine over the given priority structure.
+    pub fn with_capacity_and_kind(capacity: usize, kind: QueueKind) -> Self {
         Engine {
             now: SimTime::ZERO,
-            queue: EventQueue::with_capacity(capacity),
+            queue: EventQueue::with_capacity_and_kind(capacity, kind),
             processed: 0,
             stopped: false,
         }
+    }
+
+    /// The priority structure the event queue uses.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// Reserves queue capacity for at least `additional` more events.
@@ -197,6 +220,32 @@ mod tests {
         assert_eq!(e.pending(), 64);
         e.reserve_events(100);
         assert_eq!(e.run(), 64);
+    }
+
+    #[test]
+    fn calendar_engine_runs_identically() {
+        // The same schedule must produce the same firing order and final
+        // clock whichever queue kind backs the engine.
+        let run = |kind: QueueKind| {
+            let mut e = Engine::with_capacity_and_kind(16, kind);
+            assert_eq!(e.queue_kind(), kind);
+            let hits = Rc::new(RefCell::new(Vec::new()));
+            for i in [7u64, 3, 3, 9, 1] {
+                let h = hits.clone();
+                e.schedule_in(SimDuration::from_millis(i), move |eng| {
+                    h.borrow_mut().push((eng.now(), i));
+                });
+            }
+            e.run();
+            (Rc::try_unwrap(hits).unwrap().into_inner(), e.now())
+        };
+        let (heap_hits, heap_now) = run(QueueKind::BinaryHeap);
+        let (cal_hits, cal_now) = run(QueueKind::Calendar);
+        assert_eq!(heap_hits, cal_hits);
+        assert_eq!(heap_now, cal_now);
+        // FIFO among the two 3 ms events: scheduling order is preserved.
+        assert_eq!(heap_hits[1].1, 3);
+        assert_eq!(heap_hits[2].1, 3);
     }
 
     #[test]

@@ -1,44 +1,468 @@
-//! Time-ordered event queue with FIFO tie-breaking.
+//! Time-ordered event storage and queues with FIFO tie-breaking.
+//!
+//! Two pieces live here:
+//!
+//! * [`EventStore`] — a slab/arena for event payloads.  Payloads are stored
+//!   once and addressed by a compact [`EventKey`]; freed slots are recycled,
+//!   so a steady-state simulation performs no per-event `Vec` growth and the
+//!   priority structures below shuffle 24-byte tickets instead of payloads.
+//! * [`EventQueue`] — the time-ordered queue built on top of the store, with
+//!   a choice of priority structure ([`QueueKind`]): the classic binary heap
+//!   (default) or a calendar queue (R. Brown, CACM 1988) whose enqueue and
+//!   dequeue are amortised O(1) for the heavy, roughly uniform event streams
+//!   a sweep-scale simulation produces.
 //!
 //! The queue is generic over the payload type so that the closure-based
 //! [`crate::engine::Engine`] and the typed actor network used by the overlay
-//! crate can share the same ordering semantics: events scheduled for the same
-//! virtual instant are delivered in the order they were scheduled.
+//! crate can share the same ordering semantics.
+//!
+//! # Ordering contract (FIFO tie-break)
+//!
+//! Events scheduled for the same virtual instant are delivered **in the
+//! order they were scheduled**, whatever the [`QueueKind`].  Every push is
+//! stamped with a monotonically increasing sequence number, and both
+//! priority structures order by `(time, seq)`; the calendar queue keeps each
+//! bucket sorted by that same key, so moving events between buckets on a
+//! resize cannot reorder ties.  Simulations rely on this for determinism —
+//! e.g. an "arrival" and the "probe" it schedules at the same instant must
+//! always fire in that order — and `ties_are_fifo*` pins the contract.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// An entry in the queue: payload plus its firing time and insertion sequence.
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    payload: E,
-}
+// ---------------------------------------------------------------------------
+// EventStore: slab-allocated payloads behind stable keys
+// ---------------------------------------------------------------------------
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+/// Compact handle to a payload inside an [`EventStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u32);
+
+impl EventKey {
+    /// Raw slot index (exposed for diagnostics).
+    pub fn index(self) -> usize {
+        self.0 as usize
     }
 }
-impl<E> Eq for Entry<E> {}
 
-impl<E> PartialOrd for Entry<E> {
+/// Sentinel for "no free slot" in the intrusive free list.
+const NO_FREE_SLOT: u32 = u32::MAX;
+
+/// One slab slot: occupied by a payload, or vacant and threading the
+/// intrusive free list (so freeing and reusing a slot touches exactly one
+/// cache line — no side array of free indices).
+enum Slot<E> {
+    Vacant { next_free: u32 },
+    Occupied(E),
+}
+
+/// Arena of event payloads with free-slot recycling.
+///
+/// `insert` returns a stable [`EventKey`]; `take` frees the slot for reuse
+/// through an intrusive free list.  The backing `Vec` only grows when more
+/// events are *simultaneously* pending than ever before, so a steady-state
+/// simulation reaches a high-water mark once and then allocates nothing
+/// further for bookkeeping.
+pub struct EventStore<E> {
+    slots: Vec<Slot<E>>,
+    free_head: u32,
+    live: usize,
+}
+
+impl<E> Default for EventStore<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventStore<E> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        EventStore {
+            slots: Vec::new(),
+            free_head: NO_FREE_SLOT,
+            live: 0,
+        }
+    }
+
+    /// Creates a store pre-sized for `cap` simultaneously pending payloads.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventStore {
+            slots: Vec::with_capacity(cap),
+            free_head: NO_FREE_SLOT,
+            live: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more simultaneous payloads.
+    /// Inserts fill vacant slots before growing, so only the shortfall past
+    /// the vacant count needs backing capacity (`Vec::reserve` already
+    /// accounts for capacity beyond the current length).
+    pub fn reserve(&mut self, additional: usize) {
+        let vacant = self.slots.len() - self.live;
+        self.slots.reserve(additional.saturating_sub(vacant));
+    }
+
+    /// Number of slots allocated (the high-water mark of pending events).
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// Number of live payloads.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no payloads are stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Stores `payload`, recycling a freed slot when one exists.
+    #[inline]
+    pub fn insert(&mut self, payload: E) -> EventKey {
+        self.live += 1;
+        let idx = self.free_head;
+        if idx != NO_FREE_SLOT {
+            match std::mem::replace(&mut self.slots[idx as usize], Slot::Occupied(payload)) {
+                Slot::Vacant { next_free } => self.free_head = next_free,
+                Slot::Occupied(_) => unreachable!("free list points at an occupied slot"),
+            }
+            EventKey(idx)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("event store exceeds u32 slots");
+            assert!(idx != NO_FREE_SLOT, "event store exceeds u32 slots");
+            self.slots.push(Slot::Occupied(payload));
+            EventKey(idx)
+        }
+    }
+
+    /// Removes and returns the payload behind `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key has already been taken (a double-free of a slot is a
+    /// queue bug, never a user error).
+    #[inline]
+    pub fn take(&mut self, key: EventKey) -> E {
+        let vacant = Slot::Vacant {
+            next_free: self.free_head,
+        };
+        match std::mem::replace(&mut self.slots[key.0 as usize], vacant) {
+            Slot::Occupied(payload) => {
+                self.free_head = key.0;
+                self.live -= 1;
+                payload
+            }
+            Slot::Vacant { next_free } => {
+                // Restore the list before surfacing the bug.
+                self.slots[key.0 as usize] = Slot::Vacant { next_free };
+                panic!("event key taken twice");
+            }
+        }
+    }
+
+    /// Discards all payloads and recycles every slot.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free_head = NO_FREE_SLOT;
+        self.live = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tickets and the selectable priority structures
+// ---------------------------------------------------------------------------
+
+/// Which priority structure an [`EventQueue`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// `std::collections::BinaryHeap` of tickets: O(log n) push/pop, best
+    /// for small or bursty queues.  The default.
+    #[default]
+    BinaryHeap,
+    /// Calendar queue: amortised O(1) push/pop for large, roughly uniform
+    /// event populations (sweep-scale simulations).
+    Calendar,
+}
+
+/// A queue ticket: when to fire, FIFO tie-break, and where the payload lives.
+#[derive(Debug, Clone, Copy)]
+struct Ticket {
+    time: SimTime,
+    seq: u64,
+    key: EventKey,
+}
+
+impl Ticket {
+    #[inline]
+    fn sort_key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// Wrapper giving `BinaryHeap` min-queue semantics over `(time, seq)`.
+struct HeapTicket(Ticket);
+
+impl PartialEq for HeapTicket {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.sort_key() == other.0.sort_key()
+    }
+}
+impl Eq for HeapTicket {}
+impl PartialOrd for HeapTicket {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-
-impl<E> Ord for Entry<E> {
+impl Ord for HeapTicket {
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (then lowest seq)
-        // entry is popped first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // ticket is popped first.
+        other.0.sort_key().cmp(&self.0.sort_key())
     }
 }
+
+/// Calendar queue of tickets (R. Brown, "Calendar queues: a fast O(1)
+/// priority queue implementation for the simulation event set problem").
+///
+/// Buckets partition time into slots of `width` nanoseconds; bucket `i`
+/// holds every pending event whose slot index is `i (mod nbuckets)`, kept
+/// sorted *descending* by `(time, seq)` so the slot's earliest ticket sits
+/// at the back and pops are `Vec::pop` — O(1), no memmove.  A cursor walks
+/// the buckets in time order; when a whole "year" (nbuckets × width)
+/// contains nothing, the cursor jumps straight to the earliest pending
+/// event.  The bucket count doubles/halves as the population grows/shrinks,
+/// and the width is re-estimated from the population's time span on every
+/// resize.
+struct CalendarQueue {
+    /// Each bucket is sorted descending by `(time, seq)` (earliest last).
+    buckets: Vec<Vec<Ticket>>,
+    /// Slot width in nanoseconds (>= 1).
+    width: u64,
+    /// Total pending tickets.
+    len: usize,
+    /// Cursor: bucket the next event is searched from.
+    current: usize,
+    /// Exclusive upper time bound (ns) of the cursor's slot in this year.
+    /// Invariant: every pending ticket has `time >= year_end - width`.
+    year_end: u128,
+}
+
+const CAL_MIN_BUCKETS: usize = 4;
+const CAL_MAX_BUCKETS: usize = 1 << 20;
+
+impl CalendarQueue {
+    fn new() -> Self {
+        Self::sized(CAL_MIN_BUCKETS, 1)
+    }
+
+    fn sized(nbuckets: usize, width: u64) -> Self {
+        CalendarQueue {
+            buckets: (0..nbuckets).map(|_| Vec::new()).collect(),
+            width: width.max(1),
+            len: 0,
+            current: 0,
+            year_end: width.max(1) as u128,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: u64) -> usize {
+        ((t / self.width) as usize) % self.buckets.len()
+    }
+
+    /// Exclusive upper bound of the slot containing `t`.
+    #[inline]
+    fn slot_end(&self, t: u64) -> u128 {
+        (t as u128 / self.width as u128 + 1) * self.width as u128
+    }
+
+    #[inline]
+    fn push(&mut self, ticket: Ticket) {
+        let t = ticket.time.as_nanos();
+        let rewind = self.len == 0 || (t as u128) < self.year_end - self.width as u128;
+        let b = self.bucket_of(t);
+        let bucket = &mut self.buckets[b];
+        let pos = bucket.partition_point(|other| other.sort_key() > ticket.sort_key());
+        bucket.insert(pos, ticket);
+        self.len += 1;
+        if rewind {
+            // The new ticket precedes the cursor (or the queue was empty):
+            // point the cursor at its slot so the year invariant holds.
+            self.current = b;
+            self.year_end = self.slot_end(t);
+        }
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < CAL_MAX_BUCKETS {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// Locates the earliest ticket, advancing the cursor up to one year; on a
+    /// dry year, jumps the cursor to the earliest pending slot directly.
+    /// Returns the bucket index holding the minimum (its *last* element).
+    #[inline]
+    fn seek_min(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        for _ in 0..n {
+            if let Some(min) = self.buckets[self.current].last() {
+                if (min.time.as_nanos() as u128) < self.year_end {
+                    return Some(self.current);
+                }
+            }
+            self.current = (self.current + 1) % n;
+            self.year_end += self.width as u128;
+        }
+        // A whole year was empty: jump straight to the earliest bucket tail.
+        let (b, t) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, bucket)| bucket.last().map(|f| (i, f.sort_key())))
+            .min_by_key(|&(_, key)| key)
+            .map(|(i, (time, _))| (i, time.as_nanos()))
+            .expect("len > 0 means some bucket is non-empty");
+        self.current = b;
+        self.year_end = self.slot_end(t);
+        Some(b)
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<Ticket> {
+        self.seek_min()
+            .map(|b| *self.buckets[b].last().expect("seek_min found this bucket"))
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Ticket> {
+        let b = self.seek_min()?;
+        let ticket = self.buckets[b].pop().expect("seek_min found this bucket");
+        self.len -= 1;
+        if self.len < self.buckets.len() / 2 && self.buckets.len() > CAL_MIN_BUCKETS {
+            self.resize(self.buckets.len() / 2);
+        }
+        Some(ticket)
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Rebuilds with `nbuckets` buckets, re-estimating the slot width from
+    /// the population's time span so that slots hold O(1) events each.
+    fn resize(&mut self, nbuckets: usize) {
+        let mut all: Vec<Ticket> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        let (mut min_t, mut max_t) = (u64::MAX, 0u64);
+        for t in &all {
+            let ns = t.time.as_nanos();
+            min_t = min_t.min(ns);
+            max_t = max_t.max(ns);
+        }
+        let span = max_t.saturating_sub(min_t);
+        // Aim for ~one event per slot across the populated span; a width of
+        // 1 (all ties) degenerates to one sorted bucket, which is still
+        // correct, just not O(1).
+        self.width = (span / all.len().max(1) as u64).max(1);
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        self.len = 0;
+        let cursor_floor = all.iter().map(|t| t.time.as_nanos()).min().unwrap_or(0);
+        self.current = self.bucket_of(cursor_floor);
+        self.year_end = self.slot_end(cursor_floor);
+        for ticket in all {
+            let b = self.bucket_of(ticket.time.as_nanos());
+            let bucket = &mut self.buckets[b];
+            let pos = bucket.partition_point(|other| other.sort_key() > ticket.sort_key());
+            bucket.insert(pos, ticket);
+            self.len += 1;
+        }
+    }
+}
+
+/// The selectable priority structure over tickets.
+enum TicketQueue {
+    Heap(BinaryHeap<HeapTicket>),
+    Calendar(CalendarQueue),
+}
+
+impl TicketQueue {
+    fn new(kind: QueueKind, cap: usize) -> Self {
+        match kind {
+            QueueKind::BinaryHeap => TicketQueue::Heap(BinaryHeap::with_capacity(cap)),
+            QueueKind::Calendar => TicketQueue::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    fn kind(&self) -> QueueKind {
+        match self {
+            TicketQueue::Heap(_) => QueueKind::BinaryHeap,
+            TicketQueue::Calendar(_) => QueueKind::Calendar,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ticket: Ticket) {
+        match self {
+            TicketQueue::Heap(h) => h.push(HeapTicket(ticket)),
+            TicketQueue::Calendar(c) => c.push(ticket),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Ticket> {
+        match self {
+            TicketQueue::Heap(h) => h.pop().map(|t| t.0),
+            TicketQueue::Calendar(c) => c.pop(),
+        }
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<Ticket> {
+        match self {
+            TicketQueue::Heap(h) => h.peek().map(|t| t.0),
+            TicketQueue::Calendar(c) => c.peek(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            TicketQueue::Heap(h) => h.len(),
+            TicketQueue::Calendar(c) => c.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            TicketQueue::Heap(h) => h.clear(),
+            TicketQueue::Calendar(c) => c.clear(),
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        if let TicketQueue::Heap(h) = self {
+            h.reserve(additional);
+        }
+        // The calendar resizes itself from its population; nothing to do.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue: store + tickets behind the original API
+// ---------------------------------------------------------------------------
 
 /// A scheduled event popped from the queue.
 #[derive(Debug, PartialEq, Eq)]
@@ -50,8 +474,13 @@ pub struct Scheduled<E> {
 }
 
 /// Min-queue of events ordered by firing time, FIFO among equal times.
+///
+/// Payloads live in an [`EventStore`] arena; the priority structure (chosen
+/// by [`QueueKind`]) orders compact tickets.  See the module docs for the
+/// FIFO ordering contract.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    store: EventStore<E>,
+    tickets: TicketQueue,
     next_seq: u64,
 }
 
@@ -62,32 +491,54 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue over a binary heap.
     pub fn new() -> Self {
+        Self::with_kind(QueueKind::BinaryHeap)
+    }
+
+    /// Creates an empty queue over the given priority structure.
+    pub fn with_kind(kind: QueueKind) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            store: EventStore::new(),
+            tickets: TicketQueue::new(kind, 0),
             next_seq: 0,
         }
     }
 
-    /// Creates an empty queue with pre-allocated capacity.
+    /// Creates an empty binary-heap queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
+        Self::with_capacity_and_kind(cap, QueueKind::BinaryHeap)
+    }
+
+    /// Creates an empty queue with pre-allocated capacity over the given
+    /// priority structure.
+    pub fn with_capacity_and_kind(cap: usize, kind: QueueKind) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            store: EventStore::with_capacity(cap),
+            tickets: TicketQueue::new(kind, cap),
             next_seq: 0,
         }
+    }
+
+    /// The priority structure in use.
+    pub fn kind(&self) -> QueueKind {
+        self.tickets.kind()
     }
 
     /// Reserves capacity for at least `additional` more events, so bursts of
     /// scheduling (e.g. a job sweep enqueueing its whole arrival process)
-    /// do not regrow the heap incrementally.
+    /// do not regrow the structures incrementally.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        self.store.reserve(additional);
+        self.tickets.reserve(additional);
     }
 
-    /// Current allocated capacity of the underlying heap.
+    /// Current allocated payload capacity (the [`EventStore`]'s slot count —
+    /// the payload arena is the allocation that matters for both queue
+    /// kinds; the heap's ticket buffer tracks it and the calendar sizes
+    /// itself from its population).
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        self.store.capacity()
     }
 
     /// Schedules `payload` to fire at `time`.
@@ -95,36 +546,38 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        let key = self.store.insert(payload);
+        self.tickets.push(Ticket { time, seq, key });
     }
 
     /// Removes and returns the earliest event, if any.
     #[inline]
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.heap.pop().map(|e| Scheduled {
-            time: e.time,
-            payload: e.payload,
+        self.tickets.pop().map(|t| Scheduled {
+            time: t.time,
+            payload: self.store.take(t.key),
         })
     }
 
     /// Firing time of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.tickets.peek().map(|t| t.time)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.tickets.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.tickets.len() == 0
     }
 
     /// Discards all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.tickets.clear();
+        self.store.clear();
     }
 
     /// Total number of events ever scheduled on this queue.
@@ -136,56 +589,108 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rngutil::seeded;
     use crate::time::SimDuration;
+    use rand::Rng;
+
+    const KINDS: [QueueKind; 2] = [QueueKind::BinaryHeap, QueueKind::Calendar];
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_millis(30), "c");
-        q.push(SimTime::from_millis(10), "a");
-        q.push(SimTime::from_millis(20), "b");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.push(SimTime::from_millis(30), "c");
+            q.push(SimTime::from_millis(10), "a");
+            q.push(SimTime::from_millis(20), "b");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+            assert_eq!(order, vec!["a", "b", "c"], "{kind:?}");
+        }
     }
 
     #[test]
     fn ties_are_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(1);
-        for i in 0..100 {
-            q.push(t, i);
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_secs(1);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{kind:?}");
         }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ties_are_fifo_across_resizes_and_interleaving() {
+        // Regression test for the FIFO contract (see module docs): pushes at
+        // a handful of distinct instants interleaved with pops, in volumes
+        // that force the calendar queue through several grow/shrink resizes,
+        // must still drain each instant's events in push order.
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let mut next_id = 0u64;
+            let mut drained: Vec<(SimTime, u64)> = Vec::new();
+            // Three waves of pushes with partial drains between them.
+            for wave in 0..3u64 {
+                for i in 0..400u64 {
+                    // Few distinct times -> massive tie groups.
+                    let t = SimTime::from_millis(wave * 10 + (i % 4));
+                    q.push(t, (t, next_id));
+                    next_id += 1;
+                }
+                for _ in 0..300 {
+                    drained.push(q.pop().unwrap().payload);
+                }
+            }
+            while let Some(s) = q.pop() {
+                drained.push(s.payload);
+            }
+            assert_eq!(drained.len(), 1200, "{kind:?}");
+            // Within each instant, ids must be strictly increasing.
+            let mut last_id_at: std::collections::HashMap<SimTime, u64> = Default::default();
+            let mut last_time = SimTime::ZERO;
+            for (t, id) in drained {
+                assert!(t >= last_time, "{kind:?}: time went backwards");
+                last_time = t;
+                if let Some(&prev) = last_id_at.get(&t) {
+                    assert!(prev < id, "{kind:?}: FIFO violated at {t}");
+                }
+                last_id_at.insert(t, id);
+            }
+        }
     }
 
     #[test]
     fn peek_and_len() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_secs(5), ());
-        q.push(SimTime::from_secs(2), ());
-        assert_eq!(q.len(), 2);
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
-        q.clear();
-        assert!(q.is_empty());
-        assert_eq!(q.scheduled_count(), 2);
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime::from_secs(5), ());
+            q.push(SimTime::from_secs(2), ());
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.scheduled_count(), 2);
+        }
     }
 
     #[test]
     fn interleaved_push_pop_preserves_order() {
-        let mut q = EventQueue::new();
-        let base = SimTime::ZERO;
-        q.push(base + SimDuration::from_millis(5), 5);
-        q.push(base + SimDuration::from_millis(1), 1);
-        assert_eq!(q.pop().unwrap().payload, 1);
-        q.push(base + SimDuration::from_millis(3), 3);
-        q.push(base + SimDuration::from_millis(4), 4);
-        assert_eq!(q.pop().unwrap().payload, 3);
-        assert_eq!(q.pop().unwrap().payload, 4);
-        assert_eq!(q.pop().unwrap().payload, 5);
-        assert!(q.pop().is_none());
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let base = SimTime::ZERO;
+            q.push(base + SimDuration::from_millis(5), 5);
+            q.push(base + SimDuration::from_millis(1), 1);
+            assert_eq!(q.pop().unwrap().payload, 1);
+            q.push(base + SimDuration::from_millis(3), 3);
+            q.push(base + SimDuration::from_millis(4), 4);
+            assert_eq!(q.pop().unwrap().payload, 3);
+            assert_eq!(q.pop().unwrap().payload, 4);
+            assert_eq!(q.pop().unwrap().payload, 5);
+            assert!(q.pop().is_none());
+        }
     }
 
     #[test]
@@ -207,5 +712,137 @@ mod tests {
         let s = q.pop().unwrap();
         assert_eq!(s.time, SimTime::from_micros(42));
         assert_eq!(s.payload, "x");
+    }
+
+    #[test]
+    fn store_recycles_slots() {
+        let mut store = EventStore::with_capacity(4);
+        let a = store.insert("a");
+        let b = store.insert("b");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.take(a), "a");
+        let c = store.insert("c");
+        // The freed slot is reused: no growth past the high-water mark.
+        assert_eq!(c.index(), a.index());
+        assert_eq!(store.take(b), "b");
+        assert_eq!(store.take(c), "c");
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn store_take_twice_panics() {
+        let mut store = EventStore::new();
+        let k = store.insert(7);
+        store.take(k);
+        store.take(k);
+    }
+
+    #[test]
+    fn reserve_guarantees_capacity_for_a_full_burst() {
+        // Regression: reserve must not double-count the Vec's length-beyond-
+        // live slack — a burst of `additional` inserts after reserve may not
+        // reallocate, even when no slots are vacant.
+        let mut store = EventStore::with_capacity(4);
+        let keys: Vec<_> = (0..4).map(|i| store.insert(i)).collect();
+        store.take(keys[0]);
+        store.take(keys[1]);
+        let _ = store.insert(100); // refill one vacant slot: 3 live, 1 vacant
+        store.reserve(300);
+        let cap = store.capacity();
+        for i in 0..300 {
+            store.insert(i);
+        }
+        assert_eq!(
+            store.capacity(),
+            cap,
+            "burst inserts reallocated after reserve"
+        );
+        assert_eq!(store.len(), 303);
+    }
+
+    #[test]
+    fn queue_high_water_mark_is_stable() {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(64);
+        for round in 0..10u64 {
+            for i in 0..64 {
+                q.push(SimTime::from_millis(round * 100 + i), i);
+            }
+            while q.pop().is_some() {}
+        }
+        // Ten rounds of 64 events never grow the store past its capacity.
+        assert_eq!(q.capacity(), 64);
+        assert_eq!(q.scheduled_count(), 640);
+    }
+
+    #[test]
+    fn calendar_agrees_with_heap_on_random_workloads() {
+        for trial in 0..8u64 {
+            let mut rng = seeded(0xCA1E0D0 + trial);
+            let mut heap = EventQueue::with_kind(QueueKind::BinaryHeap);
+            let mut cal = EventQueue::with_kind(QueueKind::Calendar);
+            let mut heap_out = Vec::new();
+            let mut cal_out = Vec::new();
+            let mut floor = 0u64; // pops forbid scheduling in the past
+            for op in 0..4_000u32 {
+                if rng.gen_range(0u32..100) < 65 || heap.is_empty() {
+                    // Mix of clustered and spread-out times, always >= floor.
+                    let t = floor
+                        + match rng.gen_range(0u32..3) {
+                            0 => rng.gen_range(0u64..5),
+                            1 => rng.gen_range(0u64..10_000),
+                            _ => rng.gen_range(0u64..100_000_000),
+                        };
+                    heap.push(SimTime::from_nanos(t), op);
+                    cal.push(SimTime::from_nanos(t), op);
+                } else {
+                    let a = heap.pop().unwrap();
+                    let b = cal.pop().unwrap();
+                    assert_eq!(a.time, b.time, "trial {trial}");
+                    assert_eq!(a.payload, b.payload, "trial {trial}");
+                    floor = a.time.as_nanos();
+                    heap_out.push(a.payload);
+                    cal_out.push(b.payload);
+                }
+            }
+            while let (Some(a), Some(b)) = (heap.pop(), cal.pop()) {
+                assert_eq!((a.time, a.payload), (b.time, b.payload), "trial {trial}");
+            }
+            assert!(heap.is_empty() && cal.is_empty());
+        }
+    }
+
+    #[test]
+    fn calendar_handles_sparse_then_dense_populations() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        // Sparse: a few events spread over hours force year-jumping.
+        for h in [3u64, 1, 9, 7] {
+            q.push(SimTime::from_secs(h * 3600), h);
+        }
+        assert_eq!(q.pop().unwrap().payload, 1);
+        // Dense burst far earlier than the sparse tail (still after last pop).
+        for i in 0..1000u64 {
+            q.push(
+                SimTime::from_secs(2 * 3600) + SimDuration::from_millis(i),
+                100 + i,
+            );
+        }
+        assert_eq!(q.len(), 1003);
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some(s) = q.pop() {
+            assert!(s.time >= last);
+            last = s.time;
+            popped += 1;
+        }
+        assert_eq!(popped, 1003);
+    }
+
+    #[test]
+    fn default_kind_is_binary_heap() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.kind(), QueueKind::BinaryHeap);
+        let c: EventQueue<()> = EventQueue::with_capacity_and_kind(10, QueueKind::Calendar);
+        assert_eq!(c.kind(), QueueKind::Calendar);
     }
 }

@@ -9,7 +9,9 @@
 //!
 //! * [`time`] — integer-nanosecond virtual time ([`SimTime`], [`SimDuration`]).
 //! * [`event`] / [`engine`] — a deterministic discrete-event engine used by
-//!   the overlay protocol simulation.
+//!   the overlay protocol simulation; payloads live in a slab-backed
+//!   [`event::EventStore`], and the priority structure is selectable
+//!   ([`event::QueueKind`]: binary heap or calendar queue).
 //! * [`topology`] — sites, clusters and hosts with an inter-site RTT and
 //!   bandwidth matrix (Table 1 of the paper is expressed with these types by
 //!   the `p2pmpi-grid5000` crate).
@@ -38,7 +40,7 @@ pub mod trace;
 
 pub use compute::ComputeModel;
 pub use engine::Engine;
-pub use event::EventQueue;
+pub use event::{EventKey, EventQueue, EventStore, QueueKind};
 pub use memory::{MemoryContentionModel, MemoryIntensity};
 pub use network::{NetworkModel, NetworkParams};
 pub use noise::NoiseModel;

@@ -47,9 +47,9 @@ pub mod prelude {
     pub use p2pmpi_mpi::prelude::*;
     pub use p2pmpi_nas::{
         classes::Class,
-        ep::{ep_kernel, EpConfig},
+        ep::{ep_kernel, ep_model, EpConfig},
         hostname::hostname_kernel,
-        is::{is_kernel, IsConfig},
+        is::{is_kernel, is_model, IsConfig},
     };
     pub use p2pmpi_overlay::{OverlayBuilder, OwnerConfig};
     pub use p2pmpi_simgrid::noise::NoiseModel;
