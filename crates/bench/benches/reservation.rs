@@ -4,7 +4,7 @@
 //! submissions against a warm 350-host cache, with tracing on and off.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use p2pmpi_bench::sweepgen::PoissonArrivals;
+use p2pmpi_bench::workload::PoissonArrivals;
 use p2pmpi_core::prelude::*;
 use p2pmpi_grid5000::testbed::grid5000_testbed;
 use p2pmpi_simgrid::noise::NoiseModel;

@@ -21,6 +21,14 @@
 //!    block sizes the model approximates as balanced — to
 //!    [`IS_DIVERGENCE_TOLERANCE`]; the report **exits non-zero** if either
 //!    bound is violated), plus modeled-sweep throughput at 1k–2k ranks.
+//! 6. **sweep_engine** — wall time of the day-scale submission trace
+//!    (compressed to ~2h virtual / ~1.8k jobs) on the overlay's event
+//!    timeline, binary heap vs calendar queue, best of 3 interleaved
+//!    rounds.  The calendar queue is the sweep default, so the report
+//!    **exits non-zero** if it loses to the heap by more than the
+//!    documented [`SWEEP_ENGINE_NOISE_MARGIN`] (the trace's wall time is
+//!    dominated by the co-allocations themselves, identical under both
+//!    kinds, so the margin only absorbs scheduler noise).
 //!
 //! Usage:
 //! `cargo run --release -p p2pmpi-bench --bin perf_report [out.json] [--seed-allocate-ns N]`
@@ -34,7 +42,7 @@
 //! disabled tracer, and pass its ns/job via `--seed-allocate-ns`.
 
 use p2pmpi_bench::experiments::{modeled_kernel_times, run_kernel_once, Fig4Kernel, Fig4Settings};
-use p2pmpi_bench::sweepgen::PoissonArrivals;
+use p2pmpi_bench::workload::{run_day_sweep, DayProfile, DaySweepConfig, PoissonArrivals};
 use p2pmpi_core::prelude::*;
 use p2pmpi_grid5000::testbed::{grid5000_testbed, Grid5000Testbed};
 use p2pmpi_simgrid::event::{EventQueue, QueueKind};
@@ -277,6 +285,40 @@ fn measure_modeled_sweep(kernel: Fig4Kernel, ranks: u32, settings: &Fig4Settings
     (points[0].makespan.as_secs_f64(), wall_ms)
 }
 
+/// Noise margin for the sweep-engine heap-vs-calendar comparison (the trace
+/// is dominated by co-allocation work identical under both queue kinds).
+const SWEEP_ENGINE_NOISE_MARGIN: f64 = 0.10;
+
+/// The reduced day trace the sweep-engine comparison replays: the paper-day
+/// burst shape compressed to ~2 h virtual at ~1.8k jobs.
+fn sweep_engine_config(kind: QueueKind) -> DaySweepConfig {
+    let mut cfg = DaySweepConfig::new(StrategyKind::Concentrate);
+    cfg.profile = DayProfile::paper_day().compressed(12.0);
+    cfg.profile = cfg.profile.scaled(1.8 / 21.7); // ~1.8k of the day's ~21.7k jobs
+    cfg.queue = kind;
+    cfg
+}
+
+/// Best-of-N interleaved wall times of the reduced day trace per queue kind;
+/// returns (heap_wall_ms, calendar_wall_ms, jobs).
+fn measure_sweep_engine(rounds: usize) -> (f64, f64, usize) {
+    let mut best = [f64::INFINITY; 2];
+    let mut jobs = 0;
+    for _ in 0..rounds {
+        for (i, kind) in [QueueKind::BinaryHeap, QueueKind::Calendar]
+            .iter()
+            .enumerate()
+        {
+            let cfg = sweep_engine_config(*kind);
+            let start = Instant::now();
+            let result = run_day_sweep(&cfg);
+            best[i] = best[i].min(start.elapsed().as_secs_f64() * 1e3);
+            jobs = result.submitted;
+        }
+    }
+    (best[0], best[1], jobs)
+}
+
 fn main() {
     let mut out_path = "BENCH_hotpath.json".to_string();
     let mut seed_allocate_ns = SEED_ALLOCATE_NS_PER_JOB;
@@ -333,6 +375,12 @@ fn main() {
         measure_modeled_sweep(Fig4Kernel::Ep, 2048, &sweep_settings);
     let (is_sweep_virtual_s, is_sweep_wall_ms) =
         measure_modeled_sweep(Fig4Kernel::Is, 1024, &sweep_settings);
+
+    eprintln!(
+        "measuring day-trace sweep engine, heap vs calendar (best of 3 interleaved rounds)..."
+    );
+    let (sweep_heap_ms, sweep_cal_ms, sweep_engine_jobs) = measure_sweep_engine(3);
+    let sweep_cal_vs_heap = sweep_heap_ms / sweep_cal_ms.max(1e-9);
 
     let ranking_speedup = naive_ns / incremental_ns.max(1.0);
     let alloc_speedup = seed_allocate_ns / off_ns.max(1.0);
@@ -398,6 +446,14 @@ fn main() {
       "is_virtual_s": {is_sweep_virtual_s:.3},
       "is_wall_ms": {is_sweep_wall_ms:.1}
     }}
+  }},
+  "sweep_engine": {{
+    "description": "day-trace sweep harness (fig23_sweep driver, paper-day profile compressed to ~2h virtual) on the overlay's event timeline, binary heap vs calendar queue, best of 3 interleaved rounds; fails non-zero if the calendar (the sweep default) loses past the noise margin",
+    "jobs": {sweep_engine_jobs},
+    "heap_wall_ms": {sweep_heap_ms:.1},
+    "calendar_wall_ms": {sweep_cal_ms:.1},
+    "calendar_vs_heap_speedup": {sweep_cal_vs_heap:.3},
+    "noise_margin": {SWEEP_ENGINE_NOISE_MARGIN}
   }}
 }}
 "#
@@ -438,6 +494,13 @@ fn main() {
     if is_div > IS_DIVERGENCE_TOLERANCE {
         eprintln!(
             "FAIL: IS modeled-vs-executed divergence {is_div:.4} exceeds tolerance {IS_DIVERGENCE_TOLERANCE}"
+        );
+        drifted = true;
+    }
+    if sweep_cal_ms > sweep_heap_ms * (1.0 + SWEEP_ENGINE_NOISE_MARGIN) {
+        eprintln!(
+            "FAIL: calendar-queue day sweep ({sweep_cal_ms:.1} ms) lost to the binary heap \
+             ({sweep_heap_ms:.1} ms) past the {SWEEP_ENGINE_NOISE_MARGIN} noise margin"
         );
         drifted = true;
     }

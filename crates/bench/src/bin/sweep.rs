@@ -2,9 +2,9 @@
 //! ablations listed in DESIGN.md.
 //!
 //! ```text
-//! cargo run --release -p p2pmpi-bench --bin sweep -- latency-ranking [--sigma S]
-//! cargo run --release -p p2pmpi-bench --bin sweep -- overbooking [--churn F]
-//! cargo run --release -p p2pmpi-bench --bin sweep -- contention
+//! cargo run --release -p p2pmpi-bench --bin sweep -- latency-ranking [--sigma S] [--seed N]
+//! cargo run --release -p p2pmpi-bench --bin sweep -- overbooking [--churn F] [--processes N] [--seed N]
+//! cargo run --release -p p2pmpi-bench --bin sweep -- contention [--processes N]
 //! ```
 //!
 //! * `latency-ranking` — compares the application-level RTT ranking measured
@@ -15,8 +15,11 @@
 //!   different overbooking policies when a fraction of the peers has crashed.
 //! * `contention` — the EP spread/concentrate gap as a function of the
 //!   memory-contention coefficient (ablation of the cost model).
+//!
+//! Flags are parsed once through [`p2pmpi_bench::cliargs::ablation_flags`],
+//! the same structured path the Figure 4 binaries use for their sweep flags.
 
-use p2pmpi_bench::cliargs as util;
+use p2pmpi_bench::cliargs::{ablation_flags, AblationFlags};
 use p2pmpi_bench::experiments::{run_kernel_once, Fig4Kernel, Fig4Settings};
 use p2pmpi_core::prelude::*;
 use p2pmpi_grid5000::scenario::probe_vs_icmp_ranking;
@@ -31,10 +34,11 @@ fn main() {
         eprintln!("usage: sweep <latency-ranking|overbooking|contention> [flags]");
         std::process::exit(2);
     });
+    let flags = ablation_flags();
     match mode.as_str() {
-        "latency-ranking" => latency_ranking(),
-        "overbooking" => overbooking(),
-        "contention" => contention(),
+        "latency-ranking" => latency_ranking(&flags),
+        "overbooking" => overbooking(&flags),
+        "contention" => contention(&flags),
         other => {
             eprintln!("unknown sweep '{other}'");
             std::process::exit(2);
@@ -42,9 +46,13 @@ fn main() {
     }
 }
 
-/// Probe-vs-ICMP ranking per site, for several noise levels.
-fn latency_ranking() {
-    let sigmas = [0.0, 0.03, 0.06, 0.12];
+/// Probe-vs-ICMP ranking per site; `--sigma` replaces the built-in noise
+/// ladder with a single level.
+fn latency_ranking(flags: &AblationFlags) {
+    let sigmas: Vec<f64> = match flags.sigma {
+        Some(s) => vec![s],
+        None => vec![0.0, 0.03, 0.06, 0.12],
+    };
     println!("# sigma\trank\tsite\tmeasured_rtt_ms\ticmp_rtt_ms");
     for (i, &sigma) in sigmas.iter().enumerate() {
         let noise = if sigma == 0.0 {
@@ -52,7 +60,7 @@ fn latency_ranking() {
         } else {
             NoiseModel::with_sigma(sigma)
         };
-        let tb = grid5000_testbed(100 + i as u64, noise);
+        let tb = grid5000_testbed(flags.seed.wrapping_add(100 + i as u64), noise);
         for (rank, (site, measured, icmp)) in probe_vs_icmp_ranking(&tb).iter().enumerate() {
             println!("{sigma}\t{rank}\t{site}\t{measured:.3}\t{icmp:.3}");
         }
@@ -60,9 +68,9 @@ fn latency_ranking() {
 }
 
 /// Overbooking ablation: allocation success and booking effort under churn.
-fn overbooking() {
-    let churn_fraction = util::flag_f64("--churn").unwrap_or(0.15);
-    let demand = util::flag_u64("--processes").unwrap_or(300) as u32;
+fn overbooking(flags: &AblationFlags) {
+    let churn_fraction = flags.churn;
+    let demand = flags.processes.unwrap_or(300);
     let policies: [(&str, OverbookingPolicy); 4] = [
         ("none", OverbookingPolicy::None),
         ("factor_1.25", OverbookingPolicy::Factor(1.25)),
@@ -71,7 +79,7 @@ fn overbooking() {
     ];
     println!("# policy\tsuccess\thosts_used\tbooked\tgranted\tdead\tcancelled\telapsed_ms");
     for (name, policy) in policies {
-        let mut tb = grid5000_testbed(9, NoiseModel::default());
+        let mut tb = grid5000_testbed(flags.seed.wrapping_add(9), NoiseModel::default());
         // Crash a fraction of the peers before the submission arrives.
         let peers: Vec<_> = tb
             .overlay
@@ -113,9 +121,9 @@ fn overbooking() {
 }
 
 /// Memory-contention ablation: the EP gap between strategies vs alpha.
-fn contention() {
+fn contention(flags: &AblationFlags) {
     let alphas = [0.0, 0.1, 0.28, 0.5];
-    let n = util::flag_u64("--processes").unwrap_or(128) as u32;
+    let n = flags.processes.unwrap_or(128);
     println!("# alpha\tconcentrate_s\tspread_s\tratio");
     for alpha in alphas {
         let settings = Fig4Settings {

@@ -54,12 +54,84 @@ impl SweepFlags {
 pub fn sweep_flags() -> SweepFlags {
     SweepFlags {
         modeled: flag_present("--modeled"),
-        ranks: flag_value("--ranks").map(|v| {
-            v.split(',')
-                .map(|n| n.parse().expect("--ranks takes comma-separated counts"))
-                .collect()
-        }),
+        ranks: flag_value("--ranks").map(|v| parse_u32_list(&v, "--ranks")),
         scale: flag_u64("--scale").map(|s| s as usize),
+    }
+}
+
+/// Parses a comma-separated list of `u32`s, panicking with the flag name on
+/// malformed input.
+pub fn parse_u32_list(value: &str, flag: &str) -> Vec<u32> {
+    value
+        .split(',')
+        .map(|n| {
+            n.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes comma-separated counts, got {n:?}"))
+        })
+        .collect()
+}
+
+/// Flags of the `sweep` ablation subcommands (`latency-ranking`,
+/// `overbooking`, `contention`), parsed once like [`sweep_flags`] is for the
+/// Figure 4 binaries.
+pub struct AblationFlags {
+    /// `--sigma S`: probe-noise sigma for `latency-ranking` (overrides the
+    /// built-in sigma ladder with a single value).
+    pub sigma: Option<f64>,
+    /// `--churn F`: crashed-peer fraction for `overbooking` (default 0.15).
+    pub churn: f64,
+    /// `--processes N`: demanded process count (`overbooking` default 300,
+    /// `contention` default 128).
+    pub processes: Option<u32>,
+    /// `--seed N`: master seed (default 2008).
+    pub seed: u64,
+}
+
+/// Parses the `--sigma` / `--churn` / `--processes` / `--seed` flags.
+pub fn ablation_flags() -> AblationFlags {
+    AblationFlags {
+        sigma: flag_f64("--sigma"),
+        churn: flag_f64("--churn").unwrap_or(0.15),
+        processes: flag_u64("--processes").map(|n| n as u32),
+        seed: flag_u64("--seed").unwrap_or(2008),
+    }
+}
+
+/// Flags of the `fig23_sweep` day-trace binary.
+pub struct DaySweepFlags {
+    /// `--strategy concentrate|spread|both`: which runs to perform
+    /// (default both, like Figures 2 and 3 side by side).
+    pub strategy: String,
+    /// `--queue heap|calendar`: event-queue kind (default calendar, the
+    /// sweep default).
+    pub queue: String,
+    /// `--seed N`: master seed (default 2008).
+    pub seed: u64,
+    /// `--compress F`: replay the day's shape in `1/F` of the virtual time
+    /// (rates scaled up to preserve the job count).
+    pub compress: Option<f64>,
+    /// `--rate-scale F`: multiply every arrival rate (job count scales).
+    pub rate_scale: Option<f64>,
+    /// `--duration-scale F`: multiply each job's modeled hold duration.
+    pub duration_scale: Option<f64>,
+    /// `--sample-secs S`: utilisation sample period (default 300).
+    pub sample_secs: Option<u64>,
+    /// `--ranks a,b,c`: rank palette jobs draw from (default 8,32,64,128,
+    /// the `JobMix::default` palette).
+    pub ranks: Option<Vec<u32>>,
+}
+
+/// Parses the `fig23_sweep` flags.
+pub fn day_sweep_flags() -> DaySweepFlags {
+    DaySweepFlags {
+        strategy: flag_value("--strategy").unwrap_or_else(|| "both".to_string()),
+        queue: flag_value("--queue").unwrap_or_else(|| "calendar".to_string()),
+        seed: flag_u64("--seed").unwrap_or(2008),
+        compress: flag_f64("--compress"),
+        rate_scale: flag_f64("--rate-scale"),
+        duration_scale: flag_f64("--duration-scale"),
+        sample_secs: flag_u64("--sample-secs"),
+        ranks: flag_value("--ranks").map(|v| parse_u32_list(&v, "--ranks")),
     }
 }
 

@@ -10,6 +10,7 @@
 //! | Table 1 (available resources) | `table1` |
 //! | Figure 2 (concentrate: hosts & cores per site) | `fig2_concentrate` |
 //! | Figure 3 (spread: hosts & cores per site) | `fig3_spread` |
+//! | Figures 2–3 at sweep scale (day-trace utilisation) | `fig23_sweep` |
 //! | Figure 4 left (EP class B execution times) | `fig4_ep` |
 //! | Figure 4 right (IS class B execution times) | `fig4_is` |
 //! | §5.1 latency-ranking discussion & ablations | `sweep` |
@@ -19,8 +20,11 @@
 pub mod cliargs;
 pub mod experiments;
 pub mod output;
-pub mod sweepgen;
+pub mod workload;
 
 pub use experiments::{fig2_fig3_sweep, fig4_kernel_times, Fig4Kernel, Fig4Point, Fig4Settings};
 pub use output::{print_fig4_table, print_legend, print_sweep_tables};
-pub use sweepgen::{BurstyArrivals, PoissonArrivals};
+pub use workload::{
+    run_day_sweep, BurstyArrivals, DayProfile, DaySweepConfig, DaySweepResult, JobMix,
+    PoissonArrivals,
+};

@@ -1,0 +1,759 @@
+//! Workload generation and the day-scale sweep driver.
+//!
+//! The paper submits jobs one at a time; pushing the reproduction to sweep
+//! scale needs a synthetic arrival process and a driver that replays it
+//! against the overlay's event timeline.  Three layers live here:
+//!
+//! * **Arrival generators** — [`PoissonArrivals`] draws exponential
+//!   inter-arrival gaps (a homogeneous Poisson process) and
+//!   [`BurstyArrivals`] alternates between two rates.
+//! * **[`DayProfile`]** — a piecewise-constant-rate arrival profile over a
+//!   day of virtual time (86,400 s), the cheap stand-in for the
+//!   inhomogeneous-Poisson workloads of Hohmann's IPPP package cited in
+//!   PAPERS.md.  [`DayProfile::paper_day`] encodes a bursty office-hours
+//!   shape integrating to ≥ 20k jobs.
+//! * **[`run_day_sweep`]** — the discrete-event driver: jobs from a
+//!   [`DayProfile`] trace are submitted through the co-allocator as virtual
+//!   time advances (`Overlay::run_until`), each successful job charges its
+//!   *modeled* kernel duration (`p2pmpi_mpi::model` on the job's real
+//!   placement) as a hold on the booked hosts, and a scheduled completion
+//!   releases them — all interleaved with heartbeat rounds, cache refreshes
+//!   and reservation-expiry sweeps on one timeline.  Per-site utilisation is
+//!   sampled on a fixed period, reproducing Figures 2–3 at sweep scale.
+
+use crate::experiments::{run_kernel_on_placement, Fig4Kernel, Fig4Settings};
+use p2pmpi_core::prelude::*;
+use p2pmpi_grid5000::testbed::{grid5000_testbed_with_queue, Grid5000Testbed};
+use p2pmpi_mpi::placement::Placement;
+use p2pmpi_simgrid::event::QueueKind;
+use p2pmpi_simgrid::noise::NoiseModel;
+use p2pmpi_simgrid::rngutil::{derive_seed, seeded};
+use p2pmpi_simgrid::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+// ---------------------------------------------------------------------------
+// Arrival generators
+// ---------------------------------------------------------------------------
+
+/// Homogeneous Poisson arrival process: gaps are `Exp(rate)` distributed.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate_per_sec: f64,
+    rng: StdRng,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given arrival rate (events per second of
+    /// virtual time) and RNG seed.
+    pub fn new(rate_per_sec: f64, seed: u64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive"
+        );
+        PoissonArrivals {
+            rate_per_sec,
+            rng: seeded(seed),
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Draws the next inter-arrival gap.
+    pub fn next_gap(&mut self) -> SimDuration {
+        // Inverse-CDF sampling; 1 - u keeps the argument of ln() positive.
+        let u: f64 = self.rng.gen();
+        let secs = -(1.0 - u).ln() / self.rate_per_sec;
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Draws `n` gaps into a vector (convenience for pre-scheduling a whole
+    /// sweep so the event queue can be `reserve`d once).
+    pub fn gaps(&mut self, n: usize) -> Vec<SimDuration> {
+        (0..n).map(|_| self.next_gap()).collect()
+    }
+}
+
+/// Two-phase inhomogeneous arrivals: `burst_len` arrivals at `burst_rate`,
+/// then `quiet_len` arrivals at `quiet_rate`, repeating.
+#[derive(Debug, Clone)]
+pub struct BurstyArrivals {
+    burst: PoissonArrivals,
+    quiet: PoissonArrivals,
+    burst_len: usize,
+    quiet_len: usize,
+    position: usize,
+}
+
+impl BurstyArrivals {
+    /// Creates the alternating process.  Lengths must be positive.
+    pub fn new(
+        burst_rate: f64,
+        burst_len: usize,
+        quiet_rate: f64,
+        quiet_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            burst_len > 0 && quiet_len > 0,
+            "phase lengths must be positive"
+        );
+        BurstyArrivals {
+            burst: PoissonArrivals::new(burst_rate, seed ^ 0x9E37),
+            quiet: PoissonArrivals::new(quiet_rate, seed ^ 0x79B9),
+            burst_len,
+            quiet_len,
+            position: 0,
+        }
+    }
+
+    /// True if the *next* gap will be drawn from the burst phase.
+    pub fn in_burst(&self) -> bool {
+        self.position % (self.burst_len + self.quiet_len) < self.burst_len
+    }
+
+    /// Draws the next inter-arrival gap.
+    pub fn next_gap(&mut self) -> SimDuration {
+        let in_burst = self.in_burst();
+        self.position += 1;
+        if in_burst {
+            self.burst.next_gap()
+        } else {
+            self.quiet.next_gap()
+        }
+    }
+
+    /// Draws `n` gaps into a vector.
+    pub fn gaps(&mut self, n: usize) -> Vec<SimDuration> {
+        (0..n).map(|_| self.next_gap()).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DayProfile: piecewise-constant-rate arrivals over a day
+// ---------------------------------------------------------------------------
+
+/// One segment of a [`DayProfile`]: from `start` (inclusive) until the next
+/// segment's start, arrivals occur at `rate_per_sec`.
+#[derive(Debug, Clone, Copy)]
+pub struct RateSegment {
+    /// Offset of the segment from the start of the trace.
+    pub start: SimDuration,
+    /// Arrival rate within the segment (jobs per virtual second).
+    pub rate_per_sec: f64,
+}
+
+/// A piecewise-constant-rate arrival profile over a bounded horizon.
+///
+/// Within each segment arrivals form a homogeneous Poisson process at the
+/// segment's rate; by the memorylessness of the exponential this composes
+/// into an (inhomogeneous, piecewise-constant) Poisson process over the
+/// whole horizon.  Sampling is exact per segment, so the expected total
+/// arrival count is the integral of the rate function
+/// ([`DayProfile::expected_jobs`]).
+#[derive(Debug, Clone)]
+pub struct DayProfile {
+    segments: Vec<RateSegment>,
+    horizon: SimDuration,
+}
+
+/// Seconds in a virtual day.
+pub const DAY_SECS: u64 = 86_400;
+
+impl DayProfile {
+    /// Builds a profile from `(start, rate)` segments over `horizon`.
+    /// Segments must start at zero, be strictly ascending, and stay inside
+    /// the horizon; rates must be non-negative and finite.
+    pub fn piecewise(segments: Vec<RateSegment>, horizon: SimDuration) -> Self {
+        assert!(!segments.is_empty(), "a profile needs at least one segment");
+        assert!(
+            segments[0].start.is_zero(),
+            "the first segment must start at zero"
+        );
+        for pair in segments.windows(2) {
+            assert!(
+                pair[0].start < pair[1].start,
+                "segment starts must be strictly ascending"
+            );
+        }
+        let last = segments.last().expect("non-empty");
+        assert!(
+            last.start < horizon,
+            "segments must start inside the horizon"
+        );
+        for s in &segments {
+            assert!(
+                s.rate_per_sec >= 0.0 && s.rate_per_sec.is_finite(),
+                "segment rates must be non-negative and finite"
+            );
+        }
+        DayProfile { segments, horizon }
+    }
+
+    /// A constant-rate profile (a homogeneous Poisson day).
+    pub fn constant(rate_per_sec: f64, horizon: SimDuration) -> Self {
+        Self::piecewise(
+            vec![RateSegment {
+                start: SimDuration::ZERO,
+                rate_per_sec,
+            }],
+            horizon,
+        )
+    }
+
+    /// The bursty office-hours day the Figure 2–3 sweep replays: quiet
+    /// night, morning ramp, a strong late-morning burst, a lunch dip, a long
+    /// afternoon burst and an evening decay over 86,400 virtual seconds.
+    /// Integrates to ≈ 21.7k jobs — the "day of submissions" scale the
+    /// ROADMAP north-star asks for.
+    pub fn paper_day() -> Self {
+        let hour = |h: u64| SimDuration::from_secs(h * 3600);
+        let seg = |h: u64, rate_per_sec: f64| RateSegment {
+            start: hour(h),
+            rate_per_sec,
+        };
+        Self::piecewise(
+            vec![
+                seg(0, 0.05),  // night
+                seg(6, 0.15),  // morning ramp
+                seg(9, 0.55),  // late-morning burst
+                seg(12, 0.25), // lunch dip
+                seg(13, 0.50), // afternoon burst
+                seg(17, 0.30), // evening
+                seg(20, 0.12), // night decay
+            ],
+            SimDuration::from_secs(DAY_SECS),
+        )
+    }
+
+    /// The trace horizon.
+    pub fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    /// The arrival rate at offset `t`.
+    pub fn rate_at(&self, t: SimDuration) -> f64 {
+        self.segments
+            .iter()
+            .rev()
+            .find(|s| s.start <= t)
+            .map(|s| s.rate_per_sec)
+            .unwrap_or(0.0)
+    }
+
+    /// Expected number of arrivals over the horizon (the integral of the
+    /// rate function).
+    pub fn expected_jobs(&self) -> f64 {
+        let mut total = 0.0;
+        for (i, s) in self.segments.iter().enumerate() {
+            let end = self
+                .segments
+                .get(i + 1)
+                .map(|n| n.start)
+                .unwrap_or(self.horizon);
+            total += s.rate_per_sec * (end.saturating_sub(s.start)).as_secs_f64();
+        }
+        total
+    }
+
+    /// Multiplies every segment rate by `factor` (expected jobs scale the
+    /// same way).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor >= 0.0 && factor.is_finite(), "scale must be finite");
+        for s in &mut self.segments {
+            s.rate_per_sec *= factor;
+        }
+        self
+    }
+
+    /// Compresses the profile in time by `factor`: segment boundaries and
+    /// the horizon shrink by `factor` while rates grow by it, so the
+    /// expected job count and the burst *shape* are preserved in `1/factor`
+    /// of the virtual time.  This is how CI replays the whole day's shape in
+    /// one virtual hour.
+    pub fn compressed(mut self, factor: f64) -> Self {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "compression must be >= 1"
+        );
+        for s in &mut self.segments {
+            s.start = SimDuration::from_secs_f64(s.start.as_secs_f64() / factor);
+            s.rate_per_sec *= factor;
+        }
+        self.horizon = SimDuration::from_secs_f64(self.horizon.as_secs_f64() / factor);
+        self
+    }
+
+    /// Samples one realisation of the arrival process.  Times are sorted,
+    /// lie inside the horizon, and are fully determined by `seed`.
+    pub fn arrivals(&self, seed: u64) -> Vec<SimTime> {
+        let mut rng = seeded(seed);
+        let mut out: Vec<SimTime> = Vec::with_capacity(self.expected_jobs() as usize + 16);
+        for (i, s) in self.segments.iter().enumerate() {
+            if s.rate_per_sec <= 0.0 {
+                continue;
+            }
+            let end = self
+                .segments
+                .get(i + 1)
+                .map(|n| n.start)
+                .unwrap_or(self.horizon)
+                .as_secs_f64();
+            let mut t = s.start.as_secs_f64();
+            loop {
+                let u: f64 = rng.gen();
+                t += -(1.0 - u).ln() / s.rate_per_sec;
+                if t >= end {
+                    break;
+                }
+                out.push(SimTime::from_secs_f64(t));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job mix and traces
+// ---------------------------------------------------------------------------
+
+/// What each arriving job asks for.
+#[derive(Debug, Clone)]
+pub struct JobMix {
+    /// Rank counts drawn uniformly per job.  The default palette spans
+    /// "fits on two Nancy nodes" (8) to "must cross sites under spread"
+    /// (128), so the day trace exercises the same demand range whose
+    /// endpoints Figures 2–3 plot.
+    pub ranks: Vec<u32>,
+    /// Fraction of jobs running IS (the rest run EP).
+    pub is_fraction: f64,
+    /// Largest rank count an IS job uses; draws above it run EP instead.
+    /// Mirrors the paper's Figure 4, whose IS panel stops at 128 ranks
+    /// while EP continues — and keeps the sweep's per-job modeled
+    /// alltoallv cost (O(ranks²) per iteration) off the hot path.
+    pub is_max_ranks: u32,
+}
+
+impl Default for JobMix {
+    fn default() -> Self {
+        JobMix {
+            ranks: vec![8, 32, 64, 128],
+            is_fraction: 0.3,
+            is_max_ranks: 32,
+        }
+    }
+}
+
+/// One job of a submission trace.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec {
+    /// Submission instant.
+    pub at: SimTime,
+    /// Number of MPI processes demanded.
+    pub ranks: u32,
+    /// The NAS kernel the job runs (determines its modeled duration).
+    pub kernel: Fig4Kernel,
+}
+
+/// Materialises a full submission trace: arrival times from `profile`, job
+/// shapes from `mix`, both deterministic in `seed` (independent substreams,
+/// so changing the mix does not perturb the arrival instants).
+pub fn day_trace(profile: &DayProfile, mix: &JobMix, seed: u64) -> Vec<JobSpec> {
+    assert!(
+        !mix.ranks.is_empty(),
+        "the job mix needs at least one rank count"
+    );
+    let arrivals = profile.arrivals(derive_seed(seed, 0xA221));
+    let mut rng = seeded(derive_seed(seed, 0x31B5));
+    arrivals
+        .into_iter()
+        .map(|at| {
+            let ranks = mix.ranks[rng.gen_range(0..mix.ranks.len())];
+            let kernel = if ranks <= mix.is_max_ranks && rng.gen::<f64>() < mix.is_fraction {
+                Fig4Kernel::Is
+            } else {
+                Fig4Kernel::Ep
+            };
+            JobSpec { at, ranks, kernel }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The day-scale sweep driver
+// ---------------------------------------------------------------------------
+
+/// Configuration of one [`run_day_sweep`] run.
+#[derive(Debug, Clone)]
+pub struct DaySweepConfig {
+    /// Allocation strategy every job uses.
+    pub strategy: StrategyKind,
+    /// Priority structure backing the overlay's event timeline
+    /// ([`QueueKind::Calendar`] is the sweep default).
+    pub queue: QueueKind,
+    /// Master seed (testbed noise, arrivals, job mix).
+    pub seed: u64,
+    /// The arrival profile to replay.
+    pub profile: DayProfile,
+    /// The job-shape mix.
+    pub mix: JobMix,
+    /// Factor applied to each job's modeled kernel duration before charging
+    /// it as a hold (1.0 charges the modeled makespan verbatim).
+    pub duration_scale: f64,
+    /// Period of the per-site utilisation samples.
+    pub sample_period: SimDuration,
+}
+
+impl DaySweepConfig {
+    /// The day-scale defaults: calendar queue, the paper-day profile, the
+    /// default job mix, 5-minute utilisation samples.
+    pub fn new(strategy: StrategyKind) -> Self {
+        DaySweepConfig {
+            strategy,
+            queue: QueueKind::Calendar,
+            seed: 2008,
+            profile: DayProfile::paper_day(),
+            mix: JobMix::default(),
+            duration_scale: 1.0,
+            sample_period: SimDuration::from_secs(300),
+        }
+    }
+}
+
+/// One per-site utilisation sample.
+#[derive(Debug, Clone)]
+pub struct UtilisationSample {
+    /// Sample instant.
+    pub t: SimTime,
+    /// Running processes per site (indexed like `site_names`).
+    pub running: Vec<u32>,
+}
+
+/// Everything a day-scale sweep produced.
+#[derive(Debug, Clone)]
+pub struct DaySweepResult {
+    /// Site names, in topology order (indexes all per-site vectors).
+    pub site_names: Vec<String>,
+    /// Cores available per site.
+    pub site_cores: Vec<usize>,
+    /// Per-site running-process samples on the configured period.
+    pub samples: Vec<UtilisationSample>,
+    /// Core-seconds of work charged per site over the whole trace.
+    pub core_seconds: Vec<f64>,
+    /// Jobs submitted.
+    pub submitted: usize,
+    /// Jobs that allocated and ran.
+    pub succeeded: usize,
+    /// Jobs refused (infeasible or start failures under load/churn).
+    pub failed: usize,
+    /// Mean hold duration charged per successful job (seconds).
+    pub mean_hold_secs: f64,
+    /// Events delivered on the overlay timeline.
+    pub events_processed: u64,
+    /// The virtual clock when the trace ended.
+    pub virtual_end: SimTime,
+}
+
+impl DaySweepResult {
+    /// Share of the total charged work each site carried, in site order.
+    pub fn site_work_share(&self) -> Vec<f64> {
+        let total: f64 = self.core_seconds.iter().sum();
+        self.core_seconds
+            .iter()
+            .map(|&c| if total > 0.0 { c / total } else { 0.0 })
+            .collect()
+    }
+}
+
+/// Running processes per site, in site-id order.
+fn sample_running(tb: &Grid5000Testbed) -> Vec<u32> {
+    let mut running = vec![0u32; tb.topology.site_count()];
+    for peer in tb.overlay.peer_ids() {
+        let site = tb.topology.host(tb.overlay.host_of(peer)).site;
+        running[site.0] += tb.overlay.node(peer).rs.running_processes();
+    }
+    running
+}
+
+/// Replays a [`DayProfile`] submission trace against a fresh Grid'5000
+/// testbed on the overlay's event timeline.  See the module docs for the
+/// driver-loop shape; the `fig23_sweep` binary renders the result.
+pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
+    let trace = day_trace(&cfg.profile, &cfg.mix, cfg.seed);
+    let mut tb = grid5000_testbed_with_queue(cfg.seed, NoiseModel::default(), cfg.queue);
+    tb.overlay.tracer().set_enabled(false);
+
+    // Periodic behaviours share the timeline with submissions/completions.
+    tb.overlay.start_heartbeats();
+    tb.overlay
+        .start_reservation_expiry(SimDuration::from_secs(60), SimDuration::from_secs(120));
+    let submitter = tb.submitter;
+    tb.overlay
+        .start_cache_refresh(submitter, SimDuration::from_secs(600));
+
+    let allocator = CoAllocator::new();
+    let settings = Fig4Settings {
+        seed: cfg.seed,
+        ..Fig4Settings::default()
+    }
+    .modeled();
+
+    let site_names: Vec<String> = tb.topology.sites().iter().map(|s| s.name.clone()).collect();
+    let site_cores: Vec<usize> = tb
+        .topology
+        .sites()
+        .iter()
+        .map(|s| tb.topology.cores_at_site(s.id))
+        .collect();
+
+    let horizon = SimTime::ZERO + cfg.profile.horizon();
+    let mut samples = Vec::new();
+    let mut next_sample = SimTime::ZERO;
+    let mut core_seconds = vec![0.0f64; site_names.len()];
+    let mut hold_secs_total = 0.0f64;
+    let mut succeeded = 0usize;
+    let mut failed = 0usize;
+
+    let sample_due = |tb: &mut Grid5000Testbed,
+                      upto: SimTime,
+                      next: &mut SimTime,
+                      samples: &mut Vec<UtilisationSample>| {
+        while *next <= upto {
+            tb.overlay.run_until(*next);
+            samples.push(UtilisationSample {
+                t: *next,
+                running: sample_running(tb),
+            });
+            *next += cfg.sample_period;
+        }
+    };
+
+    for job in &trace {
+        sample_due(&mut tb, job.at, &mut next_sample, &mut samples);
+        tb.overlay.run_until(job.at);
+        let request = JobRequest::new(job.ranks, cfg.strategy, job.kernel.program());
+        let report = allocator.allocate(&mut tb.overlay, tb.submitter, &request);
+        match &report.outcome {
+            Ok(alloc) => {
+                succeeded += 1;
+                // Charge the modeled kernel time on the job's real placement
+                // as a hold on its booked hosts.
+                let placement = Placement::from_allocation(alloc);
+                let point = run_kernel_on_placement(
+                    job.kernel,
+                    cfg.strategy,
+                    &placement,
+                    &tb.topology,
+                    &settings,
+                );
+                let hold = point.makespan.mul_f64(cfg.duration_scale);
+                hold_secs_total += hold.as_secs_f64();
+                let done_at = tb.overlay.now() + hold;
+                for h in &alloc.hosts {
+                    let site = tb.topology.host(h.host).site;
+                    core_seconds[site.0] += h.instances() as f64 * hold.as_secs_f64();
+                }
+                let peers: Vec<_> = alloc.hosts.iter().map(|h| h.peer).collect();
+                tb.overlay.schedule_completion(done_at, report.key, peers);
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    // Drain the tail of the day: remaining samples, completions, heartbeats.
+    sample_due(&mut tb, horizon, &mut next_sample, &mut samples);
+    tb.overlay.run_until(horizon);
+
+    DaySweepResult {
+        site_names,
+        site_cores,
+        samples,
+        core_seconds,
+        submitted: trace.len(),
+        succeeded,
+        failed,
+        mean_hold_secs: hold_secs_total / succeeded.max(1) as f64,
+        events_processed: tb.overlay.events_processed(),
+        virtual_end: tb.overlay.now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // -- satellite: statistical coverage of the arrival generators --------
+
+    #[test]
+    fn poisson_mean_gap_matches_inverse_rate_over_10k_draws() {
+        // Mean of 10k Exp(rate) draws must sit within 3 standard errors of
+        // 1/rate (sigma of the mean = (1/rate)/sqrt(n) ≈ 0.02 here).
+        let rate = 0.5; // mean gap 2 s
+        let n = 10_000;
+        let mut p = PoissonArrivals::new(rate, 42);
+        let mean: f64 = (0..n).map(|_| p.next_gap().as_secs_f64()).sum::<f64>() / n as f64;
+        let expected = 1.0 / rate;
+        let tolerance = 3.0 * expected / (n as f64).sqrt();
+        assert!(
+            (mean - expected).abs() < tolerance,
+            "mean gap {mean} vs expected {expected} ± {tolerance}"
+        );
+    }
+
+    #[test]
+    fn poisson_gaps_are_deterministic_per_seed_and_vary_across_seeds() {
+        let a: Vec<_> = PoissonArrivals::new(1.0, 7).gaps(50);
+        let b: Vec<_> = PoissonArrivals::new(1.0, 7).gaps(50);
+        let c: Vec<_> = PoissonArrivals::new(1.0, 8).gaps(50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bursty_alternates_phases_with_per_phase_rates() {
+        // 100 draws per phase: each phase's mean gap must match its own
+        // rate within 5 standard errors, through two full cycles.
+        let (burst_rate, quiet_rate) = (50.0, 0.5);
+        let phase_len = 100usize;
+        let mut g = BurstyArrivals::new(burst_rate, phase_len, quiet_rate, phase_len, 3);
+        for cycle in 0..2 {
+            for (phase, rate) in [("burst", burst_rate), ("quiet", quiet_rate)] {
+                assert_eq!(g.in_burst(), phase == "burst", "cycle {cycle} {phase}");
+                let mean: f64 = (0..phase_len)
+                    .map(|_| g.next_gap().as_secs_f64())
+                    .sum::<f64>()
+                    / phase_len as f64;
+                let expected = 1.0 / rate;
+                let tolerance = 5.0 * expected / (phase_len as f64).sqrt();
+                assert!(
+                    (mean - expected).abs() < tolerance,
+                    "cycle {cycle} {phase} mean {mean} vs {expected} ± {tolerance}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_gaps_are_deterministic_per_seed() {
+        let a = BurstyArrivals::new(10.0, 5, 0.1, 5, 11).gaps(40);
+        let b = BurstyArrivals::new(10.0, 5, 0.1, 5, 11).gaps(40);
+        let c = BurstyArrivals::new(10.0, 5, 0.1, 5, 12).gaps(40);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        PoissonArrivals::new(0.0, 1);
+    }
+
+    // -- DayProfile -------------------------------------------------------
+
+    #[test]
+    fn paper_day_integrates_past_twenty_thousand_jobs() {
+        let p = DayProfile::paper_day();
+        assert_eq!(p.horizon(), SimDuration::from_secs(DAY_SECS));
+        let expected = p.expected_jobs();
+        assert!(
+            expected > 20_000.0 && expected < 25_000.0,
+            "expected {expected}"
+        );
+        // Poisson count over the day: within 5 sigma of the mean.
+        let n = p.arrivals(1).len() as f64;
+        assert!((n - expected).abs() < 5.0 * expected.sqrt(), "sampled {n}");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_in_horizon_and_deterministic() {
+        let p = DayProfile::paper_day();
+        let a = p.arrivals(9);
+        let b = p.arrivals(9);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals sorted");
+        let end = SimTime::ZERO + p.horizon();
+        assert!(a.iter().all(|&t| t < end));
+        assert_ne!(a.len(), p.arrivals(10).len());
+    }
+
+    #[test]
+    fn arrival_density_follows_the_rate_profile() {
+        // The 9–12h burst must be ~11x denser than the 0–6h night (rates
+        // 0.55 vs 0.05); allow generous sampling noise.
+        let p = DayProfile::paper_day();
+        let arrivals = p.arrivals(5);
+        let in_window = |a: u64, b: u64| {
+            arrivals
+                .iter()
+                .filter(|t| (a * 3600..b * 3600).contains(&(t.as_nanos() / 1_000_000_000)))
+                .count() as f64
+        };
+        let night_per_hour = in_window(0, 6) / 6.0;
+        let burst_per_hour = in_window(9, 12) / 3.0;
+        let ratio = burst_per_hour / night_per_hour;
+        assert!((6.0..18.0).contains(&ratio), "burst/night ratio {ratio}");
+    }
+
+    #[test]
+    fn compression_preserves_expected_jobs_in_less_time() {
+        let p = DayProfile::paper_day();
+        let expected = p.expected_jobs();
+        let c = p.compressed(24.0);
+        assert_eq!(c.horizon(), SimDuration::from_secs(3600));
+        assert!((c.expected_jobs() - expected).abs() < 1e-6 * expected);
+        // Scaling then stacks on top for the ~1k-job CI smoke.
+        let small = c.scaled(0.05);
+        assert!((small.expected_jobs() - 0.05 * expected).abs() < 1e-6 * expected);
+    }
+
+    #[test]
+    fn rate_at_picks_the_enclosing_segment() {
+        let p = DayProfile::paper_day();
+        assert_eq!(p.rate_at(SimDuration::from_secs(0)), 0.05);
+        assert_eq!(p.rate_at(SimDuration::from_secs(10 * 3600)), 0.55);
+        assert_eq!(p.rate_at(SimDuration::from_secs(23 * 3600)), 0.12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_segments_panic() {
+        DayProfile::piecewise(
+            vec![
+                RateSegment {
+                    start: SimDuration::ZERO,
+                    rate_per_sec: 1.0,
+                },
+                RateSegment {
+                    start: SimDuration::ZERO,
+                    rate_per_sec: 2.0,
+                },
+            ],
+            SimDuration::from_secs(10),
+        );
+    }
+
+    // -- traces -----------------------------------------------------------
+
+    #[test]
+    fn day_trace_is_deterministic_and_respects_the_mix() {
+        let profile = DayProfile::constant(1.0, SimDuration::from_secs(2000));
+        let mix = JobMix {
+            ranks: vec![8],
+            is_fraction: 0.5,
+            ..JobMix::default()
+        };
+        let a = day_trace(&profile, &mix, 3);
+        let b = day_trace(&profile, &mix, 3);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.at == y.at && x.ranks == y.ranks && x.kernel == y.kernel));
+        assert!(a.iter().all(|j| j.ranks == 8));
+        let is_share =
+            a.iter().filter(|j| j.kernel == Fig4Kernel::Is).count() as f64 / a.len().max(1) as f64;
+        assert!((0.35..0.65).contains(&is_share), "IS share {is_share}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration test of the day-scale sweep harness at reduced scale: the
+//! compressed paper-day trace must run fast on the calendar-queue timeline
+//! and reproduce the Figures 2–3 concentrate/spread contrast.
+
+use p2pmpi_bench::workload::{run_day_sweep, DayProfile, DaySweepConfig};
+use p2pmpi_core::strategy::StrategyKind;
+use p2pmpi_simgrid::event::QueueKind;
+use p2pmpi_simgrid::time::SimDuration;
+use std::time::Instant;
+
+/// The CI-smoke shape: the whole day's burst profile compressed into one
+/// virtual hour at ~1.1k jobs.
+fn reduced(strategy: StrategyKind) -> DaySweepConfig {
+    let mut cfg = DaySweepConfig::new(strategy);
+    cfg.profile = DayProfile::paper_day().compressed(24.0).scaled(0.05);
+    cfg.sample_period = SimDuration::from_secs(60);
+    cfg
+}
+
+#[test]
+fn reduced_day_sweep_shows_the_concentrate_spread_contrast() {
+    let start = Instant::now();
+    let conc = run_day_sweep(&reduced(StrategyKind::Concentrate));
+    let spread = run_day_sweep(&reduced(StrategyKind::Spread));
+    let wall = start.elapsed();
+    assert!(
+        wall.as_secs() < 30,
+        "two reduced day sweeps took {wall:?}; the full day must stay in single-digit seconds"
+    );
+
+    for (name, r) in [("concentrate", &conc), ("spread", &spread)] {
+        assert_eq!(r.site_names[0], "nancy");
+        assert!(
+            r.submitted > 800,
+            "{name}: only {} jobs arrived",
+            r.submitted
+        );
+        assert_eq!(r.submitted, r.succeeded + r.failed, "{name}");
+        assert!(
+            r.succeeded > r.submitted / 2,
+            "{name}: {}/{} jobs succeeded",
+            r.succeeded,
+            r.submitted
+        );
+        assert_eq!(
+            r.virtual_end,
+            p2pmpi_simgrid::time::SimTime::from_secs(3600)
+        );
+        // Completions, heartbeats and samples all ran on the timeline.
+        assert!(r.events_processed > r.succeeded as u64, "{name}");
+        // Some sample must have caught work in flight.
+        assert!(
+            r.samples.iter().any(|s| s.running.iter().sum::<u32>() > 0),
+            "{name}: utilisation samples never saw a running process"
+        );
+    }
+
+    // The Figures 2–3 narrative: the concentrate run keeps (nearly) all the
+    // work at Nancy, the spread run pushes a substantial share of it to the
+    // other sites.
+    let conc_nancy = conc.site_work_share()[0];
+    let spread_nancy = spread.site_work_share()[0];
+    assert!(conc_nancy > 0.85, "concentrate nancy share {conc_nancy}");
+    assert!(spread_nancy < 0.80, "spread nancy share {spread_nancy}");
+    assert!(
+        conc_nancy > spread_nancy + 0.1,
+        "contrast too weak: concentrate {conc_nancy} vs spread {spread_nancy}"
+    );
+    let spread_remote_sites = spread
+        .site_work_share()
+        .iter()
+        .skip(1)
+        .filter(|&&s| s > 0.01)
+        .count();
+    assert!(
+        spread_remote_sites >= 2,
+        "spread reached {spread_remote_sites} remote sites"
+    );
+}
+
+#[test]
+fn heap_and_calendar_timelines_agree_on_the_sweep_outcome() {
+    // The queue kind is a performance choice, never a semantic one: the
+    // same trace must produce identical outcomes on both structures.
+    let mut heap_cfg = reduced(StrategyKind::Concentrate);
+    heap_cfg.queue = QueueKind::BinaryHeap;
+    let heap = run_day_sweep(&heap_cfg);
+    let cal = run_day_sweep(&reduced(StrategyKind::Concentrate));
+    assert_eq!(heap.submitted, cal.submitted);
+    assert_eq!(heap.succeeded, cal.succeeded);
+    assert_eq!(heap.failed, cal.failed);
+    assert_eq!(heap.events_processed, cal.events_processed);
+    assert_eq!(heap.core_seconds, cal.core_seconds);
+    let heap_samples: Vec<_> = heap.samples.iter().map(|s| &s.running).collect();
+    let cal_samples: Vec<_> = cal.samples.iter().map(|s| &s.running).collect();
+    assert_eq!(heap_samples, cal_samples);
+}

@@ -7,6 +7,7 @@ use p2pmpi_overlay::boot::OverlayBuilder;
 use p2pmpi_overlay::config::OwnerConfig;
 use p2pmpi_overlay::overlay::Overlay;
 use p2pmpi_overlay::peer::PeerId;
+use p2pmpi_simgrid::event::QueueKind;
 use p2pmpi_simgrid::noise::NoiseModel;
 use p2pmpi_simgrid::time::SimDuration;
 use p2pmpi_simgrid::topology::{NodeSpec, SiteId, Topology, TopologyBuilder};
@@ -78,9 +79,31 @@ pub fn grid5000_testbed(seed: u64, noise: NoiseModel) -> Grid5000Testbed {
     testbed_from_specs(TABLE1, seed, noise)
 }
 
+/// Builds the standard testbed with an explicit event-queue kind for the
+/// overlay's simulation timeline.  Day-scale sweep harnesses pass
+/// [`QueueKind::Calendar`] (the sweep default); single-job experiments keep
+/// the binary heap.
+pub fn grid5000_testbed_with_queue(
+    seed: u64,
+    noise: NoiseModel,
+    queue: QueueKind,
+) -> Grid5000Testbed {
+    testbed_from_specs_with_queue(TABLE1, seed, noise, queue)
+}
+
 /// Builds a testbed from a subset of Table 1 (smaller, faster variants for
 /// unit and integration tests).
 pub fn testbed_from_specs(specs: &[ClusterSpec], seed: u64, noise: NoiseModel) -> Grid5000Testbed {
+    testbed_from_specs_with_queue(specs, seed, noise, QueueKind::default())
+}
+
+/// [`testbed_from_specs`] with an explicit event-queue kind.
+pub fn testbed_from_specs_with_queue(
+    specs: &[ClusterSpec],
+    seed: u64,
+    noise: NoiseModel,
+    queue: QueueKind,
+) -> Grid5000Testbed {
     let topology = topology_from_specs(specs);
     let submitter_site = topology
         .site_by_name("nancy")
@@ -94,6 +117,7 @@ pub fn testbed_from_specs(specs: &[ClusterSpec], seed: u64, noise: NoiseModel) -
     let mut overlay = OverlayBuilder::new(topology.clone())
         .seed(seed)
         .noise(noise)
+        .queue_kind(queue)
         .peer_per_host(|h| OwnerConfig::with_procs(h.cores as u32))
         .supernode_on(submitter_host)
         .build();

@@ -1,14 +1,34 @@
 //! The overlay simulation driver.
 //!
 //! [`Overlay`] owns the supernode, every peer's MPD/RS state, the network
-//! and noise models, and a virtual clock.  It exposes exactly the
-//! interactions the paper's job-submission procedure needs:
+//! and noise models, and a discrete-event simulation
+//! ([`p2pmpi_simgrid::engine::TypedEngine`]) that carries the virtual clock.
+//! It exposes exactly the interactions the paper's job-submission procedure
+//! needs:
 //!
 //! * membership (register, alive signals, expiry),
 //! * cache refresh from the supernode and latency probing,
 //! * RS↔RS reservation brokering (with timeouts when a peer is dead),
 //! * MPD start requests with key verification,
 //! * fault injection (crash/recover, scheduled churn).
+//!
+//! # The event timeline
+//!
+//! All time-driven behaviour is *scheduled* on the engine rather than
+//! applied inline: churn events, periodic heartbeat rounds
+//! ([`Overlay::start_heartbeats`]), periodic cache refreshes
+//! ([`Overlay::start_cache_refresh`]), periodic reservation-expiry sweeps
+//! ([`Overlay::start_reservation_expiry`]) and job completions
+//! ([`Overlay::schedule_completion`]) all interleave on one timeline,
+//! delivered in `(time, schedule-order)` order by [`Overlay::run_until`].
+//! The `stop_*` counterparts cancel the pending event by its
+//! [`EventKey`], so re-arms and revocations never leave ghost events
+//! behind.  [`Overlay::advance`] survives as a thin shim over `run_until`
+//! for callers that only want to move the clock.
+//!
+//! Sweep-scale simulations (thousands of pending completions) should build
+//! the overlay with [`crate::boot::OverlayBuilder::queue_kind`] set to
+//! [`QueueKind::Calendar`].
 //!
 //! The co-allocation procedure itself lives in the `p2pmpi-core` crate and
 //! drives this type.
@@ -22,6 +42,8 @@ use crate::mpd::MpdNode;
 use crate::peer::{PeerId, PeerState};
 use crate::ping::LatencyProber;
 use crate::supernode::Supernode;
+use p2pmpi_simgrid::engine::TypedEngine;
+use p2pmpi_simgrid::event::{EventKey, QueueKind};
 use p2pmpi_simgrid::network::NetworkModel;
 use p2pmpi_simgrid::time::{SimDuration, SimTime};
 use p2pmpi_simgrid::topology::{HostId, Topology};
@@ -85,6 +107,33 @@ impl RsOutcome {
     }
 }
 
+/// An event on the overlay's simulation timeline.
+///
+/// These are the payloads of the overlay's [`TypedEngine`]; they stay
+/// private because scheduling happens through the typed methods
+/// (`schedule_churn`, `start_heartbeats`, `schedule_completion`, ...),
+/// which also maintain the re-arm bookkeeping.
+#[derive(Debug)]
+enum OverlayEvent {
+    /// A scheduled crash or recovery.
+    Churn(ChurnEvent),
+    /// One round of alive signals plus the supernode expiry sweep;
+    /// re-arms itself every `heartbeat_period` while enabled.
+    HeartbeatRound,
+    /// A peer pulls the supernode host list into its cache; re-arms itself
+    /// at the peer's configured refresh period.
+    CacheRefresh(PeerId),
+    /// Every RS drops pending reservations older than the configured TTL;
+    /// re-arms itself at the configured sweep period.
+    ReservationSweep,
+    /// A running job finishes: free the gatekeeper slot on every host it
+    /// occupied.
+    JobComplete {
+        key: ReservationKey,
+        peers: Vec<PeerId>,
+    },
+}
+
 /// The simulated P2P-MPI overlay.
 pub struct Overlay {
     topology: Arc<Topology>,
@@ -94,12 +143,17 @@ pub struct Overlay {
     supernode_host: HostId,
     nodes: Vec<MpdNode>,
     host_to_peer: HashMap<HostId, PeerId>,
-    now: SimTime,
+    sim: TypedEngine<OverlayEvent>,
     rng: StdRng,
     tracer: Tracer,
     params: OverlayParams,
-    churn: Vec<ChurnEvent>,
-    churn_cursor: usize,
+    /// Pending heartbeat event while periodic heartbeats are enabled.
+    heartbeat: Option<EventKey>,
+    /// Per-peer periodic cache refresh: period and the pending event.
+    cache_refresh: HashMap<PeerId, (SimDuration, EventKey)>,
+    /// Periodic reservation-expiry sweep: (ttl, period) and the pending
+    /// event.
+    resv_expiry: Option<(SimDuration, SimDuration, EventKey)>,
     /// Reusable probe-round buffers, so steady-state probing allocates
     /// nothing (cleared, never shrunk, between rounds).
     scratch_measurements: Vec<(PeerId, SimDuration)>,
@@ -131,6 +185,7 @@ impl Overlay {
         rng: StdRng,
         tracer: Tracer,
         params: OverlayParams,
+        queue_kind: QueueKind,
     ) -> Self {
         let host_to_peer = nodes
             .iter()
@@ -144,12 +199,13 @@ impl Overlay {
             supernode_host,
             nodes,
             host_to_peer,
-            now: SimTime::ZERO,
+            sim: TypedEngine::with_queue_kind(queue_kind),
             rng,
             tracer,
             params,
-            churn: Vec::new(),
-            churn_cursor: 0,
+            heartbeat: None,
+            cache_refresh: HashMap::new(),
+            resv_expiry: None,
             scratch_measurements: Vec::new(),
             scratch_failures: Vec::new(),
         }
@@ -186,7 +242,22 @@ impl Overlay {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.sim.now()
+    }
+
+    /// The priority structure backing the event timeline.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.sim.queue_kind()
+    }
+
+    /// Number of timeline events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.processed()
+    }
+
+    /// Number of timeline events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.sim.pending()
     }
 
     /// Number of peers (alive or dead).
@@ -230,51 +301,230 @@ impl Overlay {
     }
 
     // ------------------------------------------------------------------
-    // Time and fault injection
+    // The event timeline
     // ------------------------------------------------------------------
 
-    /// Advances the virtual clock, applying any scheduled churn events that
-    /// become due.
-    pub fn advance(&mut self, d: SimDuration) {
-        let target = self.now + d;
-        while self.churn_cursor < self.churn.len() && self.churn[self.churn_cursor].time <= target {
-            let ev = self.churn[self.churn_cursor];
-            self.churn_cursor += 1;
-            self.now = self.now.max(ev.time);
-            match ev.kind {
-                ChurnKind::Crash => self.kill_peer(ev.peer),
-                ChurnKind::Recover => self.revive_peer(ev.peer),
-            }
+    /// Runs the simulation until `deadline`: every scheduled event due at or
+    /// before it — churn, heartbeat rounds, cache refreshes, reservation
+    /// sweeps, job completions — fires in `(time, schedule-order)` order,
+    /// and the clock ends at `deadline` (or later only if an event fired
+    /// exactly there).  Returns the number of events delivered.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut delivered = 0;
+        while let Some(ev) = self.sim.pop_due(deadline) {
+            self.dispatch(ev.payload);
+            delivered += 1;
         }
-        self.now = target;
+        self.sim.advance_clock_to(deadline);
+        delivered
     }
 
-    /// Installs a churn schedule (events must not be in the past).
-    pub fn schedule_churn(&mut self, events: Vec<ChurnEvent>) {
-        let mut events = events;
-        events.sort_by_key(|e| e.time);
-        if let Some(first) = events.first() {
-            assert!(first.time >= self.now, "churn events must be in the future");
+    /// Advances the virtual clock by `d`, delivering any scheduled events
+    /// that become due.  Compatibility shim over [`Overlay::run_until`].
+    pub fn advance(&mut self, d: SimDuration) {
+        let target = self.sim.now() + d;
+        self.run_until(target);
+    }
+
+    /// Delivers one due timeline event.
+    fn dispatch(&mut self, event: OverlayEvent) {
+        match event {
+            OverlayEvent::Churn(ev) => match ev.kind {
+                ChurnKind::Crash => self.kill_peer(ev.peer),
+                ChurnKind::Recover => self.revive_peer(ev.peer),
+            },
+            OverlayEvent::HeartbeatRound => {
+                self.heartbeat_round();
+                if self.heartbeat.is_some() {
+                    // Still enabled: re-arm the next round.
+                    let key = self
+                        .sim
+                        .schedule_in(self.params.heartbeat_period, OverlayEvent::HeartbeatRound);
+                    self.heartbeat = Some(key);
+                }
+            }
+            OverlayEvent::CacheRefresh(peer) => {
+                if let Some(&(period, _)) = self.cache_refresh.get(&peer) {
+                    // A dead MPD refreshes nothing, but the schedule stays
+                    // armed so it resumes once the peer recovers.
+                    if self.nodes[peer.0].is_alive() {
+                        self.refresh_cache(peer);
+                    }
+                    let key = self
+                        .sim
+                        .schedule_in(period, OverlayEvent::CacheRefresh(peer));
+                    self.cache_refresh.insert(peer, (period, key));
+                }
+            }
+            OverlayEvent::ReservationSweep => {
+                if let Some((ttl, period, _)) = self.resv_expiry {
+                    let now = self.sim.now();
+                    let mut dropped = 0;
+                    for node in &mut self.nodes {
+                        dropped += node.rs.expire_pending(now, ttl);
+                    }
+                    if dropped > 0 {
+                        self.tracer.record(now, TraceCategory::Reservation, || {
+                            format!("expired {dropped} stale pending reservation(s)")
+                        });
+                    }
+                    let key = self.sim.schedule_in(period, OverlayEvent::ReservationSweep);
+                    self.resv_expiry = Some((ttl, period, key));
+                }
+            }
+            OverlayEvent::JobComplete { key, peers } => {
+                let mut freed = 0;
+                for peer in peers {
+                    if self.nodes[peer.0].rs.complete(key) {
+                        freed += 1;
+                    }
+                }
+                self.tracer
+                    .record(self.sim.now(), TraceCategory::Runtime, || {
+                        format!("job completed, freed {freed} host(s)")
+                    });
+            }
         }
-        self.churn = events;
-        self.churn_cursor = 0;
+    }
+
+    /// Schedules a churn schedule onto the timeline (events must not be in
+    /// the past).  Repeated calls accumulate: each call adds its events to
+    /// the timeline alongside whatever was already scheduled.
+    pub fn schedule_churn(&mut self, events: Vec<ChurnEvent>) {
+        for ev in events {
+            assert!(
+                ev.time >= self.sim.now(),
+                "churn events must be in the future"
+            );
+            self.sim.schedule_at(ev.time, OverlayEvent::Churn(ev));
+        }
+    }
+
+    /// Starts periodic heartbeat rounds ([`Overlay::heartbeat_round`]) every
+    /// [`OverlayParams::heartbeat_period`], first round one period from now.
+    /// No-op if already running.
+    pub fn start_heartbeats(&mut self) {
+        if self.heartbeat.is_none() {
+            let key = self
+                .sim
+                .schedule_in(self.params.heartbeat_period, OverlayEvent::HeartbeatRound);
+            self.heartbeat = Some(key);
+        }
+    }
+
+    /// Stops periodic heartbeats, cancelling the pending round.  Returns
+    /// `true` if heartbeats were running.
+    pub fn stop_heartbeats(&mut self) -> bool {
+        match self.heartbeat.take() {
+            Some(key) => {
+                self.sim.cancel(key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Starts a periodic supernode cache refresh for `peer`, first refresh
+    /// one period from now.  Re-arming an already-scheduled peer replaces
+    /// its period (the pending event is cancelled and rescheduled).
+    pub fn start_cache_refresh(&mut self, peer: PeerId, period: SimDuration) {
+        assert!(!period.is_zero(), "cache refresh needs a non-zero period");
+        let key = self
+            .sim
+            .schedule_in(period, OverlayEvent::CacheRefresh(peer));
+        if let Some((_, old)) = self.cache_refresh.insert(peer, (period, key)) {
+            self.sim.cancel(old);
+        }
+    }
+
+    /// Stops the periodic cache refresh for `peer`, cancelling the pending
+    /// event.  Returns `true` if one was scheduled.
+    pub fn stop_cache_refresh(&mut self, peer: PeerId) -> bool {
+        match self.cache_refresh.remove(&peer) {
+            Some((_, key)) => {
+                self.sim.cancel(key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Starts a periodic reservation-expiry sweep: every `period`, each RS
+    /// drops pending (never running) reservations older than `ttl`.  This is
+    /// what reclaims gatekeeper slots promised to submitters that crashed
+    /// mid-procedure.  Re-arming replaces the previous configuration.
+    pub fn start_reservation_expiry(&mut self, ttl: SimDuration, period: SimDuration) {
+        assert!(!period.is_zero(), "expiry sweep needs a non-zero period");
+        let key = self.sim.schedule_in(period, OverlayEvent::ReservationSweep);
+        if let Some((_, _, old)) = self.resv_expiry.replace((ttl, period, key)) {
+            self.sim.cancel(old);
+        }
+    }
+
+    /// Stops the periodic reservation-expiry sweep.  Returns `true` if one
+    /// was running.
+    pub fn stop_reservation_expiry(&mut self) -> bool {
+        match self.resv_expiry.take() {
+            Some((_, _, key)) => {
+                self.sim.cancel(key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Schedules the completion of a running job at absolute time `at`: the
+    /// gatekeeper slot held under `key` on each of `peers` is freed when the
+    /// event fires.  Returns the event's key so a caller that tears the job
+    /// down early (e.g. on failure) can [`Overlay::cancel_completion`].
+    pub fn schedule_completion(
+        &mut self,
+        at: SimTime,
+        key: ReservationKey,
+        peers: Vec<PeerId>,
+    ) -> EventKey {
+        self.sim
+            .schedule_at(at, OverlayEvent::JobComplete { key, peers })
+    }
+
+    /// Cancels a scheduled job completion (the hosts stay booked; the caller
+    /// is expected to free them itself).  Returns the job's peers if the
+    /// completion was still pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` refers to a pending event that is *not* a job
+    /// completion: the caller mixed up keys, and silently revoking a
+    /// periodic behaviour (heartbeat, refresh, sweep) would corrupt the
+    /// simulation — surfacing the bug beats limping on.
+    pub fn cancel_completion(&mut self, event: EventKey) -> Option<Vec<PeerId>> {
+        match self.sim.cancel(event) {
+            Some(OverlayEvent::JobComplete { peers, .. }) => Some(peers),
+            Some(other) => {
+                panic!("cancel_completion called with a non-completion event: {other:?}")
+            }
+            None => None,
+        }
     }
 
     /// Marks a peer dead immediately.
     pub fn kill_peer(&mut self, peer: PeerId) {
         self.nodes[peer.0].state = PeerState::Dead;
         self.tracer
-            .record(self.now, TraceCategory::Fault, || format!("{peer} crashed"));
+            .record(self.sim.now(), TraceCategory::Fault, || {
+                format!("{peer} crashed")
+            });
     }
 
     /// Brings a peer back and re-registers it with the supernode.
     pub fn revive_peer(&mut self, peer: PeerId) {
         self.nodes[peer.0].state = PeerState::Alive;
         let d = self.nodes[peer.0].descriptor.clone();
-        self.supernode.register(d, self.now);
-        self.tracer.record(self.now, TraceCategory::Fault, || {
-            format!("{peer} recovered")
-        });
+        self.supernode.register(d, self.sim.now());
+        self.tracer
+            .record(self.sim.now(), TraceCategory::Fault, || {
+                format!("{peer} recovered")
+            });
     }
 
     /// Number of peers currently alive.
@@ -291,13 +541,15 @@ impl Overlay {
     pub fn boot_all(&mut self) {
         for node in &self.nodes {
             if node.is_alive() {
-                self.supernode.register(node.descriptor.clone(), self.now);
+                self.supernode
+                    .register(node.descriptor.clone(), self.sim.now());
             }
         }
         let registered = self.supernode.len();
-        self.tracer.record(self.now, TraceCategory::Membership, || {
-            format!("{registered} peers registered with supernode")
-        });
+        self.tracer
+            .record(self.sim.now(), TraceCategory::Membership, || {
+                format!("{registered} peers registered with supernode")
+            });
     }
 
     /// One round of alive signals from every alive peer, followed by an
@@ -305,14 +557,15 @@ impl Overlay {
     pub fn heartbeat_round(&mut self) -> usize {
         for node in &self.nodes {
             if node.is_alive() {
-                self.supernode.alive(node.descriptor.id, self.now);
+                self.supernode.alive(node.descriptor.id, self.sim.now());
             }
         }
-        let dropped = self.supernode.expire_stale(self.now);
+        let dropped = self.supernode.expire_stale(self.sim.now());
         if dropped > 0 {
-            self.tracer.record(self.now, TraceCategory::Membership, || {
-                format!("supernode expired {dropped} stale peers")
-            });
+            self.tracer
+                .record(self.sim.now(), TraceCategory::Membership, || {
+                    format!("supernode expired {dropped} stale peers")
+                });
         }
         dropped
     }
@@ -340,9 +593,10 @@ impl Overlay {
                 .map(|e| &e.descriptor)
                 .filter(|d| d.id != peer),
         );
-        self.tracer.record(self.now, TraceCategory::Membership, || {
-            format!("{peer} refreshed cache (+{added} peers)")
-        });
+        self.tracer
+            .record(self.sim.now(), TraceCategory::Membership, || {
+                format!("{peer} refreshed cache (+{added} peers)")
+            });
         (added, elapsed)
     }
 
@@ -356,12 +610,16 @@ impl Overlay {
         // One pass over the cache, pushing into the reusable scratch buffers:
         // `nodes` is only read here, so probing borrows it alongside the
         // mutable rng/scratch fields without an intermediate target list.
+        // The walk follows the latency index (ids only — the target host
+        // comes from the node table, no per-entry map lookup), not the hash
+        // map: probe noise comes from the shared rng, so the draw-to-peer
+        // pairing must be deterministic for a seeded run to be reproducible.
         self.scratch_measurements.clear();
         self.scratch_failures.clear();
-        for e in self.nodes[peer.0].cache.peers() {
-            let id = e.descriptor.id;
+        for id in self.nodes[peer.0].cache.ranking_iter() {
             if self.nodes[id.0].is_alive() {
-                let rtt = self.prober.probe(src, e.descriptor.host, &mut self.rng);
+                let dst = self.nodes[id.0].descriptor.host;
+                let rtt = self.prober.probe(src, dst, &mut self.rng);
                 slowest = slowest.max(rtt);
                 self.scratch_measurements.push((id, rtt));
             } else {
@@ -369,7 +627,7 @@ impl Overlay {
                 self.scratch_failures.push(id);
             }
         }
-        let now = self.now;
+        let now = self.sim.now();
         let node = &mut self.nodes[peer.0];
         for &(id, rtt) in &self.scratch_measurements {
             node.cache.record_probe(id, rtt, now);
@@ -378,9 +636,10 @@ impl Overlay {
             node.cache.record_probe_failure(id);
         }
         let cache_len = node.cache.len();
-        self.tracer.record(self.now, TraceCategory::Probe, || {
-            format!("{peer} probed its cache ({cache_len} entries)")
-        });
+        self.tracer
+            .record(self.sim.now(), TraceCategory::Probe, || {
+                format!("{peer} probed its cache ({cache_len} entries)")
+            });
         slowest
     }
 
@@ -439,7 +698,7 @@ impl Overlay {
         let dst = self.nodes[to.0].descriptor.host;
         if !self.nodes[to.0].is_alive() {
             self.tracer
-                .record(self.now, TraceCategory::Reservation, || {
+                .record(self.sim.now(), TraceCategory::Reservation, || {
                     format!("{from} -> {to}: reservation timed out (peer dead)")
                 });
             return RsOutcome::Timeout {
@@ -452,7 +711,7 @@ impl Overlay {
             + self
                 .network
                 .transfer_time(dst, src, self.params.rs_message_bytes);
-        let now = self.now;
+        let now = self.sim.now();
         let reply = if from.0 == to.0 {
             // A submitter reserving its own host: every piece (address,
             // config, RS) is a disjoint field of the same node.
@@ -475,7 +734,7 @@ impl Overlay {
             to_node.rs.handle_request(&req, &to_node.config, now)
         };
         self.tracer
-            .record(self.now, TraceCategory::Reservation, || {
+            .record(self.sim.now(), TraceCategory::Reservation, || {
                 format!("{from} -> {to}: {reply:?}")
             });
         RsOutcome::Reply { reply, elapsed }
@@ -491,7 +750,7 @@ impl Overlay {
         let cancelled = self.nodes[to.0].rs.cancel(key);
         if cancelled {
             self.tracer
-                .record(self.now, TraceCategory::Reservation, || {
+                .record(self.sim.now(), TraceCategory::Reservation, || {
                     format!("{from} cancelled reservation on {to}")
                 });
         }
@@ -524,9 +783,10 @@ impl Overlay {
         }
         match node.rs.start(key, ranks.len() as u32, &node.config) {
             Ok(()) => {
-                self.tracer.record(self.now, TraceCategory::Runtime, || {
-                    format!("{to} started {} process(es) of {program}", ranks.len())
-                });
+                self.tracer
+                    .record(self.sim.now(), TraceCategory::Runtime, || {
+                        format!("{to} started {} process(es) of {program}", ranks.len())
+                    });
                 (StartReply::Started, elapsed)
             }
             Err(_) => (StartReply::KeyMismatch, elapsed),
@@ -704,6 +964,110 @@ mod tests {
         assert!(o.node(victim).is_alive());
         assert_eq!(o.now(), SimTime::from_secs(35));
         assert!(o.tracer().count(TraceCategory::Fault) >= 2);
+    }
+
+    #[test]
+    fn heartbeats_run_as_scheduled_events() {
+        let mut o = overlay();
+        o.boot_all();
+        let victim = o.peer_ids()[0];
+        o.start_heartbeats();
+        o.kill_peer(victim);
+        // Three 120 s heartbeat periods pass the 360 s expiry: the periodic
+        // rounds fire on the timeline without any manual heartbeat_round
+        // call, and the silent peer is expired by the supernode.
+        o.advance(SimDuration::from_secs(500));
+        assert!(!o.supernode().knows(victim));
+        assert_eq!(o.supernode().len(), 5);
+        assert!(o.events_processed() >= 4);
+        // The next round is always armed while heartbeats run.
+        assert!(o.events_pending() >= 1);
+        assert!(o.stop_heartbeats());
+        assert!(!o.stop_heartbeats());
+        assert_eq!(o.events_pending(), 0);
+    }
+
+    #[test]
+    fn periodic_cache_refresh_is_a_scheduled_event() {
+        let mut o = overlay();
+        o.boot_all();
+        let p = o.peer_ids()[0];
+        assert_eq!(o.node(p).cache.len(), 0);
+        o.start_cache_refresh(p, SimDuration::from_secs(60));
+        o.advance(SimDuration::from_secs(59));
+        assert_eq!(o.node(p).cache.len(), 0, "not due yet");
+        o.advance(SimDuration::from_secs(2));
+        assert_eq!(o.node(p).cache.len(), 5, "first refresh fired");
+        assert!(o.stop_cache_refresh(p));
+        assert!(!o.stop_cache_refresh(p));
+        let processed = o.events_processed();
+        o.advance(SimDuration::from_secs(600));
+        assert_eq!(o.events_processed(), processed, "refresh was cancelled");
+    }
+
+    #[test]
+    fn reservation_expiry_sweep_reclaims_pending_slots() {
+        let mut o = overlay();
+        o.boot_all();
+        let ids = o.peer_ids();
+        let (from, to) = (ids[0], ids[1]);
+        let k = o.generate_key();
+        assert!(matches!(
+            o.rs_request(from, to, k, 2),
+            RsOutcome::Reply { reply, .. } if reply.is_ok()
+        ));
+        assert_eq!(o.node(to).rs.active_applications(), 1);
+        o.start_reservation_expiry(SimDuration::from_secs(60), SimDuration::from_secs(30));
+        // The submitter never starts nor cancels: the sweep reclaims the
+        // promised gatekeeper slot once the TTL passes.
+        o.advance(SimDuration::from_secs(100));
+        assert_eq!(o.node(to).rs.active_applications(), 0);
+        assert!(o.stop_reservation_expiry());
+    }
+
+    #[test]
+    fn scheduled_completions_free_hosts_on_the_timeline() {
+        let mut o = overlay();
+        o.boot_all();
+        let ids = o.peer_ids();
+        let (from, to) = (ids[0], ids[2]);
+        let key = o.generate_key();
+        assert!(matches!(
+            o.rs_request(from, to, key, 1),
+            RsOutcome::Reply { reply, .. } if reply.is_ok()
+        ));
+        let ranks = vec![RankAssignment {
+            rank: 0,
+            replica: 0,
+        }];
+        let (reply, _) = o.mpd_start(from, to, key, &ranks, "prog");
+        assert_eq!(reply, StartReply::Started);
+        let done_at = o.now() + SimDuration::from_secs(30);
+        let ev = o.schedule_completion(done_at, key, vec![to]);
+        o.advance(SimDuration::from_secs(29));
+        assert_eq!(o.node(to).rs.running_processes(), 1, "still running");
+        o.advance(SimDuration::from_secs(2));
+        assert_eq!(o.node(to).rs.running_processes(), 0, "completion fired");
+        // Cancelling after the fact is a stale-key no-op.
+        assert!(o.cancel_completion(ev).is_none());
+    }
+
+    #[test]
+    fn cancelled_completion_returns_the_held_peers() {
+        let mut o = overlay();
+        o.boot_all();
+        let ids = o.peer_ids();
+        let key = o.generate_key();
+        let ev = o.schedule_completion(
+            o.now() + SimDuration::from_secs(10),
+            key,
+            vec![ids[1], ids[2]],
+        );
+        let peers = o.cancel_completion(ev).expect("still pending");
+        assert_eq!(peers, vec![ids[1], ids[2]]);
+        let processed = o.events_processed();
+        o.advance(SimDuration::from_secs(60));
+        assert_eq!(o.events_processed(), processed);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::peer::{PeerDescriptor, PeerId};
 use p2pmpi_simgrid::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One entry of the supernode's host list.
 #[derive(Debug, Clone)]
@@ -20,9 +20,15 @@ pub struct HostListEntry {
 }
 
 /// Membership registry.
+///
+/// Entries live in a `BTreeMap` keyed by [`PeerId`], so the host list is
+/// maintained in stable sorted order *incrementally* — `O(log n)` per
+/// registration — instead of the clone-and-sort a snapshot API would pay on
+/// every read.  Consumers walk [`Supernode::host_list_iter`] borrowed and
+/// in order.
 #[derive(Debug)]
 pub struct Supernode {
-    entries: HashMap<PeerId, HostListEntry>,
+    entries: BTreeMap<PeerId, HostListEntry>,
     /// Peers not heard from for longer than this are dropped by
     /// [`Supernode::expire_stale`].
     expiry: SimDuration,
@@ -45,7 +51,7 @@ impl Supernode {
     pub fn new(expiry: SimDuration) -> Self {
         assert!(!expiry.is_zero(), "expiry must be non-zero");
         Supernode {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             expiry,
             registrations: 0,
             expirations: 0,
@@ -92,16 +98,10 @@ impl Supernode {
         dropped
     }
 
-    /// The current host list, in stable (PeerId) order.
-    pub fn host_list(&self) -> Vec<HostListEntry> {
-        let mut v: Vec<HostListEntry> = self.entries.values().cloned().collect();
-        v.sort_by_key(|e| e.descriptor.id);
-        v
-    }
-
-    /// Borrowing view of the host list in unspecified order, for consumers
-    /// (like the MPD cache refresh) that neither need the stable order nor
-    /// want the per-call clone + sort of [`Supernode::host_list`].
+    /// Borrowing view of the host list in stable ([`PeerId`]) order.  The
+    /// order is maintained incrementally by the backing `BTreeMap`, so this
+    /// neither clones nor sorts — every consumer (the MPD cache refresh, the
+    /// experiment harnesses) walks it in place.
     pub fn host_list_iter(&self) -> impl Iterator<Item = &HostListEntry> {
         self.entries.values()
     }
@@ -153,7 +153,9 @@ mod tests {
         s.register(desc(1), SimTime::ZERO);
         s.register(desc(0), SimTime::ZERO);
         assert_eq!(s.len(), 2);
-        let list = s.host_list();
+        // The borrowing iterator walks in stable PeerId order, whatever the
+        // registration order was.
+        let list: Vec<&HostListEntry> = s.host_list_iter().collect();
         assert_eq!(list[0].descriptor.id, PeerId(0));
         assert_eq!(list[1].descriptor.id, PeerId(1));
         assert!(s.knows(PeerId(0)));
@@ -200,7 +202,7 @@ mod tests {
         s.register(desc(0), SimTime::ZERO);
         let updated = PeerDescriptor::with_address(PeerId(0), HostId(5), "1.2.3.4:1");
         s.register(updated, SimTime::from_secs(1));
-        let list = s.host_list();
+        let list: Vec<&HostListEntry> = s.host_list_iter().collect();
         assert_eq!(list.len(), 1);
         assert_eq!(list[0].descriptor.host, HostId(5));
         assert_eq!(list[0].last_seen, SimTime::from_secs(1));

@@ -11,9 +11,19 @@
 //! [`QueueKind`] ([`Engine::with_queue_kind`]): the default binary heap, or
 //! a calendar queue for sweep-scale event populations.  The scheduling API
 //! ([`Engine::schedule_at`] / [`Engine::schedule_in`]) is identical for
-//! every configuration.
+//! every configuration.  Both scheduling calls return the event's
+//! [`EventKey`], which [`Engine::cancel`] accepts to revoke a pending event
+//! (cancel-after-fire is a harmless no-op; see `crate::event` for the
+//! tombstone mechanics and the FIFO guarantees around them).
+//!
+//! [`TypedEngine`] is the same clock-plus-queue machinery for simulations
+//! whose events are plain data instead of boxed closures: the owner pops
+//! due events with [`TypedEngine::pop_due`] and dispatches them itself,
+//! which sidesteps the borrow knot of closures that need `&mut` access to
+//! state the engine lives inside (the overlay crate's simulation runs on
+//! this).
 
-use crate::event::{EventQueue, QueueKind};
+use crate::event::{EventKey, EventQueue, QueueKind, Scheduled};
 use crate::time::{SimDuration, SimTime};
 
 /// A schedulable action.
@@ -103,9 +113,10 @@ impl Engine {
         self.stopped
     }
 
-    /// Schedules `action` at absolute time `at`.  Scheduling in the past is a
-    /// logic error and panics to surface protocol bugs early.
-    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    /// Schedules `action` at absolute time `at`, returning its key for
+    /// [`Engine::cancel`].  Scheduling in the past is a logic error and
+    /// panics to surface protocol bugs early.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F) -> EventKey
     where
         F: FnOnce(&mut Engine) + 'static,
     {
@@ -115,16 +126,29 @@ impl Engine {
             at,
             self.now
         );
-        self.queue.push(at, Box::new(action));
+        self.queue.push(at, Box::new(action))
     }
 
-    /// Schedules `action` after the given delay.
-    pub fn schedule_in<F>(&mut self, delay: SimDuration, action: F)
+    /// Schedules `action` after the given delay, returning its key for
+    /// [`Engine::cancel`].
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, action: F) -> EventKey
     where
         F: FnOnce(&mut Engine) + 'static,
     {
         let at = self.now + delay;
-        self.queue.push(at, Box::new(action));
+        self.queue.push(at, Box::new(action))
+    }
+
+    /// Revokes a pending event.  Returns `true` if the event was still
+    /// pending; `false` if it already fired, was already cancelled, or the
+    /// key is otherwise stale (so timeout-vs-reply races need no guard).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key).is_some()
+    }
+
+    /// True if `key` still refers to a pending event.
+    pub fn is_pending(&self, key: EventKey) -> bool {
+        self.queue.is_pending(key)
     }
 
     /// Executes the next pending event, advancing the clock.  Returns `false`
@@ -203,6 +227,153 @@ where
         });
     }
     arm(engine, period, until, tick);
+}
+
+/// Clock-plus-queue engine over plain data events.
+///
+/// Where [`Engine`] owns boxed closures that receive `&mut Engine`,
+/// `TypedEngine` holds an enum (or any payload type) and leaves dispatch to
+/// its owner: the owner's driver loop calls [`TypedEngine::pop_due`] until
+/// it returns `None`, handles each event with full `&mut` access to its own
+/// state, and finishes with [`TypedEngine::advance_clock_to`].  This is the
+/// natural shape when the engine is a *field* of the simulation state (as in
+/// the overlay), where closure events could not borrow the state mutably.
+///
+/// ```
+/// use p2pmpi_simgrid::engine::TypedEngine;
+/// use p2pmpi_simgrid::time::SimTime;
+///
+/// let mut sim: TypedEngine<&str> = TypedEngine::new();
+/// sim.schedule_at(SimTime::from_secs(1), "tick");
+/// let deadline = SimTime::from_secs(5);
+/// while let Some(ev) = sim.pop_due(deadline) {
+///     assert_eq!((ev.time, ev.payload), (SimTime::from_secs(1), "tick"));
+/// }
+/// sim.advance_clock_to(deadline);
+/// assert_eq!(sim.now(), deadline);
+/// ```
+pub struct TypedEngine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Default for TypedEngine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TypedEngine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`] over the
+    /// default binary heap.
+    pub fn new() -> Self {
+        Self::with_queue_kind(QueueKind::BinaryHeap)
+    }
+
+    /// Creates an engine over the given priority structure.
+    pub fn with_queue_kind(kind: QueueKind) -> Self {
+        TypedEngine {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_kind(kind),
+            processed: 0,
+        }
+    }
+
+    /// Creates a pre-sized engine over the given priority structure.
+    pub fn with_capacity_and_kind(capacity: usize, kind: QueueKind) -> Self {
+        TypedEngine {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity_and_kind(capacity, kind),
+            processed: 0,
+        }
+    }
+
+    /// The priority structure the event queue uses.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// Reserves queue capacity for at least `additional` more events.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Firing time of the earliest pending event.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Schedules `event` at absolute time `at`, returning its key for
+    /// [`TypedEngine::cancel`].  Scheduling in the past panics.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past ({} < {})",
+            at,
+            self.now
+        );
+        self.queue.push(at, event)
+    }
+
+    /// Schedules `event` after the given delay, returning its key.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventKey {
+        let at = self.now + delay;
+        self.queue.push(at, event)
+    }
+
+    /// Revokes a pending event, returning its payload; `None` if the key is
+    /// stale (already fired or cancelled).
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        self.queue.cancel(key)
+    }
+
+    /// True if `key` still refers to a pending event.
+    pub fn is_pending(&self, key: EventKey) -> bool {
+        self.queue.is_pending(key)
+    }
+
+    /// Delivers the earliest event due at or before `deadline`, advancing
+    /// the clock to its firing time; `None` once nothing (more) is due.
+    /// The owner's driver loop is `while let Some(ev) = sim.pop_due(t)`,
+    /// followed by [`TypedEngine::advance_clock_to`] so idle time up to the
+    /// deadline also passes.
+    pub fn pop_due(&mut self, deadline: SimTime) -> Option<Scheduled<E>> {
+        match self.queue.peek_time() {
+            Some(t) if t <= deadline => {
+                let ev = self.queue.pop().expect("peek_time found an event");
+                debug_assert!(ev.time >= self.now, "event queue went backwards");
+                self.now = ev.time;
+                self.processed += 1;
+                Some(ev)
+            }
+            _ => None,
+        }
+    }
+
+    /// Raises the clock to `deadline` if it is ahead of `now` (no-op
+    /// otherwise).  Call after draining [`TypedEngine::pop_due`] so repeated
+    /// bounded runs behave like a wall clock.
+    pub fn advance_clock_to(&mut self, deadline: SimTime) {
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -363,5 +534,78 @@ mod tests {
     fn periodic_zero_period_panics() {
         let mut e = Engine::new();
         schedule_periodic(&mut e, SimDuration::ZERO, SimTime::from_secs(1), |_| {});
+    }
+
+    #[test]
+    fn cancelled_closures_do_not_fire() {
+        let mut e = Engine::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        e.schedule_at(SimTime::from_secs(1), move |_| h.borrow_mut().push(1));
+        let h = hits.clone();
+        let doomed = e.schedule_at(SimTime::from_secs(2), move |_| h.borrow_mut().push(2));
+        let h = hits.clone();
+        e.schedule_at(SimTime::from_secs(3), move |_| h.borrow_mut().push(3));
+        assert!(e.is_pending(doomed));
+        assert!(e.cancel(doomed));
+        assert!(!e.is_pending(doomed));
+        assert_eq!(e.run(), 2);
+        assert_eq!(*hits.borrow(), vec![1, 3]);
+        // Cancel-after-fire (and double cancel) are no-ops.
+        assert!(!e.cancel(doomed));
+    }
+
+    #[test]
+    fn typed_engine_runs_a_bounded_driver_loop() {
+        let mut sim: TypedEngine<u32> = TypedEngine::with_queue_kind(QueueKind::Calendar);
+        assert_eq!(sim.queue_kind(), QueueKind::Calendar);
+        for i in 1..=6u32 {
+            sim.schedule_at(SimTime::from_secs(i as u64), i);
+        }
+        let mut seen = Vec::new();
+        let deadline = SimTime::from_secs(4);
+        while let Some(ev) = sim.pop_due(deadline) {
+            assert_eq!(sim.now(), ev.time);
+            seen.push(ev.payload);
+        }
+        sim.advance_clock_to(deadline);
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        assert_eq!(sim.now(), deadline);
+        assert_eq!(sim.pending(), 2);
+        assert_eq!(sim.processed(), 4);
+        // A later deadline picks up the rest; idle time passes afterwards.
+        while let Some(ev) = sim.pop_due(SimTime::from_secs(60)) {
+            seen.push(ev.payload);
+        }
+        sim.advance_clock_to(SimTime::from_secs(60));
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(sim.now(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn typed_engine_cancellation_expresses_rearmed_timeouts() {
+        // The heartbeat/timeout idiom the overlay uses: arm a timeout, then
+        // cancel and re-arm it when the "reply" arrives earlier.
+        let mut sim: TypedEngine<&str> = TypedEngine::new();
+        let timeout = sim.schedule_at(SimTime::from_secs(10), "timeout");
+        sim.schedule_at(SimTime::from_secs(4), "reply");
+        let ev = sim.pop_due(SimTime::MAX).unwrap();
+        assert_eq!(ev.payload, "reply");
+        assert_eq!(sim.cancel(timeout), Some("timeout"));
+        let rearmed = sim.schedule_in(SimDuration::from_secs(10), "timeout");
+        let ev = sim.pop_due(SimTime::MAX).unwrap();
+        assert_eq!((ev.time, ev.payload), (SimTime::from_secs(14), "timeout"));
+        assert!(!sim.is_pending(rearmed));
+        assert!(sim.pop_due(SimTime::MAX).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn typed_engine_rejects_past_scheduling() {
+        let mut sim: TypedEngine<()> = TypedEngine::new();
+        sim.schedule_at(SimTime::from_secs(5), ());
+        while sim.pop_due(SimTime::from_secs(10)).is_some() {}
+        sim.advance_clock_to(SimTime::from_secs(10));
+        sim.schedule_at(SimTime::from_secs(7), ());
     }
 }

@@ -13,8 +13,9 @@
 //!   a sweep-scale simulation produces.
 //!
 //! The queue is generic over the payload type so that the closure-based
-//! [`crate::engine::Engine`] and the typed actor network used by the overlay
-//! crate can share the same ordering semantics.
+//! [`crate::engine::Engine`] and the typed event loop used by the overlay
+//! crate ([`crate::engine::TypedEngine`]) can share the same ordering
+//! semantics.
 //!
 //! # Ordering contract (FIFO tie-break)
 //!
@@ -26,6 +27,26 @@
 //! resize cannot reorder ties.  Simulations rely on this for determinism —
 //! e.g. an "arrival" and the "probe" it schedules at the same instant must
 //! always fire in that order — and `ties_are_fifo*` pins the contract.
+//!
+//! # Cancellation and its interaction with FIFO ordering
+//!
+//! [`EventQueue::push`] returns the payload's [`EventKey`];
+//! [`EventQueue::cancel`] revokes a pending event by that key and hands the
+//! payload back.  Cancellation never touches the priority structures: the
+//! payload slot is turned into a **tombstone** and the 24-byte ticket stays
+//! queued until its firing time comes up, at which point the pop loop
+//! discards it and recycles the slot.  Because no ticket is ever removed or
+//! re-inserted out of band, the `(time, seq)` order of the *surviving*
+//! events — including FIFO among equal instants — is exactly the order they
+//! were originally pushed in; cancelling an event can never reorder its
+//! neighbours (`cancel_preserves_fifo_around_tombstones` pins this).
+//!
+//! Keys are generation-stamped: once an event has fired or been cancelled,
+//! its key is stale, and cancelling a stale key is a harmless no-op that
+//! returns `None` — even if the underlying slot has since been recycled for
+//! a newer event.  This is what makes "cancel the timeout when the reply
+//! arrives" races safe to express: the late cancel of an already-fired
+//! timeout cannot revoke an unrelated event.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -35,26 +56,52 @@ use std::collections::BinaryHeap;
 // EventStore: slab-allocated payloads behind stable keys
 // ---------------------------------------------------------------------------
 
-/// Compact handle to a payload inside an [`EventStore`].
+/// Compact generation-stamped handle to a payload inside an [`EventStore`].
+///
+/// A key is *live* from [`EventStore::insert`] until the payload leaves the
+/// store (fired via `take`/`resolve`, or revoked via `cancel`).  Stale keys
+/// are harmless: the generation stamp lets the store tell a recycled slot
+/// from the original occupant, so `cancel` with a stale key is a no-op
+/// instead of revoking an unrelated newer event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventKey(u32);
+pub struct EventKey {
+    index: u32,
+    generation: u32,
+}
 
 impl EventKey {
     /// Raw slot index (exposed for diagnostics).
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.index as usize
+    }
+
+    /// The slot generation this key refers to (exposed for diagnostics).
+    pub fn generation(self) -> u32 {
+        self.generation
     }
 }
 
 /// Sentinel for "no free slot" in the intrusive free list.
 const NO_FREE_SLOT: u32 = u32::MAX;
 
-/// One slab slot: occupied by a payload, or vacant and threading the
-/// intrusive free list (so freeing and reusing a slot touches exactly one
-/// cache line — no side array of free indices).
-enum Slot<E> {
+/// Payload state of one slab slot.
+enum SlotState<E> {
+    /// Free and threading the intrusive free list (so freeing and reusing a
+    /// slot touches exactly one cache line — no side array of free indices).
     Vacant { next_free: u32 },
+    /// Holding a pending event's payload.
     Occupied(E),
+    /// Cancelled: the payload is gone but a ticket in some priority
+    /// structure still points here, so the slot cannot be recycled until
+    /// that ticket is popped and discarded.
+    Tombstone,
+}
+
+/// One slab slot: its payload state plus the generation counter that
+/// invalidates stale [`EventKey`]s once the slot is recycled.
+struct Slot<E> {
+    generation: u32,
+    state: SlotState<E>,
 }
 
 /// Arena of event payloads with free-slot recycling.
@@ -64,10 +111,15 @@ enum Slot<E> {
 /// events are *simultaneously* pending than ever before, so a steady-state
 /// simulation reaches a high-water mark once and then allocates nothing
 /// further for bookkeeping.
+///
+/// `cancel` removes a payload *without* freeing the slot (leaving a
+/// tombstone for the priority structure's ticket to collect later); slots
+/// carry a generation counter so keys cannot alias across recycling.
 pub struct EventStore<E> {
     slots: Vec<Slot<E>>,
     free_head: u32,
     live: usize,
+    tombstones: usize,
 }
 
 impl<E> Default for EventStore<E> {
@@ -83,6 +135,7 @@ impl<E> EventStore<E> {
             slots: Vec::new(),
             free_head: NO_FREE_SLOT,
             live: 0,
+            tombstones: 0,
         }
     }
 
@@ -92,15 +145,17 @@ impl<E> EventStore<E> {
             slots: Vec::with_capacity(cap),
             free_head: NO_FREE_SLOT,
             live: 0,
+            tombstones: 0,
         }
     }
 
     /// Reserves room for at least `additional` more simultaneous payloads.
     /// Inserts fill vacant slots before growing, so only the shortfall past
     /// the vacant count needs backing capacity (`Vec::reserve` already
-    /// accounts for capacity beyond the current length).
+    /// accounts for capacity beyond the current length).  Tombstoned slots
+    /// count as unavailable: they only free up when their ticket is popped.
     pub fn reserve(&mut self, additional: usize) {
-        let vacant = self.slots.len() - self.live;
+        let vacant = self.slots.len() - self.live - self.tombstones;
         self.slots.reserve(additional.saturating_sub(vacant));
     }
 
@@ -125,49 +180,124 @@ impl<E> EventStore<E> {
         self.live += 1;
         let idx = self.free_head;
         if idx != NO_FREE_SLOT {
-            match std::mem::replace(&mut self.slots[idx as usize], Slot::Occupied(payload)) {
-                Slot::Vacant { next_free } => self.free_head = next_free,
-                Slot::Occupied(_) => unreachable!("free list points at an occupied slot"),
+            let slot = &mut self.slots[idx as usize];
+            match std::mem::replace(&mut slot.state, SlotState::Occupied(payload)) {
+                SlotState::Vacant { next_free } => self.free_head = next_free,
+                _ => unreachable!("free list points at a non-vacant slot"),
             }
-            EventKey(idx)
+            EventKey {
+                index: idx,
+                generation: slot.generation,
+            }
         } else {
             let idx = u32::try_from(self.slots.len()).expect("event store exceeds u32 slots");
             assert!(idx != NO_FREE_SLOT, "event store exceeds u32 slots");
-            self.slots.push(Slot::Occupied(payload));
-            EventKey(idx)
+            self.slots.push(Slot {
+                generation: 0,
+                state: SlotState::Occupied(payload),
+            });
+            EventKey {
+                index: idx,
+                generation: 0,
+            }
         }
+    }
+
+    /// Marks `key`'s slot vacant and threads it onto the free list, bumping
+    /// the generation so stale keys to this slot can never match again.
+    #[inline]
+    fn vacate(&mut self, index: u32) {
+        let slot = &mut self.slots[index as usize];
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.state = SlotState::Vacant {
+            next_free: self.free_head,
+        };
+        self.free_head = index;
     }
 
     /// Removes and returns the payload behind `key`.
     ///
     /// # Panics
     ///
-    /// Panics if the key has already been taken (a double-free of a slot is a
-    /// queue bug, never a user error).
+    /// Panics if the key is stale (fired, cancelled, or recycled) — a
+    /// double-take of a slot is a queue bug, never a user error.  Callers
+    /// racing against cancellation should use [`EventStore::resolve`].
     #[inline]
     pub fn take(&mut self, key: EventKey) -> E {
-        let vacant = Slot::Vacant {
-            next_free: self.free_head,
-        };
-        match std::mem::replace(&mut self.slots[key.0 as usize], vacant) {
-            Slot::Occupied(payload) => {
-                self.free_head = key.0;
+        self.resolve(key).expect("event key taken twice")
+    }
+
+    /// Collects the payload behind a popped ticket's key.
+    ///
+    /// Returns the payload if the slot is live, or `None` if the event was
+    /// cancelled in the meantime (the tombstone is recycled either way).
+    /// Stale-generation keys also return `None` without touching the slot.
+    #[inline]
+    pub fn resolve(&mut self, key: EventKey) -> Option<E> {
+        let slot = self.slots.get_mut(key.index as usize)?;
+        if slot.generation != key.generation {
+            return None;
+        }
+        match std::mem::replace(&mut slot.state, SlotState::Tombstone) {
+            SlotState::Occupied(payload) => {
                 self.live -= 1;
-                payload
+                self.vacate(key.index);
+                Some(payload)
             }
-            Slot::Vacant { next_free } => {
-                // Restore the list before surfacing the bug.
-                self.slots[key.0 as usize] = Slot::Vacant { next_free };
-                panic!("event key taken twice");
+            SlotState::Tombstone => {
+                self.tombstones -= 1;
+                self.vacate(key.index);
+                None
+            }
+            SlotState::Vacant { next_free } => {
+                // Same generation but vacant cannot happen (vacating bumps
+                // the generation); restore the state before surfacing it.
+                self.slots[key.index as usize].state = SlotState::Vacant { next_free };
+                unreachable!("live-generation key points at a vacant slot")
             }
         }
     }
 
-    /// Discards all payloads and recycles every slot.
+    /// Revokes the payload behind `key` without recycling the slot: the slot
+    /// becomes a tombstone that the priority structure's ticket collects on
+    /// pop.  Returns `None` (and changes nothing) if the key is stale.
+    #[inline]
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        let slot = self.slots.get_mut(key.index as usize)?;
+        if slot.generation != key.generation {
+            return None;
+        }
+        match std::mem::replace(&mut slot.state, SlotState::Tombstone) {
+            SlotState::Occupied(payload) => {
+                self.live -= 1;
+                self.tombstones += 1;
+                Some(payload)
+            }
+            other => {
+                // Already a tombstone (double cancel) — put it back.
+                slot.state = other;
+                None
+            }
+        }
+    }
+
+    /// True if `key` still refers to a pending (not fired, not cancelled)
+    /// payload.
+    #[inline]
+    pub fn is_live(&self, key: EventKey) -> bool {
+        self.slots
+            .get(key.index as usize)
+            .map(|s| s.generation == key.generation && matches!(s.state, SlotState::Occupied(_)))
+            .unwrap_or(false)
+    }
+
+    /// Discards all payloads and recycles every slot.  All outstanding keys
+    /// become invalid (the slot table is rebuilt from generation 0).
     pub fn clear(&mut self) {
         self.slots.clear();
         self.free_head = NO_FREE_SLOT;
         self.live = 0;
+        self.tombstones = 0;
     }
 }
 
@@ -267,10 +397,6 @@ impl CalendarQueue {
             current: 0,
             year_end: width.max(1) as u128,
         }
-    }
-
-    fn len(&self) -> usize {
-        self.len
     }
 
     #[inline]
@@ -438,13 +564,6 @@ impl TicketQueue {
         }
     }
 
-    fn len(&self) -> usize {
-        match self {
-            TicketQueue::Heap(h) => h.len(),
-            TicketQueue::Calendar(c) => c.len(),
-        }
-    }
-
     fn clear(&mut self) {
         match self {
             TicketQueue::Heap(h) => h.clear(),
@@ -541,37 +660,74 @@ impl<E> EventQueue<E> {
         self.store.capacity()
     }
 
-    /// Schedules `payload` to fire at `time`.
+    /// Schedules `payload` to fire at `time` and returns the key under which
+    /// it can be [`EventQueue::cancel`]led while still pending.
     #[inline]
-    pub fn push(&mut self, time: SimTime, payload: E) {
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
         let key = self.store.insert(payload);
         self.tickets.push(Ticket { time, seq, key });
+        key
     }
 
-    /// Removes and returns the earliest event, if any.
+    /// Revokes a pending event, returning its payload.  Returns `None` if
+    /// the key is stale — the event already fired, was already cancelled, or
+    /// the queue was cleared — making cancel-after-fire races harmless.
+    ///
+    /// The event's ticket stays in the priority structure as a tombstone
+    /// until its firing time comes up; see the module docs for why this
+    /// preserves the FIFO ordering contract.
+    #[inline]
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        self.store.cancel(key)
+    }
+
+    /// True if `key` still refers to a pending event.
+    pub fn is_pending(&self, key: EventKey) -> bool {
+        self.store.is_live(key)
+    }
+
+    /// Removes and returns the earliest pending event, if any.  Tombstones
+    /// left by cancellation are discarded (and their slots recycled) on the
+    /// way.
     #[inline]
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.tickets.pop().map(|t| Scheduled {
-            time: t.time,
-            payload: self.store.take(t.key),
-        })
+        while let Some(t) = self.tickets.pop() {
+            if let Some(payload) = self.store.resolve(t.key) {
+                return Some(Scheduled {
+                    time: t.time,
+                    payload,
+                });
+            }
+        }
+        None
     }
 
-    /// Firing time of the earliest pending event, if any.
+    /// Firing time of the earliest pending event, if any.  Tombstoned
+    /// tickets encountered at the front are discarded eagerly, so the
+    /// returned time always belongs to an event `pop` would deliver.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.tickets.peek().map(|t| t.time)
+        while let Some(t) = self.tickets.peek() {
+            if self.store.is_live(t.key) {
+                return Some(t.time);
+            }
+            let t = self.tickets.pop().expect("peek found a ticket");
+            let cancelled = self.store.resolve(t.key);
+            debug_assert!(cancelled.is_none(), "live ticket discarded by peek");
+        }
+        None
     }
 
-    /// Number of pending events.
+    /// Number of pending events (cancelled events no longer count, even
+    /// while their tombstoned tickets await collection).
     pub fn len(&self) -> usize {
-        self.tickets.len()
+        self.store.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.tickets.len() == 0
+        self.len() == 0
     }
 
     /// Discards all pending events.
@@ -773,6 +929,141 @@ mod tests {
         // Ten rounds of 64 events never grow the store past its capacity.
         assert_eq!(q.capacity(), 64);
         assert_eq!(q.scheduled_count(), 640);
+    }
+
+    #[test]
+    fn cancel_before_fire_removes_the_event() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let _a = q.push(SimTime::from_millis(1), "a");
+            let b = q.push(SimTime::from_millis(2), "b");
+            let _c = q.push(SimTime::from_millis(3), "c");
+            assert!(q.is_pending(b));
+            assert_eq!(q.cancel(b), Some("b"), "{kind:?}");
+            assert!(!q.is_pending(b));
+            assert_eq!(q.len(), 2, "{kind:?}");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+            assert_eq!(order, vec!["a", "c"], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_noop() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let a = q.push(SimTime::from_millis(1), "a");
+            assert_eq!(q.pop().unwrap().payload, "a");
+            // The key is stale: cancelling it must return None and leave the
+            // queue untouched.
+            assert_eq!(q.cancel(a), None, "{kind:?}");
+            assert!(q.is_empty());
+            // Double cancel is equally harmless.
+            let b = q.push(SimTime::from_millis(2), "b");
+            assert_eq!(q.cancel(b), Some("b"));
+            assert_eq!(q.cancel(b), None, "{kind:?}");
+            assert!(q.pop().is_none(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn cancelled_key_cannot_revoke_a_recycled_slot() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let a = q.push(SimTime::from_millis(1), "a");
+            assert_eq!(q.pop().unwrap().payload, "a");
+            // The new event recycles a's slot (same index, new generation).
+            let b = q.push(SimTime::from_millis(2), "b");
+            assert_eq!(b.index(), a.index());
+            assert_ne!(b.generation(), a.generation());
+            // Cancelling the stale key must not revoke b.
+            assert_eq!(q.cancel(a), None, "{kind:?}");
+            assert_eq!(q.pop().unwrap().payload, "b", "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn cancel_preserves_fifo_around_tombstones() {
+        // The FIFO contract (module docs): cancelling an event must not
+        // reorder the survivors of its tie group, even across interleaved
+        // pushes, pops, and calendar resizes.
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_secs(1);
+            let keys: Vec<_> = (0..200usize).map(|i| q.push(t, i)).collect();
+            // Tombstone every third event, including the very first.
+            for (i, &k) in keys.iter().enumerate() {
+                if i % 3 == 0 {
+                    assert_eq!(q.cancel(k), Some(i));
+                }
+            }
+            // Interleave a later tie group before draining.
+            let t2 = SimTime::from_secs(2);
+            let late_keys: Vec<_> = (200..260usize).map(|i| q.push(t2, i)).collect();
+            assert_eq!(q.cancel(late_keys[0]), Some(200));
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+            let expected: Vec<usize> = (0..200).filter(|i| i % 3 != 0).chain(201..260).collect();
+            assert_eq!(order, expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let a = q.push(SimTime::from_millis(1), "a");
+            q.push(SimTime::from_millis(5), "b");
+            assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+            q.cancel(a);
+            // peek must report b's time, not the tombstone's.
+            assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)), "{kind:?}");
+            assert_eq!(q.pop().unwrap().payload, "b");
+            assert_eq!(q.peek_time(), None);
+        }
+    }
+
+    #[test]
+    fn calendar_agrees_with_heap_on_random_workloads_with_cancellation() {
+        // Heap/calendar equivalence under a workload that cancels a third of
+        // what it schedules: both kinds must deliver identical survivors.
+        for trial in 0..4u64 {
+            let mut rng = seeded(0xCA2CE1 + trial);
+            let mut heap = EventQueue::with_kind(QueueKind::BinaryHeap);
+            let mut cal = EventQueue::with_kind(QueueKind::Calendar);
+            let mut pending: Vec<(EventKey, EventKey)> = Vec::new();
+            let mut floor = 0u64;
+            for op in 0..3_000u32 {
+                let roll = rng.gen_range(0u32..100);
+                if roll < 55 || heap.is_empty() {
+                    let t = floor + rng.gen_range(0u64..50_000_000);
+                    let hk = heap.push(SimTime::from_nanos(t), op);
+                    let ck = cal.push(SimTime::from_nanos(t), op);
+                    pending.push((hk, ck));
+                } else if roll < 75 && !pending.is_empty() {
+                    let idx = rng.gen_range(0..pending.len());
+                    let (hk, ck) = pending.swap_remove(idx);
+                    // Keys may be stale (already fired); both queues must
+                    // agree on whether the cancel took effect.
+                    assert_eq!(heap.cancel(hk), cal.cancel(ck), "trial {trial}");
+                } else {
+                    let a = heap.pop();
+                    let b = cal.pop();
+                    assert_eq!(
+                        a.as_ref().map(|s| (s.time, s.payload)),
+                        b.as_ref().map(|s| (s.time, s.payload)),
+                        "trial {trial}"
+                    );
+                    if let Some(s) = a {
+                        floor = s.time.as_nanos();
+                    }
+                }
+                assert_eq!(heap.len(), cal.len(), "trial {trial}");
+            }
+            while let Some(a) = heap.pop() {
+                let b = cal.pop().expect("calendar drained early");
+                assert_eq!((a.time, a.payload), (b.time, b.payload), "trial {trial}");
+            }
+            assert!(cal.pop().is_none());
+        }
     }
 
     #[test]
