@@ -3,9 +3,9 @@
 //!
 //! ```text
 //! cargo run --release -p p2pmpi-bench --bin fig23_sweep -- \
-//!     [--strategy concentrate|spread|both] [--queue calendar|heap] \
+//!     [--strategy concentrate|spread|both] [--queue ladder|calendar|heap] \
 //!     [--seed N] [--compress F] [--rate-scale F] [--duration-scale F] \
-//!     [--sample-secs S] [--ranks a,b,c]
+//!     [--sample-secs S] [--ranks a,b,c] [--churn F]
 //! ```
 //!
 //! Where the paper's Figures 2 and 3 submit one job at a time and plot where
@@ -23,51 +23,79 @@
 //! # The driver loop
 //!
 //! The whole run is one discrete-event simulation on the overlay's
-//! calendar-queue timeline (`--queue heap` opts back into the binary heap
-//! for comparison; see `perf_report`'s `sweep_engine` section):
+//! ladder-queue timeline (`--queue calendar|heap` opts into the other
+//! structures for comparison; see `perf_report`'s `sweep_engine` and
+//! `timeout_timeline` sections):
 //!
 //! 1. The trace is materialised up front ([`p2pmpi_bench::workload::day_trace`]):
 //!    arrival instants from the piecewise-rate profile, job shapes (rank
 //!    count, EP vs IS kernel) from the mix.
 //! 2. For each job, `Overlay::run_until(job.at)` delivers everything due
 //!    first — job completions, heartbeat rounds, periodic cache refreshes,
-//!    reservation-expiry sweeps — so the allocator sees exactly the overlay
-//!    state a live system would have at that instant.
-//! 3. The job is submitted through `CoAllocator::allocate`.  On success its
-//!    **modeled** kernel duration (the LogGP analytical backend on the
-//!    job's real placement) is charged as a hold, and an
-//!    `Overlay::schedule_completion` event frees the booked hosts when it
-//!    elapses.  On refusal (gatekeepers busy, infeasible) the job counts as
-//!    failed — burst-hour refusals are part of the narrative.
+//!    reservation-expiry sweeps, churn — so the allocator sees exactly the
+//!    overlay state a live system would have at that instant.
+//! 3. The job is submitted through `CoAllocator::allocate`.  The brokering
+//!    step is event-driven: every reservation request arms a timeout event
+//!    that the simulated reply cancels, so the clock genuinely waits out
+//!    dead peers' timeouts.  On success the job's **modeled** kernel
+//!    duration (the LogGP analytical backend on the job's real placement)
+//!    is charged as a hold, and an `Overlay::schedule_completion` event
+//!    frees the booked hosts when it elapses.  On refusal (gatekeepers
+//!    busy, infeasible) the job counts as failed — burst-hour refusals are
+//!    part of the narrative.
 //! 4. Utilisation is sampled every `--sample-secs` by reading each RS's
 //!    running-process count, grouped by site.
 //!
 //! `--compress 24 --rate-scale 0.05` replays the full day's burst shape in
-//! one virtual hour at ~1k jobs — the CI smoke configuration.
+//! one virtual hour at ~1k jobs — the CI smoke configuration.  `--churn F`
+//! adds the dead-peer flapping scenario (fraction `F` of peers on the
+//! default down/up cycle, compressed with the profile): booked-but-dead
+//! peers park full `rs_timeout` stalls on the timeline, the timeout-heavy
+//! population the ladder queue exists for.
 
 use p2pmpi_bench::cliargs::{day_sweep_flags, DaySweepFlags};
-use p2pmpi_bench::workload::{run_day_sweep, DaySweepConfig, DaySweepResult, JobMix};
+use p2pmpi_bench::workload::{
+    run_day_sweep, DaySweepConfig, DaySweepResult, DeadPeerChurn, JobMix,
+};
 use p2pmpi_core::strategy::StrategyKind;
 use p2pmpi_simgrid::event::QueueKind;
 use p2pmpi_simgrid::time::SimDuration;
 use std::time::Instant;
 
 fn config_for(strategy: StrategyKind, flags: &DaySweepFlags) -> DaySweepConfig {
-    let mut cfg = DaySweepConfig::new(strategy);
+    // --churn F opts into the dead-peer scenario wholesale (flapping peers,
+    // fast cache refresh) with only the flapping fraction overridden, so
+    // the CLI cannot drift from the named scenario the tests and
+    // perf_report gate on.
+    let mut cfg = match flags.churn {
+        Some(fraction) => {
+            if !(0.0..=1.0).contains(&fraction) {
+                eprintln!("--churn takes a fraction in [0, 1], got {fraction}");
+                std::process::exit(2);
+            }
+            let mut cfg = DaySweepConfig::dead_peer_day(strategy);
+            cfg.churn = Some(DeadPeerChurn {
+                fraction,
+                ..DeadPeerChurn::default()
+            });
+            cfg
+        }
+        None => DaySweepConfig::new(strategy),
+    };
     cfg.seed = flags.seed;
     cfg.queue = match flags.queue.as_str() {
         "calendar" => QueueKind::Calendar,
         "heap" => QueueKind::BinaryHeap,
+        "ladder" => QueueKind::Ladder,
         other => {
-            eprintln!("unknown --queue {other:?} (expected calendar|heap)");
+            eprintln!("unknown --queue {other:?} (expected calendar|heap|ladder)");
             std::process::exit(2);
         }
     };
     if let Some(f) = flags.compress {
-        cfg.profile = cfg.profile.compressed(f);
-        // Keep the sample count comparable when the day is compressed.
-        cfg.sample_period =
-            SimDuration::from_secs_f64((cfg.sample_period.as_secs_f64() / f).max(1.0));
+        // Compresses the churn cycle and refresh cadence along with the
+        // profile, preserving the per-job timeout pressure.
+        cfg = cfg.compress(f);
     }
     if let Some(f) = flags.rate_scale {
         cfg.profile = cfg.profile.scaled(f);
@@ -117,11 +145,12 @@ fn print_result(name: &str, result: &DaySweepResult, wall_ms: f64) {
     println!();
 
     eprintln!(
-        "# {name}: {} submitted, {} succeeded, {} failed, mean hold {:.1}s, \
-         {} timeline events, virtual end {:.0}s, wall {wall_ms:.0}ms",
+        "# {name}: {} submitted, {} succeeded, {} failed, {} reservation timeouts, \
+         mean hold {:.1}s, {} timeline events, virtual end {:.0}s, wall {wall_ms:.0}ms",
         result.submitted,
         result.succeeded,
         result.failed,
+        result.timeouts,
         result.mean_hold_secs,
         result.events_processed,
         result.virtual_end.as_secs_f64(),

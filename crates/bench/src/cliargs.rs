@@ -102,8 +102,8 @@ pub struct DaySweepFlags {
     /// `--strategy concentrate|spread|both`: which runs to perform
     /// (default both, like Figures 2 and 3 side by side).
     pub strategy: String,
-    /// `--queue heap|calendar`: event-queue kind (default calendar, the
-    /// sweep default).
+    /// `--queue heap|calendar|ladder`: event-queue kind (default ladder,
+    /// the sweep default for the timeout-heavy timeline).
     pub queue: String,
     /// `--seed N`: master seed (default 2008).
     pub seed: u64,
@@ -119,19 +119,23 @@ pub struct DaySweepFlags {
     /// `--ranks a,b,c`: rank palette jobs draw from (default 8,32,64,128,
     /// the `JobMix::default` palette).
     pub ranks: Option<Vec<u32>>,
+    /// `--churn F`: enable the dead-peer flapping scenario with fraction
+    /// `F` of peers on the default down/up cycle (timeout-heavy trace).
+    pub churn: Option<f64>,
 }
 
 /// Parses the `fig23_sweep` flags.
 pub fn day_sweep_flags() -> DaySweepFlags {
     DaySweepFlags {
         strategy: flag_value("--strategy").unwrap_or_else(|| "both".to_string()),
-        queue: flag_value("--queue").unwrap_or_else(|| "calendar".to_string()),
+        queue: flag_value("--queue").unwrap_or_else(|| "ladder".to_string()),
         seed: flag_u64("--seed").unwrap_or(2008),
         compress: flag_f64("--compress"),
         rate_scale: flag_f64("--rate-scale"),
         duration_scale: flag_f64("--duration-scale"),
         sample_secs: flag_u64("--sample-secs"),
         ranks: flag_value("--ranks").map(|v| parse_u32_list(&v, "--ranks")),
+        churn: flag_f64("--churn"),
     }
 }
 

@@ -25,6 +25,7 @@ use crate::experiments::{run_kernel_on_placement, Fig4Kernel, Fig4Settings};
 use p2pmpi_core::prelude::*;
 use p2pmpi_grid5000::testbed::{grid5000_testbed_with_queue, Grid5000Testbed};
 use p2pmpi_mpi::placement::Placement;
+use p2pmpi_overlay::churn::flapping_churn;
 use p2pmpi_simgrid::event::QueueKind;
 use p2pmpi_simgrid::noise::NoiseModel;
 use p2pmpi_simgrid::rngutil::{derive_seed, seeded};
@@ -386,15 +387,44 @@ pub fn day_trace(profile: &DayProfile, mix: &JobMix, seed: u64) -> Vec<JobSpec> 
 // The day-scale sweep driver
 // ---------------------------------------------------------------------------
 
+/// Flapping-churn fault injection for a day sweep (see
+/// [`p2pmpi_overlay::churn::flapping_churn`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DeadPeerChurn {
+    /// Fraction of peers that flap (the submitter is never selected —
+    /// it is excluded from the candidate list).
+    pub fraction: f64,
+    /// How long a flapping peer stays dead per cycle.
+    pub downtime: SimDuration,
+    /// How long it stays alive per cycle.
+    pub uptime: SimDuration,
+}
+
+impl Default for DeadPeerChurn {
+    /// ~25% of peers flapping on a 5-minute-down / 10-minute-up cycle:
+    /// roughly 8% of the overlay is dead at any instant, and every refresh
+    /// keeps re-introducing flapped peers to the submitter's cache.
+    fn default() -> Self {
+        DeadPeerChurn {
+            fraction: 0.25,
+            downtime: SimDuration::from_secs(300),
+            uptime: SimDuration::from_secs(600),
+        }
+    }
+}
+
 /// Configuration of one [`run_day_sweep`] run.
 #[derive(Debug, Clone)]
 pub struct DaySweepConfig {
     /// Allocation strategy every job uses.
     pub strategy: StrategyKind,
-    /// Priority structure backing the overlay's event timeline
-    /// ([`QueueKind::Calendar`] is the sweep default).
+    /// Priority structure backing the overlay's event timeline.
+    /// [`QueueKind::Ladder`] is the sweep default: with per-reservation
+    /// timeouts the pending population is trimodal (millisecond replies,
+    /// the 2 s timeout window, minute-to-hour completions) and the
+    /// calendar's uniform bucket width degrades on that skew.
     pub queue: QueueKind,
-    /// Master seed (testbed noise, arrivals, job mix).
+    /// Master seed (testbed noise, arrivals, job mix, churn phases).
     pub seed: u64,
     /// The arrival profile to replay.
     pub profile: DayProfile,
@@ -405,21 +435,65 @@ pub struct DaySweepConfig {
     pub duration_scale: f64,
     /// Period of the per-site utilisation samples.
     pub sample_period: SimDuration,
+    /// Optional flapping churn: dead peers make booked reservation requests
+    /// park a full `rs_timeout` on the timeline.
+    pub churn: Option<DeadPeerChurn>,
+    /// Period of the submitter's supernode cache refresh (how quickly
+    /// flapped peers re-enter the booking order after step 5 dropped them).
+    pub cache_refresh: SimDuration,
 }
 
 impl DaySweepConfig {
-    /// The day-scale defaults: calendar queue, the paper-day profile, the
-    /// default job mix, 5-minute utilisation samples.
+    /// The day-scale defaults: ladder queue, the paper-day profile, the
+    /// default job mix, 5-minute utilisation samples, no churn.
     pub fn new(strategy: StrategyKind) -> Self {
         DaySweepConfig {
             strategy,
-            queue: QueueKind::Calendar,
+            queue: QueueKind::Ladder,
             seed: 2008,
             profile: DayProfile::paper_day(),
             mix: JobMix::default(),
             duration_scale: 1.0,
             sample_period: SimDuration::from_secs(300),
+            churn: None,
+            cache_refresh: SimDuration::from_secs(600),
         }
+    }
+
+    /// The churn-heavy dead-peer day: the paper-day trace with
+    /// [`DeadPeerChurn::default`] flapping and a fast (2-minute) cache
+    /// refresh, so the submitter keeps re-learning — and re-booking — peers
+    /// that are currently dead.  Every such booking parks an `rs_timeout`
+    /// on the timeline while replies resolve in milliseconds: the resulting
+    /// event population is the heavily skewed shape the ladder queue
+    /// ([`QueueKind::Ladder`], this config's default) exists for.
+    pub fn dead_peer_day(strategy: StrategyKind) -> Self {
+        DaySweepConfig {
+            churn: Some(DeadPeerChurn::default()),
+            cache_refresh: SimDuration::from_secs(120),
+            ..Self::new(strategy)
+        }
+    }
+
+    /// Compresses the whole scenario in time by `factor`: the arrival
+    /// profile ([`DayProfile::compressed`]), the churn cycle, the
+    /// cache-refresh period and the sample period all shrink together, so
+    /// the day's per-job pressure (timeouts per job, refusals, burst shape)
+    /// is preserved in `1/factor` of the virtual time.  `rs_timeout` is a
+    /// protocol constant and does *not* compress: relative to a compressed
+    /// day the 2 s timeout window widens, which makes compressed traces the
+    /// natural stress test for skew-sensitive queue structures.
+    pub fn compress(mut self, factor: f64) -> Self {
+        let shrink =
+            |d: SimDuration| SimDuration::from_secs_f64((d.as_secs_f64() / factor).max(1.0));
+        self.profile = self.profile.compressed(factor);
+        self.sample_period = shrink(self.sample_period);
+        self.cache_refresh = shrink(self.cache_refresh);
+        if let Some(churn) = &mut self.churn {
+            churn.downtime = shrink(churn.downtime);
+            churn.uptime = shrink(churn.uptime);
+        }
+        self
     }
 }
 
@@ -449,12 +523,37 @@ pub struct DaySweepResult {
     pub succeeded: usize,
     /// Jobs refused (infeasible or start failures under load/churn).
     pub failed: usize,
+    /// Reservation timeouts observed on the timeline (dead booked peers)
+    /// across the whole trace — each one parked a full `rs_timeout` event.
+    pub timeouts: u64,
     /// Mean hold duration charged per successful job (seconds).
     pub mean_hold_secs: f64,
     /// Events delivered on the overlay timeline.
     pub events_processed: u64,
     /// The virtual clock when the trace ended.
     pub virtual_end: SimTime,
+    /// Timeline payload-slot capacity sampled halfway through the trace
+    /// (after the morning burst set the high-water mark) and at the end.
+    /// An equal pair means the steady state allocated no event storage.
+    pub events_capacity_mid: usize,
+    /// See [`DaySweepResult::events_capacity_mid`].
+    pub events_capacity_end: usize,
+    /// Brokering scratch capacity at the same two instants: the
+    /// pending-reply bookkeeping of `Overlay::rs_send` must not re-allocate
+    /// per request once warm.
+    pub rs_scratch_capacity_mid: usize,
+    /// See [`DaySweepResult::rs_scratch_capacity_mid`].
+    pub rs_scratch_capacity_end: usize,
+}
+
+impl DaySweepResult {
+    /// True if neither the event store nor the brokering scratch allocated
+    /// after the mid-trace sample — the allocation-free steady state the
+    /// brokering hot path promises.
+    pub fn steady_state_alloc_free(&self) -> bool {
+        self.events_capacity_mid == self.events_capacity_end
+            && self.rs_scratch_capacity_mid == self.rs_scratch_capacity_end
+    }
 }
 
 impl DaySweepResult {
@@ -491,8 +590,28 @@ pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
     tb.overlay
         .start_reservation_expiry(SimDuration::from_secs(60), SimDuration::from_secs(120));
     let submitter = tb.submitter;
-    tb.overlay
-        .start_cache_refresh(submitter, SimDuration::from_secs(600));
+    tb.overlay.start_cache_refresh(submitter, cfg.cache_refresh);
+
+    // Flapping churn rides the same timeline: booked-but-dead peers park a
+    // full rs_timeout each (the timeout-heavy skewed population).
+    if let Some(churn) = &cfg.churn {
+        let peers: Vec<_> = tb
+            .overlay
+            .peer_ids()
+            .into_iter()
+            .filter(|&p| p != submitter)
+            .collect();
+        let mut churn_rng = seeded(derive_seed(cfg.seed, 0xF1A9));
+        let schedule = flapping_churn(
+            &peers,
+            churn.fraction,
+            cfg.profile.horizon(),
+            churn.downtime,
+            churn.uptime,
+            &mut churn_rng,
+        );
+        tb.overlay.schedule_churn(schedule.finish());
+    }
 
     let allocator = CoAllocator::new();
     let settings = Fig4Settings {
@@ -516,6 +635,7 @@ pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
     let mut hold_secs_total = 0.0f64;
     let mut succeeded = 0usize;
     let mut failed = 0usize;
+    let mut timeouts = 0u64;
 
     let sample_due = |tb: &mut Grid5000Testbed,
                       upto: SimTime,
@@ -531,11 +651,41 @@ pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
         }
     };
 
-    for job in &trace {
+    // Under churn the submitter re-probes on the refresh cadence, exactly
+    // like its bootstrap did: freshly (re-)learned peers re-enter the
+    // booking order by measured latency instead of parking unprobed at the
+    // back.  This is what keeps flapping peers *bookable* — and their dead
+    // phases parking rs_timeout events on the timeline.  Driven from the
+    // submission loop (not a scheduled event) so the probe RNG draws happen
+    // at job boundaries, identically for every queue kind.
+    let mut next_probe = if cfg.churn.is_some() {
+        Some(SimTime::ZERO + cfg.cache_refresh)
+    } else {
+        None
+    };
+
+    let mid_job = trace.len() / 2;
+    let mut mid_caps = (0usize, 0usize);
+    for (i, job) in trace.iter().enumerate() {
+        if i == mid_job {
+            mid_caps = (
+                tb.overlay.events_capacity(),
+                tb.overlay.rs_scratch_capacity(),
+            );
+        }
         sample_due(&mut tb, job.at, &mut next_sample, &mut samples);
         tb.overlay.run_until(job.at);
+        if let Some(due) = &mut next_probe {
+            if tb.overlay.now() >= *due {
+                tb.overlay.probe_round(submitter);
+                while *due <= tb.overlay.now() {
+                    *due += cfg.cache_refresh;
+                }
+            }
+        }
         let request = JobRequest::new(job.ranks, cfg.strategy, job.kernel.program());
         let report = allocator.allocate(&mut tb.overlay, tb.submitter, &request);
+        timeouts += report.dead as u64;
         match &report.outcome {
             Ok(alloc) => {
                 succeeded += 1;
@@ -574,9 +724,14 @@ pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
         submitted: trace.len(),
         succeeded,
         failed,
+        timeouts,
         mean_hold_secs: hold_secs_total / succeeded.max(1) as f64,
         events_processed: tb.overlay.events_processed(),
         virtual_end: tb.overlay.now(),
+        events_capacity_mid: mid_caps.0,
+        events_capacity_end: tb.overlay.events_capacity(),
+        rs_scratch_capacity_mid: mid_caps.1,
+        rs_scratch_capacity_end: tb.overlay.rs_scratch_capacity(),
     }
 }
 

@@ -9,11 +9,14 @@
 //!    ascending latency and books hosts from the front, overbooking to
 //!    anticipate unavailable hosts.
 //! 3. **RS–RS brokering** — the local RS sends reservation requests carrying
-//!    a unique hash key.
+//!    a unique hash key.  Each outbound request arms a timeout event on the
+//!    overlay timeline; the simulated reply cancels it
+//!    (`Overlay::rs_send` / `Overlay::rs_collect_into`).
 //! 4. Remote RSs accept (OK + their `P`) or refuse (NOK).
-//! 5. **RS–MPD response** — answers are gathered into `rlist`; peers that did
-//!    not answer before the timeout are marked dead and dropped from the
-//!    cache.
+//! 5. **RS–MPD response** — answers are gathered into `rlist`; peers whose
+//!    armed timeout fired (they never answered) are marked dead and dropped
+//!    from the cache.  The virtual clock genuinely waits those timeouts
+//!    out — dead-peer stalls are observable on the timeline.
 //! 6. **Allocation** — `slist` is the first `min(|rlist|, n × r)` hosts;
 //!    surplus reservations are cancelled; feasibility is checked; the chosen
 //!    strategy distributes processes; ranks are assigned.
@@ -151,13 +154,14 @@ impl BrokeringStats {
     }
 }
 
-/// Reusable buffers for the per-job hot path.  Booking lists, `rlist`,
-/// capacities and per-host counts live here and are cleared — never freed —
-/// between jobs, so a warm allocator submits jobs without heap traffic
-/// beyond the returned [`Allocation`] itself.
+/// Reusable buffers for the per-job hot path.  Booking lists, brokering
+/// outcomes, `rlist`, capacities and per-host counts live here and are
+/// cleared — never freed — between jobs, so a warm allocator submits jobs
+/// without heap traffic beyond the returned [`Allocation`] itself.
 #[derive(Debug, Default)]
 struct AllocScratch {
     booked: Vec<PeerId>,
+    outcomes: Vec<(PeerId, RsOutcome)>,
     rlist: Vec<(PeerId, u32)>, // (peer, owner P)
     capacities: Vec<u32>,
     counts: Vec<u32>,
@@ -255,6 +259,7 @@ impl CoAllocator {
         let mut scratch = self.scratch.borrow_mut();
         let AllocScratch {
             booked,
+            outcomes,
             rlist,
             capacities,
             counts,
@@ -277,12 +282,21 @@ impl CoAllocator {
         );
         stats.booked = booked.len();
 
-        // Steps 3–5 — RS brokering.  Requests go out concurrently, so the
-        // elapsed time of the phase is the slowest individual exchange.
+        // Steps 3–5 — RS brokering, fully event-driven: every outbound
+        // request arms a timeout event on the overlay timeline and the
+        // simulated reply races it (`Overlay::rs_send`).  Requests go out
+        // concurrently; `rs_collect_into` runs the timeline until the whole
+        // round has resolved and hands the outcomes back in send order, so
+        // the virtual clock genuinely waits out dead peers' timeouts while
+        // the phase's reported duration stays the slowest exchange.
         rlist.clear();
-        let mut phase_elapsed = SimDuration::ZERO;
         for &peer in booked.iter() {
-            match overlay.rs_request(submitter, peer, key, total) {
+            overlay.rs_send(submitter, peer, key, total);
+        }
+        overlay.rs_collect_into(outcomes);
+        let mut phase_elapsed = SimDuration::ZERO;
+        for &(peer, outcome) in outcomes.iter() {
+            match outcome {
                 RsOutcome::Reply { reply, elapsed } => {
                     phase_elapsed = phase_elapsed.max(elapsed);
                     match reply {

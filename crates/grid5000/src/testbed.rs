@@ -81,8 +81,8 @@ pub fn grid5000_testbed(seed: u64, noise: NoiseModel) -> Grid5000Testbed {
 
 /// Builds the standard testbed with an explicit event-queue kind for the
 /// overlay's simulation timeline.  Day-scale sweep harnesses pass
-/// [`QueueKind::Calendar`] (the sweep default); single-job experiments keep
-/// the binary heap.
+/// [`QueueKind::Ladder`] (the sweep default for the timeout-heavy
+/// timeline); single-job experiments keep the binary heap.
 pub fn grid5000_testbed_with_queue(
     seed: u64,
     noise: NoiseModel,

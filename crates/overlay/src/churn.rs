@@ -120,6 +120,53 @@ pub fn random_churn<R: Rng + ?Sized>(
     schedule
 }
 
+/// Generates a *flapping* schedule: each selected peer cycles crash →
+/// (`downtime` later) recover → (`uptime` later) crash → … across the whole
+/// horizon, starting its cycle at a uniformly random phase so the crashes
+/// de-synchronise.  `fraction` of the given peers (rounded down) flap.
+///
+/// This is the fault process of the timeout-heavy day traces: at any instant
+/// roughly `fraction · downtime / (downtime + uptime)` of the overlay is
+/// dead, and because flapped peers keep re-registering (and re-entering
+/// submitter caches on refresh), reservation requests keep running into
+/// them — every such request parks a full `rs_timeout` on the timeline.
+pub fn flapping_churn<R: Rng + ?Sized>(
+    peers: &[PeerId],
+    fraction: f64,
+    horizon: SimDuration,
+    downtime: SimDuration,
+    uptime: SimDuration,
+    rng: &mut R,
+) -> ChurnSchedule {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    assert!(
+        !downtime.is_zero() && !uptime.is_zero(),
+        "flapping needs non-zero downtime and uptime"
+    );
+    let count = ((peers.len() as f64) * fraction).floor() as usize;
+    let period = downtime + uptime;
+    let cycles = (horizon.as_nanos() / period.as_nanos() + 1) as usize;
+    let mut schedule = ChurnSchedule::with_capacity(count * cycles * 2);
+    let mut pool = peers.to_vec();
+    let end = SimTime::ZERO + horizon;
+    for i in 0..count {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+        let peer = pool[i];
+        let mut at = SimTime::from_nanos(rng.gen_range(0..period.as_nanos().max(1)));
+        while at < end {
+            schedule.crash(peer, at);
+            let back = at + downtime;
+            if back >= end {
+                break;
+            }
+            schedule.recover(peer, back);
+            at = back + uptime;
+        }
+    }
+    schedule
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +205,41 @@ mod tests {
             assert!(events
                 .iter()
                 .any(|r| r.kind == ChurnKind::Recover && r.peer == c.peer && r.time > c.time));
+        }
+    }
+
+    #[test]
+    fn flapping_churn_alternates_crash_and_recover_per_peer() {
+        let peers: Vec<PeerId> = (0..40).map(PeerId).collect();
+        let mut rng = seeded(9);
+        let horizon = SimDuration::from_secs(3600);
+        let s = flapping_churn(
+            &peers,
+            0.5,
+            horizon,
+            SimDuration::from_secs(120),
+            SimDuration::from_secs(240),
+            &mut rng,
+        );
+        let events = s.finish();
+        assert!(!events.is_empty());
+        let end = SimTime::ZERO + horizon;
+        assert!(events.iter().all(|e| e.time < end));
+        // Per peer: strictly alternating, starting with a crash, in order.
+        use std::collections::HashMap;
+        let mut per_peer: HashMap<PeerId, Vec<&ChurnEvent>> = HashMap::new();
+        for e in &events {
+            per_peer.entry(e.peer).or_default().push(e);
+        }
+        assert_eq!(per_peer.len(), 20, "half of 40 peers flap");
+        for (peer, evs) in per_peer {
+            assert_eq!(evs[0].kind, ChurnKind::Crash, "{peer} starts down");
+            // ~10 cycles/hour at a 360 s period: every flapper cycles a lot.
+            assert!(evs.len() >= 10, "{peer} only flapped {} times", evs.len());
+            for pair in evs.windows(2) {
+                assert!(pair[0].time < pair[1].time, "{peer} events unsorted");
+                assert_ne!(pair[0].kind, pair[1].kind, "{peer} did not alternate");
+            }
         }
     }
 

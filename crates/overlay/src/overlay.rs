@@ -18,17 +18,44 @@
 //! applied inline: churn events, periodic heartbeat rounds
 //! ([`Overlay::start_heartbeats`]), periodic cache refreshes
 //! ([`Overlay::start_cache_refresh`]), periodic reservation-expiry sweeps
-//! ([`Overlay::start_reservation_expiry`]) and job completions
-//! ([`Overlay::schedule_completion`]) all interleave on one timeline,
-//! delivered in `(time, schedule-order)` order by [`Overlay::run_until`].
-//! The `stop_*` counterparts cancel the pending event by its
-//! [`EventKey`], so re-arms and revocations never leave ghost events
-//! behind.  [`Overlay::advance`] survives as a thin shim over `run_until`
-//! for callers that only want to move the clock.
+//! ([`Overlay::start_reservation_expiry`]), job completions
+//! ([`Overlay::schedule_completion`]) and — since the brokering step became
+//! event-driven — every RS reservation request's reply and timeout all
+//! interleave on one timeline, delivered in `(time, schedule-order)` order
+//! by [`Overlay::run_until`].  The `stop_*` counterparts cancel the pending
+//! event by its [`EventKey`], so re-arms and revocations never leave ghost
+//! events behind.  [`Overlay::advance`] survives as a thin shim over
+//! `run_until` for callers that only want to move the clock.
 //!
 //! Sweep-scale simulations (thousands of pending completions) should build
 //! the overlay with [`crate::boot::OverlayBuilder::queue_kind`] set to
-//! [`QueueKind::Calendar`].
+//! [`QueueKind::Calendar`] — or [`QueueKind::Ladder`] when the timeline is
+//! dominated by timeout churn (see the `p2pmpi_simgrid::event` docs for the
+//! selection guide).
+//!
+//! # The timeout-event contract
+//!
+//! [`Overlay::rs_send`] puts one outbound reservation request on the
+//! timeline as *two* scheduled events: an armed timeout at
+//! `now + rs_timeout`, and — when the remote peer is alive — the reply's
+//! delivery at `now + rtt`.  Whichever fires first resolves the request and
+//! cancels its counterpart; [`RsOutcome::Timeout`] is therefore an observed
+//! timeline event, not an analytically charged constant.  The race needs no
+//! guard: event keys are generation-stamped, so the loser's cancel of an
+//! already-fired (or already-cancelled) counterpart is a harmless stale-key
+//! no-op, and the FIFO tie-break resolves the degenerate `rtt == rs_timeout`
+//! instant in favour of the timeout armed first — the submitter gives up at
+//! its deadline.  The remote RS's *decision* is computed at send time (the
+//! grant/refusal mutates remote state immediately); only its delivery and
+//! the timeout race are simulated.  A reservation granted by a peer whose
+//! reply loses the race is leaked on the granter until the periodic expiry
+//! sweep ([`Overlay::start_reservation_expiry`]) reclaims it — exactly the
+//! failure mode that sweep exists for in the paper.
+//!
+//! The pending-request bookkeeping lives in a reusable scratch vector on the
+//! overlay: a steady-state brokering loop (send × booked, then
+//! [`Overlay::rs_collect_into`]) allocates nothing once the high-water mark
+//! is reached.
 //!
 //! The co-allocation procedure itself lives in the `p2pmpi-core` crate and
 //! drives this type.
@@ -132,6 +159,33 @@ enum OverlayEvent {
         key: ReservationKey,
         peers: Vec<PeerId>,
     },
+    /// An in-flight RS reply reaches the submitter; cancels the armed
+    /// timeout of the same request (index into the pending-request scratch).
+    RsReply(u32),
+    /// An armed reservation timeout fires: the peer never answered within
+    /// `rs_timeout`; cancels the pending reply delivery, if any.
+    RsTimeout(u32),
+}
+
+/// One in-flight RS→RS reservation request: the two scheduled events racing
+/// to resolve it, and the outcome once one of them fired.  Slots live in a
+/// reusable scratch vector on [`Overlay`] and are recycled wholesale by
+/// [`Overlay::rs_collect_into`].
+#[derive(Debug)]
+struct RsPending {
+    from: PeerId,
+    to: PeerId,
+    /// The remote RS's decision, computed at send time (`None` when the
+    /// peer was dead and no reply will ever be delivered).
+    reply: Option<ReservationReply>,
+    /// Round-trip time of the exchange (meaningful when `reply` is some).
+    rtt: SimDuration,
+    /// The armed timeout event.
+    timeout_key: EventKey,
+    /// The scheduled reply delivery, when the peer was alive.
+    reply_key: Option<EventKey>,
+    /// Filled by whichever event fires first.
+    outcome: Option<RsOutcome>,
 }
 
 /// The simulated P2P-MPI overlay.
@@ -158,6 +212,12 @@ pub struct Overlay {
     /// nothing (cleared, never shrunk, between rounds).
     scratch_measurements: Vec<(PeerId, SimDuration)>,
     scratch_failures: Vec<PeerId>,
+    /// In-flight (and resolved-but-undrained) RS reservation requests:
+    /// cleared, never shrunk, by [`Overlay::rs_collect_into`], so a
+    /// steady-state brokering loop performs no per-request allocation.
+    rs_pending: Vec<RsPending>,
+    /// How many `rs_pending` slots still await their reply/timeout event.
+    rs_inflight: usize,
 }
 
 /// Returns `(&from, &mut to)` for two *distinct* peers of the node table.
@@ -208,6 +268,8 @@ impl Overlay {
             resv_expiry: None,
             scratch_measurements: Vec::new(),
             scratch_failures: Vec::new(),
+            rs_pending: Vec::new(),
+            rs_inflight: 0,
         }
     }
 
@@ -258,6 +320,20 @@ impl Overlay {
     /// Number of timeline events still pending.
     pub fn events_pending(&self) -> usize {
         self.sim.pending()
+    }
+
+    /// Number of timeline tickets still queued, *including* tombstones of
+    /// cancelled events awaiting collection — the dead weight a
+    /// cancellation-heavy workload (per-reservation timeouts) carries.
+    pub fn events_queued(&self) -> usize {
+        self.sim.queued()
+    }
+
+    /// Payload-slot capacity of the timeline (its high-water mark of
+    /// simultaneously pending events; diagnostics for allocation-free
+    /// steady-state checks).
+    pub fn events_capacity(&self) -> usize {
+        self.sim.events_capacity()
     }
 
     /// Number of peers (alive or dead).
@@ -382,6 +458,42 @@ impl Overlay {
                 self.tracer
                     .record(self.sim.now(), TraceCategory::Runtime, || {
                         format!("job completed, freed {freed} host(s)")
+                    });
+            }
+            OverlayEvent::RsReply(idx) => {
+                let slot = &mut self.rs_pending[idx as usize];
+                debug_assert!(slot.outcome.is_none(), "RS request resolved twice");
+                let reply = slot.reply.expect("reply delivery for a dead-peer request");
+                slot.outcome = Some(RsOutcome::Reply {
+                    reply,
+                    elapsed: slot.rtt,
+                });
+                let (from, to, timeout_key) = (slot.from, slot.to, slot.timeout_key);
+                // The reply won the race: disarm the timeout (its ticket is
+                // tombstoned and compacted by the queue, never delivered).
+                self.sim.cancel(timeout_key);
+                self.rs_inflight -= 1;
+                self.tracer
+                    .record(self.sim.now(), TraceCategory::Reservation, || {
+                        format!("{from} -> {to}: {reply:?}")
+                    });
+            }
+            OverlayEvent::RsTimeout(idx) => {
+                let slot = &mut self.rs_pending[idx as usize];
+                debug_assert!(slot.outcome.is_none(), "RS request resolved twice");
+                slot.outcome = Some(RsOutcome::Timeout {
+                    elapsed: self.params.rs_timeout,
+                });
+                let (from, to) = (slot.from, slot.to);
+                // Cancel the in-flight reply, if one was ever scheduled (a
+                // stale key here is harmless; see the module docs).
+                if let Some(reply_key) = slot.reply_key.take() {
+                    self.sim.cancel(reply_key);
+                }
+                self.rs_inflight -= 1;
+                self.tracer
+                    .record(self.sim.now(), TraceCategory::Reservation, || {
+                        format!("{from} -> {to}: reservation timed out (peer dead)")
                     });
             }
         }
@@ -681,12 +793,124 @@ impl Overlay {
     // RS brokering and start requests
     // ------------------------------------------------------------------
 
-    /// RS→RS reservation request from `from` to `to` (steps 3–4).
+    /// Sends an RS→RS reservation request from `from` to `to` onto the
+    /// timeline (steps 3–4): an armed timeout event at `now + rs_timeout`
+    /// races the reply's delivery at `now + rtt` (never scheduled when the
+    /// peer is dead).  See the module docs for the timeout-event contract.
     ///
     /// This is the single hottest call of a job-submission sweep (once per
-    /// booked host per job), so it is allocation-free: the request borrows
-    /// the requester's address, the remote RS reads its owner's config in
-    /// place, and trace messages are built only if the tracer stores them.
+    /// booked host per job), so it is allocation-free in steady state: the
+    /// request borrows the requester's address, the remote RS reads its
+    /// owner's config in place, the pending-request slot reuses the scratch
+    /// vector recycled by [`Overlay::rs_collect_into`], and both scheduled
+    /// events recycle event-store slots.
+    pub fn rs_send(&mut self, from: PeerId, to: PeerId, key: ReservationKey, total_processes: u32) {
+        let idx = u32::try_from(self.rs_pending.len()).expect("too many in-flight RS requests");
+        // Arm the timeout first: at the degenerate `rtt == rs_timeout`
+        // instant the FIFO tie-break then delivers the timeout first — the
+        // submitter gives up at its deadline.
+        let timeout_key = self
+            .sim
+            .schedule_in(self.params.rs_timeout, OverlayEvent::RsTimeout(idx));
+        let (reply, rtt, reply_key) = if self.nodes[to.0].is_alive() {
+            let src = self.nodes[from.0].descriptor.host;
+            let dst = self.nodes[to.0].descriptor.host;
+            let rtt = self
+                .network
+                .transfer_time(src, dst, self.params.rs_message_bytes)
+                + self
+                    .network
+                    .transfer_time(dst, src, self.params.rs_message_bytes);
+            let now = self.sim.now();
+            let reply = if from.0 == to.0 {
+                // A submitter reserving its own host: every piece (address,
+                // config, RS) is a disjoint field of the same node.
+                let node = &mut self.nodes[to.0];
+                let req = ReservationRequest {
+                    key,
+                    requester: from,
+                    requester_address: &node.descriptor.address,
+                    total_processes,
+                };
+                node.rs.handle_request(&req, &node.config, now)
+            } else {
+                let (from_node, to_node) = nodes_from_to(&mut self.nodes, from.0, to.0);
+                let req = ReservationRequest {
+                    key,
+                    requester: from,
+                    requester_address: &from_node.descriptor.address,
+                    total_processes,
+                };
+                to_node.rs.handle_request(&req, &to_node.config, now)
+            };
+            let reply_key = self.sim.schedule_in(rtt, OverlayEvent::RsReply(idx));
+            (Some(reply), rtt, Some(reply_key))
+        } else {
+            // A dead peer never answers: only the timeout is on the
+            // timeline, and it will fire.
+            (None, self.params.rs_timeout, None)
+        };
+        self.rs_pending.push(RsPending {
+            from,
+            to,
+            reply,
+            rtt,
+            timeout_key,
+            reply_key,
+            outcome: None,
+        });
+        self.rs_inflight += 1;
+    }
+
+    /// Number of sent RS requests whose reply/timeout has not fired yet.
+    pub fn rs_inflight(&self) -> usize {
+        self.rs_inflight
+    }
+
+    /// Runs the timeline until every in-flight RS request has resolved.
+    /// Other events that come due on the way (completions, heartbeats,
+    /// churn, ...) are delivered normally — a brokering round does not get
+    /// a private clock.
+    fn run_until_rs_resolved(&mut self) {
+        while self.rs_inflight > 0 {
+            let ev = self
+                .sim
+                .pop_due(SimTime::MAX)
+                .expect("in-flight RS requests imply pending events");
+            self.dispatch(ev.payload);
+        }
+    }
+
+    /// Resolves the current brokering round: runs the timeline until every
+    /// request sent since the last drain has its reply or timeout, then
+    /// drains the outcomes into `out` (cleared first) **in send order** —
+    /// the deterministic order the co-allocation procedure walks, whatever
+    /// interleaving the race produced.  The scratch slots are recycled.
+    pub fn rs_collect_into(&mut self, out: &mut Vec<(PeerId, RsOutcome)>) {
+        out.clear();
+        self.run_until_rs_resolved();
+        for slot in self.rs_pending.drain(..) {
+            let outcome = slot.outcome.expect("drained an unresolved RS request");
+            out.push((slot.to, outcome));
+        }
+    }
+
+    /// Capacity of the pending-request scratch (diagnostics: must reach a
+    /// high-water mark and stay there in a steady-state sweep).
+    pub fn rs_scratch_capacity(&self) -> usize {
+        self.rs_pending.capacity()
+    }
+
+    /// RS→RS reservation request from `from` to `to`, resolved inline: one
+    /// [`Overlay::rs_send`] followed by running the timeline until the
+    /// reply/timeout race settles.  The clock therefore *advances* by the
+    /// exchange's round trip (or the full `rs_timeout` for a dead peer) —
+    /// the timeout is an observed event here too, not a charged constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a multi-request brokering round is in flight;
+    /// batch rounds must resolve through [`Overlay::rs_collect_into`].
     pub fn rs_request(
         &mut self,
         from: PeerId,
@@ -694,50 +918,14 @@ impl Overlay {
         key: ReservationKey,
         total_processes: u32,
     ) -> RsOutcome {
-        let src = self.nodes[from.0].descriptor.host;
-        let dst = self.nodes[to.0].descriptor.host;
-        if !self.nodes[to.0].is_alive() {
-            self.tracer
-                .record(self.sim.now(), TraceCategory::Reservation, || {
-                    format!("{from} -> {to}: reservation timed out (peer dead)")
-                });
-            return RsOutcome::Timeout {
-                elapsed: self.params.rs_timeout,
-            };
-        }
-        let elapsed = self
-            .network
-            .transfer_time(src, dst, self.params.rs_message_bytes)
-            + self
-                .network
-                .transfer_time(dst, src, self.params.rs_message_bytes);
-        let now = self.sim.now();
-        let reply = if from.0 == to.0 {
-            // A submitter reserving its own host: every piece (address,
-            // config, RS) is a disjoint field of the same node.
-            let node = &mut self.nodes[to.0];
-            let req = ReservationRequest {
-                key,
-                requester: from,
-                requester_address: &node.descriptor.address,
-                total_processes,
-            };
-            node.rs.handle_request(&req, &node.config, now)
-        } else {
-            let (from_node, to_node) = nodes_from_to(&mut self.nodes, from.0, to.0);
-            let req = ReservationRequest {
-                key,
-                requester: from,
-                requester_address: &from_node.descriptor.address,
-                total_processes,
-            };
-            to_node.rs.handle_request(&req, &to_node.config, now)
-        };
-        self.tracer
-            .record(self.sim.now(), TraceCategory::Reservation, || {
-                format!("{from} -> {to}: {reply:?}")
-            });
-        RsOutcome::Reply { reply, elapsed }
+        assert!(
+            self.rs_pending.is_empty(),
+            "rs_request cannot interleave with an in-flight brokering round"
+        );
+        self.rs_send(from, to, key, total_processes);
+        self.run_until_rs_resolved();
+        let slot = self.rs_pending.pop().expect("one pending request");
+        slot.outcome.expect("resolved request has an outcome")
     }
 
     /// Cancels a reservation previously granted by `to` (unused reservations
@@ -921,6 +1109,115 @@ mod tests {
             o.rs_request(from, to, k, 1),
             RsOutcome::Reply { .. }
         ));
+    }
+
+    #[test]
+    fn batch_brokering_resolves_on_the_timeline_in_send_order() {
+        let mut o = overlay();
+        o.boot_all();
+        let ids = o.peer_ids();
+        let submitter = ids[0];
+        o.kill_peer(ids[3]);
+        let key = o.generate_key();
+        let t0 = o.now();
+        // One round: two live peers and a dead one in the middle.
+        for &to in &[ids[1], ids[3], ids[2]] {
+            o.rs_send(submitter, to, key, 1);
+        }
+        assert_eq!(o.rs_inflight(), 3);
+        let mut outcomes = Vec::new();
+        o.rs_collect_into(&mut outcomes);
+        assert_eq!(o.rs_inflight(), 0);
+        // Outcomes come back in send order, not firing order (the replies
+        // fire ms before the dead peer's 2 s timeout).
+        let peers: Vec<PeerId> = outcomes.iter().map(|&(p, _)| p).collect();
+        assert_eq!(peers, vec![ids[1], ids[3], ids[2]]);
+        assert!(matches!(outcomes[0].1, RsOutcome::Reply { .. }));
+        assert!(matches!(outcomes[2].1, RsOutcome::Reply { .. }));
+        match outcomes[1].1 {
+            RsOutcome::Timeout { elapsed } => assert_eq!(elapsed, o.params().rs_timeout),
+            RsOutcome::Reply { .. } => panic!("dead peer answered"),
+        }
+        // The timeout was an observed event: the clock actually waited the
+        // full rs_timeout for the dead peer.
+        assert_eq!(o.now(), t0 + o.params().rs_timeout);
+        // Both live requests left their armed-then-cancelled timeout as a
+        // queued tombstone (collected at firing time or on a transfer).
+        assert!(o.events_queued() >= o.events_pending());
+    }
+
+    #[test]
+    fn reply_slower_than_the_timeout_loses_the_race() {
+        // An *alive* peer whose round trip exceeds rs_timeout: the armed
+        // timeout fires first and cancels the in-flight reply.  The remote
+        // granted at send time, so the reservation leaks on the granter
+        // until the expiry sweep reclaims it — the documented contract.
+        let topo = small_topology();
+        let mut o = OverlayBuilder::new(topo.clone())
+            .seed(5)
+            .noise(NoiseModel::disabled())
+            .overlay_params(OverlayParams {
+                // Inter-site RTT is 10 ms; a 1 ms timeout always loses.
+                rs_timeout: SimDuration::from_millis(1),
+                ..OverlayParams::default()
+            })
+            .peer_per_host_with_core_capacity()
+            .build();
+        o.boot_all();
+        let submitter = o
+            .peer_on_host(topo.host_by_name("l-0").unwrap().id)
+            .unwrap();
+        let remote = o
+            .peer_on_host(topo.host_by_name("r-0").unwrap().id)
+            .unwrap();
+        let key = o.generate_key();
+        match o.rs_request(submitter, remote, key, 1) {
+            RsOutcome::Timeout { elapsed } => assert_eq!(elapsed, SimDuration::from_millis(1)),
+            RsOutcome::Reply { .. } => panic!("slow reply should have lost the race"),
+        }
+        // The grant happened at send time and leaked on the remote RS.
+        assert_eq!(o.node(remote).rs.active_applications(), 1);
+        o.start_reservation_expiry(SimDuration::from_secs(1), SimDuration::from_secs(2));
+        o.advance(SimDuration::from_secs(5));
+        assert_eq!(o.node(remote).rs.active_applications(), 0, "sweep reclaims");
+    }
+
+    #[test]
+    fn brokering_scratch_reaches_a_high_water_mark_and_stays_there() {
+        let mut o = overlay();
+        o.boot_all();
+        let ids = o.peer_ids();
+        let submitter = ids[0];
+        let mut outcomes = Vec::new();
+        let round = |o: &mut Overlay, outcomes: &mut Vec<(PeerId, RsOutcome)>| {
+            let key = o.generate_key();
+            for &to in &ids[1..] {
+                o.rs_send(submitter, to, key, 1);
+            }
+            o.rs_collect_into(outcomes);
+            for &(to, _) in outcomes.iter() {
+                o.rs_cancel(submitter, to, key);
+            }
+            // Let the round's cancelled-timeout tombstones reach their
+            // nominal firing time and be collected, as a real sweep's
+            // inter-arrival gaps do; the event store can then recycle the
+            // slots instead of growing past its high-water mark.
+            o.advance(o.params().rs_timeout);
+        };
+        // Warm-up rounds grow every buffer to its high-water mark ...
+        for _ in 0..3 {
+            round(&mut o, &mut outcomes);
+        }
+        let scratch_cap = o.rs_scratch_capacity();
+        let events_cap = o.events_capacity();
+        let outcomes_cap = outcomes.capacity();
+        // ... after which a steady-state brokering loop reallocates nothing.
+        for _ in 0..20 {
+            round(&mut o, &mut outcomes);
+        }
+        assert_eq!(o.rs_scratch_capacity(), scratch_cap);
+        assert_eq!(o.events_capacity(), events_cap);
+        assert_eq!(outcomes.capacity(), outcomes_cap);
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //!
 //! Closure payloads live in the slab-backed [`crate::event::EventStore`]
 //! behind the queue, and the priority structure is selectable via
-//! [`QueueKind`] ([`Engine::with_queue_kind`]): the default binary heap, or
-//! a calendar queue for sweep-scale event populations.  The scheduling API
+//! [`QueueKind`] ([`Engine::with_queue_kind`]): the default binary heap, a
+//! calendar queue for large uniform event populations, or a ladder queue
+//! for large *skewed* ones (see `crate::event` for the selection guide).
+//! The scheduling API
 //! ([`Engine::schedule_at`] / [`Engine::schedule_in`]) is identical for
 //! every configuration.  Both scheduling calls return the event's
 //! [`EventKey`], which [`Engine::cancel`] accepts to revoke a pending event
@@ -312,6 +314,18 @@ impl<E> TypedEngine<E> {
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of tickets still queued, including tombstones of cancelled
+    /// events awaiting collection (see `EventQueue::queued_len`).
+    pub fn queued(&self) -> usize {
+        self.queue.queued_len()
+    }
+
+    /// Payload-slot capacity of the event queue (the high-water mark of
+    /// simultaneously pending events).
+    pub fn events_capacity(&self) -> usize {
+        self.queue.capacity()
     }
 
     /// Firing time of the earliest pending event.

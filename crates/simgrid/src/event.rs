@@ -8,14 +8,45 @@
 //!   priority structures below shuffle 24-byte tickets instead of payloads.
 //! * [`EventQueue`] — the time-ordered queue built on top of the store, with
 //!   a choice of priority structure ([`QueueKind`]): the classic binary heap
-//!   (default) or a calendar queue (R. Brown, CACM 1988) whose enqueue and
+//!   (default), a calendar queue (R. Brown, CACM 1988) whose enqueue and
 //!   dequeue are amortised O(1) for the heavy, roughly uniform event streams
-//!   a sweep-scale simulation produces.
+//!   a sweep-scale simulation produces, or a ladder queue (Tang, Goh &
+//!   Thng, ACM TOMACS 2005) that keeps the O(1) amortised cost when the
+//!   pending population is heavily *skewed* in time.
 //!
 //! The queue is generic over the payload type so that the closure-based
 //! [`crate::engine::Engine`] and the typed event loop used by the overlay
 //! crate ([`crate::engine::TypedEngine`]) can share the same ordering
 //! semantics.
+//!
+//! # Choosing a queue kind
+//!
+//! All three structures obey the same ordering contract; the choice is pure
+//! performance, driven by the *size* and *shape* of the pending population:
+//!
+//! * **[`QueueKind::BinaryHeap`]** — small populations (≲ a few hundred) or
+//!   bursty push/drain patterns.  O(log n) is unbeatable while `n` is tiny
+//!   and the heap has no bucket bookkeeping to amortise.  The default.
+//! * **[`QueueKind::Calendar`]** — large populations whose firing times are
+//!   *roughly uniform* over their span (e.g. tens of thousands of job
+//!   completions spread over a day).  Each bucket then holds O(1) events and
+//!   both operations are amortised O(1).  Its weakness is skew: the bucket
+//!   width is estimated from the population's overall span, so a dense
+//!   cluster (thousands of reservation timeouts due within a couple of
+//!   seconds) riding on a sparse tail (completions spread over hours) lands
+//!   in a handful of buckets whose sorted inserts degrade toward O(n).
+//! * **[`QueueKind::Ladder`]** — large *skewed* populations.  Buckets accept
+//!   events by unsorted append and are only sorted (bottom tier) when their
+//!   turn to fire comes; a bucket that turns out to be overcrowded is
+//!   re-partitioned into a finer rung instead of being scanned linearly, so
+//!   dense clusters cost O(1) amortised per event no matter how narrow they
+//!   are.  This is the structure for timeout-heavy timelines where most
+//!   events are armed, cancelled and collected within a tight window.
+//!
+//! Cancellation-heavy workloads also benefit from the transfer-time
+//! tombstone compaction described below, which the calendar and ladder
+//! queues perform and the heap (which never moves tickets between buckets)
+//! cannot.
 //!
 //! # Ordering contract (FIFO tie-break)
 //!
@@ -40,6 +71,15 @@
 //! events — including FIFO among equal instants — is exactly the order they
 //! were originally pushed in; cancelling an event can never reorder its
 //! neighbours (`cancel_preserves_fifo_around_tombstones` pins this).
+//!
+//! One refinement keeps cancel-heavy workloads cheap: whenever the calendar
+//! or ladder queue *transfers* a bucket anyway (a calendar resize, a ladder
+//! rung spawn or bottom-tier transfer), tombstoned tickets are compacted out
+//! on the way instead of being carried to their firing time.  Dropping a
+//! ticket cannot reorder the survivors, so the FIFO contract is unaffected;
+//! it only means [`EventQueue::queued_len`] (tickets, including tombstones
+//! awaiting collection) converges toward [`EventQueue::live_len`] (pending
+//! payloads) without waiting for the tombstones' nominal firing times.
 //!
 //! Keys are generation-stamped: once an event has fired or been cancelled,
 //! its key is stale, and cancelling a stale key is a harmless no-op that
@@ -281,6 +321,38 @@ impl<E> EventStore<E> {
         }
     }
 
+    /// If `key`'s slot holds a tombstone, recycles it and returns `true`.
+    ///
+    /// This is the transfer-time compaction hook: a priority structure that
+    /// is about to move a ticket between buckets calls this first and drops
+    /// the ticket when the event behind it is already cancelled, instead of
+    /// carrying the dead ticket to its firing time.  Live (and stale-key)
+    /// slots are left untouched.
+    #[inline]
+    fn reap(&mut self, key: EventKey) -> bool {
+        let Some(slot) = self.slots.get_mut(key.index as usize) else {
+            return false;
+        };
+        if slot.generation != key.generation {
+            // A queued ticket's slot is never recycled out from under it, so
+            // a mismatch can only mean the caller handed us a foreign key;
+            // leave it alone.
+            return false;
+        }
+        if matches!(slot.state, SlotState::Tombstone) {
+            self.tombstones -= 1;
+            self.vacate(key.index);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of cancelled payload slots whose tickets are still queued.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
     /// True if `key` still refers to a pending (not fired, not cancelled)
     /// payload.
     #[inline]
@@ -315,6 +387,11 @@ pub enum QueueKind {
     /// Calendar queue: amortised O(1) push/pop for large, roughly uniform
     /// event populations (sweep-scale simulations).
     Calendar,
+    /// Ladder queue: amortised O(1) push/pop that stays O(1) on heavily
+    /// *skewed* populations (dense clusters riding on a sparse tail, e.g.
+    /// timeout-heavy timelines), where the calendar's uniform bucket width
+    /// degrades.  See the module docs for the selection guide.
+    Ladder,
 }
 
 /// A queue ticket: when to fire, FIFO tie-break, and where the payload lives.
@@ -411,7 +488,7 @@ impl CalendarQueue {
     }
 
     #[inline]
-    fn push(&mut self, ticket: Ticket) {
+    fn push(&mut self, ticket: Ticket, reap: &mut dyn FnMut(EventKey) -> bool) {
         let t = ticket.time.as_nanos();
         let rewind = self.len == 0 || (t as u128) < self.year_end - self.width as u128;
         let b = self.bucket_of(t);
@@ -426,7 +503,7 @@ impl CalendarQueue {
             self.year_end = self.slot_end(t);
         }
         if self.len > 2 * self.buckets.len() && self.buckets.len() < CAL_MAX_BUCKETS {
-            self.resize(self.buckets.len() * 2);
+            self.resize(self.buckets.len() * 2, reap);
         }
     }
 
@@ -469,12 +546,12 @@ impl CalendarQueue {
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<Ticket> {
+    fn pop(&mut self, reap: &mut dyn FnMut(EventKey) -> bool) -> Option<Ticket> {
         let b = self.seek_min()?;
         let ticket = self.buckets[b].pop().expect("seek_min found this bucket");
         self.len -= 1;
         if self.len < self.buckets.len() / 2 && self.buckets.len() > CAL_MIN_BUCKETS {
-            self.resize(self.buckets.len() / 2);
+            self.resize(self.buckets.len() / 2, reap);
         }
         Some(ticket)
     }
@@ -488,11 +565,14 @@ impl CalendarQueue {
 
     /// Rebuilds with `nbuckets` buckets, re-estimating the slot width from
     /// the population's time span so that slots hold O(1) events each.
-    fn resize(&mut self, nbuckets: usize) {
+    /// Every ticket is transferred anyway, so tombstoned tickets are
+    /// compacted out here instead of being carried to their firing time.
+    fn resize(&mut self, nbuckets: usize, reap: &mut dyn FnMut(EventKey) -> bool) {
         let mut all: Vec<Ticket> = Vec::with_capacity(self.len);
         for b in &mut self.buckets {
             all.append(b);
         }
+        all.retain(|t| !reap(t.key));
         let (mut min_t, mut max_t) = (u64::MAX, 0u64);
         for t in &all {
             let ns = t.time.as_nanos();
@@ -519,10 +599,311 @@ impl CalendarQueue {
     }
 }
 
+/// Once the innermost rung's current bucket shrinks to this many tickets it
+/// is sorted into the bottom tier instead of spawning a finer rung.
+const LADDER_BOTTOM_THRESH: usize = 32;
+/// Hard cap on simultaneously live rungs; at the cap an overcrowded bucket
+/// is sorted into the bottom tier anyway.  Widths at least halve per spawn,
+/// so even pathological schedules stay well under this.
+const LADDER_MAX_RUNGS: usize = 32;
+
+/// One rung of a [`LadderQueue`]: a bucket array partitioning a half-open
+/// time interval `[start, start + width·buckets.len())` into equal slots.
+/// Buckets before `cur` have been consumed; pushes only ever target
+/// `cur..`, so buckets receive events by *unsorted append*.
+struct Rung {
+    buckets: Vec<Vec<Ticket>>,
+    /// Slot width in nanoseconds (>= 1).
+    width: u64,
+    /// Time at the start of bucket 0.
+    start: u64,
+    /// Exclusive upper bound of the interval this rung *owns* under the
+    /// tier tiling.  The bucket array's raw coverage
+    /// (`start + width·buckets.len()`) may overhang this (widths are
+    /// rounded up), but events at or past `limit` belong to the next outer
+    /// tier — routing by coverage instead of `limit` would let a late push
+    /// overtake earlier events still sitting in the outer rung.
+    limit: u128,
+    /// Next bucket to consume.
+    cur: usize,
+    /// Tickets currently held across all buckets.
+    count: usize,
+}
+
+impl Rung {
+    /// Inclusive lower time bound of the unconsumed region.
+    #[inline]
+    fn cur_start(&self) -> u128 {
+        self.start as u128 + self.width as u128 * self.cur as u128
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: u64) -> usize {
+        ((t - self.start) / self.width) as usize
+    }
+}
+
+/// Ladder queue of tickets (Tang, Goh & Thng, "Ladder queue: an O(1)
+/// priority queue structure for large-scale discrete event simulation",
+/// ACM TOMACS 2005), adapted to the [`EventStore`] ticket regime.
+///
+/// Three tiers:
+///
+/// * **Top** — an unsorted list for the far future (`time >= top_start`).
+///   Pushing there is an append; its min/max are tracked for the eventual
+///   spawn.
+/// * **Rungs** — bucket arrays spawned on demand.  Rung 0 is spawned from
+///   the whole top tier; when the bucket whose turn has come is still
+///   overcrowded (> [`LADDER_BOTTOM_THRESH`]), it is re-partitioned into a
+///   finer rung *covering just that bucket's interval* instead of being
+///   sorted wholesale — this recursive refinement is what keeps dense
+///   clusters O(1) amortised where the calendar queue's single global
+///   bucket width degrades.  Bucket pushes are unsorted appends.
+/// * **Bottom** — the currently firing chunk, sorted descending by
+///   `(time, seq)` so pops are `Vec::pop`.
+///
+/// The tiers tile time exactly: `bottom` covers everything before the
+/// innermost rung's consumption point, each rung covers up to the next
+/// outer rung's consumption point, and `top` covers `top_start..`.  A push
+/// is routed by that tiling, so earlier-than-cursor pushes (rewinds) land
+/// in `bottom` via one sorted insert.
+///
+/// Tombstone hygiene: every transfer (top → rung, rung → finer rung, bucket
+/// → bottom) runs the store's reap hook and drops tickets whose events were
+/// cancelled, so cancel-heavy workloads do not drag dead tickets through
+/// the refinement cascade.
+struct LadderQueue {
+    top: Vec<Ticket>,
+    /// Min/max times in `top` (meaningful while `top` is non-empty).
+    top_min: u64,
+    top_max: u64,
+    /// Times `>= top_start` belong to `top` (0 while nothing was spawned, so
+    /// everything starts in `top`).
+    top_start: u64,
+    /// Spawned rungs, coarsest first; `rungs.last()` is being consumed.
+    rungs: Vec<Rung>,
+    /// Sorted descending by `(time, seq)`: the earliest ticket is last.
+    bottom: Vec<Ticket>,
+    /// Reusable transfer scratch, so bucket moves do not allocate in steady
+    /// state.
+    transfer: Vec<Ticket>,
+    /// Bucket arrays of collapsed rungs, recycled by the next spawn: a
+    /// steady-state spawn/drain/collapse cycle reuses the same buffers
+    /// instead of allocating a fresh array (and fresh buckets) every time.
+    spare_rungs: Vec<Vec<Vec<Ticket>>>,
+    /// Total queued tickets (live + tombstones not yet compacted).
+    len: usize,
+}
+
+impl LadderQueue {
+    fn new() -> Self {
+        LadderQueue {
+            top: Vec::new(),
+            top_min: 0,
+            top_max: 0,
+            top_start: 0,
+            rungs: Vec::new(),
+            bottom: Vec::new(),
+            transfer: Vec::new(),
+            spare_rungs: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn push_top(&mut self, ticket: Ticket) {
+        let t = ticket.time.as_nanos();
+        if self.top.is_empty() {
+            self.top_min = t;
+            self.top_max = t;
+        } else {
+            self.top_min = self.top_min.min(t);
+            self.top_max = self.top_max.max(t);
+        }
+        self.top.push(ticket);
+    }
+
+    #[inline]
+    fn push(&mut self, ticket: Ticket) {
+        let t = ticket.time.as_nanos();
+        self.len += 1;
+        // With no spawned structure everything accumulates in the top tier
+        // (even below `top_start`: the next spawn re-derives its range from
+        // the actual min/max, so rewinds are absorbed there).
+        if self.rungs.is_empty() && self.bottom.is_empty() {
+            self.push_top(ticket);
+            return;
+        }
+        if t >= self.top_start {
+            self.push_top(ticket);
+            return;
+        }
+        // Below every rung's consumption point: the firing chunk.
+        let innermost_floor = self
+            .rungs
+            .last()
+            .map(|r| r.cur_start())
+            .unwrap_or(self.top_start as u128);
+        if (t as u128) < innermost_floor {
+            let pos = self
+                .bottom
+                .partition_point(|other| other.sort_key() > ticket.sort_key());
+            self.bottom.insert(pos, ticket);
+            return;
+        }
+        // The tiers tile `[bottom, top_start)`: the first rung (walking
+        // inside-out) whose *owned* interval reaches past `t` takes it, and
+        // `t` is at or past that rung's consumption point by the tiling
+        // invariant.
+        for rung in self.rungs.iter_mut().rev() {
+            if (t as u128) < rung.limit {
+                let b = rung.bucket_of(t);
+                debug_assert!(b >= rung.cur, "push into a consumed ladder bucket");
+                debug_assert!(b < rung.buckets.len(), "push past the rung's coverage");
+                rung.buckets[b].push(ticket);
+                rung.count += 1;
+                return;
+            }
+        }
+        unreachable!("ticket below top_start fits no ladder tier");
+    }
+
+    /// Spawns rung 0 from the entire top tier (compacting tombstones on the
+    /// way) and empties `top`.
+    fn spawn_from_top(&mut self, reap: &mut dyn FnMut(EventKey) -> bool) {
+        debug_assert!(!self.top.is_empty());
+        self.transfer.clear();
+        self.transfer.append(&mut self.top);
+        let before = self.transfer.len();
+        self.transfer.retain(|t| !reap(t.key));
+        self.len -= before - self.transfer.len();
+        self.top_start = self.top_max.saturating_add(1);
+        if self.transfer.is_empty() {
+            return;
+        }
+        let span = (self.top_max - self.top_min).saturating_add(1);
+        let n = self.transfer.len() as u64;
+        let width = span.div_ceil(n).max(1);
+        let nbuckets = (span.div_ceil(width) as usize).max(1);
+        self.spawn_rung(self.top_min, width, nbuckets, self.top_start as u128);
+    }
+
+    /// Creates a new innermost rung covering `[start, start + width·nbuckets)`
+    /// but *owning* only `[start, limit)` under the tier tiling, and
+    /// distributes `self.transfer` into its buckets.  Bucket arrays are
+    /// recycled from collapsed rungs when available.
+    fn spawn_rung(&mut self, start: u64, width: u64, nbuckets: usize, limit: u128) {
+        let mut buckets = self.spare_rungs.pop().unwrap_or_default();
+        debug_assert!(buckets.iter().all(Vec::is_empty));
+        if buckets.len() > nbuckets {
+            buckets.truncate(nbuckets);
+        } else {
+            buckets.resize_with(nbuckets, Vec::new);
+        }
+        let mut rung = Rung {
+            buckets,
+            width,
+            start,
+            limit,
+            cur: 0,
+            count: self.transfer.len(),
+        };
+        for ticket in self.transfer.drain(..) {
+            let b = rung.bucket_of(ticket.time.as_nanos());
+            rung.buckets[b].push(ticket);
+        }
+        self.rungs.push(rung);
+    }
+
+    /// Refills the bottom tier from the rungs (spawning from top when every
+    /// rung is exhausted), so that `bottom` is non-empty unless the whole
+    /// queue is.  This is where bucket transfers — and therefore tombstone
+    /// compaction and recursive refinement — happen.
+    fn ensure_bottom(&mut self, reap: &mut dyn FnMut(EventKey) -> bool) {
+        while self.bottom.is_empty() {
+            // Collapse exhausted rungs, stashing their (empty) bucket
+            // arrays for the next spawn.
+            while self.rungs.last().is_some_and(|r| r.count == 0) {
+                let rung = self.rungs.pop().expect("just checked");
+                if self.spare_rungs.len() < LADDER_MAX_RUNGS {
+                    self.spare_rungs.push(rung.buckets);
+                }
+            }
+            let Some(rung) = self.rungs.last_mut() else {
+                if self.top.is_empty() {
+                    return; // truly empty
+                }
+                self.spawn_from_top(reap);
+                continue;
+            };
+            while rung.buckets[rung.cur].is_empty() {
+                rung.cur += 1;
+            }
+            let width = rung.width;
+            let b_start = rung.start + rung.cur as u64 * width;
+            self.transfer.clear();
+            self.transfer.append(&mut rung.buckets[rung.cur]);
+            rung.cur += 1;
+            rung.count -= self.transfer.len();
+            let before = self.transfer.len();
+            self.transfer.retain(|t| !reap(t.key));
+            self.len -= before - self.transfer.len();
+            let n = self.transfer.len();
+            if n > LADDER_BOTTOM_THRESH && width > 1 && self.rungs.len() < LADDER_MAX_RUNGS {
+                // Overcrowded bucket: refine it into a finer rung instead of
+                // paying an oversized sort.  The new width at least halves
+                // (n >= 2), so refinement terminates at width 1 — a pure tie
+                // bucket — which is always sorted directly.  The refined
+                // rung owns exactly the source bucket's interval: its
+                // rounded-up coverage may overhang it, and routing by the
+                // overhang would deliver late pushes ahead of events still
+                // queued in this rung's later buckets.
+                let new_width = width.div_ceil(n as u64).max(1);
+                let nbuckets = (width.div_ceil(new_width) as usize).max(1);
+                self.spawn_rung(
+                    b_start,
+                    new_width,
+                    nbuckets,
+                    b_start as u128 + width as u128,
+                );
+                continue;
+            }
+            // Sort the chunk descending so the earliest ticket pops first.
+            self.transfer
+                .sort_unstable_by_key(|t| std::cmp::Reverse(t.sort_key()));
+            std::mem::swap(&mut self.bottom, &mut self.transfer);
+        }
+    }
+
+    #[inline]
+    fn peek(&mut self, reap: &mut dyn FnMut(EventKey) -> bool) -> Option<Ticket> {
+        self.ensure_bottom(reap);
+        self.bottom.last().copied()
+    }
+
+    #[inline]
+    fn pop(&mut self, reap: &mut dyn FnMut(EventKey) -> bool) -> Option<Ticket> {
+        self.ensure_bottom(reap);
+        let ticket = self.bottom.pop()?;
+        self.len -= 1;
+        Some(ticket)
+    }
+
+    fn clear(&mut self) {
+        self.top.clear();
+        self.rungs.clear();
+        self.bottom.clear();
+        self.transfer.clear();
+        self.top_start = 0;
+        self.len = 0;
+    }
+}
+
 /// The selectable priority structure over tickets.
 enum TicketQueue {
     Heap(BinaryHeap<HeapTicket>),
     Calendar(CalendarQueue),
+    Ladder(LadderQueue),
 }
 
 impl TicketQueue {
@@ -530,6 +911,7 @@ impl TicketQueue {
         match kind {
             QueueKind::BinaryHeap => TicketQueue::Heap(BinaryHeap::with_capacity(cap)),
             QueueKind::Calendar => TicketQueue::Calendar(CalendarQueue::new()),
+            QueueKind::Ladder => TicketQueue::Ladder(LadderQueue::new()),
         }
     }
 
@@ -537,30 +919,43 @@ impl TicketQueue {
         match self {
             TicketQueue::Heap(_) => QueueKind::BinaryHeap,
             TicketQueue::Calendar(_) => QueueKind::Calendar,
+            TicketQueue::Ladder(_) => QueueKind::Ladder,
+        }
+    }
+
+    /// Tickets currently queued, including tombstones awaiting collection.
+    fn len(&self) -> usize {
+        match self {
+            TicketQueue::Heap(h) => h.len(),
+            TicketQueue::Calendar(c) => c.len,
+            TicketQueue::Ladder(l) => l.len,
         }
     }
 
     #[inline]
-    fn push(&mut self, ticket: Ticket) {
+    fn push(&mut self, ticket: Ticket, reap: &mut dyn FnMut(EventKey) -> bool) {
         match self {
             TicketQueue::Heap(h) => h.push(HeapTicket(ticket)),
-            TicketQueue::Calendar(c) => c.push(ticket),
+            TicketQueue::Calendar(c) => c.push(ticket, reap),
+            TicketQueue::Ladder(l) => l.push(ticket),
         }
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<Ticket> {
+    fn pop(&mut self, reap: &mut dyn FnMut(EventKey) -> bool) -> Option<Ticket> {
         match self {
             TicketQueue::Heap(h) => h.pop().map(|t| t.0),
-            TicketQueue::Calendar(c) => c.pop(),
+            TicketQueue::Calendar(c) => c.pop(reap),
+            TicketQueue::Ladder(l) => l.pop(reap),
         }
     }
 
     #[inline]
-    fn peek(&mut self) -> Option<Ticket> {
+    fn peek(&mut self, reap: &mut dyn FnMut(EventKey) -> bool) -> Option<Ticket> {
         match self {
             TicketQueue::Heap(h) => h.peek().map(|t| t.0),
             TicketQueue::Calendar(c) => c.peek(),
+            TicketQueue::Ladder(l) => l.peek(reap),
         }
     }
 
@@ -568,6 +963,7 @@ impl TicketQueue {
         match self {
             TicketQueue::Heap(h) => h.clear(),
             TicketQueue::Calendar(c) => c.clear(),
+            TicketQueue::Ladder(l) => l.clear(),
         }
     }
 
@@ -575,7 +971,8 @@ impl TicketQueue {
         if let TicketQueue::Heap(h) = self {
             h.reserve(additional);
         }
-        // The calendar resizes itself from its population; nothing to do.
+        // The calendar and ladder size themselves from their populations;
+        // nothing to do.
     }
 }
 
@@ -667,7 +1064,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let key = self.store.insert(payload);
-        self.tickets.push(Ticket { time, seq, key });
+        let store = &mut self.store;
+        self.tickets
+            .push(Ticket { time, seq, key }, &mut |k| store.reap(k));
         key
     }
 
@@ -693,8 +1092,9 @@ impl<E> EventQueue<E> {
     /// way.
     #[inline]
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        while let Some(t) = self.tickets.pop() {
-            if let Some(payload) = self.store.resolve(t.key) {
+        let store = &mut self.store;
+        while let Some(t) = self.tickets.pop(&mut |k| store.reap(k)) {
+            if let Some(payload) = store.resolve(t.key) {
                 return Some(Scheduled {
                     time: t.time,
                     payload,
@@ -708,12 +1108,16 @@ impl<E> EventQueue<E> {
     /// tickets encountered at the front are discarded eagerly, so the
     /// returned time always belongs to an event `pop` would deliver.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(t) = self.tickets.peek() {
-            if self.store.is_live(t.key) {
+        let store = &mut self.store;
+        while let Some(t) = self.tickets.peek(&mut |k| store.reap(k)) {
+            if store.is_live(t.key) {
                 return Some(t.time);
             }
-            let t = self.tickets.pop().expect("peek found a ticket");
-            let cancelled = self.store.resolve(t.key);
+            let t = self
+                .tickets
+                .pop(&mut |k| store.reap(k))
+                .expect("peek found a ticket");
+            let cancelled = store.resolve(t.key);
             debug_assert!(cancelled.is_none(), "live ticket discarded by peek");
         }
         None
@@ -723,6 +1127,22 @@ impl<E> EventQueue<E> {
     /// while their tombstoned tickets await collection).
     pub fn len(&self) -> usize {
         self.store.len()
+    }
+
+    /// Number of pending (live) events — an explicit-name alias of
+    /// [`EventQueue::len`] for callers contrasting it with
+    /// [`EventQueue::queued_len`].
+    pub fn live_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Number of tickets currently queued, *including* tombstones from
+    /// cancelled events that have not been collected yet (at their firing
+    /// time, or earlier when a calendar/ladder bucket transfer compacts
+    /// them).  `queued_len() - live_len()` is the dead weight a
+    /// cancel-heavy workload is currently carrying.
+    pub fn queued_len(&self) -> usize {
+        self.tickets.len()
     }
 
     /// True if no events are pending.
@@ -749,7 +1169,11 @@ mod tests {
     use crate::time::SimDuration;
     use rand::Rng;
 
-    const KINDS: [QueueKind; 2] = [QueueKind::BinaryHeap, QueueKind::Calendar];
+    const KINDS: [QueueKind; 3] = [
+        QueueKind::BinaryHeap,
+        QueueKind::Calendar,
+        QueueKind::Ladder,
+    ];
 
     #[test]
     fn pops_in_time_order() {
@@ -1135,5 +1559,210 @@ mod tests {
         assert_eq!(q.kind(), QueueKind::BinaryHeap);
         let c: EventQueue<()> = EventQueue::with_capacity_and_kind(10, QueueKind::Calendar);
         assert_eq!(c.kind(), QueueKind::Calendar);
+        let l: EventQueue<()> = EventQueue::with_kind(QueueKind::Ladder);
+        assert_eq!(l.kind(), QueueKind::Ladder);
+    }
+
+    #[test]
+    fn ladder_rung_spawn_preserves_fifo_across_a_dense_tie_cluster() {
+        // A dense cluster (far larger than the bottom-tier threshold) with
+        // massive tie groups, pushed on top of a sparse tail: consuming the
+        // cluster forces rung spawns (the cluster bucket is overcrowded) and
+        // rung collapses (each refined rung drains), and the tie groups must
+        // still drain in push order through every transfer.
+        let mut q = EventQueue::with_kind(QueueKind::Ladder);
+        // Sparse tail first, so the cluster lands mid-structure.
+        for h in [5u64, 9, 2, 7] {
+            q.push(SimTime::from_secs(h * 3600), (h * 3600 * 1000, u64::MAX));
+        }
+        let mut id = 0u64;
+        for ms in 0..40u64 {
+            for _ in 0..50 {
+                // 40 instants × 50-way ties = 2000 events inside one second.
+                q.push(SimTime::from_millis(3_600_000 + ms), (3_600_000 + ms, id));
+                id += 1;
+            }
+        }
+        assert_eq!(q.len(), 2004);
+        let mut last = (0u64, 0u64);
+        let mut popped = 0;
+        while let Some(s) = q.pop() {
+            let (ms, id) = s.payload;
+            assert_eq!(s.time.as_nanos() / 1_000_000, ms, "payload matches time");
+            assert!(
+                (ms, id) > last || popped == 0,
+                "order violated: {last:?} then ({ms}, {id})"
+            );
+            last = (ms, id);
+            popped += 1;
+        }
+        assert_eq!(popped, 2004);
+    }
+
+    #[test]
+    fn ladder_refined_rung_does_not_capture_its_overhang() {
+        // Regression: a refined rung's bucket coverage is rounded up past
+        // the source bucket's interval.  A push landing in that overhang
+        // belongs to the *outer* rung's next bucket — routing it into the
+        // refined rung delivered it ahead of earlier events still queued in
+        // the outer rung (time going backwards).
+        let mut q = EventQueue::with_kind(QueueKind::Ladder);
+        // Dense cluster (> bottom threshold) forcing a refinement of the
+        // first bucket, one event just past that bucket, one far away.
+        for t in 1000..1040u64 {
+            q.push(SimTime::from_nanos(t), t);
+        }
+        q.push(SimTime::from_nanos(3358), 3358);
+        q.push(SimTime::from_nanos(100_000), 100_000);
+        // First pop spawns rung 0 (bucket width 2358 over [1000, 100001))
+        // and refines the crowded first bucket; its rounded-up coverage
+        // overhangs [1000, 3358) slightly.
+        assert_eq!(q.pop().unwrap().payload, 1000);
+        // A push into the overhang must go to the outer rung, not ahead of
+        // the 3358 event.
+        q.push(SimTime::from_nanos(3359), 3359);
+        let mut last = 0u64;
+        while let Some(s) = q.pop() {
+            assert!(
+                s.payload >= last,
+                "time went backwards: {} after {last}",
+                s.payload
+            );
+            last = s.payload;
+        }
+        assert_eq!(last, 100_000);
+    }
+
+    #[test]
+    fn ladder_handles_rewinds_below_the_consumed_region() {
+        // After draining into the bottom tier, pushes earlier than the
+        // innermost rung's consumption point must land in the bottom tier
+        // (never a consumed bucket) and pop in order.
+        let mut q = EventQueue::with_kind(QueueKind::Ladder);
+        for i in 0..200u64 {
+            q.push(SimTime::from_millis(1000 + i * 10), i);
+        }
+        assert_eq!(q.pop().unwrap().payload, 0);
+        // Earlier than everything still pending, later than the last pop.
+        q.push(SimTime::from_millis(1005), 777);
+        assert_eq!(q.pop().unwrap().payload, 777);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        let drained = std::iter::from_fn(|| q.pop()).count();
+        assert_eq!(drained, 198);
+    }
+
+    #[test]
+    fn live_len_and_queued_len_track_tombstones() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let keys: Vec<_> = (0..100u64)
+                .map(|i| q.push(SimTime::from_millis(10 + i), i))
+                .collect();
+            for k in &keys[..40] {
+                q.cancel(*k);
+            }
+            assert_eq!(q.live_len(), 60, "{kind:?}");
+            assert_eq!(
+                q.queued_len(),
+                100,
+                "{kind:?}: tombstoned tickets stay queued until collected"
+            );
+            // Popping one live event collects the 40 leading tombstones on
+            // the way (they fire earlier).
+            assert_eq!(q.pop().unwrap().payload, 40, "{kind:?}");
+            assert_eq!(q.live_len(), 59, "{kind:?}");
+            assert_eq!(q.queued_len(), 59, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn bucket_transfers_compact_tombstones_before_firing_time() {
+        // Calendar: growing the population forces a resize, which must shed
+        // the tombstones even though their firing times are far away.
+        let mut cal = EventQueue::with_kind(QueueKind::Calendar);
+        let doomed: Vec<_> = (0..64u64)
+            .map(|i| cal.push(SimTime::from_secs(1000 + i), i))
+            .collect();
+        for k in &doomed {
+            cal.cancel(*k);
+        }
+        assert_eq!(cal.queued_len(), 64);
+        // Enough pushes to trigger a grow-resize (len > 2 × buckets).
+        for i in 0..64u64 {
+            cal.push(SimTime::from_secs(2000 + i), 100 + i);
+        }
+        assert_eq!(cal.live_len(), 64);
+        assert!(
+            cal.queued_len() < 128,
+            "calendar resize carried all {} tombstones",
+            cal.queued_len() - cal.live_len()
+        );
+
+        // Ladder: consuming the first cluster transfers its bucket, which
+        // must shed the cancelled majority without waiting for their times.
+        let mut lad = EventQueue::with_kind(QueueKind::Ladder);
+        let doomed: Vec<_> = (0..500u64)
+            .map(|i| lad.push(SimTime::from_millis(1000 + i), i))
+            .collect();
+        for k in doomed.iter().skip(1) {
+            lad.cancel(*k);
+        }
+        lad.push(SimTime::from_secs(3600), 999);
+        assert_eq!(lad.queued_len(), 501);
+        // The first pop spawns from top and transfers buckets: the dead
+        // tickets compact away, leaving only the survivor and the tail.
+        assert_eq!(lad.pop().unwrap().payload, 0);
+        assert_eq!(lad.live_len(), 1);
+        assert!(
+            lad.queued_len() <= 2,
+            "ladder transfer carried {} tombstones",
+            lad.queued_len() - lad.live_len()
+        );
+    }
+
+    #[test]
+    fn ladder_agrees_with_heap_on_random_workloads_with_cancellation() {
+        for trial in 0..4u64 {
+            let mut rng = seeded(0x1ADDE2 + trial);
+            let mut heap = EventQueue::with_kind(QueueKind::BinaryHeap);
+            let mut lad = EventQueue::with_kind(QueueKind::Ladder);
+            let mut pending: Vec<(EventKey, EventKey)> = Vec::new();
+            let mut floor = 0u64;
+            for op in 0..3_000u32 {
+                let roll = rng.gen_range(0u32..100);
+                if roll < 55 || heap.is_empty() {
+                    // Heavily skewed times: most clustered tight, some far.
+                    let t = floor
+                        + match rng.gen_range(0u32..4) {
+                            0..=2 => rng.gen_range(0u64..100_000),
+                            _ => rng.gen_range(0u64..50_000_000_000),
+                        };
+                    let hk = heap.push(SimTime::from_nanos(t), op);
+                    let lk = lad.push(SimTime::from_nanos(t), op);
+                    pending.push((hk, lk));
+                } else if roll < 75 && !pending.is_empty() {
+                    let idx = rng.gen_range(0..pending.len());
+                    let (hk, lk) = pending.swap_remove(idx);
+                    assert_eq!(heap.cancel(hk), lad.cancel(lk), "trial {trial}");
+                } else {
+                    let a = heap.pop();
+                    let b = lad.pop();
+                    assert_eq!(
+                        a.as_ref().map(|s| (s.time, s.payload)),
+                        b.as_ref().map(|s| (s.time, s.payload)),
+                        "trial {trial}"
+                    );
+                    if let Some(s) = a {
+                        floor = s.time.as_nanos();
+                    }
+                }
+                assert_eq!(heap.len(), lad.len(), "trial {trial}");
+            }
+            while let Some(a) = heap.pop() {
+                let b = lad.pop().expect("ladder drained early");
+                assert_eq!((a.time, a.payload), (b.time, b.payload), "trial {trial}");
+            }
+            assert!(lad.pop().is_none());
+        }
     }
 }
