@@ -17,10 +17,16 @@
 //! a Table-1 grid scaled by `--scale` (default: just large enough), with
 //! placements built synthetically in the co-allocator's idle-grid booking
 //! order.
+//!
+//! `--searched` (implies the modeled backend for that curve) adds a third
+//! column: the placement found by the annealing search
+//! (`p2pmpi_bench::search`), never worse than the better fixed strategy and
+//! usually well ahead of both on the heterogeneous Table-1 grid.  Tune it
+//! with `--moves`/`--chains`/`--seed`.
 
 use p2pmpi_bench::cliargs as util;
 use p2pmpi_bench::experiments::{
-    fig4_kernel_times, modeled_kernel_times, Fig4Kernel, Fig4Settings,
+    fig4_kernel_times, modeled_kernel_times, searched_kernel_times, Fig4Kernel, Fig4Settings,
 };
 use p2pmpi_bench::output::print_fig4_table;
 use p2pmpi_core::strategy::StrategyKind;
@@ -58,12 +64,19 @@ fn main() {
         concentrate.iter().chain(&spread).all(|p| p.verified),
         "EP verification failed on at least one point"
     );
-    print!(
-        "{}",
-        print_fig4_table(
-            "EP",
-            &class.to_string(),
-            &[("concentrate", &concentrate), ("spread", &spread)]
+    let searched = flags.searched.then(|| {
+        searched_kernel_times(
+            Fig4Kernel::Ep,
+            &counts,
+            &settings,
+            flags.scale,
+            &flags.search_params(),
         )
-    );
+    });
+    let mut series: Vec<(&str, &[p2pmpi_bench::Fig4Point])> =
+        vec![("concentrate", &concentrate), ("spread", &spread)];
+    if let Some(searched) = &searched {
+        series.push(("searched", searched));
+    }
+    print!("{}", print_fig4_table("EP", &class.to_string(), &series));
 }

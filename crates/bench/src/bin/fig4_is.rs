@@ -15,10 +15,14 @@
 //! `--modeled` switches to the LogGP analytical backend (see `fig4_ep` for
 //! the flags): IS at 1k+ ranks models the full ring alltoall(v) schedule in
 //! seconds instead of spawning thousands of threads.
+//!
+//! `--searched` adds the annealing-search curve (see `fig4_ep`); note the
+//! search's per-move ring caches grow with ranks², so keep searched IS
+//! counts to a few hundred ranks.
 
 use p2pmpi_bench::cliargs as util;
 use p2pmpi_bench::experiments::{
-    fig4_kernel_times, modeled_kernel_times, Fig4Kernel, Fig4Settings,
+    fig4_kernel_times, modeled_kernel_times, searched_kernel_times, Fig4Kernel, Fig4Settings,
 };
 use p2pmpi_bench::output::print_fig4_table;
 use p2pmpi_core::strategy::StrategyKind;
@@ -56,12 +60,19 @@ fn main() {
         concentrate.iter().chain(&spread).all(|p| p.verified),
         "IS verification failed on at least one point"
     );
-    print!(
-        "{}",
-        print_fig4_table(
-            "IS",
-            &class.to_string(),
-            &[("concentrate", &concentrate), ("spread", &spread)]
+    let searched = flags.searched.then(|| {
+        searched_kernel_times(
+            Fig4Kernel::Is,
+            &counts,
+            &settings,
+            flags.scale,
+            &flags.search_params(),
         )
-    );
+    });
+    let mut series: Vec<(&str, &[p2pmpi_bench::Fig4Point])> =
+        vec![("concentrate", &concentrate), ("spread", &spread)];
+    if let Some(searched) = &searched {
+        series.push(("searched", searched));
+    }
+    print!("{}", print_fig4_table("IS", &class.to_string(), &series));
 }

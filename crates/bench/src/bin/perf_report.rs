@@ -40,7 +40,21 @@
 //!    non-zero.  The section also asserts the brokering scratch and event
 //!    store reached an allocation-free steady state
 //!    (`DaySweepResult::steady_state_alloc_free`).
-//! 8. **skewed dead-peer trace** (inside `timeout_timeline`) — the
+//! 8. **placement_search** — the model-driven placement search
+//!    (`p2pmpi_bench::search` over `p2pmpi_mpi::model::PlacementCost`).
+//!    Four gates, all **exit non-zero** when violated: (a) delta evaluation
+//!    must be at least [`PLACEMENT_DELTA_SPEEDUP_MIN`]× cheaper per move
+//!    than a full model replay at 256 ranks (EP — the kernel whose `max()`
+//!    absorption makes delta evaluation pay; IS ring frontiers propagate
+//!    more broadly and are documented, not gated); (b) on every standard
+//!    scaled-Table-1 grid case the searched placement must be **no worse**
+//!    than best-of(concentrate, spread); (c) on the heterogeneity-skewed
+//!    `skewed_table1` grid it must be more than
+//!    [`PLACEMENT_SKEWED_IMPROVEMENT_MIN`] better; (d) the full-scale
+//!    1024-rank, 10k-move, 4-chain EP search must finish within
+//!    [`PLACEMENT_SEARCH_WALL_BUDGET_S`] seconds of wall time (full runs
+//!    only; `--test` runs (a)–(c) at reduced scale).
+//! 9. **skewed dead-peer trace** (inside `timeout_timeline`) — the
 //!    churn-heavy [`DaySweepConfig::dead_peer_day`] scenario compressed
 //!    12×: thousands of reservation timeouts whose 2 s windows ride on
 //!    millisecond replies and hour-scale completions, the trimodal skew
@@ -51,11 +65,19 @@
 //! Usage:
 //! `cargo run --release -p p2pmpi-bench --bin perf_report [out.json] [--seed-allocate-ns N] [--test]`
 //!
-//! `--test` runs only the queue-sensitive sections (6–8) at reduced scale
-//! with the same *relative* gates (ladder-vs-calendar on the skewed trace,
-//! sweep default within noise of the best, allocation-free steady state) —
-//! the CI smoke.  Machine-absolute gates (the analytical-day baseline) only
-//! apply to the full run, and `--test` never writes the JSON report.
+//! `--test` runs only the queue-sensitive sections (6–7, 9) and the
+//! placement-search section (8) at reduced scale with the same *relative*
+//! gates (ladder-vs-calendar on the skewed trace, sweep default within
+//! noise of the best, allocation-free steady state, delta-vs-replay
+//! speedup, search quality) — the CI smoke.  Machine-absolute gates (the
+//! analytical-day baseline, the search wall budget) only apply to the full
+//! run, and `--test` never writes the JSON report.
+//!
+//! Since the alive-peer fast path landed in `Overlay::rs_send`, the warm
+//! brokering path arms no timeout events; the `timeout_timeline` sections
+//! pin the fast path **off** so they keep measuring the armed machinery
+//! they exist for, and `allocate_warm` reports the µs/job the fast path
+//! reclaims on the warm single-job path.
 //!
 //! The seed baseline defaults to the median of five runs of the seed tree
 //! (commit `fa2eb37`, rebuilt with this workspace's manifests and vendored
@@ -65,17 +87,29 @@
 //! that loops `CoAllocator::allocate` on `grid5000_topology()` with a
 //! disabled tracer, and pass its ns/job via `--seed-allocate-ns`.
 
-use p2pmpi_bench::experiments::{modeled_kernel_times, run_kernel_once, Fig4Kernel, Fig4Settings};
+use p2pmpi_bench::experiments::{
+    modeled_kernel_times, run_kernel_once, synthetic_placement, Fig4Kernel, Fig4Settings,
+};
+use p2pmpi_bench::search::{
+    kernel_schedule, placement_rank_hosts, search_placement, SearchParams, SearchReport,
+};
 use p2pmpi_bench::workload::{run_day_sweep, DaySweepConfig, DaySweepResult, PoissonArrivals};
 use p2pmpi_core::prelude::*;
-use p2pmpi_grid5000::testbed::{grid5000_testbed, Grid5000Testbed};
+use p2pmpi_grid5000::capacity::host_capacities;
+use p2pmpi_grid5000::sites::{scaled_table1, skewed_table1};
+use p2pmpi_grid5000::testbed::{grid5000_testbed, topology_from_specs, Grid5000Testbed};
+use p2pmpi_mpi::model::{Move, PlacementCost};
+use p2pmpi_simgrid::compute::ComputeModel;
 use p2pmpi_simgrid::event::{EventQueue, QueueKind};
+use p2pmpi_simgrid::network::NetworkModel;
 use p2pmpi_simgrid::noise::NoiseModel;
 use p2pmpi_simgrid::rngutil::seeded;
 use p2pmpi_simgrid::time::SimTime;
+use p2pmpi_simgrid::topology::HostId;
 use rand::Rng;
 use std::collections::BinaryHeap;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 const RANKING_REPS: usize = 2_000;
@@ -139,7 +173,9 @@ fn measure_ranking(tb: &Grid5000Testbed) -> (f64, f64) {
     (naive_ns, incremental_ns)
 }
 
-fn measure_allocate(tb: &mut Grid5000Testbed) -> (f64, f64) {
+/// Returns (tracing-off ns/job with the alive-peer fast path, tracing-on
+/// ns/job, tracing-off ns/job with every reservation arming its timeout).
+fn measure_allocate(tb: &mut Grid5000Testbed) -> (f64, f64, f64) {
     let allocator = CoAllocator::new();
     let request = JobRequest::new(100, StrategyKind::Concentrate, "hostname");
 
@@ -155,6 +191,20 @@ fn measure_allocate(tb: &mut Grid5000Testbed) -> (f64, f64) {
     }
     let off_ns = ns_per_iter(start.elapsed().as_nanos(), ALLOC_JOBS);
 
+    // The armed path: what the same warm jobs cost when every reservation
+    // parks (and then cancels) a timeout event — the µs/job the alive-peer
+    // fast path reclaims.
+    tb.overlay.set_rs_timeout_fast_path(false);
+    for _ in 0..10 {
+        submit_one(tb, &allocator, &request);
+    }
+    let start = Instant::now();
+    for _ in 0..ALLOC_JOBS {
+        submit_one(tb, &allocator, &request);
+    }
+    let armed_ns = ns_per_iter(start.elapsed().as_nanos(), ALLOC_JOBS);
+    tb.overlay.set_rs_timeout_fast_path(true);
+
     tb.overlay.tracer().set_enabled(true);
     let start = Instant::now();
     for _ in 0..ALLOC_JOBS {
@@ -164,7 +214,7 @@ fn measure_allocate(tb: &mut Grid5000Testbed) -> (f64, f64) {
     tb.overlay.tracer().clear();
     tb.overlay.tracer().set_enabled(false);
 
-    (off_ns, on_ns)
+    (off_ns, on_ns, armed_ns)
 }
 
 fn measure_sweep(tb: &mut Grid5000Testbed) -> (f64, f64) {
@@ -382,6 +432,10 @@ fn sweep_engine_config() -> DaySweepConfig {
 /// reduced `--test` shape (~5.4k jobs in one virtual hour).
 fn timeout_timeline_config(test_mode: bool) -> DaySweepConfig {
     let mut cfg = DaySweepConfig::new(StrategyKind::Concentrate);
+    // This section measures the armed per-reservation timeout machinery, so
+    // the alive-peer fast path (which would skip nearly every arm on the
+    // warm day) is pinned off.
+    cfg.rs_timeout_fast_path = false;
     if test_mode {
         cfg = cfg.compress(24.0);
         cfg.profile = cfg.profile.scaled(0.25);
@@ -491,6 +545,258 @@ fn check_queue_gates(q: &QueueSections) -> bool {
     drifted
 }
 
+// ---------------------------------------------------------------------------
+// placement_search
+// ---------------------------------------------------------------------------
+
+/// Required per-move speedup of delta evaluation over a full model replay
+/// (EP at 256 ranks; observed ~10–13×).  EP is the gated kernel because its
+/// `max()`-absorbing trees keep the affected set small; IS's ring frontiers
+/// propagate more broadly and its ratio is closer to 1 — reported in the
+/// docs, not gated.
+const PLACEMENT_DELTA_SPEEDUP_MIN: f64 = 5.0;
+
+/// Required improvement of the searched placement over
+/// best-of(concentrate, spread) on the heterogeneity-skewed grid
+/// (`skewed_table1`); observed ~70%+.
+const PLACEMENT_SKEWED_IMPROVEMENT_MIN: f64 = 0.03;
+
+/// Wall budget of the full-scale search shape (EP, 1024 ranks, 10k moves,
+/// 4 chains); observed ~1 s, so single digits leaves generous headroom for
+/// slower machines.
+const PLACEMENT_SEARCH_WALL_BUDGET_S: f64 = 8.0;
+
+/// One standard-grid quality case of the placement-search section.
+struct SearchCase {
+    kernel: Fig4Kernel,
+    ranks: u32,
+    report: SearchReport,
+}
+
+/// Everything the placement-search section measures.
+struct PlacementSearchSection {
+    delta_ranks: u32,
+    delta_ns_per_move: f64,
+    replay_ns: f64,
+    delta_speedup: f64,
+    avg_delta_ops: f64,
+    schedule_ops: usize,
+    standard: Vec<SearchCase>,
+    skewed: SearchReport,
+    skewed_ranks: u32,
+    /// Full runs only: (wall seconds, moves) of the 1024-rank budget shape.
+    budget: Option<(f64, SearchReport)>,
+}
+
+/// Times delta evaluation (apply + commit of a random move mix) against a
+/// full `ModelComm` replay of the same schedule at `ranks` EP ranks.
+fn measure_delta_vs_replay(ranks: u32, moves: usize, replays: usize) -> (f64, f64, f64, usize) {
+    let topology = topology_from_specs(&scaled_table1(
+        p2pmpi_grid5000::sites::scale_factor_for_cores(ranks as usize),
+    ));
+    let settings = Fig4Settings::default().modeled();
+    let schedule = Arc::new(kernel_schedule(Fig4Kernel::Ep, &settings, ranks));
+    let schedule_ops = schedule.op_count();
+    let hosts = placement_rank_hosts(&synthetic_placement(&topology, StrategyKind::Spread, ranks));
+    let mut cost = PlacementCost::new(
+        schedule,
+        hosts,
+        host_capacities(&topology),
+        NetworkModel::new(topology.clone()),
+        ComputeModel::new(topology.clone()),
+    );
+    let mut rng = seeded(0x5EA7);
+    let host_count = topology.host_count();
+    let mix: Vec<Move> = (0..moves)
+        .map(|_| {
+            if rng.gen_range(0u32..2) == 0 {
+                Move::Swap {
+                    a: rng.gen_range(0..ranks),
+                    b: rng.gen_range(0..ranks),
+                }
+            } else {
+                Move::Migrate {
+                    rank: rng.gen_range(0..ranks),
+                    to: HostId(rng.gen_range(0..host_count)),
+                }
+            }
+        })
+        .collect();
+    // Warm the caches and branch predictors.
+    for mv in mix.iter().take(moves / 10) {
+        if cost.apply(*mv).is_ok() {
+            cost.undo();
+        }
+    }
+    let mut applied = 0usize;
+    let mut delta_ops = 0usize;
+    let start = Instant::now();
+    for mv in &mix {
+        if cost.apply(*mv).is_ok() {
+            applied += 1;
+            delta_ops += cost.last_delta_ops();
+            cost.commit();
+        }
+    }
+    let delta_ns = ns_per_iter(start.elapsed().as_nanos(), applied);
+    let start = Instant::now();
+    for _ in 0..replays {
+        black_box(cost.oracle_cost());
+    }
+    let replay_ns = ns_per_iter(start.elapsed().as_nanos(), replays);
+    (
+        delta_ns,
+        replay_ns,
+        delta_ops as f64 / applied.max(1) as f64,
+        schedule_ops,
+    )
+}
+
+fn measure_placement_search(test_mode: bool) -> PlacementSearchSection {
+    let settings = Fig4Settings::default().modeled();
+    // The ≥5x gate is defined at 256 ranks in both modes (only the number
+    // of timed moves shrinks under --test).
+    let delta_ranks = 256;
+    eprintln!("measuring placement-search delta evaluation vs full replay (EP@{delta_ranks})...");
+    let (timed_moves, replays) = if test_mode { (600, 60) } else { (2_000, 200) };
+    let (delta_ns_per_move, replay_ns, avg_delta_ops, schedule_ops) =
+        measure_delta_vs_replay(delta_ranks, timed_moves, replays);
+
+    let standard_cases: &[(Fig4Kernel, u32, u64, u32)] = if test_mode {
+        &[(Fig4Kernel::Ep, 64, 800, 2), (Fig4Kernel::Is, 16, 300, 2)]
+    } else {
+        &[
+            (Fig4Kernel::Ep, 256, 4_000, 4),
+            (Fig4Kernel::Ep, 1024, 4_000, 4),
+            (Fig4Kernel::Is, 32, 800, 2),
+        ]
+    };
+    let mut standard = Vec::new();
+    for &(kernel, ranks, moves, chains) in standard_cases {
+        eprintln!("measuring placement search quality ({kernel:?}@{ranks}, standard grid)...");
+        let topology = topology_from_specs(&scaled_table1(
+            p2pmpi_grid5000::sites::scale_factor_for_cores(ranks as usize),
+        ));
+        let report = search_placement(
+            &topology,
+            kernel,
+            ranks,
+            &settings,
+            &SearchParams {
+                moves,
+                chains,
+                seed: 2008,
+            },
+        );
+        standard.push(SearchCase {
+            kernel,
+            ranks,
+            report,
+        });
+    }
+
+    let (skewed_ranks, skewed_moves, skewed_chains) = if test_mode {
+        (64, 1_500, 2)
+    } else {
+        (256, 4_000, 4)
+    };
+    eprintln!("measuring placement search on the heterogeneity-skewed grid (EP@{skewed_ranks})...");
+    let topology = topology_from_specs(&skewed_table1(
+        p2pmpi_grid5000::sites::scale_factor_for_cores(skewed_ranks as usize),
+    ));
+    let skewed = search_placement(
+        &topology,
+        Fig4Kernel::Ep,
+        skewed_ranks,
+        &settings,
+        &SearchParams {
+            moves: skewed_moves,
+            chains: skewed_chains,
+            seed: 2008,
+        },
+    );
+
+    let budget = if test_mode {
+        None
+    } else {
+        eprintln!("measuring the wall budget shape (EP@1024, 10k moves, 4 chains)...");
+        let topology = topology_from_specs(&scaled_table1(1));
+        let start = Instant::now();
+        let report = search_placement(
+            &topology,
+            Fig4Kernel::Ep,
+            1024,
+            &settings,
+            &SearchParams {
+                moves: 10_000,
+                chains: 4,
+                seed: 2008,
+            },
+        );
+        Some((start.elapsed().as_secs_f64(), report))
+    };
+
+    PlacementSearchSection {
+        delta_ranks,
+        delta_ns_per_move,
+        replay_ns,
+        delta_speedup: replay_ns / delta_ns_per_move.max(1.0),
+        avg_delta_ops,
+        schedule_ops,
+        standard,
+        skewed,
+        skewed_ranks,
+        budget,
+    }
+}
+
+/// The placement-search gates; returns true if anything failed.
+fn check_placement_search_gates(p: &PlacementSearchSection) -> bool {
+    let mut drifted = false;
+    if p.delta_speedup < PLACEMENT_DELTA_SPEEDUP_MIN {
+        eprintln!(
+            "FAIL: delta evaluation ({:.0} ns/move) is only {:.1}x cheaper than a full replay \
+             ({:.0} ns) at EP@{} — the gate requires {PLACEMENT_DELTA_SPEEDUP_MIN}x",
+            p.delta_ns_per_move, p.delta_speedup, p.replay_ns, p.delta_ranks
+        );
+        drifted = true;
+    }
+    for case in &p.standard {
+        let report = &case.report;
+        if report.best > report.baseline() {
+            eprintln!(
+                "FAIL: searched placement ({:?}@{}) is worse than best-of(concentrate, spread): \
+                 {:.6}s vs {:.6}s",
+                case.kernel,
+                case.ranks,
+                report.best.as_secs_f64(),
+                report.baseline().as_secs_f64()
+            );
+            drifted = true;
+        }
+    }
+    if p.skewed.improvement() <= PLACEMENT_SKEWED_IMPROVEMENT_MIN {
+        eprintln!(
+            "FAIL: on the skewed grid (EP@{}) the search is only {:.2}% better than \
+             best-of(concentrate, spread); the gate requires more than {:.0}%",
+            p.skewed_ranks,
+            p.skewed.improvement() * 100.0,
+            PLACEMENT_SKEWED_IMPROVEMENT_MIN * 100.0
+        );
+        drifted = true;
+    }
+    if let Some((wall_s, _)) = p.budget {
+        if wall_s > PLACEMENT_SEARCH_WALL_BUDGET_S {
+            eprintln!(
+                "FAIL: the EP@1024 / 10k-move / 4-chain search took {wall_s:.2}s; the documented \
+                 budget is {PLACEMENT_SEARCH_WALL_BUDGET_S}s"
+            );
+            drifted = true;
+        }
+    }
+    drifted
+}
+
 fn main() {
     let mut out_path = "BENCH_hotpath.json".to_string();
     let mut seed_allocate_ns = SEED_ALLOCATE_NS_PER_JOB;
@@ -515,8 +821,8 @@ fn main() {
     }
 
     if test_mode {
-        // CI smoke: only the queue-sensitive sections, reduced scale, the
-        // relative gates, no report file.
+        // CI smoke: the queue-sensitive sections and the placement search,
+        // reduced scale, the relative gates, no report file.
         let q = measure_queue_sections(true, 2);
         eprintln!(
             "sweep_engine (reduced, {} jobs): heap {:.1} ms, calendar {:.1} ms, ladder {:.1} ms",
@@ -541,10 +847,30 @@ fn main() {
             q.skewed_walls[1],
             q.skewed_walls[2]
         );
-        if check_queue_gates(&q) {
+        let ps = measure_placement_search(true);
+        eprintln!(
+            "placement_search (reduced): delta {:.0} ns/move vs replay {:.0} ns ({:.1}x), \
+             skewed improvement {:.1}%",
+            ps.delta_ns_per_move,
+            ps.replay_ns,
+            ps.delta_speedup,
+            ps.skewed.improvement() * 100.0
+        );
+        for case in &ps.standard {
+            eprintln!(
+                "placement_search {:?}@{}: conc {:.4}s spread {:.4}s searched {:.4}s",
+                case.kernel,
+                case.ranks,
+                case.report.concentrate.as_secs_f64(),
+                case.report.spread.as_secs_f64(),
+                case.report.best.as_secs_f64()
+            );
+        }
+        let drifted = check_queue_gates(&q) | check_placement_search_gates(&ps);
+        if drifted {
             std::process::exit(1);
         }
-        eprintln!("perf_report --test: all queue gates passed");
+        eprintln!("perf_report --test: all queue and placement-search gates passed");
         return;
     }
 
@@ -557,7 +883,7 @@ fn main() {
     let (naive_ns, incremental_ns) = measure_ranking(&tb);
 
     eprintln!("measuring warm allocate ({ALLOC_JOBS} jobs per variant)...");
-    let (off_ns, on_ns) = measure_allocate(&mut tb);
+    let (off_ns, on_ns, armed_ns) = measure_allocate(&mut tb);
 
     eprintln!("measuring Poisson job sweep ({SWEEP_JOBS} jobs)...");
     let (sweep_wall_ms, sweep_jobs_per_sec) = measure_sweep(&mut tb);
@@ -585,6 +911,7 @@ fn main() {
         measure_modeled_sweep(Fig4Kernel::Is, 1024, &sweep_settings);
 
     let q = measure_queue_sections(false, 3);
+    let ps = measure_placement_search(false);
     let [sweep_heap_ms, sweep_cal_ms, sweep_lad_ms] = q.sweep_walls;
     let sweep_engine_jobs = q.sweep_jobs;
     let [day_heap_ms, day_cal_ms, day_lad_ms] = q.timeline_walls;
@@ -600,6 +927,40 @@ fn main() {
 
     let ranking_speedup = naive_ns / incremental_ns.max(1.0);
     let alloc_speedup = seed_allocate_ns / off_ns.max(1.0);
+    let fastpath_reclaimed_us = (armed_ns - off_ns) / 1e3;
+    // The standard-grid search cases as a JSON array (the case list differs
+    // between full and --test runs, so it is assembled, not templated).
+    let search_cases_json = ps
+        .standard
+        .iter()
+        .map(|case| {
+            format!(
+                r#"      {{ "kernel": "{:?}", "ranks": {}, "concentrate_s": {:.6}, "spread_s": {:.6}, "searched_s": {:.6}, "improvement_vs_best_of": {:.4}, "hosts_used": {} }}"#,
+                case.kernel,
+                case.ranks,
+                case.report.concentrate.as_secs_f64(),
+                case.report.spread.as_secs_f64(),
+                case.report.best.as_secs_f64(),
+                case.report.improvement(),
+                case.report.hosts_used(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let (budget_wall_s, budget_report) = ps.budget.as_ref().expect("full run measures the budget");
+    let ps_delta_ns = ps.delta_ns_per_move;
+    let ps_replay_ns = ps.replay_ns;
+    let ps_speedup = ps.delta_speedup;
+    let ps_avg_ops = ps.avg_delta_ops;
+    let ps_schedule_ops = ps.schedule_ops;
+    let ps_delta_ranks = ps.delta_ranks;
+    let skewed_ranks = ps.skewed_ranks;
+    let skewed_conc = ps.skewed.concentrate.as_secs_f64();
+    let skewed_spread = ps.skewed.spread.as_secs_f64();
+    let skewed_best = ps.skewed.best.as_secs_f64();
+    let skewed_improvement = ps.skewed.improvement();
+    let budget_best = budget_report.best.as_secs_f64();
+    let budget_moves = budget_report.evaluated();
     let arena_vs_boxed = arena_heap_eps / boxed_eps.max(1.0);
     let calendar_vs_boxed = arena_cal_eps / boxed_eps.max(1.0);
     let ladder_vs_boxed = arena_lad_eps / boxed_eps.max(1.0);
@@ -627,7 +988,13 @@ fn main() {
     "before_seed_ns_per_job": {seed_allocate_ns:.0},
     "after_tracing_off_ns_per_job": {off_ns:.0},
     "after_tracing_on_ns_per_job": {on_ns:.0},
-    "speedup_tracing_off_vs_seed": {alloc_speedup:.2}
+    "speedup_tracing_off_vs_seed": {alloc_speedup:.2},
+    "warm_fastpath": {{
+      "description": "the alive-peer timeout fast path: rs_send skips arming a timeout whose reply is already scheduled to win the race (outcome-invariant, pinned by day_sweep tests); armed = the same warm jobs with the fast path disabled, reclaimed = what skipping the arm/cancel pair saves per warm 100-process job",
+      "armed_ns_per_job": {armed_ns:.0},
+      "fastpath_ns_per_job": {off_ns:.0},
+      "reclaimed_us_per_job": {fastpath_reclaimed_us:.1}
+    }}
   }},
   "job_sweep_poisson": {{
     "description": "Poisson arrivals (mean gap 30 s virtual), tracing off",
@@ -704,6 +1071,42 @@ fn main() {
       "ladder_vs_calendar_speedup": {skewed_ladder_vs_calendar:.3},
       "required_ladder_margin": {LADDER_VS_CALENDAR_MARGIN}
     }}
+  }},
+  "placement_search": {{
+    "description": "model-driven placement search (p2pmpi_bench::search annealing over p2pmpi_mpi::model::PlacementCost): delta evaluation re-costs a move in O(affected ranks) against cached per-segment clocks instead of a full model replay; gates (all fail non-zero): delta >= {PLACEMENT_DELTA_SPEEDUP_MIN}x cheaper per move than the ModelComm replay at EP@256, searched never worse than best-of(concentrate, spread) on the standard grids, > {PLACEMENT_SKEWED_IMPROVEMENT_MIN} better on the skewed grid, and the EP@1024 10k-move 4-chain search within {PLACEMENT_SEARCH_WALL_BUDGET_S}s wall",
+    "delta_vs_full_replay": {{
+      "kernel": "Ep",
+      "ranks": {ps_delta_ranks},
+      "schedule_ops": {ps_schedule_ops},
+      "delta_ns_per_move": {ps_delta_ns:.0},
+      "avg_delta_ops_per_move": {ps_avg_ops:.1},
+      "full_replay_ns": {ps_replay_ns:.0},
+      "speedup": {ps_speedup:.1},
+      "required_speedup": {PLACEMENT_DELTA_SPEEDUP_MIN}
+    }},
+    "standard_grid": [
+{search_cases_json}
+    ],
+    "skewed_grid": {{
+      "description": "skewed_table1: per-core rates skewed so the RTT booking order anti-correlates with speed; both fixed strategies are provably poor here and the search must win clearly",
+      "kernel": "Ep",
+      "ranks": {skewed_ranks},
+      "concentrate_s": {skewed_conc:.6},
+      "spread_s": {skewed_spread:.6},
+      "searched_s": {skewed_best:.6},
+      "improvement_vs_best_of": {skewed_improvement:.4},
+      "required_improvement": {PLACEMENT_SKEWED_IMPROVEMENT_MIN}
+    }},
+    "wall_budget": {{
+      "kernel": "Ep",
+      "ranks": 1024,
+      "moves_per_chain": 10000,
+      "chains": 4,
+      "moves_evaluated": {budget_moves},
+      "searched_s": {budget_best:.6},
+      "wall_s": {budget_wall_s:.2},
+      "budget_s": {PLACEMENT_SEARCH_WALL_BUDGET_S}
+    }}
   }}
 }}
 "#
@@ -750,6 +1153,9 @@ fn main() {
     // The relative queue gates (ladder-vs-calendar on the skewed trace, the
     // sweep default within noise of the best, allocation-free brokering) …
     drifted |= check_queue_gates(&q);
+    // … the placement-search gates (delta speedup, search quality, the
+    // skewed-grid margin, the wall budget) …
+    drifted |= check_placement_search_gates(&ps);
     // … plus the machine-absolute one only the full run can judge: putting
     // every reservation's timeout on the timeline must not cost more than
     // TIMEOUT_TIMELINE_LIMIT× the analytical-timeout day on the best queue.

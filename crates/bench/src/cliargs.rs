@@ -37,6 +37,16 @@ pub struct SweepFlags {
     /// `--scale K`: Table-1 grid scale factor for modeled sweeps
     /// (default: just large enough for the largest count).
     pub scale: Option<usize>,
+    /// `--searched`: add a third curve with the placement found by the
+    /// annealing search (implies `--modeled` for that curve; tune with
+    /// `--moves` / `--chains` / `--seed`).
+    pub searched: bool,
+    /// `--moves N`: annealing moves per search chain.
+    pub moves: Option<u64>,
+    /// `--chains N`: parallel search chains.
+    pub chains: Option<u32>,
+    /// `--seed N`: master seed of the search.
+    pub seed: Option<u64>,
 }
 
 impl SweepFlags {
@@ -48,14 +58,29 @@ impl SweepFlags {
             "executed"
         }
     }
+
+    /// The search parameters selected by `--moves`/`--chains`/`--seed`.
+    pub fn search_params(&self) -> crate::search::SearchParams {
+        let default = crate::search::SearchParams::default();
+        crate::search::SearchParams {
+            moves: self.moves.unwrap_or(default.moves),
+            chains: self.chains.unwrap_or(default.chains),
+            seed: self.seed.unwrap_or(default.seed),
+        }
+    }
 }
 
-/// Parses the `--modeled` / `--ranks` / `--scale` flags.
+/// Parses the `--modeled` / `--ranks` / `--scale` / `--searched` (and its
+/// `--moves` / `--chains` / `--seed`) flags.
 pub fn sweep_flags() -> SweepFlags {
     SweepFlags {
         modeled: flag_present("--modeled"),
         ranks: flag_value("--ranks").map(|v| parse_u32_list(&v, "--ranks")),
         scale: flag_u64("--scale").map(|s| s as usize),
+        searched: flag_present("--searched"),
+        moves: flag_u64("--moves"),
+        chains: flag_u64("--chains").map(|c| c as u32),
+        seed: flag_u64("--seed"),
     }
 }
 

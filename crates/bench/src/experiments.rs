@@ -298,6 +298,32 @@ pub fn modeled_kernel_times(
         .collect()
 }
 
+/// Like [`modeled_kernel_times`], but with the placement *searched* instead
+/// of fixed: each count runs a parallel-chain annealing search
+/// ([`crate::search::search_placement`]) on the same scaled Table-1 grid the
+/// synthetic concentrate/spread placements use, so the three curves of a
+/// `fig4_* --searched` run are directly comparable point by point.  The
+/// returned makespan is the searched placement's modeled cost — never worse
+/// than best-of(concentrate, spread) by construction.
+pub fn searched_kernel_times(
+    kernel: Fig4Kernel,
+    counts: &[u32],
+    settings: &Fig4Settings,
+    scale: Option<usize>,
+    params: &crate::search::SearchParams,
+) -> Vec<Fig4Point> {
+    let max = counts.iter().copied().max().unwrap_or(0) as usize;
+    let factor = scale.unwrap_or_else(|| scale_factor_for_cores(max));
+    let topology = topology_from_specs(&scaled_table1(factor));
+    let settings = settings.modeled();
+    counts
+        .iter()
+        .map(|&n| {
+            crate::search::search_placement(&topology, kernel, n, &settings, params).to_fig4_point()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,16 +14,22 @@
 //! | Figure 4 left (EP class B execution times) | `fig4_ep` |
 //! | Figure 4 right (IS class B execution times) | `fig4_is` |
 //! | §5.1 latency-ranking discussion & ablations | `sweep` |
+//!
+//! Beyond the paper: `placement_search` anneals host assignments under the
+//! LogGP model (the [`search`] module) — the third, *searched* curve of
+//! `fig4_ep`/`fig4_is --searched`.
 
 #![warn(missing_docs)]
 
 pub mod cliargs;
 pub mod experiments;
 pub mod output;
+pub mod search;
 pub mod workload;
 
 pub use experiments::{fig2_fig3_sweep, fig4_kernel_times, Fig4Kernel, Fig4Point, Fig4Settings};
 pub use output::{print_fig4_table, print_legend, print_sweep_tables};
+pub use search::{search_placement, SearchParams, SearchReport};
 pub use workload::{
     run_day_sweep, BurstyArrivals, DayProfile, DaySweepConfig, DaySweepResult, JobMix,
     PoissonArrivals,

@@ -441,6 +441,12 @@ pub struct DaySweepConfig {
     /// Period of the submitter's supernode cache refresh (how quickly
     /// flapped peers re-enter the booking order after step 5 dropped them).
     pub cache_refresh: SimDuration,
+    /// Whether `rs_send` may skip arming timeouts whose reply is already
+    /// scheduled to win the race (the alive-peer fast path; outcome-
+    /// invariant, pinned by `tests/day_sweep.rs`).  On by default;
+    /// [`DaySweepConfig::dead_peer_day`] turns it off so the timeout-heavy
+    /// benchmark keeps measuring the armed machinery it exists for.
+    pub rs_timeout_fast_path: bool,
 }
 
 impl DaySweepConfig {
@@ -457,6 +463,7 @@ impl DaySweepConfig {
             sample_period: SimDuration::from_secs(300),
             churn: None,
             cache_refresh: SimDuration::from_secs(600),
+            rs_timeout_fast_path: true,
         }
     }
 
@@ -471,6 +478,10 @@ impl DaySweepConfig {
         DaySweepConfig {
             churn: Some(DeadPeerChurn::default()),
             cache_refresh: SimDuration::from_secs(120),
+            // This scenario exists to park timeout events on the timeline
+            // (the skewed population the ladder queue is for), so the
+            // alive-peer fast path is off: every reservation arms.
+            rs_timeout_fast_path: false,
             ..Self::new(strategy)
         }
     }
@@ -584,6 +595,8 @@ pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
     let trace = day_trace(&cfg.profile, &cfg.mix, cfg.seed);
     let mut tb = grid5000_testbed_with_queue(cfg.seed, NoiseModel::default(), cfg.queue);
     tb.overlay.tracer().set_enabled(false);
+    tb.overlay
+        .set_rs_timeout_fast_path(cfg.rs_timeout_fast_path);
 
     // Periodic behaviours share the timeline with submissions/completions.
     tb.overlay.start_heartbeats();

@@ -113,6 +113,45 @@ fn heap_calendar_and_ladder_timelines_agree_on_the_sweep_outcome() {
 }
 
 #[test]
+fn alive_peer_fast_path_is_outcome_invariant() {
+    // The warm-brokering fast path (skip arming a timeout whose reply is
+    // already scheduled to win the race) is a scheduling-cost optimisation,
+    // never a semantic one: with it on or off, the standard day trace and
+    // the churn-heavy dead-peer trace must produce bit-identical outcomes —
+    // same submissions, same refusals, same observed timeouts, same
+    // utilisation samples, same delivered-event count (skipped timeouts
+    // were never delivered on the armed path either).
+    let run = |fast_path: bool, churny: bool| {
+        let mut cfg = if churny {
+            let mut cfg = DaySweepConfig::dead_peer_day(StrategyKind::Concentrate).compress(24.0);
+            cfg.profile = cfg.profile.scaled(0.05);
+            cfg
+        } else {
+            reduced(StrategyKind::Concentrate)
+        };
+        cfg.rs_timeout_fast_path = fast_path;
+        run_day_sweep(&cfg)
+    };
+    for churny in [false, true] {
+        let armed = run(false, churny);
+        let fast = run(true, churny);
+        assert_identical(
+            &armed,
+            &fast,
+            if churny {
+                "fast path vs armed under churn"
+            } else {
+                "fast path vs armed on the standard day"
+            },
+        );
+    }
+    // And the fast path genuinely observes timeouts under churn: dead
+    // peers still arm (the machinery is kept where it is load-bearing).
+    let fast_churny = run(true, true);
+    assert!(fast_churny.timeouts > 100, "{}", fast_churny.timeouts);
+}
+
+#[test]
 fn dead_peer_day_parks_timeouts_on_the_timeline_identically_on_every_queue() {
     // The churn-heavy scenario: flapping peers keep getting booked while
     // dead, so reservation timeouts genuinely fire (not just armed and

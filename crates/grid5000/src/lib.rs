@@ -20,10 +20,12 @@
 
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod scenario;
 pub mod sites;
 pub mod testbed;
 
+pub use capacity::{host_capacities, IdleSlotIndex};
 pub use scenario::{
     allocate_on, coallocation_sweep, paper_demand_steps, paper_ep_process_counts,
     paper_is_process_counts, probe_vs_icmp_ranking, SweepRow,

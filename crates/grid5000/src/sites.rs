@@ -203,6 +203,34 @@ pub fn scaled_table1(factor: usize) -> Vec<ClusterSpec> {
         .collect()
 }
 
+/// [`scaled_table1`] with the per-core rates *skewed*: the CPU heterogeneity
+/// of Table 1 amplified so that the booking order (ascending RTT from the
+/// Nancy submitter) anti-correlates with compute speed — Nancy's grelon
+/// nodes run at half their Table-1 rate while the far Bordeaux/Sophia
+/// Opteron 2218 clusters run half again faster.
+///
+/// This is a synthetic stress grid, not a paper artefact: on it, both fixed
+/// strategies are provably poor for compute-bound kernels (concentrate
+/// fills the slow-but-close Nancy nodes first, spread deals one rank to
+/// every slow host it walks past), so it is where a model-driven placement
+/// *search* must beat best-of(concentrate, spread) by a clear margin —
+/// `perf_report`'s `placement_search` section gates on >3% here.
+/// Node shapes, RTTs and bandwidths are unchanged.
+pub fn skewed_table1(factor: usize) -> Vec<ClusterSpec> {
+    scaled_table1(factor)
+        .into_iter()
+        .map(|spec| ClusterSpec {
+            ops_per_core: match spec.site {
+                "nancy" => spec.ops_per_core * 0.5,
+                "grenoble" => spec.ops_per_core * 0.8,
+                _ if spec.cpu_model.contains("2218") => spec.ops_per_core * 1.5,
+                _ => spec.ops_per_core,
+            },
+            ..spec
+        })
+        .collect()
+}
+
 /// The smallest factor for [`scaled_table1`] such that the grid holds at
 /// least `cores` cores.
 pub fn scale_factor_for_cores(cores: usize) -> usize {
@@ -295,6 +323,30 @@ mod tests {
         assert_eq!(scale_factor_for_cores(1040), 1);
         assert_eq!(scale_factor_for_cores(1041), 2);
         assert_eq!(scale_factor_for_cores(4096), 4);
+    }
+
+    #[test]
+    fn skewed_table1_widens_heterogeneity_only() {
+        let skewed = skewed_table1(2);
+        let plain = scaled_table1(2);
+        assert_eq!(skewed.len(), plain.len());
+        for (s, p) in skewed.iter().zip(&plain) {
+            assert_eq!(s.nodes, p.nodes);
+            assert_eq!(s.cores, p.cores);
+            assert_eq!(s.cores_per_node(), p.cores_per_node());
+        }
+        // Nancy halved, the Opteron 2218 clusters (bordereau, sol) boosted.
+        assert_eq!(skewed[0].site, "nancy");
+        assert_eq!(skewed[0].ops_per_core, plain[0].ops_per_core * 0.5);
+        let sol = skewed.iter().find(|s| s.cluster == "sol").unwrap();
+        assert_eq!(sol.ops_per_core, 2.6e9 * 1.5);
+        // The fast/slow spread is what makes fixed strategies beatable.
+        let max = skewed.iter().map(|s| s.ops_per_core).fold(0.0, f64::max);
+        let min = skewed
+            .iter()
+            .map(|s| s.ops_per_core)
+            .fold(f64::INFINITY, f64::min);
+        assert!(max / min > 4.0, "skew too weak: {max} / {min}");
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //!   measurement.
 //! * [`model`] — LogGP-style analytical prediction of the collectives'
 //!   virtual-time cost, for sweeps past the thread-per-rank scale
-//!   ([`model::CollectiveBackend`] selects executed vs modeled).
+//!   ([`model::CollectiveBackend`] selects executed vs modeled), plus the
+//!   incremental placement evaluator ([`model::PlacementCost`]) the
+//!   placement search runs on.
 //!
 //! ## Example
 //!

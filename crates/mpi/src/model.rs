@@ -1,4 +1,5 @@
-//! LogGP-style analytical cost model of the collective operations.
+//! LogGP-style analytical cost model of the collective operations — and the
+//! incremental (delta) placement evaluator built on top of it.
 //!
 //! The executed runtime ([`crate::runtime::MpiRuntime::run`]) spawns one OS
 //! thread per rank and lets the virtual-time cost of a collective *emerge*
@@ -54,6 +55,72 @@
 //!   NIC, times the 1.05 protocol-framing factor — so
 //!   `G = 1.05 · 8 / min(link, NIC) ≈ 8.4 ns/byte` on a 1 Gbps bottleneck.
 //!
+//! # One schedule, three interpreters
+//!
+//! The collective schedules themselves — which rank messages which rank, in
+//! what order, with how many bytes — depend only on the communicator size,
+//! never on the placement.  They are therefore expressed once, as the
+//! *default methods* of [`CollectiveProgram`], in terms of four placement-
+//! independent primitives (`compute`, `advance`, `message`, `ring_exchange`).
+//! Three interpreters consume them:
+//!
+//! * [`ModelComm`] executes the primitives immediately on per-rank scalar
+//!   clocks (the Figure 4 modeled backend);
+//! * [`ScheduleBuilder`] records them into a [`CompiledSchedule`], a flat,
+//!   placement-independent representation of the whole kernel;
+//! * [`PlacementCost`] evaluates a compiled schedule against a *mutable*
+//!   host assignment, incrementally.
+//!
+//! Because all three share the default-method schedules, "the model", "the
+//! recorded schedule" and "the delta evaluator" cannot drift apart: the
+//! property tests pin `PlacementCost` to a fresh [`ModelComm`] replay
+//! (`CompiledSchedule::drive`) per-rank-exactly.
+//!
+//! # The delta-evaluation contract
+//!
+//! [`PlacementCost`] exists to make *placement search* cheap: simulated
+//! annealing proposes a move (swap two ranks' hosts, or migrate one rank to
+//! an idle slot), asks for the new modeled makespan, and keeps or reverts
+//! it.  A full model replay costs O(schedule) per proposal; the delta
+//! evaluator costs O(affected ranks).
+//!
+//! **What is cached.**  Per segment of the compiled schedule (a compute
+//! phase, a run of tree messages, one ring collective), `PlacementCost`
+//! keeps the per-rank clocks at the segment boundary; per tree message, the
+//! (`in_src`, `in_dst`, `out_dst`) clock triple of its last evaluation; per
+//! ring step, the post-step clock of every rank; and a memo of LogGP
+//! transfer times keyed by (link class, byte count) — link class meaning
+//! same-host / site-pair, the only thing the transfer cost depends on.
+//!
+//! **What a move invalidates.**  A move changes (a) the transfer cost of
+//! every message whose *endpoint rank* moved, and (b) the compute cost of
+//! every rank whose host or whose host's *resident count* changed (a swap
+//! preserves all resident counts; a migrate changes two hosts').  The delta
+//! pass walks the schedule visiting only operations whose inputs changed:
+//! a per-rank sorted index of tree messages seeds a worklist with the moved
+//! ranks' messages, and dirtiness propagates forward — a rank whose
+//! recomputed clock *re-matches* the cached trajectory leaves the dirty set
+//! immediately (the `max()` in the receive rule absorbs most perturbations),
+//! which is what bounds the affected set in practice.  Ring segments
+//! propagate a per-step dirty frontier instead ({r, r+step} for each dirty
+//! or moved rank r).  Every cache mutation is journaled, so
+//! [`PlacementCost::undo`] restores the pre-move state exactly and
+//! [`PlacementCost::commit`] is O(1).
+//!
+//! **Exactness.**  Delta-after-move equals a from-scratch replay bit for
+//! bit, per rank — pinned by `crates/mpi/tests/placement_cost_prop.rs` over
+//! random schedules, placements and move sequences, with
+//! [`PlacementCost::oracle_clocks`] (a fresh `ModelComm` replay) as the
+//! oracle.  A capacity-violating migrate is rejected without touching any
+//! state.
+//!
+//! **Memory.**  The caches are O(schedule): trees cost three clocks per
+//! message, rings one clock per (step, rank) — n(n−1) clocks per ring
+//! collective.  EP compiles to a few kilobytes at any rank count; IS at r
+//! ranks and i iterations costs ~`2·i·r²·8` bytes of ring cache (≈10 MB at
+//! 256 ranks, class-B iteration count), so IS searches are best kept to a
+//! few hundred ranks.
+//!
 //! # Fidelity
 //!
 //! [`ModelComm`] replays the *identical* schedule and clock arithmetic the
@@ -77,13 +144,17 @@
 //! touching the cost parameters.
 
 use crate::error::Rank;
-use crate::placement::Placement;
+use crate::placement::{Placement, ProcSpec};
 use crate::stats::CommStats;
 use p2pmpi_simgrid::compute::ComputeModel;
 use p2pmpi_simgrid::memory::MemoryIntensity;
 use p2pmpi_simgrid::network::NetworkModel;
 use p2pmpi_simgrid::time::{SimDuration, SimTime};
 use p2pmpi_simgrid::topology::HostId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::Arc;
 
 /// How a job's collectives are costed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -128,13 +199,151 @@ impl LogGpParams {
     }
 }
 
+/// A program of collective operations, expressed placement-independently.
+///
+/// The default methods carry the *exact* collective schedules the executed
+/// runtime uses (binomial broadcast/reduce trees, linear gather/scatter, the
+/// ring alltoall(v)); implementors supply only the four primitives.  The
+/// per-rank closures (`ops_of`, `bytes_of`, `bytes`) must be pure functions
+/// of their rank arguments: interpreters may evaluate them in any order and
+/// any number of times.
+pub trait CollectiveProgram {
+    /// Number of ranks.
+    fn size(&self) -> u32;
+
+    /// Charges a compute section to every rank; `ops_of(rank)` gives the
+    /// abstract operation count of each rank's share.
+    fn compute<F: FnMut(Rank) -> f64>(&mut self, intensity: MemoryIntensity, ops_of: F);
+
+    /// Advances every rank's clock by `d` (I/O or set-up phases).
+    fn advance(&mut self, d: SimDuration);
+
+    /// One point-to-point message: the sender pays `o`, the receiver's clock
+    /// rises to the arrival time (mirrors `Comm::send`/`Comm::accept`).
+    fn message(&mut self, src: Rank, dst: Rank, bytes: u64);
+
+    /// The full ring exchange of `Comm::alltoallv`: at step `s` every rank
+    /// stamps a send to rank `r+s`, then blocks receiving from rank `r-s`;
+    /// all sends of a step are stamped against the pre-step clocks.
+    /// `bytes(src, dst)` is the block `src` sends to `dst`.
+    fn ring_exchange<F: FnMut(Rank, Rank) -> u64>(&mut self, bytes: F);
+
+    /// Binomial-tree broadcast of `bytes` from `root` (mirrors
+    /// [`crate::Comm::bcast`]).
+    fn bcast(&mut self, root: Rank, bytes: u64) {
+        let size = self.size() as usize;
+        assert!((root as usize) < size, "root {root} outside 0..{size}");
+        if size <= 1 {
+            return;
+        }
+        // Process ranks in increasing *relative* order: a rank's parent has a
+        // smaller relative index, so its (receive, forward...) program has
+        // already run and this rank's clock already reflects the arrival.
+        for rel in 0..size {
+            let me = (rel + root as usize) % size;
+            // Forward to children in the executed send order: masks descend
+            // from just below this rank's receive mask (or from the top for
+            // the root).
+            let mut mask: usize = 1;
+            while mask < size && rel & mask == 0 {
+                mask <<= 1;
+            }
+            mask >>= 1;
+            while mask > 0 {
+                if rel + mask < size {
+                    let child = (rel + mask + root as usize) % size;
+                    self.message(me as Rank, child as Rank, bytes);
+                }
+                mask >>= 1;
+            }
+        }
+    }
+
+    /// Binomial-tree reduction of `bytes` onto `root` (mirrors
+    /// [`crate::Comm::reduce`]; the element-wise combine is free, as in the
+    /// executed path).
+    fn reduce(&mut self, root: Rank, bytes: u64) {
+        let size = self.size() as usize;
+        assert!((root as usize) < size, "root {root} outside 0..{size}");
+        if size <= 1 {
+            return;
+        }
+        // Children have larger relative indices: process them first so each
+        // rank's clock includes every child contribution before it forwards
+        // to its own parent.
+        for rel in (1..size).rev() {
+            let me = (rel + root as usize) % size;
+            let parent_rel = rel & (rel - 1); // clear the lowest set bit
+            let parent = (parent_rel + root as usize) % size;
+            self.message(me as Rank, parent as Rank, bytes);
+        }
+    }
+
+    /// Reduce-to-0 followed by broadcast (mirrors
+    /// [`crate::Comm::allreduce`]).
+    fn allreduce(&mut self, bytes: u64) {
+        self.reduce(0, bytes);
+        self.bcast(0, bytes);
+    }
+
+    /// Empty allreduce (mirrors [`crate::Comm::barrier`]: one `u8`).
+    fn barrier(&mut self) {
+        self.allreduce(1);
+    }
+
+    /// Linear gather at `root`; `bytes_of(rank)` is each rank's contribution
+    /// (mirrors [`crate::Comm::gather`]).
+    fn gather<F: FnMut(Rank) -> u64>(&mut self, root: Rank, mut bytes_of: F) {
+        let size = self.size();
+        assert!(root < size, "root {root} outside 0..{size}");
+        for src in 0..size {
+            if src != root {
+                self.message(src, root, bytes_of(src));
+            }
+        }
+    }
+
+    /// Gather at 0 then broadcast of the concatenation (mirrors
+    /// [`crate::Comm::allgather`]).
+    fn allgather<F: FnMut(Rank) -> u64>(&mut self, mut bytes_of: F) {
+        let total: u64 = (0..self.size()).map(&mut bytes_of).sum();
+        self.gather(0, &mut bytes_of);
+        self.bcast(0, total);
+    }
+
+    /// Linear scatter of `block_bytes` per rank from `root` (mirrors
+    /// [`crate::Comm::scatter`]).
+    fn scatter(&mut self, root: Rank, block_bytes: u64) {
+        let size = self.size();
+        assert!(root < size, "root {root} outside 0..{size}");
+        for dst in 0..size {
+            if dst != root {
+                self.message(root, dst, block_bytes);
+            }
+        }
+    }
+
+    /// Ring alltoall of equal `block_bytes` blocks (mirrors
+    /// [`crate::Comm::alltoall`]).
+    fn alltoall(&mut self, block_bytes: u64) {
+        self.alltoallv(move |_, _| block_bytes);
+    }
+
+    /// Ring alltoallv; `bytes(src, dst)` is the block `src` sends to `dst`
+    /// (mirrors [`crate::Comm::alltoallv`]).
+    fn alltoallv<F: FnMut(Rank, Rank) -> u64>(&mut self, bytes: F) {
+        self.ring_exchange(bytes);
+    }
+}
+
 /// Analytical stand-in for a whole communicator: one virtual clock per rank,
 /// advanced by the same schedules and cost rules as the executed collectives.
 ///
-/// Methods mirror [`crate::Comm`]'s collectives but take *byte counts*
-/// instead of data (the model never touches payloads).  Per-rank quantities
-/// (gather contributions, alltoallv block sizes, compute work) are supplied
-/// as closures over the rank index.
+/// The collectives come from the [`CollectiveProgram`] trait (bring it into
+/// scope to call them); methods mirror [`crate::Comm`]'s but take *byte
+/// counts* instead of data (the model never touches payloads).  Per-rank
+/// quantities (gather contributions, alltoallv block sizes, compute work)
+/// are supplied as closures over the rank index.
 pub struct ModelComm {
     hosts: Vec<HostId>,
     residents: Vec<usize>,
@@ -214,11 +423,34 @@ impl ModelComm {
     pub fn stats(&self) -> &CommStats {
         &self.stats
     }
+}
 
-    /// One modeled message: the sender pays `o`, the receiver's clock rises
-    /// to the arrival time.  Mirrors `Comm::send`/`Comm::accept` exactly.
+impl CollectiveProgram for ModelComm {
+    fn size(&self) -> u32 {
+        self.clocks.len() as u32
+    }
+
+    fn compute<F: FnMut(Rank) -> f64>(&mut self, intensity: MemoryIntensity, mut ops_of: F) {
+        for rank in 0..self.clocks.len() {
+            let ops = ops_of(rank as Rank);
+            let t =
+                self.compute
+                    .compute_time(self.hosts[rank], ops, intensity, self.residents[rank]);
+            self.clocks[rank] += t;
+            self.stats.compute_ops += ops;
+            self.stats.compute_time += t;
+        }
+    }
+
+    fn advance(&mut self, d: SimDuration) {
+        for c in &mut self.clocks {
+            *c += d;
+        }
+    }
+
     #[inline]
-    fn message(&mut self, src: usize, dst: usize, bytes: u64) {
+    fn message(&mut self, src: Rank, dst: Rank, bytes: u64) {
+        let (src, dst) = (src as usize, dst as usize);
         let overhead = self.network.params().per_message_overhead;
         self.clocks[src] += overhead;
         let transfer = self
@@ -232,143 +464,7 @@ impl ModelComm {
         self.stats.bytes_received += bytes;
     }
 
-    /// Charges a compute section to every rank; `ops_of(rank)` gives the
-    /// abstract operation count of each rank's share.
-    pub fn compute<F>(&mut self, intensity: MemoryIntensity, mut ops_of: F)
-    where
-        F: FnMut(Rank) -> f64,
-    {
-        for rank in 0..self.clocks.len() {
-            let ops = ops_of(rank as Rank);
-            let t =
-                self.compute
-                    .compute_time(self.hosts[rank], ops, intensity, self.residents[rank]);
-            self.clocks[rank] += t;
-            self.stats.compute_ops += ops;
-            self.stats.compute_time += t;
-        }
-    }
-
-    /// Advances every rank's clock by `d` (I/O or set-up phases).
-    pub fn advance(&mut self, d: SimDuration) {
-        for c in &mut self.clocks {
-            *c += d;
-        }
-    }
-
-    /// Binomial-tree broadcast of `bytes` from `root` (mirrors
-    /// [`crate::Comm::bcast`]).
-    pub fn bcast(&mut self, root: Rank, bytes: u64) {
-        let size = self.clocks.len();
-        assert!((root as usize) < size, "root {root} outside 0..{size}");
-        if size <= 1 {
-            return;
-        }
-        // Process ranks in increasing *relative* order: a rank's parent has a
-        // smaller relative index, so its (receive, forward...) program has
-        // already run and this rank's clock already reflects the arrival.
-        for rel in 0..size {
-            let me = (rel + root as usize) % size;
-            // Forward to children in the executed send order: masks descend
-            // from just below this rank's receive mask (or from the top for
-            // the root).
-            let mut mask: usize = 1;
-            while mask < size && rel & mask == 0 {
-                mask <<= 1;
-            }
-            mask >>= 1;
-            while mask > 0 {
-                if rel + mask < size {
-                    let child = (rel + mask + root as usize) % size;
-                    self.message(me, child, bytes);
-                }
-                mask >>= 1;
-            }
-        }
-    }
-
-    /// Binomial-tree reduction of `bytes` onto `root` (mirrors
-    /// [`crate::Comm::reduce`]; the element-wise combine is free, as in the
-    /// executed path).
-    pub fn reduce(&mut self, root: Rank, bytes: u64) {
-        let size = self.clocks.len();
-        assert!((root as usize) < size, "root {root} outside 0..{size}");
-        if size <= 1 {
-            return;
-        }
-        // Children have larger relative indices: process them first so each
-        // rank's clock includes every child contribution before it forwards
-        // to its own parent.
-        for rel in (1..size).rev() {
-            let me = (rel + root as usize) % size;
-            let parent_rel = rel & (rel - 1); // clear the lowest set bit
-            let parent = (parent_rel + root as usize) % size;
-            self.message(me, parent, bytes);
-        }
-    }
-
-    /// Reduce-to-0 followed by broadcast (mirrors
-    /// [`crate::Comm::allreduce`]).
-    pub fn allreduce(&mut self, bytes: u64) {
-        self.reduce(0, bytes);
-        self.bcast(0, bytes);
-    }
-
-    /// Empty allreduce (mirrors [`crate::Comm::barrier`]: one `u8`).
-    pub fn barrier(&mut self) {
-        self.allreduce(1);
-    }
-
-    /// Linear gather at `root`; `bytes_of(rank)` is each rank's contribution
-    /// (mirrors [`crate::Comm::gather`]).
-    pub fn gather<F>(&mut self, root: Rank, mut bytes_of: F)
-    where
-        F: FnMut(Rank) -> u64,
-    {
-        let size = self.clocks.len();
-        assert!((root as usize) < size, "root {root} outside 0..{size}");
-        for src in 0..size {
-            if src != root as usize {
-                self.message(src, root as usize, bytes_of(src as Rank));
-            }
-        }
-    }
-
-    /// Gather at 0 then broadcast of the concatenation (mirrors
-    /// [`crate::Comm::allgather`]).
-    pub fn allgather<F>(&mut self, mut bytes_of: F)
-    where
-        F: FnMut(Rank) -> u64,
-    {
-        let total: u64 = (0..self.size()).map(&mut bytes_of).sum();
-        self.gather(0, bytes_of);
-        self.bcast(0, total);
-    }
-
-    /// Linear scatter of `block_bytes` per rank from `root` (mirrors
-    /// [`crate::Comm::scatter`]).
-    pub fn scatter(&mut self, root: Rank, block_bytes: u64) {
-        let size = self.clocks.len();
-        assert!((root as usize) < size, "root {root} outside 0..{size}");
-        for dst in 0..size {
-            if dst != root as usize {
-                self.message(root as usize, dst, block_bytes);
-            }
-        }
-    }
-
-    /// Ring alltoall of equal `block_bytes` blocks (mirrors
-    /// [`crate::Comm::alltoall`]).
-    pub fn alltoall(&mut self, block_bytes: u64) {
-        self.alltoallv(|_, _| block_bytes);
-    }
-
-    /// Ring alltoallv; `bytes(src, dst)` is the block `src` sends to `dst`
-    /// (mirrors [`crate::Comm::alltoallv`]).
-    pub fn alltoallv<F>(&mut self, mut bytes: F)
-    where
-        F: FnMut(Rank, Rank) -> u64,
-    {
+    fn ring_exchange<F: FnMut(Rank, Rank) -> u64>(&mut self, mut bytes: F) {
         let size = self.clocks.len();
         if size <= 1 {
             return;
@@ -397,6 +493,1164 @@ impl ModelComm {
                 self.stats.bytes_sent += b;
                 self.stats.bytes_received += b;
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled schedules
+// ---------------------------------------------------------------------------
+
+/// One tree message of a compiled schedule.
+#[derive(Debug, Clone, Copy)]
+struct MsgRec {
+    src: u32,
+    dst: u32,
+    bytes: u64,
+}
+
+/// Byte counts of one ring collective, compressed by structure: NAS
+/// alltoalls are uniform, IS's balanced alltoallv depends only on the
+/// source rank; the general matrix is kept as the fallback.
+#[derive(Debug, Clone)]
+enum RingBytes {
+    Uniform(u64),
+    PerSrc(Box<[u64]>),
+    PerPair(Box<[u64]>),
+}
+
+impl RingBytes {
+    #[inline]
+    fn get(&self, n: usize, src: usize, dst: usize) -> u64 {
+        match self {
+            RingBytes::Uniform(b) => *b,
+            RingBytes::PerSrc(rows) => rows[src],
+            RingBytes::PerPair(m) => m[src * n + dst],
+        }
+    }
+}
+
+/// One segment of a compiled schedule.
+#[derive(Debug, Clone)]
+enum Segment {
+    /// A compute phase: per-rank abstract operation counts.
+    Compute {
+        intensity: MemoryIntensity,
+        ops: Box<[f64]>,
+    },
+    /// A run of sequential tree messages (adjacent trees are merged);
+    /// `by_rank[r]` lists the indices of the messages touching rank `r`,
+    /// ascending — the worklist seed of the delta pass.
+    Msgs {
+        msgs: Box<[MsgRec]>,
+        by_rank: Box<[Box<[u32]>]>,
+    },
+    /// One full ring exchange (n−1 steps).
+    Ring { bytes: RingBytes },
+    /// A uniform clock advance.
+    Advance { d: SimDuration },
+}
+
+/// A placement-independent, flat representation of a whole kernel's
+/// collective program, recorded by [`ScheduleBuilder`] and evaluated —
+/// incrementally — by [`PlacementCost`].
+#[derive(Debug, Clone)]
+pub struct CompiledSchedule {
+    size: u32,
+    segments: Vec<Segment>,
+}
+
+impl CompiledSchedule {
+    /// Number of ranks the schedule was compiled for.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Number of compiled segments (compute phases, merged tree runs,
+    /// rings).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The length of a full replay — per-rank compute terms, tree
+    /// messages, per-step ring receives and advance terms (the same units
+    /// [`PlacementCost::last_delta_ops`] counts), for reporting.
+    pub fn op_count(&self) -> usize {
+        let n = self.size as usize;
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Compute { ops, .. } => ops.len(),
+                Segment::Msgs { msgs, .. } => msgs.len(),
+                Segment::Ring { .. } => n.saturating_sub(1) * n,
+                Segment::Advance { .. } => n,
+            })
+            .sum()
+    }
+
+    /// Replays the recorded primitive sequence on any other interpreter —
+    /// driving a fresh [`ModelComm`] with this is exactly a full model
+    /// replay of the original program (the oracle of the delta evaluator).
+    pub fn drive<P: CollectiveProgram>(&self, p: &mut P) {
+        assert_eq!(p.size(), self.size, "schedule compiled for another size");
+        let n = self.size as usize;
+        for seg in &self.segments {
+            match seg {
+                Segment::Compute { intensity, ops } => {
+                    p.compute(*intensity, |r| ops[r as usize]);
+                }
+                Segment::Msgs { msgs, .. } => {
+                    for m in msgs.iter() {
+                        p.message(m.src, m.dst, m.bytes);
+                    }
+                }
+                Segment::Ring { bytes } => {
+                    p.ring_exchange(|s, d| bytes.get(n, s as usize, d as usize));
+                }
+                Segment::Advance { d } => p.advance(*d),
+            }
+        }
+    }
+}
+
+/// Records a [`CollectiveProgram`] into a [`CompiledSchedule`].
+///
+/// Run the kernel's program against a builder (`p2pmpi-nas` exposes
+/// `ep_schedule`/`is_schedule` doing exactly that), then [`finish`] it.
+///
+/// [`finish`]: ScheduleBuilder::finish
+pub struct ScheduleBuilder {
+    size: u32,
+    segments: Vec<Segment>,
+    /// Pending tree messages of the segment being built (adjacent trees
+    /// merge into one segment).
+    open_msgs: Vec<MsgRec>,
+}
+
+impl ScheduleBuilder {
+    /// Starts an empty schedule for `size` ranks.
+    pub fn new(size: u32) -> ScheduleBuilder {
+        assert!(size >= 1, "a schedule needs at least one rank");
+        ScheduleBuilder {
+            size,
+            segments: Vec::new(),
+            open_msgs: Vec::new(),
+        }
+    }
+
+    fn close_msgs(&mut self) {
+        if self.open_msgs.is_empty() {
+            return;
+        }
+        let msgs: Box<[MsgRec]> = std::mem::take(&mut self.open_msgs).into_boxed_slice();
+        let mut by_rank: Vec<Vec<u32>> = vec![Vec::new(); self.size as usize];
+        for (k, m) in msgs.iter().enumerate() {
+            by_rank[m.src as usize].push(k as u32);
+            if m.dst != m.src {
+                by_rank[m.dst as usize].push(k as u32);
+            }
+        }
+        let by_rank: Box<[Box<[u32]>]> =
+            by_rank.into_iter().map(|v| v.into_boxed_slice()).collect();
+        self.segments.push(Segment::Msgs { msgs, by_rank });
+    }
+
+    /// Finalises the recording.
+    pub fn finish(mut self) -> CompiledSchedule {
+        self.close_msgs();
+        CompiledSchedule {
+            size: self.size,
+            segments: self.segments,
+        }
+    }
+}
+
+impl CollectiveProgram for ScheduleBuilder {
+    fn size(&self) -> u32 {
+        self.size
+    }
+
+    fn compute<F: FnMut(Rank) -> f64>(&mut self, intensity: MemoryIntensity, mut ops_of: F) {
+        self.close_msgs();
+        let ops: Box<[f64]> = (0..self.size).map(&mut ops_of).collect();
+        self.segments.push(Segment::Compute { intensity, ops });
+    }
+
+    fn advance(&mut self, d: SimDuration) {
+        self.close_msgs();
+        self.segments.push(Segment::Advance { d });
+    }
+
+    fn message(&mut self, src: Rank, dst: Rank, bytes: u64) {
+        self.open_msgs.push(MsgRec { src, dst, bytes });
+    }
+
+    fn ring_exchange<F: FnMut(Rank, Rank) -> u64>(&mut self, mut bytes: F) {
+        let n = self.size as usize;
+        if n <= 1 {
+            return;
+        }
+        self.close_msgs();
+        let mut matrix = vec![0u64; n * n];
+        for src in 0..n {
+            for dst in 0..n {
+                matrix[src * n + dst] = bytes(src as Rank, dst as Rank);
+            }
+        }
+        let per_src_constant = (0..n).all(|src| {
+            let first = matrix[src * n];
+            matrix[src * n..(src + 1) * n].iter().all(|&b| b == first)
+        });
+        let bytes = if per_src_constant {
+            let rows: Box<[u64]> = (0..n).map(|src| matrix[src * n]).collect();
+            if rows.iter().all(|&b| b == rows[0]) {
+                RingBytes::Uniform(rows[0])
+            } else {
+                RingBytes::PerSrc(rows)
+            }
+        } else {
+            RingBytes::PerPair(matrix.into_boxed_slice())
+        };
+        self.segments.push(Segment::Ring { bytes });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The incremental placement evaluator
+// ---------------------------------------------------------------------------
+
+/// A candidate move of the placement search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Exchange the hosts of two ranks (resident counts are preserved, so
+    /// only the two ranks' own compute and message costs change).
+    Swap {
+        /// First rank.
+        a: Rank,
+        /// Second rank.
+        b: Rank,
+    },
+    /// Move one rank to another host (requires an idle slot there; changes
+    /// the resident count — and thus every co-resident's compute cost — on
+    /// both hosts).
+    Migrate {
+        /// The rank to move.
+        rank: Rank,
+        /// Destination host.
+        to: HostId,
+    },
+}
+
+/// Why a move was rejected (the evaluator's state is untouched).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveError {
+    /// The destination host has no idle slot.
+    CapacityExceeded {
+        /// The full host.
+        host: HostId,
+        /// Its capacity (slots).
+        capacity: u32,
+    },
+}
+
+impl fmt::Display for MoveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoveError::CapacityExceeded { host, capacity } => {
+                write!(f, "{host} is full ({capacity} slots)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MoveError {}
+
+/// Cached clock triple of one tree message.
+#[derive(Debug, Clone, Copy)]
+struct MsgCache {
+    in_src: SimTime,
+    in_dst: SimTime,
+    out_dst: SimTime,
+}
+
+/// Per-segment delta caches (shapes parallel [`Segment`]).
+enum SegCache {
+    Plain,
+    Msgs {
+        msgs: Vec<MsgCache>,
+        queued_epoch: Vec<u32>,
+    },
+    Ring {
+        /// Post-step clocks, row-major by step: `rows[(step-1)*n + rank]`.
+        rows: Vec<SimTime>,
+    },
+}
+
+/// One journaled cache mutation (reverted in reverse order by `undo`).
+enum UndoEntry {
+    Boundary { seg: u32, rank: u32, old: SimTime },
+    Msg { seg: u32, idx: u32, old: MsgCache },
+    RingCell { seg: u32, idx: u32, old: SimTime },
+}
+
+/// The in-flight move awaiting `commit`/`undo`.
+struct PendingMove {
+    mv: Move,
+    /// The source host of a migrate (unused for swaps).
+    old_host: HostId,
+    /// True when the move changed nothing (same-host swap etc.).
+    noop: bool,
+    old_makespan: SimDuration,
+    old_clock_mean: f64,
+}
+
+/// Incremental evaluator of one compiled schedule over a mutable host
+/// assignment — the hot path of the placement search.  See the module docs
+/// for the delta-evaluation contract (what is cached, what a move
+/// invalidates, the exactness guarantee).
+///
+/// The evaluation protocol is `apply` → (`commit` | `undo`): `apply`
+/// performs the move *and* returns the new modeled makespan; `commit` keeps
+/// it (O(1)); `undo` restores every cache and the host assignment exactly.
+pub struct PlacementCost {
+    schedule: Arc<CompiledSchedule>,
+    network: NetworkModel,
+    compute: ComputeModel,
+    overhead: SimDuration,
+    site_count: usize,
+    /// Host of each rank.
+    hosts: Vec<HostId>,
+    /// Resident ranks per host id (drives the memory-contention model).
+    residents: Vec<u32>,
+    /// Slot capacity per host id.
+    capacity: Vec<u32>,
+    /// Ranks currently resident on each host id.
+    ranks_on_host: Vec<Vec<u32>>,
+    /// Per-rank clocks at each segment boundary.
+    boundary: Vec<Vec<SimTime>>,
+    /// All-zero segment entry of the first segment.
+    entry: Vec<SimTime>,
+    caches: Vec<SegCache>,
+    makespan: SimDuration,
+    /// Mean final clock in seconds (see [`PlacementCost::mean_clock_secs`]).
+    clock_mean: f64,
+    /// Memoized LogGP transfer times keyed by (link class, bytes): the
+    /// transfer cost depends only on same-host-ness / the site pair, so a
+    /// handful of entries covers any schedule.
+    edge_cache: HashMap<(u32, u64), SimDuration>,
+    // --- delta scratch ---
+    dirty_flag: Vec<bool>,
+    dirty_val: Vec<SimTime>,
+    dirty_list: Vec<u32>,
+    visit_epoch: Vec<u32>,
+    epoch: u32,
+    worklist: BinaryHeap<Reverse<u32>>,
+    cand: Vec<u32>,
+    ring_next: Vec<(u32, SimTime)>,
+    moved: Vec<u32>,
+    compute_affected: Vec<u32>,
+    sent_scratch: Vec<SimTime>,
+    journal: Vec<UndoEntry>,
+    pending: Option<PendingMove>,
+    /// Delta operations processed by the last `apply` (diagnostics).
+    last_delta_ops: usize,
+}
+
+impl PlacementCost {
+    /// Builds the evaluator: `hosts[rank]` is the initial assignment,
+    /// `capacity[host]` the slot count of every host of the topology.
+    /// The construction performs one full replay to fill the caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` does not match the schedule's rank count, if
+    /// `capacity` does not cover the topology, or if the initial placement
+    /// already exceeds a host's capacity.
+    pub fn new(
+        schedule: Arc<CompiledSchedule>,
+        hosts: Vec<HostId>,
+        capacity: Vec<u32>,
+        network: NetworkModel,
+        compute: ComputeModel,
+    ) -> PlacementCost {
+        let n = schedule.size() as usize;
+        assert_eq!(hosts.len(), n, "one host per rank");
+        let host_count = network.topology().host_count();
+        assert_eq!(capacity.len(), host_count, "one capacity per host");
+        let mut residents = vec![0u32; host_count];
+        let mut ranks_on_host: Vec<Vec<u32>> = vec![Vec::new(); host_count];
+        for (r, &h) in hosts.iter().enumerate() {
+            residents[h.0] += 1;
+            ranks_on_host[h.0].push(r as u32);
+        }
+        for (h, (&used, &cap)) in residents.iter().zip(&capacity).enumerate() {
+            assert!(
+                used <= cap,
+                "initial placement puts {used} ranks on {} (capacity {cap})",
+                HostId(h)
+            );
+        }
+        let caches = schedule
+            .segments
+            .iter()
+            .map(|seg| match seg {
+                Segment::Msgs { msgs, .. } => SegCache::Msgs {
+                    msgs: vec![
+                        MsgCache {
+                            in_src: SimTime::ZERO,
+                            in_dst: SimTime::ZERO,
+                            out_dst: SimTime::ZERO,
+                        };
+                        msgs.len()
+                    ],
+                    queued_epoch: vec![0; msgs.len()],
+                },
+                Segment::Ring { .. } => SegCache::Ring {
+                    rows: vec![SimTime::ZERO; n.saturating_sub(1) * n],
+                },
+                _ => SegCache::Plain,
+            })
+            .collect();
+        let boundary = vec![vec![SimTime::ZERO; n]; schedule.segments.len()];
+        let overhead = network.params().per_message_overhead;
+        let site_count = network.topology().site_count();
+        let mut cost = PlacementCost {
+            schedule,
+            network,
+            compute,
+            overhead,
+            site_count,
+            hosts,
+            residents,
+            capacity,
+            ranks_on_host,
+            boundary,
+            entry: vec![SimTime::ZERO; n],
+            caches,
+            makespan: SimDuration::ZERO,
+            clock_mean: 0.0,
+            edge_cache: HashMap::new(),
+            dirty_flag: vec![false; n],
+            dirty_val: vec![SimTime::ZERO; n],
+            dirty_list: Vec::new(),
+            visit_epoch: vec![0; n],
+            epoch: 0,
+            worklist: BinaryHeap::new(),
+            cand: Vec::new(),
+            ring_next: Vec::new(),
+            moved: Vec::new(),
+            compute_affected: Vec::new(),
+            sent_scratch: vec![SimTime::ZERO; n],
+            journal: Vec::new(),
+            pending: None,
+            last_delta_ops: 0,
+        };
+        cost.rebuild();
+        cost
+    }
+
+    /// The modeled makespan of the current host assignment.
+    pub fn cost(&self) -> SimDuration {
+        self.makespan
+    }
+
+    /// Mean final per-rank clock, in seconds.  A makespan objective is a
+    /// `max()` full of plateaus — moving one rank off the slowest host
+    /// usually leaves the maximum unchanged — so annealing drivers blend a
+    /// small multiple of this into their acceptance energy to restore a
+    /// gradient across those plateaus (best-placement tracking stays on the
+    /// pure makespan).  Maintained by the same O(ranks) scan as the
+    /// makespan, and restored exactly by `undo`.
+    pub fn mean_clock_secs(&self) -> f64 {
+        self.clock_mean
+    }
+
+    /// The current host of every rank.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+
+    /// The final per-rank clocks of the current assignment.
+    pub fn clocks(&self) -> &[SimTime] {
+        self.boundary.last().unwrap_or(&self.entry)
+    }
+
+    /// Ranks currently resident on `host`.
+    pub fn residents_on(&self, host: HostId) -> u32 {
+        self.residents[host.0]
+    }
+
+    /// Idle slots left on `host`.
+    pub fn free_on(&self, host: HostId) -> u32 {
+        self.capacity[host.0] - self.residents[host.0]
+    }
+
+    /// Delta operations (messages, ring receives, compute terms) evaluated
+    /// by the last `apply` — the quantity the O(affected) claim is about.
+    pub fn last_delta_ops(&self) -> usize {
+        self.last_delta_ops
+    }
+
+    /// The current assignment as a [`Placement`].
+    pub fn to_placement(&self) -> Placement {
+        Placement {
+            processes: self.hosts.len() as u32,
+            replication: 1,
+            procs: self
+                .hosts
+                .iter()
+                .enumerate()
+                .map(|(rank, &host)| ProcSpec {
+                    rank: rank as Rank,
+                    replica: 0,
+                    host,
+                })
+                .collect(),
+        }
+    }
+
+    /// Full model replay of the current assignment on a fresh [`ModelComm`]
+    /// — the oracle the delta caches are verified against (and the baseline
+    /// of the ≥5× per-move speedup gate in `perf_report`).
+    pub fn oracle_clocks(&self) -> Vec<SimTime> {
+        let placement = self.to_placement();
+        let mut m = ModelComm::new(&placement, self.network.clone(), self.compute.clone());
+        self.schedule.drive(&mut m);
+        m.clocks().to_vec()
+    }
+
+    /// The oracle's makespan (see [`PlacementCost::oracle_clocks`]).
+    pub fn oracle_cost(&self) -> SimDuration {
+        let placement = self.to_placement();
+        let mut m = ModelComm::new(&placement, self.network.clone(), self.compute.clone());
+        self.schedule.drive(&mut m);
+        m.makespan()
+    }
+
+    /// Applies `mv` and returns the new modeled makespan, delta-evaluated.
+    /// The move stays in flight until [`PlacementCost::commit`] or
+    /// [`PlacementCost::undo`].  A capacity-violating migrate returns an
+    /// error and leaves every piece of state untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous move is still in flight or a rank/host index is
+    /// out of range.
+    pub fn apply(&mut self, mv: Move) -> Result<SimDuration, MoveError> {
+        assert!(
+            self.pending.is_none(),
+            "commit or undo the previous move before applying another"
+        );
+        let n = self.hosts.len() as u32;
+        self.moved.clear();
+        self.compute_affected.clear();
+        let mut noop = false;
+        let mut old_host = HostId(0);
+        match mv {
+            Move::Swap { a, b } => {
+                assert!(a < n && b < n, "swap ranks out of range");
+                let (ha, hb) = (self.hosts[a as usize], self.hosts[b as usize]);
+                if a == b || ha == hb {
+                    noop = true;
+                } else {
+                    self.hosts[a as usize] = hb;
+                    self.hosts[b as usize] = ha;
+                    remove_rank(&mut self.ranks_on_host[ha.0], a);
+                    remove_rank(&mut self.ranks_on_host[hb.0], b);
+                    self.ranks_on_host[hb.0].push(a);
+                    self.ranks_on_host[ha.0].push(b);
+                    self.moved.extend([a, b]);
+                    // A swap preserves every resident count: only the two
+                    // ranks' own compute costs can change.
+                    self.compute_affected.extend([a, b]);
+                }
+            }
+            Move::Migrate { rank, to } => {
+                assert!(rank < n, "migrate rank out of range");
+                assert!(to.0 < self.capacity.len(), "migrate host out of range");
+                let from = self.hosts[rank as usize];
+                if from == to {
+                    noop = true;
+                } else if self.residents[to.0] >= self.capacity[to.0] {
+                    return Err(MoveError::CapacityExceeded {
+                        host: to,
+                        capacity: self.capacity[to.0],
+                    });
+                } else {
+                    self.hosts[rank as usize] = to;
+                    self.residents[from.0] -= 1;
+                    self.residents[to.0] += 1;
+                    remove_rank(&mut self.ranks_on_host[from.0], rank);
+                    self.ranks_on_host[to.0].push(rank);
+                    self.moved.push(rank);
+                    old_host = from;
+                    // Resident counts changed on both hosts: every rank
+                    // still (or newly) living there re-costs its compute.
+                    self.compute_affected
+                        .extend_from_slice(&self.ranks_on_host[from.0]);
+                    self.compute_affected
+                        .extend_from_slice(&self.ranks_on_host[to.0]);
+                }
+            }
+        }
+        let old_makespan = self.makespan;
+        let old_clock_mean = self.clock_mean;
+        self.pending = Some(PendingMove {
+            mv,
+            old_host,
+            noop,
+            old_makespan,
+            old_clock_mean,
+        });
+        if !noop {
+            self.delta_eval();
+        } else {
+            self.last_delta_ops = 0;
+        }
+        Ok(self.makespan)
+    }
+
+    /// Keeps the in-flight move (O(1): the caches already describe it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no move is in flight.
+    pub fn commit(&mut self) {
+        self.pending.take().expect("no move to commit");
+        self.journal.clear();
+    }
+
+    /// Reverts the in-flight move: every journaled cache cell, the host
+    /// assignment and the resident bookkeeping return to their pre-`apply`
+    /// state exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no move is in flight.
+    pub fn undo(&mut self) {
+        let p = self.pending.take().expect("no move to undo");
+        while let Some(u) = self.journal.pop() {
+            match u {
+                UndoEntry::Boundary { seg, rank, old } => {
+                    self.boundary[seg as usize][rank as usize] = old;
+                }
+                UndoEntry::Msg { seg, idx, old } => {
+                    if let SegCache::Msgs { msgs, .. } = &mut self.caches[seg as usize] {
+                        msgs[idx as usize] = old;
+                    }
+                }
+                UndoEntry::RingCell { seg, idx, old } => {
+                    if let SegCache::Ring { rows } = &mut self.caches[seg as usize] {
+                        rows[idx as usize] = old;
+                    }
+                }
+            }
+        }
+        self.makespan = p.old_makespan;
+        self.clock_mean = p.old_clock_mean;
+        if !p.noop {
+            match p.mv {
+                Move::Swap { a, b } => {
+                    let (ha, hb) = (self.hosts[a as usize], self.hosts[b as usize]);
+                    self.hosts[a as usize] = hb;
+                    self.hosts[b as usize] = ha;
+                    remove_rank(&mut self.ranks_on_host[ha.0], a);
+                    remove_rank(&mut self.ranks_on_host[hb.0], b);
+                    self.ranks_on_host[hb.0].push(a);
+                    self.ranks_on_host[ha.0].push(b);
+                }
+                Move::Migrate { rank, to } => {
+                    self.hosts[rank as usize] = p.old_host;
+                    self.residents[to.0] -= 1;
+                    self.residents[p.old_host.0] += 1;
+                    remove_rank(&mut self.ranks_on_host[to.0], rank);
+                    self.ranks_on_host[p.old_host.0].push(rank);
+                }
+            }
+        }
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// Link class of a host pair: the transfer cost depends only on
+    /// same-host-ness and the (directed) site pair.
+    #[inline]
+    fn edge_class(&self, a: HostId, b: HostId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        let topo = self.network.topology();
+        let sa = topo.host(a).site.0;
+        let sb = topo.host(b).site.0;
+        1 + (sa * self.site_count + sb) as u32
+    }
+
+    #[inline]
+    fn transfer(&mut self, a: HostId, b: HostId, bytes: u64) -> SimDuration {
+        let key = (self.edge_class(a, b), bytes);
+        let network = &self.network;
+        *self
+            .edge_cache
+            .entry(key)
+            .or_insert_with(|| network.transfer_time(a, b, bytes))
+    }
+
+    #[inline]
+    fn compute_cost(&self, rank: usize, ops: f64, intensity: MemoryIntensity) -> SimDuration {
+        let h = self.hosts[rank];
+        self.compute
+            .compute_time(h, ops, intensity, self.residents[h.0] as usize)
+    }
+
+    #[inline]
+    fn set_dirty(&mut self, r: u32, v: SimTime) {
+        if !self.dirty_flag[r as usize] {
+            self.dirty_flag[r as usize] = true;
+            self.dirty_list.push(r);
+        }
+        self.dirty_val[r as usize] = v;
+    }
+
+    /// Entry clocks of segment `seg` for a clean rank.
+    #[inline]
+    fn entry_clock(&self, seg: usize, rank: usize) -> SimTime {
+        if seg == 0 {
+            SimTime::ZERO
+        } else {
+            self.boundary[seg - 1][rank]
+        }
+    }
+
+    /// Full replay filling every cache (construction only; moves maintain
+    /// the caches incrementally).
+    fn rebuild(&mut self) {
+        let schedule = self.schedule.clone();
+        let n = schedule.size() as usize;
+        let mut clocks = vec![SimTime::ZERO; n];
+        for (seg, segment) in schedule.segments.iter().enumerate() {
+            match segment {
+                Segment::Compute { intensity, ops } => {
+                    for (r, c) in clocks.iter_mut().enumerate() {
+                        let h = self.hosts[r];
+                        *c += self.compute.compute_time(
+                            h,
+                            ops[r],
+                            *intensity,
+                            self.residents[h.0] as usize,
+                        );
+                    }
+                }
+                Segment::Msgs { msgs, .. } => {
+                    for (k, m) in msgs.iter().enumerate() {
+                        let (s, d) = (m.src as usize, m.dst as usize);
+                        let in_src = clocks[s];
+                        let in_dst = clocks[d];
+                        let out_src = in_src + self.overhead;
+                        let t = self.transfer(self.hosts[s], self.hosts[d], m.bytes);
+                        let out_dst = in_dst.max(out_src + t);
+                        clocks[s] = out_src;
+                        clocks[d] = out_dst;
+                        if let SegCache::Msgs { msgs: cache, .. } = &mut self.caches[seg] {
+                            cache[k] = MsgCache {
+                                in_src,
+                                in_dst,
+                                out_dst,
+                            };
+                        }
+                    }
+                }
+                Segment::Ring { bytes } => {
+                    for step in 1..n {
+                        for (r, sent) in self.sent_scratch.iter_mut().enumerate() {
+                            clocks[r] += self.overhead;
+                            *sent = clocks[r];
+                        }
+                        #[allow(clippy::needless_range_loop)]
+                        // clocks[d] + transfer(&mut self) clash with iter_mut
+                        for d in 0..n {
+                            let src = (d + n - step) % n;
+                            let b = bytes.get(n, src, d);
+                            let t = self.transfer(self.hosts[src], self.hosts[d], b);
+                            clocks[d] = clocks[d].max(self.sent_scratch[src] + t);
+                        }
+                        if let SegCache::Ring { rows } = &mut self.caches[seg] {
+                            rows[(step - 1) * n..step * n].copy_from_slice(&clocks);
+                        }
+                    }
+                }
+                Segment::Advance { d } => {
+                    for c in &mut clocks {
+                        *c += *d;
+                    }
+                }
+            }
+            self.boundary[seg].copy_from_slice(&clocks);
+        }
+        let (max, sum) = max_and_sum(&clocks);
+        self.makespan = max.saturating_since(SimTime::ZERO);
+        self.clock_mean = sum / clocks.len().max(1) as f64;
+    }
+
+    /// The delta pass: propagate the in-flight move through every segment,
+    /// journaling each cache mutation.
+    fn delta_eval(&mut self) {
+        let schedule = self.schedule.clone();
+        let moved = std::mem::take(&mut self.moved);
+        let affected = std::mem::take(&mut self.compute_affected);
+        debug_assert!(self.dirty_list.is_empty());
+        let mut delta_ops = 0usize;
+
+        for (seg, segment) in schedule.segments.iter().enumerate() {
+            match segment {
+                Segment::Compute { intensity, ops } => {
+                    delta_ops += self.delta_compute(seg, *intensity, ops, &affected);
+                }
+                Segment::Msgs { msgs, by_rank } => {
+                    delta_ops += self.delta_msgs(seg, msgs, by_rank, &moved);
+                }
+                Segment::Ring { bytes } => {
+                    delta_ops += self.delta_ring(seg, bytes, &moved);
+                }
+                Segment::Advance { d } => {
+                    delta_ops += self.delta_advance(seg, *d);
+                }
+            }
+        }
+
+        // New makespan and mean: the final boundary holds the committed
+        // clocks of clean ranks and the just-written clocks of dirty ones.
+        let finals = self.boundary.last().unwrap_or(&self.entry);
+        let (max, sum) = max_and_sum(finals);
+        self.makespan = max.saturating_since(SimTime::ZERO);
+        self.clock_mean = sum / finals.len().max(1) as f64;
+
+        for &r in &self.dirty_list {
+            self.dirty_flag[r as usize] = false;
+        }
+        self.dirty_list.clear();
+        self.moved = moved;
+        self.compute_affected = affected;
+        self.last_delta_ops = delta_ops;
+    }
+
+    /// Gathers the currently-dirty ranks (deduplicated) into `self.cand`.
+    fn gather_dirty(&mut self) {
+        self.epoch += 1;
+        let ep = self.epoch;
+        let mut cand = std::mem::take(&mut self.cand);
+        cand.clear();
+        for &r in &self.dirty_list {
+            if self.dirty_flag[r as usize] && self.visit_epoch[r as usize] != ep {
+                self.visit_epoch[r as usize] = ep;
+                cand.push(r);
+            }
+        }
+        self.cand = cand;
+    }
+
+    fn delta_compute(
+        &mut self,
+        seg: usize,
+        intensity: MemoryIntensity,
+        ops: &[f64],
+        affected: &[u32],
+    ) -> usize {
+        self.gather_dirty();
+        let ep = self.epoch;
+        let mut cand = std::mem::take(&mut self.cand);
+        for &r in affected {
+            if self.visit_epoch[r as usize] != ep {
+                self.visit_epoch[r as usize] = ep;
+                cand.push(r);
+            }
+        }
+        for &r in &cand {
+            let ri = r as usize;
+            let in_v = if self.dirty_flag[ri] {
+                self.dirty_val[ri]
+            } else {
+                self.entry_clock(seg, ri)
+            };
+            let out = in_v + self.compute_cost(ri, ops[ri], intensity);
+            let cached = self.boundary[seg][ri];
+            if out != cached {
+                self.journal.push(UndoEntry::Boundary {
+                    seg: seg as u32,
+                    rank: r,
+                    old: cached,
+                });
+                self.boundary[seg][ri] = out;
+                self.set_dirty(r, out);
+            } else {
+                self.dirty_flag[ri] = false;
+            }
+        }
+        let n = cand.len();
+        self.cand = cand;
+        n
+    }
+
+    fn delta_advance(&mut self, seg: usize, d: SimDuration) -> usize {
+        self.gather_dirty();
+        let cand = std::mem::take(&mut self.cand);
+        for &r in &cand {
+            let ri = r as usize;
+            let out = self.dirty_val[ri] + d;
+            let cached = self.boundary[seg][ri];
+            if out != cached {
+                self.journal.push(UndoEntry::Boundary {
+                    seg: seg as u32,
+                    rank: r,
+                    old: cached,
+                });
+                self.boundary[seg][ri] = out;
+                self.dirty_val[ri] = out;
+            } else {
+                self.dirty_flag[ri] = false;
+            }
+        }
+        let n = cand.len();
+        self.cand = cand;
+        n
+    }
+
+    /// Updates the segment's boundary from the ranks still dirty at its end
+    /// (their boundary value necessarily changed; see the module docs).
+    fn sweep_boundary(&mut self, seg: usize) {
+        self.gather_dirty();
+        let cand = std::mem::take(&mut self.cand);
+        for &r in &cand {
+            let ri = r as usize;
+            let old = self.boundary[seg][ri];
+            let new = self.dirty_val[ri];
+            if old != new {
+                self.journal.push(UndoEntry::Boundary {
+                    seg: seg as u32,
+                    rank: r,
+                    old,
+                });
+                self.boundary[seg][ri] = new;
+            } else {
+                // The clock re-converged exactly onto the cached boundary.
+                self.dirty_flag[ri] = false;
+            }
+        }
+        self.cand = cand;
+    }
+
+    fn delta_msgs(
+        &mut self,
+        seg: usize,
+        msgs: &[MsgRec],
+        by_rank: &[Box<[u32]>],
+        moved: &[u32],
+    ) -> usize {
+        let mut cache = std::mem::replace(&mut self.caches[seg], SegCache::Plain);
+        let SegCache::Msgs {
+            msgs: mcache,
+            queued_epoch,
+        } = &mut cache
+        else {
+            unreachable!("segment/cache shape mismatch")
+        };
+        self.epoch += 1;
+        let ep = self.epoch;
+        debug_assert!(self.worklist.is_empty());
+        // Seed: the first message of every entry-dirty rank, every message
+        // of a moved rank (their transfer costs changed).
+        for i in 0..self.dirty_list.len() {
+            let r = self.dirty_list[i];
+            if !self.dirty_flag[r as usize] {
+                continue;
+            }
+            if let Some(&k) = by_rank[r as usize].first() {
+                if queued_epoch[k as usize] != ep {
+                    queued_epoch[k as usize] = ep;
+                    self.worklist.push(Reverse(k));
+                }
+            }
+        }
+        for &m in moved {
+            for &k in by_rank[m as usize].iter() {
+                if queued_epoch[k as usize] != ep {
+                    queued_epoch[k as usize] = ep;
+                    self.worklist.push(Reverse(k));
+                }
+            }
+        }
+        let mut processed = 0usize;
+        while let Some(Reverse(k)) = self.worklist.pop() {
+            processed += 1;
+            let m = msgs[k as usize];
+            let (s, d) = (m.src as usize, m.dst as usize);
+            let old = mcache[k as usize];
+            let in_src = if self.dirty_flag[s] {
+                self.dirty_val[s]
+            } else {
+                old.in_src
+            };
+            let in_dst = if self.dirty_flag[d] {
+                self.dirty_val[d]
+            } else {
+                old.in_dst
+            };
+            let out_src = in_src + self.overhead;
+            let t = self.transfer(self.hosts[s], self.hosts[d], m.bytes);
+            let out_dst = in_dst.max(out_src + t);
+            if in_src != old.in_src || in_dst != old.in_dst || out_dst != old.out_dst {
+                self.journal.push(UndoEntry::Msg {
+                    seg: seg as u32,
+                    idx: k,
+                    old,
+                });
+                mcache[k as usize] = MsgCache {
+                    in_src,
+                    in_dst,
+                    out_dst,
+                };
+            }
+            // The sender's post-message clock changes exactly when its input
+            // did (the overhead is constant).
+            if in_src != old.in_src {
+                self.set_dirty(m.src, out_src);
+                push_next(&mut self.worklist, queued_epoch, ep, &by_rank[s], k);
+            } else {
+                self.dirty_flag[s] = false;
+            }
+            if out_dst != old.out_dst {
+                self.set_dirty(m.dst, out_dst);
+                push_next(&mut self.worklist, queued_epoch, ep, &by_rank[d], k);
+            } else {
+                self.dirty_flag[d] = false;
+            }
+        }
+        self.caches[seg] = cache;
+        self.sweep_boundary(seg);
+        processed
+    }
+
+    fn delta_ring(&mut self, seg: usize, bytes: &RingBytes, moved: &[u32]) -> usize {
+        let n = self.hosts.len();
+        if n <= 1 {
+            return 0;
+        }
+        let mut cache = std::mem::replace(&mut self.caches[seg], SegCache::Plain);
+        let SegCache::Ring { rows } = &mut cache else {
+            unreachable!("segment/cache shape mismatch")
+        };
+        let mut processed = 0usize;
+        for step in 1..n {
+            // Candidates this step: each dirty or moved rank r perturbs its
+            // own receive and the one receive that reads its stamp
+            // (dst = r + step).
+            self.epoch += 1;
+            let ep = self.epoch;
+            let mut cand = std::mem::take(&mut self.cand);
+            cand.clear();
+            {
+                let mut add = |r: u32, visit_epoch: &mut [u32]| {
+                    if visit_epoch[r as usize] != ep {
+                        visit_epoch[r as usize] = ep;
+                        cand.push(r);
+                    }
+                };
+                for i in 0..self.dirty_list.len() {
+                    let r = self.dirty_list[i];
+                    if !self.dirty_flag[r as usize] {
+                        continue;
+                    }
+                    add(r, &mut self.visit_epoch);
+                    add(((r as usize + step) % n) as u32, &mut self.visit_epoch);
+                }
+                for &m in moved {
+                    add(m, &mut self.visit_epoch);
+                    add(((m as usize + step) % n) as u32, &mut self.visit_epoch);
+                }
+            }
+            let mut ring_next = std::mem::take(&mut self.ring_next);
+            ring_next.clear();
+            for &dc in &cand {
+                processed += 1;
+                let d = dc as usize;
+                let src = (d + n - step) % n;
+                let pre = |this: &Self, rows: &[SimTime], r: usize| -> SimTime {
+                    if this.dirty_flag[r] {
+                        this.dirty_val[r]
+                    } else if step == 1 {
+                        this.entry_clock(seg, r)
+                    } else {
+                        rows[(step - 2) * n + r]
+                    }
+                };
+                let in_d = pre(self, rows, d);
+                let in_s = pre(self, rows, src);
+                let sent = in_s + self.overhead;
+                let t = self.transfer(self.hosts[src], self.hosts[d], bytes.get(n, src, d));
+                let out = (in_d + self.overhead).max(sent + t);
+                let idx = (step - 1) * n + d;
+                if out != rows[idx] {
+                    self.journal.push(UndoEntry::RingCell {
+                        seg: seg as u32,
+                        idx: idx as u32,
+                        old: rows[idx],
+                    });
+                    rows[idx] = out;
+                    ring_next.push((dc, out));
+                }
+            }
+            // Flip the frontier: exactly the receives that changed are dirty
+            // entering the next step.
+            for &r in &self.dirty_list {
+                self.dirty_flag[r as usize] = false;
+            }
+            self.dirty_list.clear();
+            for &(r, v) in &ring_next {
+                self.set_dirty(r, v);
+            }
+            self.ring_next = ring_next;
+            self.cand = cand;
+        }
+        self.caches[seg] = cache;
+        self.sweep_boundary(seg);
+        processed
+    }
+}
+
+/// One pass over the final clocks: the largest (the makespan) and the sum
+/// in seconds (the plateau-breaking regularizer of annealing drivers).
+fn max_and_sum(clocks: &[SimTime]) -> (SimTime, f64) {
+    let mut max = SimTime::ZERO;
+    let mut sum = 0.0f64;
+    for &c in clocks {
+        max = max.max(c);
+        sum += c.as_secs_f64();
+    }
+    (max, sum)
+}
+
+/// Removes one occurrence of `rank` from a host's resident list.
+fn remove_rank(list: &mut Vec<u32>, rank: u32) {
+    let i = list
+        .iter()
+        .position(|&r| r == rank)
+        .expect("rank resident list out of sync");
+    list.swap_remove(i);
+}
+
+/// Pushes the next message of a rank after message `k` onto the worklist.
+#[inline]
+fn push_next(
+    worklist: &mut BinaryHeap<Reverse<u32>>,
+    queued_epoch: &mut [u32],
+    ep: u32,
+    by_rank: &[u32],
+    k: u32,
+) {
+    let pos = by_rank.partition_point(|&i| i <= k);
+    if let Some(&next) = by_rank.get(pos) {
+        if queued_epoch[next as usize] != ep {
+            queued_epoch[next as usize] = ep;
+            worklist.push(Reverse(next));
         }
     }
 }
@@ -519,5 +1773,181 @@ mod tests {
         let hosts: Vec<_> = t.hosts().iter().take(4).map(|h| h.id).collect();
         let p = Placement::replicated_round_robin(2, 2, &hosts);
         model_for(&p, &t);
+    }
+
+    /// A small mixed program exercised by the schedule/evaluator tests.
+    fn record_program<P: CollectiveProgram>(p: &mut P) {
+        p.compute(MemoryIntensity::MEMORY_BOUND, |r| 1e8 * (r as f64 + 1.0));
+        p.allreduce(64);
+        p.alltoall(128);
+        p.alltoallv(|src, _| src as u64 * 16);
+        p.allgather(|r| (r % 3) as u64 * 8 + 8);
+        p.barrier();
+    }
+
+    fn evaluator_for(hosts: Vec<HostId>, t: &Arc<Topology>) -> PlacementCost {
+        let mut b = ScheduleBuilder::new(hosts.len() as u32);
+        record_program(&mut b);
+        let schedule = Arc::new(b.finish());
+        let capacity = t.hosts().iter().map(|h| h.cores as u32).collect();
+        PlacementCost::new(
+            schedule,
+            hosts,
+            capacity,
+            NetworkModel::new(t.clone()),
+            ComputeModel::new(t.clone()),
+        )
+    }
+
+    #[test]
+    fn compiled_schedule_drives_a_model_comm_identically() {
+        let t = topology();
+        let hosts: Vec<_> = t.hosts().iter().take(6).map(|h| h.id).collect();
+        let placement = Placement::one_per_host(&hosts);
+        let mut direct = model_for(&placement, &t);
+        record_program(&mut direct);
+
+        let mut b = ScheduleBuilder::new(6);
+        record_program(&mut b);
+        let schedule = b.finish();
+        let mut driven = model_for(&placement, &t);
+        schedule.drive(&mut driven);
+
+        assert_eq!(direct.clocks(), driven.clocks());
+        assert_eq!(direct.stats().messages_sent, driven.stats().messages_sent);
+    }
+
+    #[test]
+    fn placement_cost_matches_the_oracle_at_rest_and_after_moves() {
+        let t = topology();
+        let hosts: Vec<_> = t.hosts().iter().take(6).map(|h| h.id).collect();
+        let mut cost = evaluator_for(hosts, &t);
+        assert_eq!(cost.clocks(), &cost.oracle_clocks()[..]);
+
+        // A cross-site swap changes the picture; delta == oracle.
+        let before = cost.cost();
+        let after = cost.apply(Move::Swap { a: 0, b: 5 }).unwrap();
+        cost.commit();
+        assert_ne!(before, after);
+        assert_eq!(cost.clocks(), &cost.oracle_clocks()[..]);
+        assert_eq!(cost.cost(), cost.oracle_cost());
+
+        // Migrate onto an occupied-but-not-full host (co-location).
+        let dst = cost.hosts()[1];
+        let c = cost.apply(Move::Migrate { rank: 2, to: dst }).unwrap();
+        cost.commit();
+        assert_eq!(c, cost.oracle_cost());
+        assert_eq!(cost.residents_on(dst), 2);
+    }
+
+    #[test]
+    fn undo_restores_the_exact_pre_move_state() {
+        let t = topology();
+        let hosts: Vec<_> = t.hosts().iter().take(6).map(|h| h.id).collect();
+        let mut cost = evaluator_for(hosts.clone(), &t);
+        let before_cost = cost.cost();
+        let before_clocks = cost.clocks().to_vec();
+
+        cost.apply(Move::Swap { a: 1, b: 4 }).unwrap();
+        cost.undo();
+        assert_eq!(cost.cost(), before_cost);
+        assert_eq!(cost.clocks(), &before_clocks[..]);
+        assert_eq!(cost.hosts(), &hosts[..]);
+
+        // Undo of a migrate restores the resident counts too.
+        let dst = hosts[0];
+        cost.apply(Move::Migrate { rank: 3, to: dst }).unwrap();
+        cost.undo();
+        assert_eq!(cost.residents_on(dst), 1);
+        assert_eq!(cost.hosts(), &hosts[..]);
+        assert_eq!(cost.clocks(), &before_clocks[..]);
+    }
+
+    #[test]
+    fn capacity_violating_migrate_is_rejected_without_mutation() {
+        let t = topology();
+        // Fill host 0 (2 cores) completely, rank 2 lives elsewhere.
+        let h0 = t.hosts()[0].id;
+        let h5 = t.hosts()[5].id;
+        let cap0 = t.host(h0).cores as u32;
+        let mut hosts = vec![h0; cap0 as usize];
+        hosts.push(h5);
+        let full_rank = cap0;
+        let mut cost = evaluator_for(hosts.clone(), &t);
+        let before_cost = cost.cost();
+        let before_clocks = cost.clocks().to_vec();
+        let err = cost
+            .apply(Move::Migrate {
+                rank: full_rank,
+                to: h0,
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MoveError::CapacityExceeded {
+                host: h0,
+                capacity: cap0
+            }
+        );
+        // Nothing moved, nothing journaled: the next apply is legal and the
+        // state is exactly the pre-error one.
+        assert_eq!(cost.hosts(), &hosts[..]);
+        assert_eq!(cost.cost(), before_cost);
+        assert_eq!(cost.clocks(), &before_clocks[..]);
+        let after = cost.apply(Move::Swap { a: 0, b: full_rank }).unwrap();
+        cost.commit();
+        assert_eq!(after, cost.oracle_cost());
+    }
+
+    #[test]
+    fn noop_moves_cost_nothing_and_commit_cleanly() {
+        let t = topology();
+        let hosts: Vec<_> = t.hosts().iter().take(4).map(|h| h.id).collect();
+        let mut cost = evaluator_for(hosts.clone(), &t);
+        let before = cost.cost();
+        let same = cost.apply(Move::Swap { a: 2, b: 2 }).unwrap();
+        assert_eq!(same, before);
+        assert_eq!(cost.last_delta_ops(), 0);
+        cost.undo();
+        let same = cost
+            .apply(Move::Migrate {
+                rank: 1,
+                to: hosts[1],
+            })
+            .unwrap();
+        assert_eq!(same, before);
+        cost.commit();
+        assert_eq!(cost.hosts(), &hosts[..]);
+    }
+
+    #[test]
+    fn delta_visits_far_fewer_ops_than_the_full_schedule() {
+        let t = topology();
+        let hosts: Vec<_> = t.hosts().iter().map(|h| h.id).collect();
+        // EP-shaped program: one compute phase and two allreduces.
+        let n = hosts.len() as u32;
+        let mut b = ScheduleBuilder::new(n);
+        b.compute(MemoryIntensity::CPU_BOUND, |_| 1e9);
+        b.allreduce(16);
+        b.allreduce(96);
+        let schedule = Arc::new(b.finish());
+        let full_ops = schedule.op_count();
+        let capacity = t.hosts().iter().map(|h| h.cores as u32).collect();
+        let mut cost = PlacementCost::new(
+            schedule,
+            hosts,
+            capacity,
+            NetworkModel::new(t.clone()),
+            ComputeModel::new(t.clone()),
+        );
+        cost.apply(Move::Swap { a: 0, b: 7 }).unwrap();
+        cost.commit();
+        assert_eq!(cost.cost(), cost.oracle_cost());
+        assert!(
+            cost.last_delta_ops() < full_ops,
+            "delta visited {} ops of a {}-op schedule",
+            cost.last_delta_ops(),
+            full_ops
+        );
     }
 }

@@ -283,6 +283,7 @@ impl MpiRuntime {
 mod tests {
     use super::*;
     use crate::datatype::ReduceOp;
+    use crate::model::CollectiveProgram;
     use p2pmpi_simgrid::memory::MemoryIntensity;
     use p2pmpi_simgrid::topology::{HostId, NodeSpec, TopologyBuilder};
 

@@ -9,6 +9,7 @@
 //! topology with co-location and cross-site hops) catch it here.
 
 use p2pmpi_mpi::datatype::ReduceOp;
+use p2pmpi_mpi::model::CollectiveProgram;
 use p2pmpi_mpi::placement::{Placement, ProcSpec};
 use p2pmpi_mpi::runtime::MpiRuntime;
 use p2pmpi_simgrid::rngutil::seeded;

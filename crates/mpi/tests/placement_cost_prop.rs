@@ -1,0 +1,180 @@
+//! Property test of the incremental placement evaluator: after any sequence
+//! of swap/migrate moves (committed or undone) over any placement and any
+//! collective program, `PlacementCost`'s cached per-rank clocks must equal a
+//! from-scratch `ModelComm` replay of the same program **exactly** — the
+//! delta-evaluation contract of `p2pmpi_mpi::model`.
+
+use p2pmpi_mpi::model::{CollectiveProgram, Move, MoveError, PlacementCost, ScheduleBuilder};
+use p2pmpi_simgrid::compute::ComputeModel;
+use p2pmpi_simgrid::memory::MemoryIntensity;
+use p2pmpi_simgrid::network::NetworkModel;
+use p2pmpi_simgrid::rngutil::seeded;
+use p2pmpi_simgrid::topology::{HostId, NodeSpec, Topology, TopologyBuilder};
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Three sites with distinct RTTs (one on a slow 1 Gbps link, like
+/// Bordeaux) and eight dual-core hosts, so random placements and moves mix
+/// loopback, intra-site and cross-site messaging plus co-location.
+fn topology() -> Arc<Topology> {
+    let mut b = TopologyBuilder::new();
+    let near = b.add_site("near");
+    let mid = b.add_site("mid");
+    let far = b.add_site("far");
+    b.add_cluster(near, "n", "cpu", 4, NodeSpec::default());
+    b.add_cluster(mid, "m", "cpu", 2, NodeSpec::default());
+    b.add_cluster(
+        far,
+        "f",
+        "cpu",
+        2,
+        NodeSpec {
+            cores: 4,
+            ops_per_sec: 1.5e9,
+            ..NodeSpec::default()
+        },
+    );
+    b.set_rtt(
+        near,
+        mid,
+        p2pmpi_simgrid::time::SimDuration::from_millis(11),
+    );
+    b.set_rtt(
+        near,
+        far,
+        p2pmpi_simgrid::time::SimDuration::from_millis(17),
+    );
+    b.set_rtt(mid, far, p2pmpi_simgrid::time::SimDuration::from_millis(17));
+    b.set_bandwidth(near, far, 1e9);
+    Arc::new(b.build())
+}
+
+/// A random collective program mixing every schedule shape the compiler
+/// knows (compute, trees, rings, advance).
+fn random_program<P: CollectiveProgram>(p: &mut P, program_seed: u64) {
+    let mut rng = seeded(program_seed);
+    let n = p.size();
+    let steps = rng.gen_range(2usize..6);
+    for _ in 0..steps {
+        match rng.gen_range(0u32..8) {
+            0 => {
+                let scale = rng.gen_range(1u64..50) as f64;
+                p.compute(MemoryIntensity::MEMORY_BOUND, |r| {
+                    1e6 * scale * (r as f64 + 1.0)
+                });
+            }
+            1 => p.bcast(rng.gen_range(0..n), rng.gen_range(1u64..5000)),
+            2 => p.reduce(rng.gen_range(0..n), rng.gen_range(1u64..2000)),
+            3 => p.allreduce(rng.gen_range(1u64..1000)),
+            4 => p.alltoall(rng.gen_range(1u64..500)),
+            5 => {
+                let stride = rng.gen_range(0u64..37);
+                p.alltoallv(move |src, dst| (src as u64 + dst as u64 * stride) % 91 * 4);
+            }
+            6 => p.allgather(|r| (r as u64 % 5) * 8 + 8),
+            _ => p.barrier(),
+        }
+    }
+}
+
+/// Assigns `n` ranks to random hosts without exceeding any host's core
+/// capacity (migrates need somewhere to go, so capacity-feasible starts
+/// matter).
+fn random_feasible_hosts(topology: &Topology, n: u32, seed: u64) -> Vec<HostId> {
+    let mut rng = seeded(seed);
+    let mut free: Vec<u32> = topology.hosts().iter().map(|h| h.cores as u32).collect();
+    (0..n)
+        .map(|_| loop {
+            let h = rng.gen_range(0..free.len());
+            if free[h] > 0 {
+                free[h] -= 1;
+                break HostId(h);
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn delta_after_any_move_sequence_equals_full_replay(
+        n in 2u32..17,
+        placement_seed in 0u64..1_000_000,
+        program_seed in 0u64..1_000_000,
+        move_seed in 0u64..1_000_000,
+    ) {
+        let topology = topology();
+        let mut b = ScheduleBuilder::new(n);
+        random_program(&mut b, program_seed);
+        let schedule = Arc::new(b.finish());
+        let hosts = random_feasible_hosts(&topology, n, placement_seed);
+        let capacity: Vec<u32> = topology.hosts().iter().map(|h| h.cores as u32).collect();
+        let mut cost = PlacementCost::new(
+            schedule,
+            hosts,
+            capacity,
+            NetworkModel::new(topology.clone()),
+            ComputeModel::new(topology.clone()),
+        );
+
+        // At rest the caches are a full replay by construction.
+        prop_assert_eq!(cost.clocks(), &cost.oracle_clocks()[..]);
+
+        let mut rng = seeded(move_seed);
+        let host_count = topology.host_count();
+        for _ in 0..12 {
+            let mv = if rng.gen_range(0u32..2) == 0 {
+                Move::Swap {
+                    a: rng.gen_range(0..n),
+                    b: rng.gen_range(0..n),
+                }
+            } else {
+                // Deliberately unfiltered: some migrates violate capacity
+                // and must be rejected without touching any state.
+                Move::Migrate {
+                    rank: rng.gen_range(0..n),
+                    to: HostId(rng.gen_range(0..host_count)),
+                }
+            };
+            let before_cost = cost.cost();
+            let before_hosts = cost.hosts().to_vec();
+            match cost.apply(mv) {
+                Err(MoveError::CapacityExceeded { .. }) => {
+                    // Rejection is mutation-free.
+                    prop_assert_eq!(cost.cost(), before_cost);
+                    prop_assert_eq!(cost.hosts(), &before_hosts[..]);
+                    prop_assert_eq!(cost.clocks(), &cost.oracle_clocks()[..]);
+                }
+                Ok(new_cost) => {
+                    // Delta-after-move equals the from-scratch replay,
+                    // per rank, bit for bit.
+                    let oracle = cost.oracle_clocks();
+                    prop_assert_eq!(cost.clocks(), &oracle[..],
+                        "delta clocks diverged from the oracle after {:?}", mv);
+                    let oracle_max = oracle.iter().copied().max().unwrap();
+                    prop_assert_eq!(
+                        new_cost,
+                        oracle_max.saturating_since(p2pmpi_simgrid::time::SimTime::ZERO)
+                    );
+                    if rng.gen_range(0u32..3) == 0 {
+                        // Revert: the pre-move state must come back exactly.
+                        cost.undo();
+                        prop_assert_eq!(cost.cost(), before_cost);
+                        prop_assert_eq!(cost.hosts(), &before_hosts[..]);
+                        prop_assert_eq!(cost.clocks(), &cost.oracle_clocks()[..]);
+                    } else {
+                        cost.commit();
+                    }
+                }
+            }
+        }
+        // The capacity invariant survived the walk.
+        let mut used = vec![0u32; host_count];
+        for &h in cost.hosts() {
+            used[h.0] += 1;
+        }
+        for (h, &u) in used.iter().enumerate() {
+            prop_assert!(u <= topology.host(HostId(h)).cores as u32);
+        }
+    }
+}

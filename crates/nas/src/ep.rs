@@ -14,7 +14,7 @@ use crate::classes::Class;
 use crate::rng::{NasRng, DEFAULT_SEED};
 use p2pmpi_mpi::datatype::ReduceOp;
 use p2pmpi_mpi::error::MpiResult;
-use p2pmpi_mpi::model::ModelComm;
+use p2pmpi_mpi::model::{CollectiveProgram, CompiledSchedule, ModelComm, ScheduleBuilder};
 use p2pmpi_mpi::Comm;
 use p2pmpi_simgrid::memory::MemoryIntensity;
 use p2pmpi_simgrid::time::SimDuration;
@@ -165,6 +165,23 @@ pub fn ep_kernel(comm: &mut Comm, config: &EpConfig) -> MpiResult<EpResult> {
     })
 }
 
+/// [`ep_kernel`]'s cost structure as a placement-independent collective
+/// program: one compute phase, then two fixed-size `MPI_Allreduce`s.  This
+/// is the single source of EP's modeled schedule — [`ep_model`] runs it on a
+/// [`ModelComm`], [`ep_schedule`] records it for the placement search's
+/// incremental evaluator.
+pub fn ep_program<P: CollectiveProgram>(p: &mut P, config: &EpConfig) {
+    let size = p.size();
+    let total_pairs = config.class.ep_pairs();
+    p.compute(EP_MEMORY_INTENSITY, |rank| {
+        rank_share(total_pairs, rank, size).1 as f64 * OPS_PER_PAIR
+    });
+    // allreduce(Sum, [sx, sy]): two f64.
+    p.allreduce(2 * 8);
+    // allreduce(Sum, count_buf): twelve i64.
+    p.allreduce(12 * 8);
+}
+
 /// Predicts the EP makespan analytically on a [`ModelComm`].
 ///
 /// EP's communication is data-independent (one compute phase, then two
@@ -172,16 +189,17 @@ pub fn ep_kernel(comm: &mut Comm, config: &EpConfig) -> MpiResult<EpResult> {
 /// *exact* replay of [`ep_kernel`]'s clock arithmetic: the predicted
 /// makespan equals the executed one bit-for-bit, at any rank count.
 pub fn ep_model(model: &mut ModelComm, config: &EpConfig) -> SimDuration {
-    let size = model.size();
-    let total_pairs = config.class.ep_pairs();
-    model.compute(EP_MEMORY_INTENSITY, |rank| {
-        rank_share(total_pairs, rank, size).1 as f64 * OPS_PER_PAIR
-    });
-    // allreduce(Sum, [sx, sy]): two f64.
-    model.allreduce(2 * 8);
-    // allreduce(Sum, count_buf): twelve i64.
-    model.allreduce(12 * 8);
+    ep_program(model, config);
     model.makespan()
+}
+
+/// Compiles [`ep_program`] for `size` ranks — the schedule hook the
+/// placement search (`p2pmpi_mpi::model::PlacementCost`) evaluates
+/// incrementally.
+pub fn ep_schedule(config: &EpConfig, size: u32) -> CompiledSchedule {
+    let mut b = ScheduleBuilder::new(size);
+    ep_program(&mut b, config);
+    b.finish()
 }
 
 #[cfg(test)]

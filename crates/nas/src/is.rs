@@ -11,7 +11,7 @@ use crate::classes::Class;
 use crate::rng::{NasRng, DEFAULT_SEED};
 use p2pmpi_mpi::datatype::ReduceOp;
 use p2pmpi_mpi::error::{MpiError, MpiResult};
-use p2pmpi_mpi::model::ModelComm;
+use p2pmpi_mpi::model::{CollectiveProgram, CompiledSchedule, ModelComm, ScheduleBuilder};
 use p2pmpi_mpi::Comm;
 use p2pmpi_simgrid::memory::MemoryIntensity;
 use p2pmpi_simgrid::time::SimDuration;
@@ -216,6 +216,36 @@ pub fn is_kernel(comm: &mut Comm, config: &IsConfig) -> MpiResult<IsResult> {
     })
 }
 
+/// [`is_kernel`]'s cost structure as a placement-independent collective
+/// program (see [`is_model`] for the balanced-alltoallv approximation).
+/// The single source of IS's modeled schedule: [`is_model`] runs it on a
+/// [`ModelComm`], [`is_schedule`] records it for the placement search's
+/// incremental evaluator.
+pub fn is_program<P: CollectiveProgram>(p: &mut P, config: &IsConfig) {
+    let size = p.size();
+    let total_keys = config.effective_keys();
+    let full_keys = config.class.is_keys();
+    let max_key = config.class.is_max_key();
+    let buckets = NUM_BUCKETS.min(max_key as usize) as u64;
+    for _ in 0..config.iterations {
+        // Global histogram: allreduce(Sum) of `buckets` i64 counters.
+        p.allreduce(buckets * 8);
+        // Send-count exchange: alltoall of one i64 per rank pair.
+        p.alltoall(8);
+        // Key redistribution: balanced alltoallv of u32 keys.
+        p.alltoallv(|src, _dst| {
+            let (_, count) = crate::ep::rank_share(total_keys, src, size);
+            (count / size as u64) * 4
+        });
+        // Bucket counting + ranking passes, charged at full-class size.
+        p.compute(IS_MEMORY_INTENSITY, |rank| {
+            crate::ep::rank_share(full_keys, rank, size).1 as f64 * OPS_PER_KEY_PER_ITER
+        });
+    }
+    // Final verification: allgather of (count, min, max) u64 per rank.
+    p.allgather(|_| 3 * 8);
+}
+
 /// Predicts the IS makespan analytically on a [`ModelComm`].
 ///
 /// The allreduce/alltoall sizes replay [`is_kernel`] exactly.  The
@@ -226,29 +256,18 @@ pub fn is_kernel(comm: &mut Comm, config: &IsConfig) -> MpiResult<IsResult> {
 /// of its mass).  `perf_report` measures the resulting modeled-vs-executed
 /// divergence and fails if it leaves its documented tolerance.
 pub fn is_model(model: &mut ModelComm, config: &IsConfig) -> SimDuration {
-    let size = model.size();
-    let total_keys = config.effective_keys();
-    let full_keys = config.class.is_keys();
-    let max_key = config.class.is_max_key();
-    let buckets = NUM_BUCKETS.min(max_key as usize) as u64;
-    for _ in 0..config.iterations {
-        // Global histogram: allreduce(Sum) of `buckets` i64 counters.
-        model.allreduce(buckets * 8);
-        // Send-count exchange: alltoall of one i64 per rank pair.
-        model.alltoall(8);
-        // Key redistribution: balanced alltoallv of u32 keys.
-        model.alltoallv(|src, _dst| {
-            let (_, count) = crate::ep::rank_share(total_keys, src, size);
-            (count / size as u64) * 4
-        });
-        // Bucket counting + ranking passes, charged at full-class size.
-        model.compute(IS_MEMORY_INTENSITY, |rank| {
-            crate::ep::rank_share(full_keys, rank, size).1 as f64 * OPS_PER_KEY_PER_ITER
-        });
-    }
-    // Final verification: allgather of (count, min, max) u64 per rank.
-    model.allgather(|_| 3 * 8);
+    is_program(model, config);
     model.makespan()
+}
+
+/// Compiles [`is_program`] for `size` ranks — the schedule hook of the
+/// placement search.  The ring caches of the incremental evaluator cost
+/// ~`2·iterations·size²·8` bytes, so IS searches are best kept to a few
+/// hundred ranks (see `p2pmpi_mpi::model`'s memory note).
+pub fn is_schedule(config: &IsConfig, size: u32) -> CompiledSchedule {
+    let mut b = ScheduleBuilder::new(size);
+    is_program(&mut b, config);
+    b.finish()
 }
 
 /// Splits the bucket histogram into `size` contiguous ranges of roughly equal

@@ -36,7 +36,7 @@
 //! # The timeout-event contract
 //!
 //! [`Overlay::rs_send`] puts one outbound reservation request on the
-//! timeline as *two* scheduled events: an armed timeout at
+//! timeline as up to *two* scheduled events: an armed timeout at
 //! `now + rs_timeout`, and — when the remote peer is alive — the reply's
 //! delivery at `now + rtt`.  Whichever fires first resolves the request and
 //! cancels its counterpart; [`RsOutcome::Timeout`] is therefore an observed
@@ -51,6 +51,23 @@
 //! reply loses the race is leaked on the granter until the periodic expiry
 //! sweep ([`Overlay::start_reservation_expiry`]) reclaims it — exactly the
 //! failure mode that sweep exists for in the paper.
+//!
+//! **The alive-peer fast path.**  When the remote peer is alive and its
+//! reply is scheduled *strictly before* the timeout window (`rtt <
+//! rs_timeout` — the warm common case), the timeout event can never win the
+//! race: it would be armed only to be cancelled by the reply, its tombstone
+//! carried by the queue until firing time.  [`Overlay::rs_send`] therefore
+//! skips arming it entirely.  This is outcome-invariant — the skipped event
+//! never fires on the armed path either, and removing one never-delivered
+//! ticket cannot reorder the survivors' FIFO ties — and it halves the
+//! scheduling work of the warm brokering path (`perf_report` records the
+//! reclaimed time per warm job; `crates/bench/tests/day_sweep.rs` pins
+//! bit-identical sweep outcomes fast-path on vs off, churn included).
+//! Dead peers and slow replies (`rtt >= rs_timeout`) always arm — the
+//! timeout machinery is *kept* under churn, where it is load-bearing.
+//! [`Overlay::set_rs_timeout_fast_path`] disables the fast path for
+//! benchmarks that measure the armed machinery itself (the
+//! `timeout_timeline` sections of `perf_report`).
 //!
 //! The pending-request bookkeeping lives in a reusable scratch vector on the
 //! overlay: a steady-state brokering loop (send × booked, then
@@ -180,8 +197,10 @@ struct RsPending {
     reply: Option<ReservationReply>,
     /// Round-trip time of the exchange (meaningful when `reply` is some).
     rtt: SimDuration,
-    /// The armed timeout event.
-    timeout_key: EventKey,
+    /// The armed timeout event (`None` on the alive-peer fast path, where
+    /// the reply is scheduled strictly before the timeout window and the
+    /// race is already decided).
+    timeout_key: Option<EventKey>,
     /// The scheduled reply delivery, when the peer was alive.
     reply_key: Option<EventKey>,
     /// Filled by whichever event fires first.
@@ -218,6 +237,10 @@ pub struct Overlay {
     rs_pending: Vec<RsPending>,
     /// How many `rs_pending` slots still await their reply/timeout event.
     rs_inflight: usize,
+    /// Skip arming timeouts whose reply is already scheduled to win the
+    /// race (see the module docs; benchmarks of the armed machinery turn
+    /// this off).
+    rs_timeout_fast_path: bool,
 }
 
 /// Returns `(&from, &mut to)` for two *distinct* peers of the node table.
@@ -270,6 +293,7 @@ impl Overlay {
             scratch_failures: Vec::new(),
             rs_pending: Vec::new(),
             rs_inflight: 0,
+            rs_timeout_fast_path: true,
         }
     }
 
@@ -468,10 +492,13 @@ impl Overlay {
                     reply,
                     elapsed: slot.rtt,
                 });
-                let (from, to, timeout_key) = (slot.from, slot.to, slot.timeout_key);
-                // The reply won the race: disarm the timeout (its ticket is
-                // tombstoned and compacted by the queue, never delivered).
-                self.sim.cancel(timeout_key);
+                let (from, to, timeout_key) = (slot.from, slot.to, slot.timeout_key.take());
+                // The reply won the race: disarm the timeout, if one was
+                // armed at all (its ticket is tombstoned and compacted by
+                // the queue, never delivered).
+                if let Some(timeout_key) = timeout_key {
+                    self.sim.cancel(timeout_key);
+                }
                 self.rs_inflight -= 1;
                 self.tracer
                     .record(self.sim.now(), TraceCategory::Reservation, || {
@@ -806,13 +833,7 @@ impl Overlay {
     /// events recycle event-store slots.
     pub fn rs_send(&mut self, from: PeerId, to: PeerId, key: ReservationKey, total_processes: u32) {
         let idx = u32::try_from(self.rs_pending.len()).expect("too many in-flight RS requests");
-        // Arm the timeout first: at the degenerate `rtt == rs_timeout`
-        // instant the FIFO tie-break then delivers the timeout first — the
-        // submitter gives up at its deadline.
-        let timeout_key = self
-            .sim
-            .schedule_in(self.params.rs_timeout, OverlayEvent::RsTimeout(idx));
-        let (reply, rtt, reply_key) = if self.nodes[to.0].is_alive() {
+        let (reply, rtt, reply_key, timeout_key) = if self.nodes[to.0].is_alive() {
             let src = self.nodes[from.0].descriptor.host;
             let dst = self.nodes[to.0].descriptor.host;
             let rtt = self
@@ -821,6 +842,21 @@ impl Overlay {
                 + self
                     .network
                     .transfer_time(dst, src, self.params.rs_message_bytes);
+            // Alive-peer fast path: a reply scheduled strictly before the
+            // timeout window has already won the race, so the timeout is
+            // not armed at all (see the module docs).  When it *is* armed
+            // (slow link, or the fast path disabled), it is armed before
+            // the reply so the FIFO tie-break delivers the timeout first
+            // at the degenerate `rtt == rs_timeout` instant — the
+            // submitter gives up at its deadline.
+            let timeout_key = if self.rs_timeout_fast_path && rtt < self.params.rs_timeout {
+                None
+            } else {
+                Some(
+                    self.sim
+                        .schedule_in(self.params.rs_timeout, OverlayEvent::RsTimeout(idx)),
+                )
+            };
             let now = self.sim.now();
             let reply = if from.0 == to.0 {
                 // A submitter reserving its own host: every piece (address,
@@ -844,11 +880,14 @@ impl Overlay {
                 to_node.rs.handle_request(&req, &to_node.config, now)
             };
             let reply_key = self.sim.schedule_in(rtt, OverlayEvent::RsReply(idx));
-            (Some(reply), rtt, Some(reply_key))
+            (Some(reply), rtt, Some(reply_key), timeout_key)
         } else {
             // A dead peer never answers: only the timeout is on the
             // timeline, and it will fire.
-            (None, self.params.rs_timeout, None)
+            let timeout_key = self
+                .sim
+                .schedule_in(self.params.rs_timeout, OverlayEvent::RsTimeout(idx));
+            (None, self.params.rs_timeout, None, Some(timeout_key))
         };
         self.rs_pending.push(RsPending {
             from,
@@ -899,6 +938,19 @@ impl Overlay {
     /// high-water mark and stay there in a steady-state sweep).
     pub fn rs_scratch_capacity(&self) -> usize {
         self.rs_pending.capacity()
+    }
+
+    /// Enables or disables the alive-peer timeout fast path (default on;
+    /// outcome-invariant either way — see the module docs).  Benchmarks of
+    /// the armed timeout machinery itself turn it off so every reservation
+    /// still parks its timeout event on the timeline.
+    pub fn set_rs_timeout_fast_path(&mut self, enabled: bool) {
+        self.rs_timeout_fast_path = enabled;
+    }
+
+    /// Whether the alive-peer timeout fast path is enabled.
+    pub fn rs_timeout_fast_path(&self) -> bool {
+        self.rs_timeout_fast_path
     }
 
     /// RS→RS reservation request from `from` to `to`, resolved inline: one
@@ -1141,8 +1193,8 @@ mod tests {
         // The timeout was an observed event: the clock actually waited the
         // full rs_timeout for the dead peer.
         assert_eq!(o.now(), t0 + o.params().rs_timeout);
-        // Both live requests left their armed-then-cancelled timeout as a
-        // queued tombstone (collected at firing time or on a transfer).
+        // The live requests took the fast path (no armed timeout), so no
+        // tombstones linger beyond pending events.
         assert!(o.events_queued() >= o.events_pending());
     }
 
