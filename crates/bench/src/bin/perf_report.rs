@@ -54,22 +54,30 @@
 //!    1024-rank, 10k-move, 4-chain EP search must finish within
 //!    [`PLACEMENT_SEARCH_WALL_BUDGET_S`] seconds of wall time (full runs
 //!    only; `--test` runs (a)–(c) at reduced scale).
-//! 9. **skewed dead-peer trace** (inside `timeout_timeline`) — the
-//!    churn-heavy [`DaySweepConfig::dead_peer_day`] scenario compressed
-//!    12×: thousands of reservation timeouts whose 2 s windows ride on
-//!    millisecond replies and hour-scale completions, the trimodal skew
-//!    where the calendar queue's uniform bucket width degrades.
-//!    [`QueueKind::Ladder`] must beat [`QueueKind::Calendar`] by more than
-//!    [`LADDER_VS_CALENDAR_MARGIN`] here, or the report exits non-zero.
+//! 9. **scenario_matrix** — the fault-injection scenario matrix
+//!    (`p2pmpi_bench::scenario`) at the CI scale (compress 24, rate scale
+//!    0.05): every scenario's graceful-degradation verdict must pass —
+//!    zero leaked grants on the standard day, utilisation recovery after a
+//!    correlated site outage, stale-view brokering through a supernode
+//!    crash, eager reclamation under grant-leak stress — or the report
+//!    **exits non-zero**.
+//! 10. **skewed dead-peer trace** (inside `timeout_timeline`) — the
+//!     churn-heavy [`DaySweepConfig::dead_peer_day`] scenario compressed
+//!     12×: thousands of reservation timeouts whose 2 s windows ride on
+//!     millisecond replies and hour-scale completions, the trimodal skew
+//!     where the calendar queue's uniform bucket width degrades.
+//!     [`QueueKind::Ladder`] must beat [`QueueKind::Calendar`] by more than
+//!     [`LADDER_VS_CALENDAR_MARGIN`] here, or the report exits non-zero.
 //!
 //! Usage:
 //! `cargo run --release -p p2pmpi-bench --bin perf_report [out.json] [--seed-allocate-ns N] [--test]`
 //!
-//! `--test` runs only the queue-sensitive sections (6–7, 9) and the
-//! placement-search section (8) at reduced scale with the same *relative*
-//! gates (ladder-vs-calendar on the skewed trace, sweep default within
-//! noise of the best, allocation-free steady state, delta-vs-replay
-//! speedup, search quality) — the CI smoke.  Machine-absolute gates (the
+//! `--test` runs only the queue-sensitive sections (6–7, 10), the
+//! placement-search section (8) at reduced scale and the scenario matrix
+//! (9) with the same *relative* gates (ladder-vs-calendar on the skewed
+//! trace, sweep default within noise of the best, allocation-free steady
+//! state, delta-vs-replay speedup, search quality, every scenario verdict)
+//! — the CI smoke.  Machine-absolute gates (the
 //! analytical-day baseline, the search wall budget) only apply to the full
 //! run, and `--test` never writes the JSON report.
 //!
@@ -90,6 +98,7 @@
 use p2pmpi_bench::experiments::{
     modeled_kernel_times, run_kernel_once, synthetic_placement, Fig4Kernel, Fig4Settings,
 };
+use p2pmpi_bench::scenario::{run_matrix, ScenarioParams, ScenarioVerdict};
 use p2pmpi_bench::search::{
     kernel_schedule, placement_rank_hosts, search_placement, SearchParams, SearchReport,
 };
@@ -546,6 +555,45 @@ fn check_queue_gates(q: &QueueSections) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// scenario_matrix
+// ---------------------------------------------------------------------------
+
+/// Runs the fault-injection scenario matrix at the CI scale (the same
+/// configuration `scenario_runner --all --compress 24` replays) and returns
+/// every verdict with the wall time of the whole matrix.
+fn measure_scenario_matrix() -> (Vec<ScenarioVerdict>, f64) {
+    eprintln!("running the fault-injection scenario matrix (7 scenarios, compress 24)...");
+    let params = ScenarioParams {
+        compress: 24.0,
+        ..ScenarioParams::default()
+    };
+    let start = Instant::now();
+    let verdicts = run_matrix(&params);
+    (verdicts, start.elapsed().as_secs_f64())
+}
+
+/// The graceful-degradation gates: every scenario verdict must pass.
+/// Returns true if anything drifted.
+fn check_scenario_gates(verdicts: &[ScenarioVerdict]) -> bool {
+    let mut drifted = false;
+    for v in verdicts {
+        if v.passed() {
+            continue;
+        }
+        drifted = true;
+        for check in v.checks.iter().filter(|c| !c.passed) {
+            eprintln!(
+                "FAIL: scenario {} failed its {} criterion: {}",
+                v.scenario.name(),
+                check.name,
+                check.detail
+            );
+        }
+    }
+    drifted
+}
+
+// ---------------------------------------------------------------------------
 // placement_search
 // ---------------------------------------------------------------------------
 
@@ -866,11 +914,27 @@ fn main() {
                 case.report.best.as_secs_f64()
             );
         }
-        let drifted = check_queue_gates(&q) | check_placement_search_gates(&ps);
+        let (verdicts, matrix_wall_s) = measure_scenario_matrix();
+        for v in &verdicts {
+            eprintln!(
+                "scenario {}: {} ({}/{} jobs placed)",
+                v.scenario.name(),
+                if v.passed() { "PASS" } else { "FAIL" },
+                v.result.succeeded,
+                v.result.submitted
+            );
+        }
+        eprintln!(
+            "scenario_matrix: {} scenarios in {matrix_wall_s:.1}s wall",
+            verdicts.len()
+        );
+        let drifted = check_queue_gates(&q)
+            | check_placement_search_gates(&ps)
+            | check_scenario_gates(&verdicts);
         if drifted {
             std::process::exit(1);
         }
-        eprintln!("perf_report --test: all queue and placement-search gates passed");
+        eprintln!("perf_report --test: all queue, placement-search and scenario gates passed");
         return;
     }
 
@@ -912,6 +976,7 @@ fn main() {
 
     let q = measure_queue_sections(false, 3);
     let ps = measure_placement_search(false);
+    let (scenario_verdicts, scenario_wall_s) = measure_scenario_matrix();
     let [sweep_heap_ms, sweep_cal_ms, sweep_lad_ms] = q.sweep_walls;
     let sweep_engine_jobs = q.sweep_jobs;
     let [day_heap_ms, day_cal_ms, day_lad_ms] = q.timeline_walls;
@@ -961,6 +1026,28 @@ fn main() {
     let skewed_improvement = ps.skewed.improvement();
     let budget_best = budget_report.best.as_secs_f64();
     let budget_moves = budget_report.evaluated();
+    // One row per scenario verdict; check details live in the runner's own
+    // JSON output, so the report keeps the headline numbers only.
+    let scenario_rows_json = scenario_verdicts
+        .iter()
+        .map(|v| {
+            format!(
+                r#"      {{ "scenario": "{}", "passed": {}, "submitted": {}, "succeeded": {}, "timeouts": {}, "jobs_killed": {}, "leaked_grants": {}, "leaked_grant_hwm": {}, "checks_passed": {}, "checks_total": {} }}"#,
+                v.scenario.name(),
+                v.passed(),
+                v.result.submitted,
+                v.result.succeeded,
+                v.result.timeouts,
+                v.result.jobs_killed,
+                v.result.leaked_grants,
+                v.result.leaked_grant_hwm,
+                v.checks.iter().filter(|c| c.passed).count(),
+                v.checks.len(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let scenario_all_passed = scenario_verdicts.iter().all(|v| v.passed());
     let arena_vs_boxed = arena_heap_eps / boxed_eps.max(1.0);
     let calendar_vs_boxed = arena_cal_eps / boxed_eps.max(1.0);
     let ladder_vs_boxed = arena_lad_eps / boxed_eps.max(1.0);
@@ -1072,6 +1159,17 @@ fn main() {
       "required_ladder_margin": {LADDER_VS_CALENDAR_MARGIN}
     }}
   }},
+  "scenario_matrix": {{
+    "description": "fault-injection scenario matrix (p2pmpi_bench::scenario, the scenario_runner binary) at the CI scale: each scenario replays the compressed day with one named adversity (correlated site outage, 10x flash crowd, link degradation, supernode crash, grant-leak stress) and is judged against explicit graceful-degradation criteria; any failed verdict fails non-zero",
+    "compress": 24,
+    "rate_scale": 0.05,
+    "seed": 2008,
+    "wall_s": {scenario_wall_s:.1},
+    "all_passed": {scenario_all_passed},
+    "scenarios": [
+{scenario_rows_json}
+    ]
+  }},
   "placement_search": {{
     "description": "model-driven placement search (p2pmpi_bench::search annealing over p2pmpi_mpi::model::PlacementCost): delta evaluation re-costs a move in O(affected ranks) against cached per-segment clocks instead of a full model replay; gates (all fail non-zero): delta >= {PLACEMENT_DELTA_SPEEDUP_MIN}x cheaper per move than the ModelComm replay at EP@256, searched never worse than best-of(concentrate, spread) on the standard grids, > {PLACEMENT_SKEWED_IMPROVEMENT_MIN} better on the skewed grid, and the EP@1024 10k-move 4-chain search within {PLACEMENT_SEARCH_WALL_BUDGET_S}s wall",
     "delta_vs_full_replay": {{
@@ -1156,6 +1254,8 @@ fn main() {
     // … the placement-search gates (delta speedup, search quality, the
     // skewed-grid margin, the wall budget) …
     drifted |= check_placement_search_gates(&ps);
+    // … the graceful-degradation verdicts of the fault-injection matrix …
+    drifted |= check_scenario_gates(&scenario_verdicts);
     // … plus the machine-absolute one only the full run can judge: putting
     // every reservation's timeout on the timeline must not cost more than
     // TIMEOUT_TIMELINE_LIMIT× the analytical-timeout day on the best queue.

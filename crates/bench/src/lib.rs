@@ -17,20 +17,26 @@
 //!
 //! Beyond the paper: `placement_search` anneals host assignments under the
 //! LogGP model (the [`search`] module) — the third, *searched* curve of
-//! `fig4_ep`/`fig4_is --searched`.
+//! `fig4_ep`/`fig4_is --searched` — and `scenario_runner` sweeps the
+//! fault-injection scenario matrix (the [`scenario`] module), judging each
+//! named adversity replay against its graceful-degradation criteria.
 
 #![warn(missing_docs)]
 
 pub mod cliargs;
 pub mod experiments;
 pub mod output;
+pub mod scenario;
 pub mod search;
 pub mod workload;
 
 pub use experiments::{fig2_fig3_sweep, fig4_kernel_times, Fig4Kernel, Fig4Point, Fig4Settings};
 pub use output::{print_fig4_table, print_legend, print_sweep_tables};
+pub use scenario::{
+    run_matrix, run_scenario, Scenario, ScenarioParams, ScenarioVerdict, ALL_SCENARIOS,
+};
 pub use search::{search_placement, SearchParams, SearchReport};
 pub use workload::{
-    run_day_sweep, BurstyArrivals, DayProfile, DaySweepConfig, DaySweepResult, JobMix,
+    run_day_sweep, BurstyArrivals, DayProfile, DaySweepConfig, DaySweepResult, FaultSpec, JobMix,
     PoissonArrivals,
 };

@@ -1,0 +1,782 @@
+//! The fault-injection scenario matrix: named adversity specs compiled onto
+//! the day-sweep timeline, each judged against explicit graceful-degradation
+//! criteria.
+//!
+//! Where `workload` provides the *mechanisms* (a [`FaultSpec`] vocabulary and
+//! a driver that schedules them), this module provides the *policy*: a fixed
+//! matrix of named scenarios ([`Scenario`]), one [`DaySweepConfig`] per
+//! scenario, and a [`ScenarioVerdict`] that states whether the overlay
+//! degraded gracefully — not merely whether it survived.  The
+//! `scenario_runner` binary prints one JSON verdict per scenario and exits
+//! non-zero on any failure; `perf_report`'s `scenario_matrix` section runs
+//! the same matrix compressed as a CI gate.
+//!
+//! # The fault-event contract
+//!
+//! Every fault is an event (or a trace transform) with documented semantics
+//! the verdicts rely on:
+//!
+//! * **Revocation ordering** — a peer crash first mass-revokes the doomed
+//!   completions of its running jobs (one `cancel_batch` over their event
+//!   keys, when `fail_jobs_on_crash` is on), freeing every participant
+//!   *before* any later event observes the dead peer.  A revoked completion
+//!   is never delivered; `jobs_killed` counts the revocations.
+//! * **Site outages** are correlated: all peers of the site crash at the
+//!   same instant and recover together (`site_outage_schedule`), unlike the
+//!   independent flapping of [`DeadPeerChurn`].  The submitter is always
+//!   spared — its host doubles as the supernode's.
+//! * **Supernode degraded mode** — a supernode crash wipes the volatile
+//!   registry.  While it is down, cache refreshes return empty (the
+//!   submitter keeps brokering from its stale `CachedList` instead of
+//!   halting) and heartbeats are no-ops; on recovery, the next heartbeat
+//!   round re-registers every alive peer the registry no longer knows (the
+//!   resync path).
+//! * **Link degradation** applies to transfers *scheduled* during the
+//!   window; in-flight events keep the cost they were scheduled with.  A
+//!   degradation severe enough that a reservation reply loses the 2 s race
+//!   to its timeout exercises the grant-leak path: the grant is counted in
+//!   `leaked_grants` and eagerly released one transfer later, so the
+//!   high-water mark of outstanding leaks (`leaked_grant_hwm`) stays far
+//!   below the total.
+//! * **Flash crowds** are pure trace transforms ([`DayProfile::with_burst`])
+//!   applied before the trace is drawn; they never touch the overlay.
+//!
+//! # The verdict schema
+//!
+//! [`ScenarioVerdict::to_json`] renders one object per scenario:
+//!
+//! ```json
+//! {
+//!   "scenario": "site_outage",
+//!   "passed": true,
+//!   "metrics": { "submitted": 1085, "succeeded": 934, "failed": 151,
+//!                "timeouts": 412, "jobs_killed": 17, "leaked_grants": 0,
+//!                "leaked_grant_hwm": 0, "events_processed": 123456,
+//!                "steady_state_alloc_free": true },
+//!   "baseline": { "submitted": 1085, "succeeded": 1012, "failed": 73,
+//!                 "timeouts": 0 },
+//!   "recovery_secs": 120.0,
+//!   "checks": [ { "name": "utilisation_recovers", "passed": true,
+//!                 "detail": "..." } ]
+//! }
+//! ```
+//!
+//! `baseline` is the scenario's no-fault twin (same seed, same trace where
+//! the fault does not reshape arrivals) and is `null` for scenarios judged
+//! on absolute criteria; `recovery_secs` is `null` when the scenario has no
+//! outage window.
+//!
+//! [`DayProfile::with_burst`]: crate::workload::DayProfile::with_burst
+//! [`DeadPeerChurn`]: crate::workload::DeadPeerChurn
+
+use crate::workload::{
+    run_day_sweep, DaySweepConfig, DaySweepResult, DeadPeerChurn, FaultSpec, JobMix,
+};
+use p2pmpi_core::strategy::StrategyKind;
+use p2pmpi_simgrid::event::QueueKind;
+use p2pmpi_simgrid::time::SimDuration;
+
+/// Knobs shared by every scenario of a matrix run.
+#[derive(Debug, Clone)]
+pub struct ScenarioParams {
+    /// Time compression of the day (1.0 = the full 86,400 s day).  Fault
+    /// windows compress with it; the 2 s `rs_timeout` protocol constant
+    /// does not.
+    pub compress: f64,
+    /// Arrival-rate multiplier (0.05 ≈ 1.1k jobs/day, the smoke scale).
+    pub rate_scale: f64,
+    /// Master seed (arrivals, job mix, testbed noise, churn phases).
+    pub seed: u64,
+    /// Queue structure backing the timeline.  Outcomes are bit-identical
+    /// across kinds (pinned by `tests/day_sweep.rs`); this only matters for
+    /// wall time.
+    pub queue: QueueKind,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        ScenarioParams {
+            compress: 1.0,
+            rate_scale: 0.05,
+            seed: 2008,
+            queue: QueueKind::Ladder,
+        }
+    }
+}
+
+/// Minimum success share of the no-fault baseline day.  Calibrated at the
+/// CI scale (compress 24, rate scale 0.05, seed 2008), where holds do not
+/// compress with the day and burst-hour refusals are real: the observed
+/// share is ~0.77 there and ~0.9+ on the uncompressed day.
+const BASELINE_SUCCESS_MIN: f64 = 0.70;
+/// Minimum success share under brutal dead-peer flapping (mirrors the
+/// `day_sweep` integration test's bound).
+const DEAD_PEER_SUCCESS_MIN: f64 = 0.25;
+/// Post-recovery utilisation must reach this share of the no-fault twin's
+/// (the "within 5%" acceptance bound).
+const RECOVERY_UTILISATION_RATIO: f64 = 0.95;
+/// Success share a site-outage day must retain vs its no-fault twin.
+const SITE_OUTAGE_SUCCESS_VS_BASELINE: f64 = 0.60;
+/// Success share of submitted jobs a 10x flash crowd must still place
+/// (the burst nearly doubles the day's arrivals against fixed capacity, so
+/// refusals are expected — collapse is not; observed ~0.47 at CI scale).
+const FLASH_CROWD_SUCCESS_MIN: f64 = 0.40;
+/// Success share a mild link-degradation day must retain vs its twin.
+const SLOW_LINKS_SUCCESS_VS_BASELINE: f64 = 0.90;
+/// Success share a supernode-crash day must retain vs its twin (the
+/// degraded-mode acceptance bound: stale-view brokering, not a halt).
+const SUPERNODE_SUCCESS_VS_BASELINE: f64 = 0.90;
+
+/// The named scenarios of the matrix, in the order the runner executes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// The standard no-fault day: the absolute reference.  Gates that the
+    /// steady state is allocation-free and — the grant-leak invariant —
+    /// that `leaked_grants` stays exactly 0.
+    BaselineDay,
+    /// Independent dead-peer flapping ([`DaySweepConfig::dead_peer_day`]):
+    /// timeouts must fire *and* most of the day must still place.
+    DeadPeerDay,
+    /// A correlated outage takes all of Rennes down for two hours mid-burst
+    /// (running jobs are killed); utilisation must dip and then recover to
+    /// within 5% of the no-fault twin.
+    SiteOutage,
+    /// A 10x arrival burst spliced into the late morning; the overlay must
+    /// absorb it (bounded refusals, no storage growth past the high-water
+    /// mark).
+    FlashCrowd,
+    /// A 5x latency degradation on the Rennes links for three hours:
+    /// graceful slowdown — replies still win their timeout races, so no
+    /// grants leak and throughput barely moves.
+    SlowLinks,
+    /// The supernode crashes for three hours while peers flap: the
+    /// submitter must keep brokering from its stale cached view (degraded
+    /// mode) and the registry must resync on recovery.
+    SupernodeCrash,
+    /// A 200x latency degradation on the Sophia links while every job
+    /// demands hosts there: reservation replies systematically lose the 2 s
+    /// race, hammering the reply-loses-race path.  Grants must leak — and
+    /// must be eagerly reclaimed (high-water mark far below the total).
+    GrantLeakStress,
+}
+
+/// Every scenario, in matrix order.
+pub const ALL_SCENARIOS: [Scenario; 7] = [
+    Scenario::BaselineDay,
+    Scenario::DeadPeerDay,
+    Scenario::SiteOutage,
+    Scenario::FlashCrowd,
+    Scenario::SlowLinks,
+    Scenario::SupernodeCrash,
+    Scenario::GrantLeakStress,
+];
+
+const fn hours(h: u64) -> SimDuration {
+    SimDuration::from_secs(h * 3600)
+}
+
+impl Scenario {
+    /// The scenario's stable name (CLI argument, JSON `scenario` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::BaselineDay => "baseline_day",
+            Scenario::DeadPeerDay => "dead_peer_day",
+            Scenario::SiteOutage => "site_outage",
+            Scenario::FlashCrowd => "flash_crowd",
+            Scenario::SlowLinks => "slow_links",
+            Scenario::SupernodeCrash => "supernode_crash",
+            Scenario::GrantLeakStress => "grant_leak_stress",
+        }
+    }
+
+    /// Parses a scenario name as the runner's `--scenario` flag spells it.
+    pub fn from_name(name: &str) -> Option<Self> {
+        ALL_SCENARIOS.iter().copied().find(|s| s.name() == name)
+    }
+
+    /// One-line description for the runner's usage text.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Scenario::BaselineDay => "the no-fault day; gates leaked_grants == 0",
+            Scenario::DeadPeerDay => "independent dead-peer flapping; timeouts must fire",
+            Scenario::SiteOutage => "all of Rennes down 2h; utilisation must recover",
+            Scenario::FlashCrowd => "10x arrival burst; must absorb without storage growth",
+            Scenario::SlowLinks => "5x Rennes latency; graceful slowdown, no leaks",
+            Scenario::SupernodeCrash => "supernode down 3h; stale-view brokering must continue",
+            Scenario::GrantLeakStress => "200x Sophia latency; grants must leak and be reclaimed",
+        }
+    }
+
+    /// Whether the verdict compares against a no-fault twin run.
+    fn needs_baseline(self) -> bool {
+        matches!(
+            self,
+            Scenario::SiteOutage
+                | Scenario::FlashCrowd
+                | Scenario::SlowLinks
+                | Scenario::SupernodeCrash
+        )
+    }
+
+    /// The scenario's sweep configuration at `params` scale.  Fault times
+    /// are authored on the uncompressed day and compressed along with the
+    /// profile, churn cycle and sample cadence.
+    pub fn config(self, params: &ScenarioParams) -> DaySweepConfig {
+        let mut cfg = match self {
+            Scenario::BaselineDay => DaySweepConfig::new(StrategyKind::Concentrate),
+            Scenario::DeadPeerDay => DaySweepConfig::dead_peer_day(StrategyKind::Concentrate),
+            Scenario::SiteOutage => {
+                // Spread with a large-rank palette so Rennes (third in the
+                // submitter's latency order) genuinely carries work the
+                // outage can take away.
+                let mut cfg = DaySweepConfig::new(StrategyKind::Spread);
+                cfg.mix = JobMix {
+                    ranks: vec![32, 128, 256],
+                    ..JobMix::default()
+                };
+                cfg.faults = vec![FaultSpec::SiteOutage {
+                    site: "rennes".to_string(),
+                    at: hours(9),
+                    duration: hours(2),
+                }];
+                cfg.fail_jobs_on_crash = true;
+                cfg
+            }
+            Scenario::FlashCrowd => {
+                let mut cfg = DaySweepConfig::new(StrategyKind::Concentrate);
+                cfg.faults = vec![FaultSpec::FlashCrowd {
+                    at: hours(10),
+                    duration: hours(1),
+                    factor: 10.0,
+                }];
+                cfg
+            }
+            Scenario::SlowLinks => {
+                let mut cfg = DaySweepConfig::new(StrategyKind::Spread);
+                cfg.mix = JobMix {
+                    ranks: vec![32, 128, 256],
+                    ..JobMix::default()
+                };
+                cfg.faults = vec![FaultSpec::SlowLinks {
+                    site: "rennes".to_string(),
+                    at: hours(9),
+                    duration: hours(3),
+                    latency_factor: 5.0,
+                }];
+                cfg
+            }
+            Scenario::SupernodeCrash => {
+                // Mild flapping makes the registry load-bearing: without
+                // refreshes the submitter's view goes stale, which is
+                // exactly the degraded mode under test.
+                let mut cfg = DaySweepConfig::dead_peer_day(StrategyKind::Concentrate);
+                cfg.churn = Some(DeadPeerChurn {
+                    fraction: 0.10,
+                    ..DeadPeerChurn::default()
+                });
+                cfg.faults = vec![FaultSpec::SupernodeOutage {
+                    at: hours(9),
+                    duration: hours(3),
+                }];
+                cfg
+            }
+            Scenario::GrantLeakStress => {
+                // Every job demands 300 hosts under spread, which forces
+                // bookings into Sophia — whose replies, at 200x latency,
+                // systematically lose the 2 s race to their timeouts.
+                let mut cfg = DaySweepConfig::new(StrategyKind::Spread);
+                cfg.mix = JobMix {
+                    ranks: vec![300],
+                    ..JobMix::default()
+                };
+                cfg.faults = vec![FaultSpec::SlowLinks {
+                    site: "sophia".to_string(),
+                    at: hours(1),
+                    duration: hours(22),
+                    latency_factor: 200.0,
+                }];
+                cfg
+            }
+        };
+        cfg.seed = params.seed;
+        cfg.queue = params.queue;
+        if params.compress > 1.0 {
+            cfg = cfg.compress(params.compress);
+        }
+        cfg.profile = cfg.profile.scaled(params.rate_scale);
+        cfg
+    }
+}
+
+/// One pass/fail criterion of a verdict.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Stable criterion name.
+    pub name: &'static str,
+    /// Whether the criterion held.
+    pub passed: bool,
+    /// Human-readable evidence (measured values and the bound).
+    pub detail: String,
+}
+
+impl CheckOutcome {
+    fn new(name: &'static str, passed: bool, detail: String) -> Self {
+        CheckOutcome {
+            name,
+            passed,
+            detail,
+        }
+    }
+}
+
+/// The judged outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioVerdict {
+    /// Which scenario ran.
+    pub scenario: Scenario,
+    /// The faulted run's full result.
+    pub result: DaySweepResult,
+    /// The no-fault twin (same seed and scale), when the scenario's
+    /// criteria are relative.
+    pub baseline: Option<DaySweepResult>,
+    /// Seconds from the end of the scenario's outage window until total
+    /// utilisation first regained [`RECOVERY_UTILISATION_RATIO`] of the
+    /// twin's, on the sample grid.  `None` when the scenario has no outage
+    /// window or recovery never happened.
+    pub recovery_secs: Option<f64>,
+    /// Every criterion with its evidence.
+    pub checks: Vec<CheckOutcome>,
+}
+
+impl ScenarioVerdict {
+    /// True when every criterion held.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Renders the verdict as one JSON object (see the module docs for the
+    /// schema).
+    pub fn to_json(&self) -> String {
+        let r = &self.result;
+        let baseline = match &self.baseline {
+            Some(b) => format!(
+                r#"{{ "submitted": {}, "succeeded": {}, "failed": {}, "timeouts": {} }}"#,
+                b.submitted, b.succeeded, b.failed, b.timeouts
+            ),
+            None => "null".to_string(),
+        };
+        let recovery = match self.recovery_secs {
+            Some(s) => format!("{s:.1}"),
+            None => "null".to_string(),
+        };
+        let checks = self
+            .checks
+            .iter()
+            .map(|c| {
+                format!(
+                    r#"    {{ "name": "{}", "passed": {}, "detail": "{}" }}"#,
+                    c.name, c.passed, c.detail
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            r#"{{
+  "scenario": "{name}",
+  "passed": {passed},
+  "metrics": {{
+    "submitted": {submitted},
+    "succeeded": {succeeded},
+    "failed": {failed},
+    "timeouts": {timeouts},
+    "jobs_killed": {jobs_killed},
+    "leaked_grants": {leaked_grants},
+    "leaked_grant_hwm": {leaked_hwm},
+    "events_processed": {events},
+    "steady_state_alloc_free": {alloc_free}
+  }},
+  "baseline": {baseline},
+  "recovery_secs": {recovery},
+  "checks": [
+{checks}
+  ]
+}}"#,
+            name = self.scenario.name(),
+            passed = self.passed(),
+            submitted = r.submitted,
+            succeeded = r.succeeded,
+            failed = r.failed,
+            timeouts = r.timeouts,
+            jobs_killed = r.jobs_killed,
+            leaked_grants = r.leaked_grants,
+            leaked_hwm = r.leaked_grant_hwm,
+            events = r.events_processed,
+            alloc_free = r.steady_state_alloc_free(),
+        )
+    }
+}
+
+/// Total running processes of one utilisation sample.
+fn total_running(r: &DaySweepResult, i: usize) -> f64 {
+    r.samples[i].running.iter().map(|&x| x as f64).sum()
+}
+
+/// The (start, end) seconds of the scenario's outage window in the
+/// *compressed* coordinates of `cfg` (the coordinates the samples use).
+fn outage_window(cfg: &DaySweepConfig) -> Option<(f64, f64)> {
+    cfg.faults.iter().find_map(|f| match f {
+        FaultSpec::SiteOutage { at, duration, .. }
+        | FaultSpec::SupernodeOutage { at, duration } => {
+            let start = at.as_secs_f64();
+            Some((start, start + duration.as_secs_f64()))
+        }
+        _ => None,
+    })
+}
+
+/// Sum of total utilisation over samples whose instant satisfies `keep`.
+fn utilisation_sum(r: &DaySweepResult, keep: impl Fn(f64) -> bool) -> f64 {
+    (0..r.samples.len())
+        .filter(|&i| keep(r.samples[i].t.as_secs_f64()))
+        .map(|i| total_running(r, i))
+        .sum()
+}
+
+/// Sum of one site's utilisation over samples whose instant satisfies
+/// `keep`.  Panics on an unknown site (a scenario-definition bug).
+fn site_utilisation_sum(r: &DaySweepResult, site: &str, keep: impl Fn(f64) -> bool) -> f64 {
+    let idx = site_index(r, site);
+    (0..r.samples.len())
+        .filter(|&i| keep(r.samples[i].t.as_secs_f64()))
+        .map(|i| r.samples[i].running[idx] as f64)
+        .sum()
+}
+
+/// One site's exact whole-day core-seconds (charged at job start, not
+/// sampled — robust to a sample grid sparser than the job holds).
+fn site_core_seconds(r: &DaySweepResult, site: &str) -> f64 {
+    r.core_seconds[site_index(r, site)]
+}
+
+fn site_index(r: &DaySweepResult, site: &str) -> usize {
+    r.site_names
+        .iter()
+        .position(|n| n == site)
+        .unwrap_or_else(|| panic!("unknown site '{site}'"))
+}
+
+/// First sample at or after `end_secs` where the faulted run regained
+/// [`RECOVERY_UTILISATION_RATIO`] of the twin's utilisation; returns the
+/// delay from `end_secs`.
+fn recovery_delay(fault: &DaySweepResult, twin: &DaySweepResult, end_secs: f64) -> Option<f64> {
+    (0..fault.samples.len().min(twin.samples.len())).find_map(|i| {
+        let t = fault.samples[i].t.as_secs_f64();
+        if t < end_secs {
+            return None;
+        }
+        let base = total_running(twin, i);
+        if base > 0.0 && total_running(fault, i) >= RECOVERY_UTILISATION_RATIO * base {
+            Some(t - end_secs)
+        } else {
+            None
+        }
+    })
+}
+
+fn ratio_check(
+    name: &'static str,
+    what: &str,
+    got: usize,
+    reference: usize,
+    min_ratio: f64,
+) -> CheckOutcome {
+    let bound = (reference as f64 * min_ratio).ceil() as usize;
+    CheckOutcome::new(
+        name,
+        got >= bound,
+        format!(
+            "{what}: {got} vs bound {bound} ({min_ratio:.0}% of {reference})",
+            min_ratio = min_ratio * 100.0
+        ),
+    )
+}
+
+/// Runs one scenario (and its no-fault twin where the criteria are
+/// relative) and judges it.
+pub fn run_scenario(scenario: Scenario, params: &ScenarioParams) -> ScenarioVerdict {
+    let cfg = scenario.config(params);
+    let result = run_day_sweep(&cfg);
+    let baseline = scenario.needs_baseline().then(|| {
+        let mut twin = cfg.clone();
+        twin.faults.clear();
+        run_day_sweep(&twin)
+    });
+
+    let mut checks = Vec::new();
+    let mut recovery_secs = None;
+    match scenario {
+        Scenario::BaselineDay => {
+            checks.push(CheckOutcome::new(
+                "no_leaked_grants",
+                result.leaked_grants == 0,
+                format!(
+                    "leaked_grants = {} (must be 0 on the standard day)",
+                    result.leaked_grants
+                ),
+            ));
+            checks.push(CheckOutcome::new(
+                "no_jobs_killed",
+                result.jobs_killed == 0,
+                format!("jobs_killed = {}", result.jobs_killed),
+            ));
+            checks.push(CheckOutcome::new(
+                "steady_state_alloc_free",
+                result.steady_state_alloc_free(),
+                format!(
+                    "events capacity {} -> {}, scratch {} -> {}",
+                    result.events_capacity_mid,
+                    result.events_capacity_end,
+                    result.rs_scratch_capacity_mid,
+                    result.rs_scratch_capacity_end
+                ),
+            ));
+            checks.push(ratio_check(
+                "success_share",
+                "succeeded",
+                result.succeeded,
+                result.submitted,
+                BASELINE_SUCCESS_MIN,
+            ));
+        }
+        Scenario::DeadPeerDay => {
+            checks.push(CheckOutcome::new(
+                "timeouts_fired",
+                result.timeouts > 0,
+                format!("reservation timeouts = {}", result.timeouts),
+            ));
+            checks.push(ratio_check(
+                "success_share",
+                "succeeded",
+                result.succeeded,
+                result.submitted,
+                DEAD_PEER_SUCCESS_MIN,
+            ));
+            checks.push(CheckOutcome::new(
+                "steady_state_alloc_free",
+                result.steady_state_alloc_free(),
+                format!(
+                    "events capacity {} -> {}, scratch {} -> {}",
+                    result.events_capacity_mid,
+                    result.events_capacity_end,
+                    result.rs_scratch_capacity_mid,
+                    result.rs_scratch_capacity_end
+                ),
+            ));
+        }
+        Scenario::SiteOutage => {
+            let twin = baseline.as_ref().expect("relative scenario");
+            let (start, end) = outage_window(&cfg).expect("site outage declares a window");
+            // The honest dip signal is per-site: killed jobs and dead peers
+            // mean Rennes runs *nothing* during the window.  (Total running
+            // counts can even rise during the outage: surviving placements
+            // are pushed to farther sites, run longer under the model, and
+            // linger in more samples.)  The twin comparison uses exact
+            // core-seconds, not window samples: on the uncompressed day the
+            // 5-minute sample grid is sparser than the job holds and can
+            // legitimately catch the twin's Rennes empty too.
+            let dark = site_utilisation_sum(&result, "rennes", |t| t >= start && t < end);
+            let fault_cs = site_core_seconds(&result, "rennes");
+            let twin_cs = site_core_seconds(twin, "rennes");
+            checks.push(CheckOutcome::new(
+                "site_goes_dark_during_outage",
+                dark == 0.0 && twin_cs > 0.0 && fault_cs < twin_cs,
+                format!(
+                    "rennes outage-window utilisation {dark:.0}, whole-day core-seconds \
+                     {fault_cs:.0} vs twin {twin_cs:.0} (the outage must remove rennes work)"
+                ),
+            ));
+            let post_fault = utilisation_sum(&result, |t| t >= end);
+            let post_base = utilisation_sum(twin, |t| t >= end);
+            let post_ratio = post_fault / post_base.max(1.0);
+            checks.push(CheckOutcome::new(
+                "utilisation_recovers",
+                post_ratio >= RECOVERY_UTILISATION_RATIO,
+                format!(
+                    "post-recovery utilisation ratio {post_ratio:.3} (bound {RECOVERY_UTILISATION_RATIO})"
+                ),
+            ));
+            recovery_secs = recovery_delay(&result, twin, end);
+            checks.push(CheckOutcome::new(
+                "recovery_observed",
+                recovery_secs.is_some(),
+                match recovery_secs {
+                    Some(s) => format!(
+                        "utilisation regained the twin's level {s:.0}s after the outage ended"
+                    ),
+                    None => "utilisation never regained the twin's level".to_string(),
+                },
+            ));
+            checks.push(ratio_check(
+                "success_vs_baseline",
+                "succeeded",
+                result.succeeded,
+                twin.succeeded,
+                SITE_OUTAGE_SUCCESS_VS_BASELINE,
+            ));
+        }
+        Scenario::FlashCrowd => {
+            let twin = baseline.as_ref().expect("relative scenario");
+            checks.push(CheckOutcome::new(
+                "burst_arrivals_spliced",
+                result.submitted > twin.submitted,
+                format!(
+                    "submitted {} vs no-burst twin {}",
+                    result.submitted, twin.submitted
+                ),
+            ));
+            checks.push(CheckOutcome::new(
+                "throughput_not_reduced",
+                result.succeeded >= twin.succeeded,
+                format!(
+                    "succeeded {} vs no-burst twin {} (extra load must not reduce completed work)",
+                    result.succeeded, twin.succeeded
+                ),
+            ));
+            checks.push(ratio_check(
+                "success_share",
+                "succeeded",
+                result.succeeded,
+                result.submitted,
+                FLASH_CROWD_SUCCESS_MIN,
+            ));
+            checks.push(CheckOutcome::new(
+                "steady_state_alloc_free",
+                result.steady_state_alloc_free(),
+                format!(
+                    "events capacity {} -> {}, scratch {} -> {}",
+                    result.events_capacity_mid,
+                    result.events_capacity_end,
+                    result.rs_scratch_capacity_mid,
+                    result.rs_scratch_capacity_end
+                ),
+            ));
+        }
+        Scenario::SlowLinks => {
+            let twin = baseline.as_ref().expect("relative scenario");
+            checks.push(ratio_check(
+                "success_vs_baseline",
+                "succeeded",
+                result.succeeded,
+                twin.succeeded,
+                SLOW_LINKS_SUCCESS_VS_BASELINE,
+            ));
+            checks.push(CheckOutcome::new(
+                "no_leaked_grants",
+                result.leaked_grants == 0,
+                format!(
+                    "leaked_grants = {} (5x latency must stay inside the 2s timeout)",
+                    result.leaked_grants
+                ),
+            ));
+        }
+        Scenario::SupernodeCrash => {
+            let twin = baseline.as_ref().expect("relative scenario");
+            checks.push(ratio_check(
+                "success_vs_baseline",
+                "succeeded",
+                result.succeeded,
+                twin.succeeded,
+                SUPERNODE_SUCCESS_VS_BASELINE,
+            ));
+            checks.push(CheckOutcome::new(
+                "completed_jobs_while_degraded",
+                result.succeeded > 0,
+                format!("succeeded = {}", result.succeeded),
+            ));
+        }
+        Scenario::GrantLeakStress => {
+            checks.push(CheckOutcome::new(
+                "grant_leak_path_exercised",
+                result.leaked_grants > 0,
+                format!("leaked_grants = {}", result.leaked_grants),
+            ));
+            checks.push(CheckOutcome::new(
+                "leaks_eagerly_reclaimed",
+                result.leaked_grants == 0 || result.leaked_grant_hwm < result.leaked_grants,
+                format!(
+                    "high-water mark {} of {} total leaks (eager release must drain between jobs)",
+                    result.leaked_grant_hwm, result.leaked_grants
+                ),
+            ));
+            checks.push(CheckOutcome::new(
+                "no_jobs_killed",
+                result.jobs_killed == 0,
+                format!("jobs_killed = {}", result.jobs_killed),
+            ));
+        }
+    }
+
+    ScenarioVerdict {
+        scenario,
+        result,
+        baseline,
+        recovery_secs,
+        checks,
+    }
+}
+
+/// Runs the full matrix in [`ALL_SCENARIOS`] order.
+pub fn run_matrix(params: &ScenarioParams) -> Vec<ScenarioVerdict> {
+    ALL_SCENARIOS
+        .iter()
+        .map(|&s| run_scenario(s, params))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for s in ALL_SCENARIOS {
+            assert_eq!(Scenario::from_name(s.name()), Some(s));
+            assert!(!s.summary().is_empty());
+        }
+        assert_eq!(Scenario::from_name("meteor_strike"), None);
+    }
+
+    #[test]
+    fn configs_compress_fault_windows_with_the_day() {
+        let params = ScenarioParams {
+            compress: 24.0,
+            ..ScenarioParams::default()
+        };
+        let cfg = Scenario::SiteOutage.config(&params);
+        let (start, end) = outage_window(&cfg).unwrap();
+        assert_eq!(start, 9.0 * 3600.0 / 24.0);
+        assert_eq!(end - start, 2.0 * 3600.0 / 24.0);
+        assert_eq!(cfg.profile.horizon(), SimDuration::from_secs(3600));
+        // The flash crowd lives in the profile, not the timeline faults.
+        let crowd = Scenario::FlashCrowd.config(&params);
+        assert!(outage_window(&crowd).is_none());
+    }
+
+    #[test]
+    fn verdict_json_has_the_documented_shape() {
+        let verdict = run_scenario(
+            Scenario::BaselineDay,
+            &ScenarioParams {
+                compress: 24.0,
+                rate_scale: 0.01,
+                ..ScenarioParams::default()
+            },
+        );
+        let json = verdict.to_json();
+        assert!(json.contains(r#""scenario": "baseline_day""#));
+        assert!(json.contains(r#""metrics""#));
+        assert!(json.contains(r#""leaked_grants": 0"#));
+        assert!(json.contains(r#""baseline": null"#));
+        assert!(json.contains(r#""checks""#));
+    }
+}

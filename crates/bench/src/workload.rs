@@ -288,6 +288,56 @@ impl DayProfile {
         self
     }
 
+    /// Splices a flash crowd into the profile: between `at` and
+    /// `at + duration` every rate is multiplied by `factor`, while the rest
+    /// of the day is untouched.  The burst is expressed purely as extra
+    /// piecewise segments — a boundary segment at `at` carrying
+    /// `rate_at(at) * factor`, scaled copies of any interior segments, and a
+    /// resume segment at the burst's end restoring the underlying rate — so
+    /// the result is a plain [`DayProfile`] that composes with
+    /// [`DayProfile::scaled`] and [`DayProfile::compressed`] and samples
+    /// through the exact same per-segment machinery as the base day.
+    pub fn with_burst(self, at: SimDuration, duration: SimDuration, factor: f64) -> Self {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "burst factor must be finite and non-negative"
+        );
+        assert!(!duration.is_zero(), "a burst needs a non-zero duration");
+        assert!(at < self.horizon, "the burst must start inside the horizon");
+        let end = (at + duration).min(self.horizon);
+        let mut segments: Vec<RateSegment> = Vec::with_capacity(self.segments.len() + 2);
+        // Untouched prefix.
+        segments.extend(self.segments.iter().copied().filter(|s| s.start < at));
+        // Burst onset: the underlying rate at `at`, amplified.
+        segments.push(RateSegment {
+            start: at,
+            rate_per_sec: self.rate_at(at) * factor,
+        });
+        // Interior boundaries keep their position, amplified.
+        segments.extend(
+            self.segments
+                .iter()
+                .filter(|s| at < s.start && s.start < end)
+                .map(|s| RateSegment {
+                    start: s.start,
+                    rate_per_sec: s.rate_per_sec * factor,
+                }),
+        );
+        // Resume the underlying rate (unless the burst runs to the horizon
+        // or an existing boundary already starts exactly there).
+        if end < self.horizon && !self.segments.iter().any(|s| s.start == end) {
+            segments.push(RateSegment {
+                start: end,
+                rate_per_sec: self.rate_at(end),
+            });
+        }
+        // Untouched tail.
+        segments.extend(self.segments.iter().copied().filter(|s| s.start >= end));
+        // Re-validate through the constructor: the splice must preserve the
+        // strictly-ascending invariant or it is a bug worth a panic.
+        Self::piecewise(segments, self.horizon)
+    }
+
     /// Samples one realisation of the arrival process.  Times are sorted,
     /// lie inside the horizon, and are fully determined by `seed`.
     pub fn arrivals(&self, seed: u64) -> Vec<SimTime> {
@@ -413,6 +463,72 @@ impl Default for DeadPeerChurn {
     }
 }
 
+/// One named adversity injected into a day sweep.  Times are offsets on
+/// the *uncompressed* day; [`DaySweepConfig::compress`] scales them together
+/// with everything else so a compressed run sees the same relative shape.
+#[derive(Debug, Clone)]
+pub enum FaultSpec {
+    /// Every peer of `site` crashes at `at` and recovers `duration` later,
+    /// together (a switch or power failure, not independent flapping).  The
+    /// submitter is always spared — its host doubles as the supernode's.
+    SiteOutage {
+        /// Site name as in the topology (e.g. `"rennes"`).
+        site: String,
+        /// Outage onset.
+        at: SimDuration,
+        /// Outage length.
+        duration: SimDuration,
+    },
+    /// Arrival rates multiply by `factor` between `at` and `at + duration`
+    /// (spliced into the profile via [`DayProfile::with_burst`]).
+    FlashCrowd {
+        /// Burst onset.
+        at: SimDuration,
+        /// Burst length.
+        duration: SimDuration,
+        /// Rate multiplier (10.0 = a 10× flash crowd).
+        factor: f64,
+    },
+    /// Every transfer touching `site` is slowed by `latency_factor` between
+    /// `at` and `at + duration` (congestion or a failing uplink).
+    SlowLinks {
+        /// Site name as in the topology.
+        site: String,
+        /// Degradation onset.
+        at: SimDuration,
+        /// Degradation length.
+        duration: SimDuration,
+        /// Latency multiplier (must be ≥ 1).
+        latency_factor: f64,
+    },
+    /// The supernode crashes at `at` (volatile registry lost; cache
+    /// refreshes fail and the submitter brokers from its stale view) and
+    /// restarts `duration` later (heartbeats resync the registry).
+    SupernodeOutage {
+        /// Crash instant.
+        at: SimDuration,
+        /// Downtime before the restart.
+        duration: SimDuration,
+    },
+}
+
+impl FaultSpec {
+    /// Scales the fault's times for a compressed day (rates and factors are
+    /// dimensionless and stay put).
+    fn compressed(mut self, shrink: &impl Fn(SimDuration) -> SimDuration) -> Self {
+        match &mut self {
+            FaultSpec::SiteOutage { at, duration, .. }
+            | FaultSpec::FlashCrowd { at, duration, .. }
+            | FaultSpec::SlowLinks { at, duration, .. }
+            | FaultSpec::SupernodeOutage { at, duration } => {
+                *at = shrink(*at);
+                *duration = shrink(*duration);
+            }
+        }
+        self
+    }
+}
+
 /// Configuration of one [`run_day_sweep`] run.
 #[derive(Debug, Clone)]
 pub struct DaySweepConfig {
@@ -447,6 +563,15 @@ pub struct DaySweepConfig {
     /// [`DaySweepConfig::dead_peer_day`] turns it off so the timeout-heavy
     /// benchmark keeps measuring the armed machinery it exists for.
     pub rs_timeout_fast_path: bool,
+    /// Named adversities injected into the day (site outages, flash crowds,
+    /// link degradations, supernode crashes).  Times are on the uncompressed
+    /// day; [`DaySweepConfig::compress`] scales them.
+    pub faults: Vec<FaultSpec>,
+    /// When on, a crashing peer kills the jobs running on it (their
+    /// completions are mass-revoked via `cancel_batch` and every
+    /// participant is freed).  Off by default: the baseline day pays zero
+    /// tracking overhead.
+    pub fail_jobs_on_crash: bool,
 }
 
 impl DaySweepConfig {
@@ -464,6 +589,8 @@ impl DaySweepConfig {
             churn: None,
             cache_refresh: SimDuration::from_secs(600),
             rs_timeout_fast_path: true,
+            faults: Vec::new(),
+            fail_jobs_on_crash: false,
         }
     }
 
@@ -504,6 +631,10 @@ impl DaySweepConfig {
             churn.downtime = shrink(churn.downtime);
             churn.uptime = shrink(churn.uptime);
         }
+        self.faults = std::mem::take(&mut self.faults)
+            .into_iter()
+            .map(|f| f.compressed(&shrink))
+            .collect();
         self
     }
 }
@@ -555,6 +686,14 @@ pub struct DaySweepResult {
     pub rs_scratch_capacity_mid: usize,
     /// See [`DaySweepResult::rs_scratch_capacity_mid`].
     pub rs_scratch_capacity_end: usize,
+    /// Running jobs killed by peer crashes (only non-zero when
+    /// [`DaySweepConfig::fail_jobs_on_crash`] is on).
+    pub jobs_killed: u64,
+    /// Reservation grants whose reply lost the race to its timeout (each
+    /// one eagerly released one transfer later; see the overlay docs).
+    pub leaked_grants: u64,
+    /// High-water mark of simultaneously outstanding leaked grants.
+    pub leaked_grant_hwm: u64,
 }
 
 impl DaySweepResult {
@@ -592,11 +731,26 @@ fn sample_running(tb: &Grid5000Testbed) -> Vec<u32> {
 /// testbed on the overlay's event timeline.  See the module docs for the
 /// driver-loop shape; the `fig23_sweep` binary renders the result.
 pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
-    let trace = day_trace(&cfg.profile, &cfg.mix, cfg.seed);
+    // Flash crowds reshape the arrival process itself, so they apply to the
+    // profile before the trace is drawn; every other fault is an event on
+    // the overlay timeline.
+    let mut profile = cfg.profile.clone();
+    for fault in &cfg.faults {
+        if let FaultSpec::FlashCrowd {
+            at,
+            duration,
+            factor,
+        } = fault
+        {
+            profile = profile.with_burst(*at, *duration, *factor);
+        }
+    }
+    let trace = day_trace(&profile, &cfg.mix, cfg.seed);
     let mut tb = grid5000_testbed_with_queue(cfg.seed, NoiseModel::default(), cfg.queue);
     tb.overlay.tracer().set_enabled(false);
     tb.overlay
         .set_rs_timeout_fast_path(cfg.rs_timeout_fast_path);
+    tb.overlay.set_fail_jobs_on_crash(cfg.fail_jobs_on_crash);
 
     // Periodic behaviours share the timeline with submissions/completions.
     tb.overlay.start_heartbeats();
@@ -624,6 +778,47 @@ pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
             &mut churn_rng,
         );
         tb.overlay.schedule_churn(schedule.finish());
+    }
+
+    // Timeline faults: correlated site outages, link degradation windows
+    // and supernode crashes ride the same event queue as everything else.
+    let submitter_peer = tb.submitter;
+    for fault in &cfg.faults {
+        match fault {
+            FaultSpec::FlashCrowd { .. } => {} // applied to the profile above
+            FaultSpec::SiteOutage { site, at, duration } => {
+                let schedule = p2pmpi_grid5000::site_outage_schedule(
+                    &tb.overlay,
+                    site,
+                    SimTime::ZERO + *at,
+                    *duration,
+                    &[submitter_peer],
+                );
+                tb.overlay.schedule_churn(schedule.finish());
+            }
+            FaultSpec::SlowLinks {
+                site,
+                at,
+                duration,
+                latency_factor,
+            } => {
+                let site_id = tb
+                    .topology
+                    .site_by_name(site)
+                    .unwrap_or_else(|| panic!("unknown site '{site}'"))
+                    .id;
+                tb.overlay.schedule_link_degradation(
+                    site_id,
+                    SimTime::ZERO + *at,
+                    *duration,
+                    *latency_factor,
+                );
+            }
+            FaultSpec::SupernodeOutage { at, duration } => {
+                tb.overlay
+                    .schedule_supernode_outage(SimTime::ZERO + *at, *duration);
+            }
+        }
     }
 
     let allocator = CoAllocator::new();
@@ -671,7 +866,7 @@ pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
     // phases parking rs_timeout events on the timeline.  Driven from the
     // submission loop (not a scheduled event) so the probe RNG draws happen
     // at job boundaries, identically for every queue kind.
-    let mut next_probe = if cfg.churn.is_some() {
+    let mut next_probe = if cfg.churn.is_some() || !cfg.faults.is_empty() {
         Some(SimTime::ZERO + cfg.cache_refresh)
     } else {
         None
@@ -745,6 +940,9 @@ pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
         events_capacity_end: tb.overlay.events_capacity(),
         rs_scratch_capacity_mid: mid_caps.1,
         rs_scratch_capacity_end: tb.overlay.rs_scratch_capacity(),
+        jobs_killed: tb.overlay.jobs_killed(),
+        leaked_grants: tb.overlay.leaked_grants(),
+        leaked_grant_hwm: tb.overlay.leaked_grant_hwm(),
     }
 }
 
@@ -882,6 +1080,112 @@ mod tests {
         assert_eq!(p.rate_at(SimDuration::from_secs(0)), 0.05);
         assert_eq!(p.rate_at(SimDuration::from_secs(10 * 3600)), 0.55);
         assert_eq!(p.rate_at(SimDuration::from_secs(23 * 3600)), 0.12);
+    }
+
+    // -- flash-crowd splice (satellite: statistical coverage) -------------
+
+    #[test]
+    fn with_burst_amplifies_inside_and_preserves_outside() {
+        let p = DayProfile::paper_day();
+        let burst = p.clone().with_burst(
+            SimDuration::from_secs(10 * 3600),
+            SimDuration::from_secs(3600),
+            10.0,
+        );
+        // Inside the window: 10x the underlying late-morning rate.
+        assert_eq!(burst.rate_at(SimDuration::from_secs(10 * 3600)), 5.5);
+        assert_eq!(burst.rate_at(SimDuration::from_secs(10 * 3600 + 1800)), 5.5);
+        // Outside: untouched, including right at the resume boundary.
+        assert_eq!(burst.rate_at(SimDuration::from_secs(9 * 3600)), 0.55);
+        assert_eq!(burst.rate_at(SimDuration::from_secs(11 * 3600)), 0.55);
+        assert_eq!(burst.rate_at(SimDuration::from_secs(23 * 3600)), 0.12);
+        // Expected jobs grow by exactly the burst window's surplus:
+        // one hour at 9 * 0.55 extra.
+        let surplus = burst.expected_jobs() - p.expected_jobs();
+        assert!((surplus - 9.0 * 0.55 * 3600.0).abs() < 1e-6, "{surplus}");
+    }
+
+    #[test]
+    fn with_burst_straddling_boundaries_scales_interior_segments() {
+        // 11h..14h straddles the 12h lunch dip and the 13h afternoon rise.
+        let p = DayProfile::paper_day();
+        let burst = p.with_burst(
+            SimDuration::from_secs(11 * 3600),
+            SimDuration::from_secs(3 * 3600),
+            4.0,
+        );
+        assert_eq!(burst.rate_at(SimDuration::from_secs(11 * 3600)), 2.2); // 0.55*4
+        assert_eq!(burst.rate_at(SimDuration::from_secs(12 * 3600 + 60)), 1.0); // 0.25*4
+        assert_eq!(burst.rate_at(SimDuration::from_secs(13 * 3600 + 60)), 2.0); // 0.50*4
+        assert_eq!(burst.rate_at(SimDuration::from_secs(14 * 3600)), 0.50); // resumed
+    }
+
+    #[test]
+    fn with_burst_at_an_existing_boundary_and_to_the_horizon() {
+        let p = DayProfile::paper_day();
+        // Onset exactly on the 9h boundary: the boundary segment is replaced
+        // by its amplified copy, not duplicated.
+        let b = p.clone().with_burst(
+            SimDuration::from_secs(9 * 3600),
+            SimDuration::from_secs(3 * 3600),
+            2.0,
+        );
+        assert_eq!(b.rate_at(SimDuration::from_secs(9 * 3600)), 1.1);
+        // The 12h lunch boundary already exists, so no resume duplicate: the
+        // splice re-validates through `piecewise` (a duplicate would panic).
+        assert_eq!(b.rate_at(SimDuration::from_secs(12 * 3600)), 0.25);
+        // Burst running past the horizon is clamped to it.
+        let tail = p.with_burst(
+            SimDuration::from_secs(23 * 3600),
+            SimDuration::from_secs(5 * 3600),
+            3.0,
+        );
+        assert_eq!(tail.rate_at(SimDuration::from_secs(23 * 3600 + 60)), 0.36);
+        assert_eq!(tail.horizon(), SimDuration::from_secs(DAY_SECS));
+    }
+
+    #[test]
+    fn burst_window_mean_gap_matches_the_amplified_rate() {
+        // Statistical check mirroring the Poisson generator tests: arrivals
+        // sampled inside a spliced 10x window must have a mean gap within
+        // 3 standard errors of 1/(rate*factor).
+        let rate = 0.5;
+        let factor = 10.0;
+        let p = DayProfile::constant(rate, SimDuration::from_secs(20_000)).with_burst(
+            SimDuration::from_secs(5_000),
+            SimDuration::from_secs(5_000),
+            factor,
+        );
+        let window = SimTime::from_secs(5_000)..SimTime::from_secs(10_000);
+        let inside: Vec<SimTime> = p
+            .arrivals(77)
+            .into_iter()
+            .filter(|t| window.contains(t))
+            .collect();
+        let gaps: Vec<f64> = inside
+            .windows(2)
+            .map(|w| w[1].saturating_since(w[0]).as_secs_f64())
+            .collect();
+        let n = gaps.len() as f64;
+        assert!(n > 1_000.0, "needs a dense window, got {n} gaps");
+        let mean = gaps.iter().sum::<f64>() / n;
+        let expected = 1.0 / (rate * factor);
+        // Exponential gaps: sigma = mean, standard error = mean/sqrt(n).
+        let tolerance = 3.0 * expected / n.sqrt();
+        assert!(
+            (mean - expected).abs() < tolerance,
+            "mean gap {mean} vs {expected} ± {tolerance}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the horizon")]
+    fn burst_starting_past_the_horizon_panics() {
+        DayProfile::paper_day().with_burst(
+            SimDuration::from_secs(DAY_SECS + 1),
+            SimDuration::from_secs(60),
+            2.0,
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! Figures 2–3 concentrate/spread contrast, and produce bit-identical
 //! outcomes whichever queue structure backs the timeline.
 
-use p2pmpi_bench::workload::{run_day_sweep, DaySweepConfig, DaySweepResult};
+use p2pmpi_bench::workload::{run_day_sweep, DaySweepConfig, DaySweepResult, FaultSpec};
 use p2pmpi_core::strategy::StrategyKind;
 use p2pmpi_simgrid::event::QueueKind;
 use p2pmpi_simgrid::time::SimDuration;
@@ -87,6 +87,9 @@ fn assert_identical(a: &DaySweepResult, b: &DaySweepResult, what: &str) {
     assert_eq!(a.succeeded, b.succeeded, "{what}");
     assert_eq!(a.failed, b.failed, "{what}");
     assert_eq!(a.timeouts, b.timeouts, "{what}");
+    assert_eq!(a.jobs_killed, b.jobs_killed, "{what}");
+    assert_eq!(a.leaked_grants, b.leaked_grants, "{what}");
+    assert_eq!(a.leaked_grant_hwm, b.leaked_grant_hwm, "{what}");
     assert_eq!(a.events_processed, b.events_processed, "{what}");
     assert_eq!(a.core_seconds, b.core_seconds, "{what}");
     let sa: Vec<_> = a.samples.iter().map(|s| &s.running).collect();
@@ -200,4 +203,63 @@ fn dead_peer_day_parks_timeouts_on_the_timeline_identically_on_every_queue() {
     let cal = run(QueueKind::Calendar);
     assert_identical(&ladder, &heap, "ladder vs heap under churn");
     assert_identical(&ladder, &cal, "ladder vs calendar under churn");
+}
+
+#[test]
+fn injected_faults_agree_bit_for_bit_on_every_queue() {
+    // Injected faults ride the same timeline as everything else — churn
+    // events, mass revocations (`cancel_batch`), link-degradation toggles,
+    // supernode crash/recovery and eager grant releases included — so a
+    // scenario stacking every fault kind must still produce bit-identical
+    // outcomes whichever queue structure backs the engine.  Times are in
+    // the compressed hour's coordinates (the config is already compressed).
+    let run = |kind: QueueKind| {
+        let mut cfg = reduced(StrategyKind::Spread);
+        cfg.mix.ranks = vec![32, 256, 300];
+        cfg.fail_jobs_on_crash = true;
+        // Stretch holds (~3 s modeled -> ~1 min) so the outage reliably
+        // catches jobs mid-run: revocation needs victims.
+        cfg.duration_scale = 20.0;
+        cfg.faults = vec![
+            FaultSpec::SiteOutage {
+                site: "rennes".to_string(),
+                at: SimDuration::from_secs(1350),
+                duration: SimDuration::from_secs(300),
+            },
+            FaultSpec::SlowLinks {
+                site: "sophia".to_string(),
+                at: SimDuration::from_secs(150),
+                duration: SimDuration::from_secs(3300),
+                latency_factor: 200.0,
+            },
+            FaultSpec::SupernodeOutage {
+                at: SimDuration::from_secs(2400),
+                duration: SimDuration::from_secs(450),
+            },
+        ];
+        cfg.queue = kind;
+        run_day_sweep(&cfg)
+    };
+    let ladder = run(QueueKind::Ladder);
+    // Every fault path genuinely fired: the outage revoked running jobs,
+    // and the 200x Sophia latency made reservation replies lose their 2 s
+    // races (leaks that the eager release then reclaimed).
+    assert!(
+        ladder.jobs_killed > 0,
+        "site outage revoked no running jobs"
+    );
+    assert!(
+        ladder.leaked_grants > 0,
+        "degraded links never exercised the reply-loses-race path"
+    );
+    assert!(
+        ladder.leaked_grant_hwm < ladder.leaked_grants,
+        "eager release never drained: high-water mark {} of {} leaks",
+        ladder.leaked_grant_hwm,
+        ladder.leaked_grants
+    );
+    let heap = run(QueueKind::BinaryHeap);
+    let cal = run(QueueKind::Calendar);
+    assert_identical(&ladder, &heap, "ladder vs heap under faults");
+    assert_identical(&ladder, &cal, "ladder vs calendar under faults");
 }

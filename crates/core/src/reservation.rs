@@ -162,6 +162,7 @@ impl BrokeringStats {
 struct AllocScratch {
     booked: Vec<PeerId>,
     outcomes: Vec<(PeerId, RsOutcome)>,
+    start_outcomes: Vec<(PeerId, StartReply, SimDuration)>,
     rlist: Vec<(PeerId, u32)>, // (peer, owner P)
     capacities: Vec<u32>,
     counts: Vec<u32>,
@@ -260,6 +261,7 @@ impl CoAllocator {
         let AllocScratch {
             booked,
             outcomes,
+            start_outcomes,
             rlist,
             capacities,
             counts,
@@ -352,22 +354,28 @@ impl CoAllocator {
             }
         }
 
-        // Steps 7–8 — start requests (again concurrent).
+        // Steps 7–8 — start requests, event-driven like the brokering
+        // round: the whole batch goes out at once, each request's start
+        // decision is made when its arrival event fires (so crashes and
+        // recoveries mid-start interleave honestly with the timeline), and
+        // `start_collect_into` runs the timeline until every reply or
+        // deadline has resolved, returning outcomes in send order.
         let mut start_elapsed = SimDuration::ZERO;
-        let mut hosts = Vec::with_capacity(assignment.len());
         for host_ranks in &assignment {
-            let (peer, owner_p) = slist[host_ranks.slist_index];
-            let (reply, elapsed) =
-                overlay.mpd_start(submitter, peer, key, &host_ranks.ranks, &request.program);
+            let (peer, _) = slist[host_ranks.slist_index];
+            overlay.start_send(submitter, peer, key, host_ranks.ranks.len() as u32);
+        }
+        overlay.start_collect_into(start_outcomes);
+        let mut hosts = Vec::with_capacity(assignment.len());
+        let mut failed: Option<(PeerId, StartReply)> = None;
+        for (host_ranks, &(peer, reply, elapsed)) in assignment.iter().zip(start_outcomes.iter()) {
+            let (_, owner_p) = slist[host_ranks.slist_index];
             start_elapsed = start_elapsed.max(elapsed);
             if reply != StartReply::Started {
-                // Roll back everything started so far and give up.
-                for started in &hosts {
-                    let h: &AllocatedHost = started;
-                    overlay.complete_job(h.peer, key);
+                if failed.is_none() {
+                    failed = Some((peer, reply));
                 }
-                stats.elapsed += start_elapsed;
-                return Err(AllocationError::StartFailed { peer, reply });
+                continue;
             }
             hosts.push(AllocatedHost {
                 peer,
@@ -377,6 +385,15 @@ impl CoAllocator {
             });
         }
         stats.elapsed += start_elapsed;
+        if let Some((peer, reply)) = failed {
+            // Roll back every host that did start and give up (first
+            // failure in send order is the one reported).
+            for started in &hosts {
+                let h: &AllocatedHost = started;
+                overlay.complete_job(h.peer, key);
+            }
+            return Err(AllocationError::StartFailed { peer, reply });
+        }
 
         let allocation = Allocation {
             key,

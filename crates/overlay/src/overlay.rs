@@ -48,9 +48,50 @@
 //! its deadline.  The remote RS's *decision* is computed at send time (the
 //! grant/refusal mutates remote state immediately); only its delivery and
 //! the timeout race are simulated.  A reservation granted by a peer whose
-//! reply loses the race is leaked on the granter until the periodic expiry
-//! sweep ([`Overlay::start_reservation_expiry`]) reclaims it — exactly the
-//! failure mode that sweep exists for in the paper.
+//! reply loses the race is *released eagerly*: the timeout handler counts it
+//! in [`Overlay::leaked_grants`] and schedules an immediate grant-release
+//! message back to the granter, so the slot is reclaimed one one-way
+//! transfer later instead of lingering until the periodic expiry sweep
+//! ([`Overlay::start_reservation_expiry`]).  The sweep stays as the backstop
+//! for submitters that crash mid-procedure — the failure mode it exists for
+//! in the paper.  [`Overlay::leaked_grant_hwm`] tracks how many released
+//! grants were simultaneously outstanding; on a standard no-fault day both
+//! counters stay 0.
+//!
+//! # The start-request timeline (steps 6–8)
+//!
+//! [`Overlay::start_send`] puts an MPD start request on the timeline the
+//! same way: the request *arrives* at the remote MPD one one-way transfer
+//! after send, and only then — at arrival time, against the remote's state
+//! *at that instant* — is the start decision made, so a peer that crashes
+//! (or recovers) while the request is in flight interleaves honestly with
+//! it.  An alive remote's reply races the submitter's deadline at
+//! `sent + rs_timeout`; a remote that is dead at arrival leaves only the
+//! deadline timeout to fire.  When the remote actually started the ranks
+//! but the reply would arrive past the deadline (degraded links), the
+//! submitter has already given up: the started reservation is counted as a
+//! leaked grant and an eager release reclaims it, since the expiry sweep
+//! never touches `Running` reservations.  [`Overlay::mpd_start`] survives as
+//! the inline one-request wrapper (send, run the timeline until resolution,
+//! return the outcome); batch rounds go through
+//! [`Overlay::start_collect_into`], which drains outcomes in send order.
+//!
+//! # Fault injection
+//!
+//! Beyond per-peer churn, the overlay can replay correlated adversity on
+//! the same timeline: [`Overlay::schedule_supernode_outage`] crashes the
+//! supernode (its volatile registry is lost; cache refreshes go unanswered
+//! and peers keep brokering from their stale [`crate::cache::CachedList`] —
+//! degraded mode, not a halt) and recovers it later (the heartbeat round
+//! re-registers every alive peer the supernode no longer knows — the resync
+//! path); [`Overlay::schedule_link_degradation`] multiplies a site's
+//! latency in both the messaging and probing network models for a window
+//! (in-flight events keep the cost computed when they were scheduled);
+//! [`Overlay::set_fail_jobs_on_crash`] makes a peer crash kill the running
+//! jobs it participates in — their completions are mass-revoked via
+//! [`p2pmpi_simgrid::engine::TypedEngine::cancel_batch`] and every
+//! participant's gatekeeper slot is freed, with [`Overlay::jobs_killed`]
+//! counting the casualties.
 //!
 //! **The alive-peer fast path.**  When the remote peer is alive and its
 //! reply is scheduled *strictly before* the timeout window (`rtt <
@@ -90,7 +131,7 @@ use p2pmpi_simgrid::engine::TypedEngine;
 use p2pmpi_simgrid::event::{EventKey, QueueKind};
 use p2pmpi_simgrid::network::NetworkModel;
 use p2pmpi_simgrid::time::{SimDuration, SimTime};
-use p2pmpi_simgrid::topology::{HostId, Topology};
+use p2pmpi_simgrid::topology::{HostId, SiteId, Topology};
 use p2pmpi_simgrid::trace::{TraceCategory, Tracer};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -182,6 +223,25 @@ enum OverlayEvent {
     /// An armed reservation timeout fires: the peer never answered within
     /// `rs_timeout`; cancels the pending reply delivery, if any.
     RsTimeout(u32),
+    /// An eager grant-release message reaches a granter whose reply lost
+    /// the race: the leaked reservation is cancelled on arrival.
+    GrantRelease { to: PeerId, key: ReservationKey },
+    /// An MPD start request reaches the remote MPD (index into the
+    /// pending-start scratch); the start decision is made here, at arrival
+    /// time, so mid-flight crashes interleave honestly.
+    StartArrive(u32),
+    /// The remote MPD's start reply reaches the submitter.
+    StartReplyDelivery(u32),
+    /// The submitter gives up on a start request at its deadline.
+    StartTimeout(u32),
+    /// The supernode crashes: its volatile registry is lost and refreshes
+    /// go unanswered until recovery.
+    SupernodeDown,
+    /// The supernode recovers (empty registry; peers re-register via the
+    /// heartbeat resync path).
+    SupernodeUp,
+    /// A site's latency multiplier changes (1.0 restores nominal links).
+    LinkDegrade { site: SiteId, factor: f64 },
 }
 
 /// One in-flight RS→RS reservation request: the two scheduled events racing
@@ -192,6 +252,9 @@ enum OverlayEvent {
 struct RsPending {
     from: PeerId,
     to: PeerId,
+    /// Reservation key of the round, kept so a timed-out grant can be
+    /// released eagerly on the granter.
+    key: ReservationKey,
     /// The remote RS's decision, computed at send time (`None` when the
     /// peer was dead and no reply will ever be delivered).
     reply: Option<ReservationReply>,
@@ -205,6 +268,30 @@ struct RsPending {
     reply_key: Option<EventKey>,
     /// Filled by whichever event fires first.
     outcome: Option<RsOutcome>,
+}
+
+/// One in-flight MPD start request (steps 6–8).  Unlike [`RsPending`], the
+/// remote decision is *not* precomputed: it happens when the request's
+/// arrival event fires, against the remote's state at that instant.  Slots
+/// live in a reusable scratch vector drained in send order by
+/// [`Overlay::start_collect_into`].
+#[derive(Debug)]
+struct StartPending {
+    from: PeerId,
+    to: PeerId,
+    key: ReservationKey,
+    /// Number of ranks the request asks the remote to start.
+    ranks: u32,
+    sent_at: SimTime,
+    /// The submitter gives up at `sent_at + rs_timeout`.
+    deadline: SimTime,
+    /// The remote MPD's decision, made when the arrival event fired
+    /// (`None` until then, and forever if the remote was dead at arrival).
+    decision: Option<StartReply>,
+    /// Filled by whichever of the reply delivery / deadline fires first.
+    /// Unlike the RS race there is nothing to cancel: the arrival handler
+    /// schedules exactly one resolver event per request.
+    outcome: Option<(StartReply, SimDuration)>,
 }
 
 /// The simulated P2P-MPI overlay.
@@ -241,6 +328,31 @@ pub struct Overlay {
     /// race (see the module docs; benchmarks of the armed machinery turn
     /// this off).
     rs_timeout_fast_path: bool,
+    /// In-flight (and resolved-but-undrained) MPD start requests; same
+    /// scratch discipline as `rs_pending`.
+    start_pending: Vec<StartPending>,
+    /// How many `start_pending` slots still await their resolver event.
+    start_inflight: usize,
+    /// Whether the supernode is up (fault injection; degraded-mode
+    /// brokering while down).
+    supernode_up: bool,
+    /// Grants whose reply lost the race to its timeout — counted when the
+    /// timeout fires, released eagerly right after.  Cumulative.
+    leaked_grants: u64,
+    /// Leaked grants whose eager release has not arrived yet.
+    leaked_outstanding: u64,
+    /// High-water mark of `leaked_outstanding` (the verdict metric).
+    leaked_hwm: u64,
+    /// Running jobs killed because a participant crashed (only counted
+    /// while `fail_jobs_on_crash` is on).  Cumulative.
+    jobs_killed: u64,
+    /// When on, a peer crash kills the running jobs it participates in
+    /// (completions mass-revoked, slots freed on every participant).  Off
+    /// by default: flapping-churn baselines model fail-over, not job loss.
+    fail_jobs_on_crash: bool,
+    /// Scheduled completions by reservation key, tracked only while
+    /// `fail_jobs_on_crash` is on so crashes can find their victims.
+    running_jobs: HashMap<ReservationKey, (EventKey, Vec<PeerId>)>,
 }
 
 /// Returns `(&from, &mut to)` for two *distinct* peers of the node table.
@@ -294,6 +406,15 @@ impl Overlay {
             rs_pending: Vec::new(),
             rs_inflight: 0,
             rs_timeout_fast_path: true,
+            start_pending: Vec::new(),
+            start_inflight: 0,
+            supernode_up: true,
+            leaked_grants: 0,
+            leaked_outstanding: 0,
+            leaked_hwm: 0,
+            jobs_killed: 0,
+            fail_jobs_on_crash: false,
+            running_jobs: HashMap::new(),
         }
     }
 
@@ -473,6 +594,9 @@ impl Overlay {
                 }
             }
             OverlayEvent::JobComplete { key, peers } => {
+                if self.fail_jobs_on_crash {
+                    self.running_jobs.remove(&key);
+                }
                 let mut freed = 0;
                 for peer in peers {
                     if self.nodes[peer.0].rs.complete(key) {
@@ -511,7 +635,10 @@ impl Overlay {
                 slot.outcome = Some(RsOutcome::Timeout {
                     elapsed: self.params.rs_timeout,
                 });
-                let (from, to) = (slot.from, slot.to);
+                let (from, to, key) = (slot.from, slot.to, slot.key);
+                // A grant whose reply is about to be cancelled leaked on the
+                // granter; the submitter releases it eagerly below.
+                let leaked = matches!(slot.reply, Some(ReservationReply::Ok { .. }));
                 // Cancel the in-flight reply, if one was ever scheduled (a
                 // stale key here is harmless; see the module docs).
                 if let Some(reply_key) = slot.reply_key.take() {
@@ -522,6 +649,116 @@ impl Overlay {
                     .record(self.sim.now(), TraceCategory::Reservation, || {
                         format!("{from} -> {to}: reservation timed out (peer dead)")
                     });
+                if leaked {
+                    self.release_leaked_grant(from, to, key);
+                }
+            }
+            OverlayEvent::GrantRelease { to, key } => {
+                self.leaked_outstanding = self.leaked_outstanding.saturating_sub(1);
+                if self.nodes[to.0].rs.cancel(key) {
+                    self.tracer
+                        .record(self.sim.now(), TraceCategory::Reservation, || {
+                            format!("{to}: leaked grant {key} released eagerly")
+                        });
+                }
+            }
+            OverlayEvent::StartArrive(idx) => self.start_arrive(idx),
+            OverlayEvent::StartReplyDelivery(idx) => {
+                let now = self.sim.now();
+                let slot = &mut self.start_pending[idx as usize];
+                debug_assert!(slot.outcome.is_none(), "start request resolved twice");
+                let reply = slot.decision.expect("reply delivery without a decision");
+                slot.outcome = Some((reply, now.saturating_since(slot.sent_at)));
+                self.start_inflight -= 1;
+            }
+            OverlayEvent::StartTimeout(idx) => {
+                let slot = &mut self.start_pending[idx as usize];
+                debug_assert!(slot.outcome.is_none(), "start request resolved twice");
+                slot.outcome = Some((StartReply::Timeout, self.params.rs_timeout));
+                let (from, to) = (slot.from, slot.to);
+                self.start_inflight -= 1;
+                self.tracer
+                    .record(self.sim.now(), TraceCategory::Runtime, || {
+                        format!("{from} -> {to}: start request timed out")
+                    });
+            }
+            OverlayEvent::SupernodeDown => self.crash_supernode(),
+            OverlayEvent::SupernodeUp => self.recover_supernode(),
+            OverlayEvent::LinkDegrade { site, factor } => {
+                self.set_site_latency_factor(site, factor);
+            }
+        }
+    }
+
+    /// Counts a grant whose reply lost the race and schedules its eager
+    /// release: one one-way control message from the submitter back to the
+    /// granter.  (The remote decision is known at this end of the
+    /// simulation, so the release is only put on the timeline when there
+    /// actually is a grant to reclaim — a real submitter would fire the
+    /// cancel blindly, with the same outcome.)
+    fn release_leaked_grant(&mut self, from: PeerId, to: PeerId, key: ReservationKey) {
+        self.leaked_grants += 1;
+        self.leaked_outstanding += 1;
+        self.leaked_hwm = self.leaked_hwm.max(self.leaked_outstanding);
+        let src = self.nodes[from.0].descriptor.host;
+        let dst = self.nodes[to.0].descriptor.host;
+        let delay = self.network.transfer_time(src, dst, 64);
+        self.sim
+            .schedule_in(delay, OverlayEvent::GrantRelease { to, key });
+    }
+
+    /// Delivers a start request at the remote MPD: the decision happens
+    /// here, against the remote's state *now*, and exactly one resolver
+    /// event (reply delivery or deadline timeout) is scheduled.
+    fn start_arrive(&mut self, idx: u32) {
+        let now = self.sim.now();
+        let slot = &self.start_pending[idx as usize];
+        let (from, to, key, ranks, deadline) =
+            (slot.from, slot.to, slot.key, slot.ranks, slot.deadline);
+        let gave_up = slot.outcome.is_some();
+        if !self.nodes[to.0].is_alive() {
+            // Nobody answers.  If the submitter has not already given up
+            // (pre-armed timeout on extreme links), arm its deadline now.
+            if !gave_up {
+                self.sim
+                    .schedule_at(deadline, OverlayEvent::StartTimeout(idx));
+            }
+            return;
+        }
+        // The remote MPD is alive: verify the key and start the ranks.
+        let node = &mut self.nodes[to.0];
+        let decision = if !node.rs.verify_key(key) {
+            StartReply::KeyMismatch
+        } else {
+            match node.rs.start(key, ranks, &node.config) {
+                Ok(()) => StartReply::Started,
+                Err(_) => StartReply::KeyMismatch,
+            }
+        };
+        if decision == StartReply::Started {
+            self.tracer.record(now, TraceCategory::Runtime, || {
+                format!("{to} started {ranks} process(es)")
+            });
+        }
+        let src = self.nodes[from.0].descriptor.host;
+        let dst = self.nodes[to.0].descriptor.host;
+        let reply_at = now + self.network.transfer_time(dst, src, 64);
+        if !gave_up && reply_at < deadline {
+            let slot = &mut self.start_pending[idx as usize];
+            slot.decision = Some(decision);
+            self.sim
+                .schedule_at(reply_at, OverlayEvent::StartReplyDelivery(idx));
+        } else {
+            // The reply cannot beat the deadline (or the submitter already
+            // gave up): the submitter will observe a timeout.  A start that
+            // actually happened is abandoned — the expiry sweep never
+            // touches `Running`, so it is reclaimed as a leaked grant.
+            if !gave_up {
+                self.sim
+                    .schedule_at(deadline, OverlayEvent::StartTimeout(idx));
+            }
+            if decision == StartReply::Started {
+                self.release_leaked_grant(from, to, key);
             }
         }
     }
@@ -622,8 +859,20 @@ impl Overlay {
         key: ReservationKey,
         peers: Vec<PeerId>,
     ) -> EventKey {
-        self.sim
-            .schedule_at(at, OverlayEvent::JobComplete { key, peers })
+        // The running-job registry only exists for crash kills; when the
+        // mode is off (the default) no peer list is ever cloned.
+        let tracked = if self.fail_jobs_on_crash {
+            Some(peers.clone())
+        } else {
+            None
+        };
+        let ev = self
+            .sim
+            .schedule_at(at, OverlayEvent::JobComplete { key, peers });
+        if let Some(tracked) = tracked {
+            self.running_jobs.insert(key, (ev, tracked));
+        }
+        ev
     }
 
     /// Cancels a scheduled job completion (the hosts stay booked; the caller
@@ -638,7 +887,12 @@ impl Overlay {
     /// simulation — surfacing the bug beats limping on.
     pub fn cancel_completion(&mut self, event: EventKey) -> Option<Vec<PeerId>> {
         match self.sim.cancel(event) {
-            Some(OverlayEvent::JobComplete { peers, .. }) => Some(peers),
+            Some(OverlayEvent::JobComplete { key, peers }) => {
+                if self.fail_jobs_on_crash {
+                    self.running_jobs.remove(&key);
+                }
+                Some(peers)
+            }
             Some(other) => {
                 panic!("cancel_completion called with a non-completion event: {other:?}")
             }
@@ -646,20 +900,52 @@ impl Overlay {
         }
     }
 
-    /// Marks a peer dead immediately.
+    /// Marks a peer dead immediately.  With
+    /// [`Overlay::set_fail_jobs_on_crash`] on, every running job the peer
+    /// participates in is killed: its completion event is mass-revoked and
+    /// the gatekeeper slot is freed on every participant.
     pub fn kill_peer(&mut self, peer: PeerId) {
         self.nodes[peer.0].state = PeerState::Dead;
         self.tracer
             .record(self.sim.now(), TraceCategory::Fault, || {
                 format!("{peer} crashed")
             });
+        if self.fail_jobs_on_crash && !self.running_jobs.is_empty() {
+            let doomed: Vec<EventKey> = self
+                .running_jobs
+                .values()
+                .filter(|(_, peers)| peers.contains(&peer))
+                .map(|&(ev, _)| ev)
+                .collect();
+            if doomed.is_empty() {
+                return;
+            }
+            for event in self.sim.cancel_batch(doomed) {
+                let OverlayEvent::JobComplete { key, peers } = event else {
+                    unreachable!("running-job registry tracked a non-completion event");
+                };
+                self.running_jobs.remove(&key);
+                for p in peers {
+                    self.nodes[p.0].rs.complete(key);
+                }
+                self.jobs_killed += 1;
+                self.tracer
+                    .record(self.sim.now(), TraceCategory::Fault, || {
+                        format!("{key} killed by crash of {peer}")
+                    });
+            }
+        }
     }
 
-    /// Brings a peer back and re-registers it with the supernode.
+    /// Brings a peer back and re-registers it with the supernode (unless
+    /// the supernode is down, in which case the heartbeat resync re-adds
+    /// the peer once it recovers).
     pub fn revive_peer(&mut self, peer: PeerId) {
         self.nodes[peer.0].state = PeerState::Alive;
-        let d = self.nodes[peer.0].descriptor.clone();
-        self.supernode.register(d, self.sim.now());
+        if self.supernode_up {
+            let d = self.nodes[peer.0].descriptor.clone();
+            self.supernode.register(d, self.sim.now());
+        }
         self.tracer
             .record(self.sim.now(), TraceCategory::Fault, || {
                 format!("{peer} recovered")
@@ -693,10 +979,20 @@ impl Overlay {
 
     /// One round of alive signals from every alive peer, followed by an
     /// expiry sweep at the supernode.  Returns the number of expired peers.
+    ///
+    /// This is also the recovery-resync path: a peer whose alive signal the
+    /// supernode no longer recognises (expired, or the registry was lost in
+    /// a supernode crash) re-registers on the spot, so the host list
+    /// repopulates within one heartbeat period of a recovery.  While the
+    /// supernode is down the round is a no-op — the signals go unanswered.
     pub fn heartbeat_round(&mut self) -> usize {
+        if !self.supernode_up {
+            return 0;
+        }
+        let now = self.sim.now();
         for node in &self.nodes {
-            if node.is_alive() {
-                self.supernode.alive(node.descriptor.id, self.sim.now());
+            if node.is_alive() && !self.supernode.alive(node.descriptor.id, now) {
+                self.supernode.register(node.descriptor.clone(), now);
             }
         }
         let dropped = self.supernode.expire_stale(self.sim.now());
@@ -716,7 +1012,19 @@ impl Overlay {
     /// The MPD of `peer` pulls the supernode host list into its cache
     /// (a "cached list update request", step 2).  Returns the number of new
     /// peers learned and the elapsed round-trip time.
+    ///
+    /// While the supernode is down (fault injection) the request goes
+    /// unanswered: the MPD waits out its timeout, learns nothing, and keeps
+    /// brokering from its stale [`crate::cache::CachedList`] — degraded-mode
+    /// operation, not a halt.
     pub fn refresh_cache(&mut self, peer: PeerId) -> (usize, SimDuration) {
+        if !self.supernode_up {
+            self.tracer
+                .record(self.sim.now(), TraceCategory::Membership, || {
+                    format!("{peer} cache refresh unanswered (supernode down)")
+                });
+            return (0, self.params.rs_timeout);
+        }
         let src = self.nodes[peer.0].descriptor.host;
         let elapsed = self.network.transfer_time(src, self.supernode_host, 128)
             + self.network.transfer_time(
@@ -892,6 +1200,7 @@ impl Overlay {
         self.rs_pending.push(RsPending {
             from,
             to,
+            key,
             reply,
             rtt,
             timeout_key,
@@ -997,9 +1306,83 @@ impl Overlay {
         cancelled
     }
 
-    /// MPD start request (steps 6–8): `from` asks `to` to start `ranks` of
-    /// `program` under reservation `key`.  The remote MPD verifies the key
-    /// against its RS before launching.
+    /// Sends an MPD start request from `from` to `to` onto the timeline
+    /// (steps 6–8): the request arrives at the remote MPD one one-way
+    /// transfer from now, the start decision is made *at arrival*, and the
+    /// reply races the submitter's deadline at `now + rs_timeout`.  See the
+    /// start-request section of the module docs.
+    pub fn start_send(&mut self, from: PeerId, to: PeerId, key: ReservationKey, ranks: u32) {
+        let idx = u32::try_from(self.start_pending.len()).expect("too many in-flight starts");
+        let now = self.sim.now();
+        let deadline = now + self.params.rs_timeout;
+        let src = self.nodes[from.0].descriptor.host;
+        let dst = self.nodes[to.0].descriptor.host;
+        let outbound = self
+            .network
+            .transfer_time(src, dst, self.params.start_message_bytes);
+        // On extreme links the request cannot even arrive before the
+        // deadline: the timeout is pre-armed (first, so the FIFO tie-break
+        // favours giving up) and the arrival only settles the remote side.
+        if now + outbound >= deadline {
+            self.sim
+                .schedule_at(deadline, OverlayEvent::StartTimeout(idx));
+        }
+        self.sim
+            .schedule_in(outbound, OverlayEvent::StartArrive(idx));
+        self.start_pending.push(StartPending {
+            from,
+            to,
+            key,
+            ranks,
+            sent_at: now,
+            deadline,
+            decision: None,
+            outcome: None,
+        });
+        self.start_inflight += 1;
+    }
+
+    /// Number of sent start requests whose resolver has not fired yet.
+    pub fn start_inflight(&self) -> usize {
+        self.start_inflight
+    }
+
+    /// Runs the timeline until every in-flight start request has resolved;
+    /// other due events are delivered normally on the way.
+    fn run_until_starts_resolved(&mut self) {
+        while self.start_inflight > 0 {
+            let ev = self
+                .sim
+                .pop_due(SimTime::MAX)
+                .expect("in-flight start requests imply pending events");
+            self.dispatch(ev.payload);
+        }
+    }
+
+    /// Resolves the current start round: runs the timeline until every
+    /// request sent since the last drain has its outcome, then drains them
+    /// into `out` (cleared first) **in send order**.  The scratch slots are
+    /// recycled.
+    pub fn start_collect_into(&mut self, out: &mut Vec<(PeerId, StartReply, SimDuration)>) {
+        out.clear();
+        self.run_until_starts_resolved();
+        for slot in self.start_pending.drain(..) {
+            let (reply, elapsed) = slot.outcome.expect("drained an unresolved start request");
+            out.push((slot.to, reply, elapsed));
+        }
+    }
+
+    /// MPD start request (steps 6–8) resolved inline: one
+    /// [`Overlay::start_send`] followed by running the timeline until the
+    /// request resolves.  The clock therefore *advances* by the exchange's
+    /// round trip (or the full `rs_timeout` when the remote never answers in
+    /// time) — like [`Overlay::rs_request`], the timeout is an observed
+    /// event, not a charged constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a batch start round is in flight; batch
+    /// rounds must resolve through [`Overlay::start_collect_into`].
     pub fn mpd_start(
         &mut self,
         from: PeerId,
@@ -1008,29 +1391,128 @@ impl Overlay {
         ranks: &[RankAssignment],
         program: &str,
     ) -> (StartReply, SimDuration) {
-        let src = self.nodes[from.0].descriptor.host;
-        let dst = self.nodes[to.0].descriptor.host;
-        if !self.nodes[to.0].is_alive() {
-            return (StartReply::Timeout, self.params.rs_timeout);
+        assert!(
+            self.start_pending.is_empty(),
+            "mpd_start cannot interleave with an in-flight start round"
+        );
+        self.start_send(from, to, key, ranks.len() as u32);
+        self.run_until_starts_resolved();
+        let slot = self.start_pending.pop().expect("one pending start");
+        let (reply, elapsed) = slot.outcome.expect("resolved start has an outcome");
+        if reply == StartReply::Started {
+            let n = ranks.len();
+            self.tracer
+                .record(self.sim.now(), TraceCategory::Runtime, || {
+                    format!("{to} acknowledged {n} process(es) of {program}")
+                });
         }
-        let elapsed = self
-            .network
-            .transfer_time(src, dst, self.params.start_message_bytes)
-            + self.network.transfer_time(dst, src, 64);
-        let node = &mut self.nodes[to.0];
-        if !node.rs.verify_key(key) {
-            return (StartReply::KeyMismatch, elapsed);
-        }
-        match node.rs.start(key, ranks.len() as u32, &node.config) {
-            Ok(()) => {
-                self.tracer
-                    .record(self.sim.now(), TraceCategory::Runtime, || {
-                        format!("{to} started {} process(es) of {program}", ranks.len())
-                    });
-                (StartReply::Started, elapsed)
-            }
-            Err(_) => (StartReply::KeyMismatch, elapsed),
-        }
+        (reply, elapsed)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Whether the supernode is currently up.
+    pub fn supernode_is_up(&self) -> bool {
+        self.supernode_up
+    }
+
+    /// Crashes the supernode immediately: the volatile registry is lost and
+    /// cache refreshes go unanswered until [`Overlay::recover_supernode`].
+    /// Brokering continues from each submitter's stale cache.
+    pub fn crash_supernode(&mut self) {
+        self.supernode_up = false;
+        self.supernode.clear();
+        self.tracer
+            .record(self.sim.now(), TraceCategory::Fault, || {
+                "supernode crashed; host list lost".to_string()
+            });
+    }
+
+    /// Brings the supernode back with an empty registry.  Alive peers
+    /// re-register through the next heartbeat round's resync path.
+    pub fn recover_supernode(&mut self) {
+        self.supernode_up = true;
+        self.tracer
+            .record(self.sim.now(), TraceCategory::Fault, || {
+                "supernode recovered; awaiting re-registrations".to_string()
+            });
+    }
+
+    /// Schedules a supernode outage window `[at, at + duration)` on the
+    /// timeline.
+    pub fn schedule_supernode_outage(&mut self, at: SimTime, duration: SimDuration) {
+        assert!(at >= self.sim.now(), "outage must be in the future");
+        assert!(!duration.is_zero(), "outage needs a non-zero duration");
+        self.sim.schedule_at(at, OverlayEvent::SupernodeDown);
+        self.sim
+            .schedule_at(at + duration, OverlayEvent::SupernodeUp);
+    }
+
+    /// Sets the latency multiplier of every transfer touching `site`, in
+    /// both the messaging model and the prober's own copy.  Events already
+    /// on the timeline keep the cost computed when they were scheduled.
+    pub fn set_site_latency_factor(&mut self, site: SiteId, factor: f64) {
+        self.network.set_site_latency_factor(site, factor);
+        self.prober
+            .network_mut()
+            .set_site_latency_factor(site, factor);
+        self.tracer
+            .record(self.sim.now(), TraceCategory::Fault, || {
+                format!("site {} latency factor set to {factor}", site.0)
+            });
+    }
+
+    /// Schedules a slow-link window: transfers touching `site` have their
+    /// latency multiplied by `factor` during `[at, at + duration)`.
+    pub fn schedule_link_degradation(
+        &mut self,
+        site: SiteId,
+        at: SimTime,
+        duration: SimDuration,
+        factor: f64,
+    ) {
+        assert!(at >= self.sim.now(), "degradation must be in the future");
+        assert!(!duration.is_zero(), "degradation needs a non-zero duration");
+        assert!(factor >= 1.0, "a factor below 1 would speed links up");
+        self.sim
+            .schedule_at(at, OverlayEvent::LinkDegrade { site, factor });
+        self.sim.schedule_at(
+            at + duration,
+            OverlayEvent::LinkDegrade { site, factor: 1.0 },
+        );
+    }
+
+    /// When on, a peer crash kills the running jobs it participates in
+    /// (see [`Overlay::kill_peer`]).  Set before scheduling jobs: only
+    /// completions scheduled while the mode is on are tracked.
+    pub fn set_fail_jobs_on_crash(&mut self, enabled: bool) {
+        self.fail_jobs_on_crash = enabled;
+    }
+
+    /// Whether peer crashes kill running jobs.
+    pub fn fail_jobs_on_crash(&self) -> bool {
+        self.fail_jobs_on_crash
+    }
+
+    /// Cumulative count of grants whose reply lost the race to its timeout
+    /// (each was released eagerly; see the module docs).  Stays 0 on a
+    /// standard no-fault day.
+    pub fn leaked_grants(&self) -> u64 {
+        self.leaked_grants
+    }
+
+    /// High-water mark of simultaneously outstanding leaked grants (counted
+    /// from the timeout firing to the release's arrival).
+    pub fn leaked_grant_hwm(&self) -> u64 {
+        self.leaked_hwm
+    }
+
+    /// Cumulative count of running jobs killed by participant crashes
+    /// (only accrues while [`Overlay::fail_jobs_on_crash`] is on).
+    pub fn jobs_killed(&self) -> u64 {
+        self.jobs_killed
     }
 
     /// Marks the application under `key` as finished on `peer`, freeing the
@@ -1202,8 +1684,9 @@ mod tests {
     fn reply_slower_than_the_timeout_loses_the_race() {
         // An *alive* peer whose round trip exceeds rs_timeout: the armed
         // timeout fires first and cancels the in-flight reply.  The remote
-        // granted at send time, so the reservation leaks on the granter
-        // until the expiry sweep reclaims it — the documented contract.
+        // granted at send time; the grant is counted as leaked and released
+        // *eagerly* — one one-way control message later, no expiry sweep
+        // involved.
         let topo = small_topology();
         let mut o = OverlayBuilder::new(topo.clone())
             .seed(5)
@@ -1223,15 +1706,159 @@ mod tests {
             .peer_on_host(topo.host_by_name("r-0").unwrap().id)
             .unwrap();
         let key = o.generate_key();
+        assert_eq!(o.leaked_grants(), 0);
         match o.rs_request(submitter, remote, key, 1) {
             RsOutcome::Timeout { elapsed } => assert_eq!(elapsed, SimDuration::from_millis(1)),
             RsOutcome::Reply { .. } => panic!("slow reply should have lost the race"),
         }
-        // The grant happened at send time and leaked on the remote RS.
+        // The grant happened at send time, leaked, and its eager release is
+        // already in flight (one one-way 64-byte message, ~5 ms here).
+        assert_eq!(o.leaked_grants(), 1);
+        assert_eq!(o.leaked_grant_hwm(), 1);
         assert_eq!(o.node(remote).rs.active_applications(), 1);
-        o.start_reservation_expiry(SimDuration::from_secs(1), SimDuration::from_secs(2));
-        o.advance(SimDuration::from_secs(5));
-        assert_eq!(o.node(remote).rs.active_applications(), 0, "sweep reclaims");
+        o.advance(SimDuration::from_millis(10));
+        assert_eq!(
+            o.node(remote).rs.active_applications(),
+            0,
+            "eager release reclaimed the slot without any sweep"
+        );
+    }
+
+    #[test]
+    fn supernode_outage_degrades_and_resyncs() {
+        let mut o = overlay();
+        o.boot_all();
+        let p = o.peer_ids()[0];
+        o.bootstrap_peer(p);
+        let cached = o.node(p).cache.len();
+        assert_eq!(cached, 5);
+        o.start_heartbeats();
+        o.schedule_supernode_outage(SimTime::from_secs(10), SimDuration::from_secs(50));
+        o.advance(SimDuration::from_secs(20));
+        // Down: registry lost, refreshes unanswered, stale cache survives.
+        assert!(!o.supernode_is_up());
+        assert_eq!(o.supernode().len(), 0);
+        let (added, elapsed) = o.refresh_cache(p);
+        assert_eq!(added, 0);
+        assert_eq!(elapsed, o.params().rs_timeout);
+        assert_eq!(o.node(p).cache.len(), cached, "stale view keeps brokering");
+        // Brokering still works peer-to-peer while the supernode is down.
+        let key = o.generate_key();
+        let to = o.latency_ranking(p)[0];
+        assert!(matches!(
+            o.rs_request(p, to, key, 1),
+            RsOutcome::Reply { reply, .. } if reply.is_ok()
+        ));
+        // Recovery + one heartbeat period: every alive peer re-registered.
+        o.advance(SimDuration::from_secs(200));
+        assert!(o.supernode_is_up());
+        assert_eq!(o.supernode().len(), o.alive_count());
+    }
+
+    #[test]
+    fn link_degradation_window_slows_then_restores() {
+        let topo = small_topology();
+        let mut o = overlay();
+        o.boot_all();
+        let l0 = topo.host_by_name("l-0").unwrap().id;
+        let r0 = topo.host_by_name("r-0").unwrap().id;
+        let nominal = o.network().transfer_time(l0, r0, 1024);
+        let remote_site = topo.site_by_name("remote").unwrap().id;
+        o.schedule_link_degradation(
+            remote_site,
+            SimTime::from_secs(5),
+            SimDuration::from_secs(10),
+            8.0,
+        );
+        o.advance(SimDuration::from_secs(6));
+        let degraded = o.network().transfer_time(l0, r0, 1024);
+        assert!(degraded > nominal * 7);
+        // The prober's own model copy is degraded too.
+        assert_eq!(o.prober().network().site_latency_factor(remote_site), 8.0);
+        o.advance(SimDuration::from_secs(10));
+        assert_eq!(o.network().transfer_time(l0, r0, 1024), nominal);
+        assert_eq!(o.prober().network().site_latency_factor(remote_site), 1.0);
+    }
+
+    #[test]
+    fn crash_kills_running_jobs_when_enabled() {
+        let mut o = overlay();
+        o.boot_all();
+        o.set_fail_jobs_on_crash(true);
+        let ids = o.peer_ids();
+        let (from, a, b) = (ids[0], ids[1], ids[2]);
+        let key = o.generate_key();
+        for &to in &[a, b] {
+            assert!(matches!(
+                o.rs_request(from, to, key, 2),
+                RsOutcome::Reply { reply, .. } if reply.is_ok()
+            ));
+        }
+        let ranks = vec![RankAssignment {
+            rank: 0,
+            replica: 0,
+        }];
+        for &to in &[a, b] {
+            let (reply, _) = o.mpd_start(from, to, key, &ranks, "prog");
+            assert_eq!(reply, StartReply::Started);
+        }
+        o.schedule_completion(o.now() + SimDuration::from_secs(100), key, vec![a, b]);
+        o.advance(SimDuration::from_secs(10));
+        // One participant crashes: the whole job dies, both slots free.
+        o.kill_peer(a);
+        assert_eq!(o.jobs_killed(), 1);
+        assert_eq!(o.node(a).rs.running_processes(), 0);
+        assert_eq!(o.node(b).rs.running_processes(), 0);
+        // The revoked completion never fires.
+        let processed = o.events_processed();
+        o.advance(SimDuration::from_secs(200));
+        assert_eq!(o.events_processed(), processed);
+    }
+
+    #[test]
+    fn mid_flight_crash_times_out_an_event_driven_start() {
+        let mut o = overlay();
+        o.boot_all();
+        let ids = o.peer_ids();
+        let (from, to) = (ids[0], ids[3]);
+        let key = o.generate_key();
+        assert!(matches!(
+            o.rs_request(from, to, key, 1),
+            RsOutcome::Reply { reply, .. } if reply.is_ok()
+        ));
+        // Crash the remote *after* the start request is sent but before it
+        // arrives (cross-site one-way is ~5 ms): the arrival finds a dead
+        // MPD and the submitter times out — the ranks never start.
+        let t0 = o.now();
+        o.start_send(from, to, key, 1);
+        let mut schedule = crate::churn::ChurnSchedule::new();
+        schedule.crash(to, t0 + SimDuration::from_millis(1));
+        o.schedule_churn(schedule.finish());
+        let mut outcomes = Vec::new();
+        o.start_collect_into(&mut outcomes);
+        assert_eq!(outcomes.len(), 1);
+        let (peer, reply, elapsed) = outcomes[0];
+        assert_eq!(peer, to);
+        assert_eq!(reply, StartReply::Timeout);
+        assert_eq!(elapsed, o.params().rs_timeout);
+        assert_eq!(o.now(), t0 + o.params().rs_timeout);
+        assert_eq!(o.node(to).rs.running_processes(), 0, "never started");
+        // The inverse interleaving: a peer dead at send time that recovers
+        // before the request arrives *does* start the ranks.
+        let key2 = o.generate_key();
+        let late = ids[4];
+        assert!(matches!(
+            o.rs_request(from, late, key2, 1),
+            RsOutcome::Reply { reply, .. } if reply.is_ok()
+        ));
+        o.kill_peer(late);
+        let t1 = o.now();
+        o.start_send(from, late, key2, 1);
+        let mut schedule = crate::churn::ChurnSchedule::new();
+        schedule.recover(late, t1 + SimDuration::from_millis(1));
+        o.schedule_churn(schedule.finish());
+        o.start_collect_into(&mut outcomes);
+        assert_eq!(outcomes[0].1, StartReply::Started);
     }
 
     #[test]

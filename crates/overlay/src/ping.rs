@@ -38,6 +38,13 @@ impl LatencyProber {
         &self.network
     }
 
+    /// Mutable access to the prober's network model.  The prober owns its own
+    /// clone of the model, so fault injection that degrades links must update
+    /// this copy alongside the overlay's messaging model.
+    pub fn network_mut(&mut self) -> &mut NetworkModel {
+        &mut self.network
+    }
+
     /// The noise model used by the prober.
     pub fn noise(&self) -> NoiseModel {
         self.noise

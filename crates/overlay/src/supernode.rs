@@ -86,6 +86,14 @@ impl Supernode {
         self.entries.remove(&peer).is_some()
     }
 
+    /// Wipes the host list, as a supernode crash would: the registry state is
+    /// volatile and lost on restart, while the lifetime counters (a property
+    /// of the simulation, not the process) are kept.  Peers re-populate the
+    /// list by re-registering, exactly as after an expiry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Drops peers not heard from within the expiry window; returns how many
     /// were dropped.
     pub fn expire_stale(&mut self, now: SimTime) -> usize {
@@ -206,6 +214,20 @@ mod tests {
         assert_eq!(list.len(), 1);
         assert_eq!(list[0].descriptor.host, HostId(5));
         assert_eq!(list[0].last_seen, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn clear_wipes_registry_but_keeps_counters() {
+        let mut s = Supernode::default();
+        s.register(desc(0), SimTime::ZERO);
+        s.register(desc(1), SimTime::ZERO);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.registrations(), 2);
+        // A re-registration after the crash repopulates the list.
+        s.register(desc(0), SimTime::from_secs(1));
+        assert!(s.knows(PeerId(0)));
+        assert_eq!(s.registrations(), 3);
     }
 
     #[test]

@@ -357,6 +357,16 @@ impl<E> TypedEngine<E> {
         self.queue.cancel(key)
     }
 
+    /// Revokes a batch of pending events, returning the payloads that were
+    /// still live.  Stale keys (already fired or cancelled) are skipped
+    /// silently, so fault injectors can mass-revoke everything a crashed
+    /// host still had scheduled without tracking which keys already fired.
+    pub fn cancel_batch(&mut self, keys: impl IntoIterator<Item = EventKey>) -> Vec<E> {
+        keys.into_iter()
+            .filter_map(|key| self.queue.cancel(key))
+            .collect()
+    }
+
     /// True if `key` still refers to a pending event.
     pub fn is_pending(&self, key: EventKey) -> bool {
         self.queue.is_pending(key)
@@ -611,6 +621,23 @@ mod tests {
         assert_eq!((ev.time, ev.payload), (SimTime::from_secs(14), "timeout"));
         assert!(!sim.is_pending(rearmed));
         assert!(sim.pop_due(SimTime::MAX).is_none());
+    }
+
+    #[test]
+    fn typed_engine_cancel_batch_skips_stale_keys() {
+        // Mass revocation on a crash: some keys already fired, some were
+        // cancelled individually — only the live payloads come back.
+        let mut sim: TypedEngine<u32> = TypedEngine::new();
+        let keys: Vec<_> = (1..=5u32)
+            .map(|i| sim.schedule_at(SimTime::from_secs(i as u64), i))
+            .collect();
+        assert_eq!(sim.pop_due(SimTime::MAX).unwrap().payload, 1);
+        assert_eq!(sim.cancel(keys[2]), Some(3));
+        let mut revoked = sim.cancel_batch(keys);
+        revoked.sort_unstable();
+        assert_eq!(revoked, vec![2, 4, 5]);
+        assert!(sim.pop_due(SimTime::MAX).is_none());
+        assert_eq!(sim.pending(), 0);
     }
 
     #[test]

@@ -665,8 +665,14 @@ impl Rung {
 /// The tiers tile time exactly: `bottom` covers everything before the
 /// innermost rung's consumption point, each rung covers up to the next
 /// outer rung's consumption point, and `top` covers `top_start..`.  A push
-/// is routed by that tiling, so earlier-than-cursor pushes (rewinds) land
-/// in `bottom` via one sorted insert.
+/// is routed by that tiling, so earlier-than-cursor pushes land in
+/// `bottom` via one sorted insert.  `bottom` is kept *ascending* behind a
+/// consumption cursor (rather than descending behind `Vec::pop`) so the
+/// overwhelmingly common near-now push — an event scheduled a few
+/// microseconds ahead of the chunk being fired, later than everything
+/// still in it — is an O(1) append instead of a whole-chunk memmove;
+/// a handler cascade that schedules its successor while a dense tie
+/// cluster is draining would otherwise go quadratic.
 ///
 /// Tombstone hygiene: every transfer (top → rung, rung → finer rung, bucket
 /// → bottom) runs the store's reap hook and drops tickets whose events were
@@ -682,8 +688,13 @@ struct LadderQueue {
     top_start: u64,
     /// Spawned rungs, coarsest first; `rungs.last()` is being consumed.
     rungs: Vec<Rung>,
-    /// Sorted descending by `(time, seq)`: the earliest ticket is last.
+    /// The firing chunk, sorted ascending by `(time, seq)`; tickets before
+    /// `bottom_cur` have been consumed.  The vec is drained (and the cursor
+    /// reset) the moment the last live ticket pops, so `bottom_cur ==
+    /// bottom.len()` implies both are 0.
     bottom: Vec<Ticket>,
+    /// Next ticket of `bottom` to fire.
+    bottom_cur: usize,
     /// Reusable transfer scratch, so bucket moves do not allocate in steady
     /// state.
     transfer: Vec<Ticket>,
@@ -704,6 +715,7 @@ impl LadderQueue {
             top_start: 0,
             rungs: Vec::new(),
             bottom: Vec::new(),
+            bottom_cur: 0,
             transfer: Vec::new(),
             spare_rungs: Vec::new(),
             len: 0,
@@ -725,8 +737,14 @@ impl LadderQueue {
 
     #[inline]
     fn push(&mut self, ticket: Ticket) {
-        let t = ticket.time.as_nanos();
         self.len += 1;
+        self.route(ticket);
+    }
+
+    /// Routes one ticket to its tier (`push` without the length bump, so
+    /// a bottom-spawn can re-route).
+    fn route(&mut self, ticket: Ticket) {
+        let t = ticket.time.as_nanos();
         // With no spawned structure everything accumulates in the top tier
         // (even below `top_start`: the next spawn re-derives its range from
         // the actual min/max, so rewinds are absorbed there).
@@ -738,17 +756,27 @@ impl LadderQueue {
             self.push_top(ticket);
             return;
         }
-        // Below every rung's consumption point: the firing chunk.
+        // Below every rung's consumption point: the firing chunk.  The
+        // common case — later than everything still in the chunk — appends.
         let innermost_floor = self
             .rungs
             .last()
             .map(|r| r.cur_start())
             .unwrap_or(self.top_start as u128);
         if (t as u128) < innermost_floor {
-            let pos = self
-                .bottom
-                .partition_point(|other| other.sort_key() > ticket.sort_key());
-            self.bottom.insert(pos, ticket);
+            let live = &self.bottom[self.bottom_cur..];
+            let pos = live.partition_point(|other| other.sort_key() < ticket.sort_key());
+            // A sorted insert that would shift more than a bucket's worth
+            // of tickets means `bottom` has degenerated into a standing
+            // working set (a wide chunk that new near-now events keep
+            // landing inside): spin its live region back out into a rung
+            // (the ladder paper's bottom-spawn) and re-route.
+            if live.len() - pos > LADDER_BOTTOM_THRESH && self.rungs.len() < LADDER_MAX_RUNGS {
+                self.spawn_from_bottom(innermost_floor);
+                self.route(ticket);
+                return;
+            }
+            self.bottom.insert(self.bottom_cur + pos, ticket);
             return;
         }
         // The tiers tile `[bottom, top_start)`: the first rung (walking
@@ -766,6 +794,25 @@ impl LadderQueue {
             }
         }
         unreachable!("ticket below top_start fits no ladder tier");
+    }
+
+    /// Converts the live region of `bottom` into a new innermost rung
+    /// owning `[live min, floor)`, leaving `bottom` empty.  `floor` is the
+    /// previous innermost consumption point (the exclusive bound of
+    /// everything in `bottom`), so the tiling invariant is preserved.
+    fn spawn_from_bottom(&mut self, floor: u128) {
+        debug_assert!(self.bottom_cur < self.bottom.len());
+        self.transfer.clear();
+        self.transfer.extend(self.bottom.drain(self.bottom_cur..));
+        self.bottom.clear();
+        self.bottom_cur = 0;
+        // The live region is ascending, so its first ticket is the minimum.
+        let min = self.transfer[0].time.as_nanos();
+        let span = (floor - min as u128) as u64;
+        let n = self.transfer.len() as u64;
+        let width = span.div_ceil(n).max(1);
+        let nbuckets = (span.div_ceil(width) as usize).max(1);
+        self.spawn_rung(min, width, nbuckets, floor);
     }
 
     /// Spawns rung 0 from the entire top tier (compacting tombstones on the
@@ -820,7 +867,7 @@ impl LadderQueue {
     /// queue is.  This is where bucket transfers — and therefore tombstone
     /// compaction and recursive refinement — happen.
     fn ensure_bottom(&mut self, reap: &mut dyn FnMut(EventKey) -> bool) {
-        while self.bottom.is_empty() {
+        while self.bottom_cur == self.bottom.len() {
             // Collapse exhausted rungs, stashing their (empty) bucket
             // arrays for the next spawn.
             while self.rungs.last().is_some_and(|r| r.count == 0) {
@@ -868,23 +915,28 @@ impl LadderQueue {
                 );
                 continue;
             }
-            // Sort the chunk descending so the earliest ticket pops first.
-            self.transfer
-                .sort_unstable_by_key(|t| std::cmp::Reverse(t.sort_key()));
+            // Sort the chunk ascending; the cursor fires it front to back.
+            self.transfer.sort_unstable_by_key(|t| t.sort_key());
             std::mem::swap(&mut self.bottom, &mut self.transfer);
+            self.bottom_cur = 0;
         }
     }
 
     #[inline]
     fn peek(&mut self, reap: &mut dyn FnMut(EventKey) -> bool) -> Option<Ticket> {
         self.ensure_bottom(reap);
-        self.bottom.last().copied()
+        self.bottom.get(self.bottom_cur).copied()
     }
 
     #[inline]
     fn pop(&mut self, reap: &mut dyn FnMut(EventKey) -> bool) -> Option<Ticket> {
         self.ensure_bottom(reap);
-        let ticket = self.bottom.pop()?;
+        let ticket = *self.bottom.get(self.bottom_cur)?;
+        self.bottom_cur += 1;
+        if self.bottom_cur == self.bottom.len() {
+            self.bottom.clear();
+            self.bottom_cur = 0;
+        }
         self.len -= 1;
         Some(ticket)
     }
@@ -893,6 +945,7 @@ impl LadderQueue {
         self.top.clear();
         self.rungs.clear();
         self.bottom.clear();
+        self.bottom_cur = 0;
         self.transfer.clear();
         self.top_start = 0;
         self.len = 0;

@@ -14,7 +14,7 @@
 //! paper studies.
 
 use crate::time::SimDuration;
-use crate::topology::{HostId, Topology};
+use crate::topology::{HostId, SiteId, Topology};
 use std::sync::Arc;
 
 /// Tunable parameters of the transfer model.
@@ -41,10 +41,19 @@ impl Default for NetworkParams {
 }
 
 /// Transfer-time oracle bound to a topology.
+///
+/// The topology's RTT matrix is immutable (shared behind an `Arc`); transient
+/// network degradation — the slow-link fault scenarios — is modeled here
+/// instead, as per-site latency multipliers applied on top of the matrix
+/// ([`NetworkModel::set_site_latency_factor`]).
 #[derive(Debug, Clone)]
 pub struct NetworkModel {
     topology: Arc<Topology>,
     params: NetworkParams,
+    /// Per-site latency multipliers (empty while no link is degraded; the
+    /// common case pays one `is_empty` check).  A transfer is slowed by the
+    /// worse of its two endpoints' factors.
+    site_latency_factor: Vec<f64>,
 }
 
 impl NetworkModel {
@@ -53,6 +62,7 @@ impl NetworkModel {
         NetworkModel {
             topology,
             params: NetworkParams::default(),
+            site_latency_factor: Vec::new(),
         }
     }
 
@@ -62,7 +72,47 @@ impl NetworkModel {
             params.framing_factor >= 1.0,
             "framing factor cannot shrink messages"
         );
-        NetworkModel { topology, params }
+        NetworkModel {
+            topology,
+            params,
+            site_latency_factor: Vec::new(),
+        }
+    }
+
+    /// Sets the latency multiplier of every transfer touching `site`
+    /// (slow-link fault injection).  `1.0` restores the nominal latency; the
+    /// bandwidth and overhead terms are unaffected.
+    pub fn set_site_latency_factor(&mut self, site: SiteId, factor: f64) {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "a latency factor below 1 would speed links up"
+        );
+        if self.site_latency_factor.is_empty() {
+            if factor == 1.0 {
+                return;
+            }
+            self.site_latency_factor = vec![1.0; self.topology.site_count()];
+        }
+        self.site_latency_factor[site.0] = factor;
+        if self.site_latency_factor.iter().all(|&f| f == 1.0) {
+            self.site_latency_factor.clear();
+        }
+    }
+
+    /// The current latency multiplier of `site` (1.0 when undegraded).
+    pub fn site_latency_factor(&self, site: SiteId) -> f64 {
+        self.site_latency_factor.get(site.0).copied().unwrap_or(1.0)
+    }
+
+    /// The latency multiplier of a `src → dst` transfer: the worse of the
+    /// two endpoint sites' factors.
+    fn latency_factor(&self, src: HostId, dst: HostId) -> f64 {
+        if self.site_latency_factor.is_empty() {
+            return 1.0;
+        }
+        let a = self.site_latency_factor[self.topology.host(src).site.0];
+        let b = self.site_latency_factor[self.topology.host(dst).site.0];
+        a.max(b)
     }
 
     /// The topology this model is bound to.
@@ -77,7 +127,11 @@ impl NetworkModel {
 
     /// One-way transfer time of `bytes` from `src` to `dst`.
     pub fn transfer_time(&self, src: HostId, dst: HostId, bytes: u64) -> SimDuration {
-        let latency = self.topology.latency(src, dst);
+        let mut latency = self.topology.latency(src, dst);
+        let factor = self.latency_factor(src, dst);
+        if factor != 1.0 {
+            latency = latency.mul_f64(factor);
+        }
         let bw = self.topology.bandwidth_bps(src, dst);
         let wire_bytes = bytes as f64 * self.params.framing_factor;
         let serialization = SimDuration::from_secs_f64(wire_bytes * 8.0 / bw);
@@ -177,6 +231,41 @@ mod tests {
         let f = t.host_by_name("f-0").unwrap().id;
         assert!(m.probe_rtt(o, n) < m.probe_rtt(o, f));
         assert!(m.icmp_rtt(o, n) < m.icmp_rtt(o, f));
+    }
+
+    #[test]
+    fn site_latency_factor_slows_touching_transfers_only() {
+        let t = topology();
+        let mut m = NetworkModel::new(t.clone());
+        let l0 = t.host_by_name("l-0").unwrap().id;
+        let l1 = t.host_by_name("l-1").unwrap().id;
+        let r0 = t.host_by_name("r-0").unwrap().id;
+        let nominal_cross = m.transfer_time(l0, r0, 1024);
+        let nominal_local = m.transfer_time(l0, l1, 1024);
+        let remote = t.site_by_name("remote").unwrap().id;
+        m.set_site_latency_factor(remote, 10.0);
+        assert_eq!(m.site_latency_factor(remote), 10.0);
+        // Cross-site latency term is multiplied; overhead/bandwidth are not.
+        let degraded = m.transfer_time(l0, r0, 1024);
+        assert!(degraded > nominal_cross * 9);
+        assert!(degraded < nominal_cross * 10);
+        // Local-site transfers are untouched (factor defaults to 1.0 there).
+        assert_eq!(m.transfer_time(l0, l1, 1024), nominal_local);
+        // The direction does not matter: either endpoint being degraded slows
+        // the transfer.
+        assert_eq!(m.transfer_time(r0, l0, 1024), degraded);
+        // Restoring 1.0 everywhere returns to the exact nominal costs.
+        m.set_site_latency_factor(remote, 1.0);
+        assert_eq!(m.transfer_time(l0, r0, 1024), nominal_cross);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency factor")]
+    fn sub_unit_latency_factor_panics() {
+        let t = topology();
+        let mut m = NetworkModel::new(t.clone());
+        let s = t.site_by_name("remote").unwrap().id;
+        m.set_site_latency_factor(s, 0.5);
     }
 
     #[test]
