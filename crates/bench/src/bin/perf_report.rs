@@ -2,7 +2,7 @@
 //!
 //! Measures the co-allocation hot path on the warm Grid'5000 testbed and
 //! writes `BENCH_hotpath.json` so successive PRs accumulate a perf
-//! trajectory.  Eight measurements:
+//! trajectory.  Eleven measurements:
 //!
 //! 1. **ranking** — walking the booking order of a warm 349-peer cache via
 //!    the incremental index versus the seed's naive sort-per-read.
@@ -68,18 +68,41 @@
 //!     where the calendar queue's uniform bucket width degrades.
 //!     [`QueueKind::Ladder`] must beat [`QueueKind::Calendar`] by more than
 //!     [`LADDER_VS_CALENDAR_MARGIN`] here, or the report exits non-zero.
+//! 11. **sustained_throughput** — the sharded week-scale driver
+//!     (`p2pmpi_bench::shard`, the `week_sweep` binary): the paper day
+//!     tiled across seven days and replayed over [`SUSTAINED_SHARDS`]
+//!     site-aligned shard timelines, parallel versus the bit-identical
+//!     single-thread driver.  Records sustained events/s, jobs/s, the
+//!     wall-clock speedup and the machine's hardware-thread count.  The
+//!     speedup gate is architecture-aware: with at least two hardware
+//!     threads the parallel driver must reach
+//!     [`SUSTAINED_PARALLEL_EFFICIENCY`] of the effective shard count
+//!     (`min(shards, hw_threads)`); on a single hardware thread — where no
+//!     speedup is physically available — the gate only bounds the
+//!     thread/barrier overhead via [`SUSTAINED_SINGLE_THREAD_FLOOR`].
+//!     Full runs additionally compare sustained events/s against the
+//!     `previous` trajectory block of the existing report and **exit
+//!     non-zero** on a drop of more than [`SUSTAINED_DROP_LIMIT`].
 //!
 //! Usage:
 //! `cargo run --release -p p2pmpi-bench --bin perf_report [out.json] [--seed-allocate-ns N] [--test]`
 //!
 //! `--test` runs only the queue-sensitive sections (6–7, 10), the
-//! placement-search section (8) at reduced scale and the scenario matrix
-//! (9) with the same *relative* gates (ladder-vs-calendar on the skewed
+//! placement-search section (8) at reduced scale, the scenario matrix
+//! (9) and the sustained sharded-throughput section (11) at its CI-smoke
+//! scale, with the same *relative* gates (ladder-vs-calendar on the skewed
 //! trace, sweep default within noise of the best, allocation-free steady
-//! state, delta-vs-replay speedup, search quality, every scenario verdict)
-//! — the CI smoke.  Machine-absolute gates (the
-//! analytical-day baseline, the search wall budget) only apply to the full
+//! state, delta-vs-replay speedup, search quality, every scenario verdict,
+//! the architecture-aware shard speedup) — the CI smoke.
+//! Machine-absolute gates (the analytical-day baseline, the search wall
+//! budget, the sustained-trajectory drop limit) only apply to the full
 //! run, and `--test` never writes the JSON report.
+//!
+//! Each JSON section carries a `"previous"` block holding the prior
+//! report's headline numbers for that section (string-scanned from the
+//! existing out file — the workspace deliberately vendors no JSON parser —
+//! or `null` on the first run), so the committed report is a perf
+//! *trajectory*, not just a snapshot.
 //!
 //! Since the alive-peer fast path landed in `Overlay::rs_send`, the warm
 //! brokering path arms no timeout events; the `timeout_timeline` sections
@@ -102,7 +125,10 @@ use p2pmpi_bench::scenario::{run_matrix, ScenarioParams, ScenarioVerdict};
 use p2pmpi_bench::search::{
     kernel_schedule, placement_rank_hosts, search_placement, SearchParams, SearchReport,
 };
-use p2pmpi_bench::workload::{run_day_sweep, DaySweepConfig, DaySweepResult, PoissonArrivals};
+use p2pmpi_bench::shard::{run_shard_sweep, ShardSweepConfig};
+use p2pmpi_bench::workload::{
+    run_day_sweep, DayProfile, DaySweepConfig, DaySweepResult, PoissonArrivals,
+};
 use p2pmpi_core::prelude::*;
 use p2pmpi_grid5000::capacity::host_capacities;
 use p2pmpi_grid5000::sites::{scaled_table1, skewed_table1};
@@ -276,6 +302,15 @@ impl Ord for SeedEntry {
 /// Steady-state churn: hold `ENGINE_POPULATION` pending events, then pop the
 /// earliest and push a replacement `ENGINE_CHURN` times (the hold-and-churn
 /// pattern of a periodic-behaviour simulation).  Returns events/s.
+/// Required arena-binary-heap throughput as a fraction of the seed's
+/// boxed-closure heap.  The packed `(time << 64) | seq` ticket key closed
+/// most of the slab-indirection gap (the heap sifts now compare one `u128`
+/// instead of two fields behind a slab lookup), so the binary-heap
+/// configuration must stay within 10% of the baseline; the calendar and
+/// ladder — the configurations the arena store exists for — are gated at
+/// parity and above separately.
+const ARENA_HEAP_VS_BOXED_MIN: f64 = 0.9;
+
 fn measure_engine_events_per_sec(variant: &str) -> f64 {
     let mut rng = seeded(0xE4E47);
     let mut gap = move || SimTime::from_nanos(rng.gen_range(1u64..2_000_000));
@@ -591,6 +626,194 @@ fn check_scenario_gates(verdicts: &[ScenarioVerdict]) -> bool {
         }
     }
     drifted
+}
+
+// ---------------------------------------------------------------------------
+// sustained_throughput
+// ---------------------------------------------------------------------------
+
+/// Shard count of the sustained-throughput section — the Table-1 sites
+/// partitioned four ways, the `week_sweep --shards 4` configuration.
+const SUSTAINED_SHARDS: usize = 4;
+
+/// Required parallel efficiency when the machine can actually run the
+/// shards concurrently: with at least two hardware threads the parallel
+/// driver must reach this fraction of the effective shard count
+/// (`min(shards, hw_threads)`) — at 4 shards on a 4-thread machine that is
+/// a 3× floor under the documented 4× target, leaving room for the
+/// conservative barriers without letting the scoped-thread plumbing rot.
+const SUSTAINED_PARALLEL_EFFICIENCY: f64 = 0.75;
+
+/// Speedup floor on a single hardware thread, where the parallel driver
+/// cannot beat the single-thread one and the gate's only job is to bound
+/// the thread-spawn and barrier overhead (observed ~0.78× on a 1-thread
+/// container; a collapse past this floor means the coordination cost
+/// regressed structurally, not that the machine is small).
+const SUSTAINED_SINGLE_THREAD_FLOOR: f64 = 0.5;
+
+/// Allowed drop of sustained events/s between consecutive full reports on
+/// the same machine; a larger drop fails the report outright.
+const SUSTAINED_DROP_LIMIT: f64 = 0.15;
+
+/// The sharded week-shape trace the sustained section replays: the paper
+/// day tiled across seven days, compressed 168× so the week's shape fits
+/// one virtual hour, at 2% (CI smoke, ~3k jobs) or 10% (full run, ~15k
+/// jobs) of the paper's arrival rates — the same configuration the
+/// `week_sweep` binary documents as its smoke shape.
+fn sustained_config(test_mode: bool) -> ShardSweepConfig {
+    let mut base = DaySweepConfig::new(StrategyKind::Spread);
+    base.profile = DayProfile::paper_day().repeated(7);
+    base = base.compress(168.0);
+    base.profile = base.profile.scaled(if test_mode { 0.02 } else { 0.1 });
+    ShardSweepConfig::new(base, SUSTAINED_SHARDS)
+}
+
+/// Everything the sustained-throughput section records.
+struct SustainedSection {
+    jobs: usize,
+    events: u64,
+    barriers: usize,
+    cross_submitted: usize,
+    cross_succeeded: usize,
+    parallel_wall_ms: f64,
+    single_thread_wall_ms: f64,
+    events_per_sec: f64,
+    jobs_per_sec: f64,
+    speedup: f64,
+    shards: usize,
+    hw_threads: usize,
+    rate_scale: f64,
+}
+
+/// Best-of-N rounds of the week-shape sharded sweep, parallel and
+/// single-thread; every round asserts the two drivers stayed bit-identical
+/// (the same contract `tests/shard_sweep.rs` pins at reduced scale).
+fn measure_sustained(test_mode: bool, rounds: usize) -> SustainedSection {
+    let cfg = sustained_config(test_mode);
+    let mut seq_cfg = cfg.clone();
+    seq_cfg.parallel = false;
+    let mut par_wall = f64::INFINITY;
+    let mut seq_wall = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..rounds {
+        let par = run_shard_sweep(&cfg);
+        let seq = run_shard_sweep(&seq_cfg);
+        assert_eq!(
+            par.merged.events_processed, seq.merged.events_processed,
+            "the parallel and single-thread drivers diverged"
+        );
+        assert_eq!(
+            par.merged.succeeded, seq.merged.succeeded,
+            "the parallel and single-thread drivers diverged"
+        );
+        par_wall = par_wall.min(par.wall.as_secs_f64() * 1e3);
+        seq_wall = seq_wall.min(seq.wall.as_secs_f64() * 1e3);
+        last = Some(par);
+    }
+    let par = last.expect("at least one round ran");
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    SustainedSection {
+        jobs: par.merged.submitted,
+        events: par.merged.events_processed,
+        barriers: par.barriers,
+        cross_submitted: par.cross_submitted,
+        cross_succeeded: par.cross_succeeded,
+        parallel_wall_ms: par_wall,
+        single_thread_wall_ms: seq_wall,
+        events_per_sec: par.merged.events_processed as f64 / (par_wall / 1e3).max(1e-9),
+        jobs_per_sec: par.merged.submitted as f64 / (par_wall / 1e3).max(1e-9),
+        speedup: seq_wall / par_wall.max(1e-9),
+        shards: par.per_shard.len(),
+        hw_threads,
+        rate_scale: if test_mode { 0.02 } else { 0.1 },
+    }
+}
+
+/// The architecture-aware speedup gate of the sharded driver; returns true
+/// if it drifted.
+fn check_sustained_gates(s: &SustainedSection) -> bool {
+    if s.hw_threads >= 2 {
+        let effective = s.shards.min(s.hw_threads) as f64;
+        let required = SUSTAINED_PARALLEL_EFFICIENCY * effective;
+        if s.speedup < required {
+            eprintln!(
+                "FAIL: the {}-shard parallel driver reached only {:.2}x over the single-thread \
+                 baseline on {} hardware threads; the gate requires {:.2}x \
+                 ({SUSTAINED_PARALLEL_EFFICIENCY} x min(shards, hw_threads))",
+                s.shards, s.speedup, s.hw_threads, required
+            );
+            return true;
+        }
+    } else if s.speedup < SUSTAINED_SINGLE_THREAD_FLOOR {
+        eprintln!(
+            "FAIL: on a single hardware thread the parallel driver fell to {:.2}x of the \
+             single-thread baseline; the thread/barrier overhead floor is \
+             {SUSTAINED_SINGLE_THREAD_FLOOR}x",
+            s.speedup
+        );
+        return true;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// trajectory
+// ---------------------------------------------------------------------------
+
+/// Brace-matched slice of one top-level section of a prior report.  The
+/// report's own output is the only input (stable shape, no braces inside
+/// its strings), so a real JSON parser — which the workspace deliberately
+/// does not vendor — is not needed.
+fn section_slice<'a>(json: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("\"{name}\": {{");
+    let start = json.find(&needle)? + needle.len() - 1;
+    let mut depth = 0usize;
+    for (i, b) in json.as_bytes()[start..].iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[start..=start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// First `"key": <number>` inside a section slice.  Sections emit their
+/// `"previous"` block last, so the first occurrence is always the
+/// section's own current value.
+fn scan_f64(slice: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = slice.find(&needle)? + needle.len();
+    let rest = &slice[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The `"previous"` trajectory block of one section: the named headline
+/// keys scanned out of the prior report, or `null` when there is no prior
+/// report or the section is new.
+fn previous_block(prior: Option<&str>, section: &str, keys: &[&str]) -> String {
+    let Some(slice) = prior.and_then(|p| section_slice(p, section)) else {
+        return "null".to_string();
+    };
+    let fields: Vec<String> = keys
+        .iter()
+        .filter_map(|k| scan_f64(slice, k).map(|v| format!(r#""{k}": {v}"#)))
+        .collect();
+    if fields.is_empty() {
+        "null".to_string()
+    } else {
+        format!("{{ {} }}", fields.join(", "))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -928,13 +1151,32 @@ fn main() {
             "scenario_matrix: {} scenarios in {matrix_wall_s:.1}s wall",
             verdicts.len()
         );
+        eprintln!(
+            "measuring sustained sharded throughput (week shape, {SUSTAINED_SHARDS} shards, parallel vs single-thread)..."
+        );
+        let sus = measure_sustained(true, 1);
+        eprintln!(
+            "sustained_throughput (reduced, {} jobs, {} events, {} barriers): parallel {:.1} ms, \
+             single-thread {:.1} ms, {:.0} events/s, speedup {:.2}x on {} hw thread(s)",
+            sus.jobs,
+            sus.events,
+            sus.barriers,
+            sus.parallel_wall_ms,
+            sus.single_thread_wall_ms,
+            sus.events_per_sec,
+            sus.speedup,
+            sus.hw_threads
+        );
         let drifted = check_queue_gates(&q)
             | check_placement_search_gates(&ps)
-            | check_scenario_gates(&verdicts);
+            | check_scenario_gates(&verdicts)
+            | check_sustained_gates(&sus);
         if drifted {
             std::process::exit(1);
         }
-        eprintln!("perf_report --test: all queue, placement-search and scenario gates passed");
+        eprintln!(
+            "perf_report --test: all queue, placement-search, scenario and sustained-throughput gates passed"
+        );
         return;
     }
 
@@ -977,6 +1219,62 @@ fn main() {
     let q = measure_queue_sections(false, 3);
     let ps = measure_placement_search(false);
     let (scenario_verdicts, scenario_wall_s) = measure_scenario_matrix();
+    eprintln!(
+        "measuring sustained sharded throughput (week shape, {SUSTAINED_SHARDS} shards, parallel vs single-thread, best of 2)..."
+    );
+    let sus = measure_sustained(false, 2);
+
+    // The prior report (if any) supplies every section's trajectory block
+    // and the sustained drop gate's baseline; read it before overwriting.
+    let prior = std::fs::read_to_string(&out_path).ok();
+    let prior = prior.as_deref();
+    let prev_sustained_eps = prior
+        .and_then(|p| section_slice(p, "sustained_throughput"))
+        .and_then(|s| scan_f64(s, "events_per_sec"));
+    let ranking_prev = previous_block(prior, "ranking", &["after_incremental_index_ns", "speedup"]);
+    let alloc_prev = previous_block(
+        prior,
+        "allocate_warm",
+        &[
+            "after_tracing_off_ns_per_job",
+            "after_tracing_on_ns_per_job",
+        ],
+    );
+    let poisson_prev = previous_block(prior, "job_sweep_poisson", &["wall_ms", "jobs_per_sec"]);
+    let engine_prev = previous_block(
+        prior,
+        "event_engine",
+        &[
+            "before_boxed_heap_events_per_sec",
+            "after_arena_heap_events_per_sec",
+            "after_arena_calendar_events_per_sec",
+            "after_arena_ladder_events_per_sec",
+            "arena_heap_vs_boxed_speedup",
+        ],
+    );
+    let sweep_engine_prev = previous_block(
+        prior,
+        "sweep_engine",
+        &["heap_wall_ms", "calendar_wall_ms", "ladder_wall_ms"],
+    );
+    let timeline_prev = previous_block(
+        prior,
+        "timeout_timeline",
+        &["best_wall_ms", "ladder_wall_ms", "best_vs_baseline"],
+    );
+    let scenario_prev = previous_block(prior, "scenario_matrix", &["wall_s"]);
+    let placement_prev =
+        previous_block(prior, "placement_search", &["delta_ns_per_move", "speedup"]);
+    let sustained_prev = previous_block(
+        prior,
+        "sustained_throughput",
+        &[
+            "events_per_sec",
+            "jobs_per_sec",
+            "speedup",
+            "parallel_wall_ms",
+        ],
+    );
     let [sweep_heap_ms, sweep_cal_ms, sweep_lad_ms] = q.sweep_walls;
     let sweep_engine_jobs = q.sweep_jobs;
     let [day_heap_ms, day_cal_ms, day_lad_ms] = q.timeline_walls;
@@ -1057,6 +1355,19 @@ fn main() {
     let skewed_jobs = q.skewed.submitted;
     let skewed_timeouts = q.skewed.timeouts;
     let skewed_events = q.skewed.events_processed;
+    let sus_shards = sus.shards;
+    let sus_hw = sus.hw_threads;
+    let sus_rate = sus.rate_scale;
+    let sus_jobs = sus.jobs;
+    let sus_events = sus.events;
+    let sus_barriers = sus.barriers;
+    let sus_cross_submitted = sus.cross_submitted;
+    let sus_cross_succeeded = sus.cross_succeeded;
+    let sus_par_ms = sus.parallel_wall_ms;
+    let sus_seq_ms = sus.single_thread_wall_ms;
+    let sus_eps = sus.events_per_sec;
+    let sus_jps = sus.jobs_per_sec;
+    let sus_speedup = sus.speedup;
 
     let json = format!(
         r#"{{
@@ -1067,7 +1378,8 @@ fn main() {
     "description": "booking order of the warm submitter cache, per read; before = the seed's sort-per-read (still available as sorted_by_latency_naive), after = the incremental index",
     "before_naive_sort_ns": {naive_ns:.1},
     "after_incremental_index_ns": {incremental_ns:.1},
-    "speedup": {ranking_speedup:.1}
+    "speedup": {ranking_speedup:.1},
+    "previous": {ranking_prev}
   }},
   "allocate_warm": {{
     "description": "full job submission (100 procs, concentrate) on the warm cache; before = seed tree measured with identical workload/vendored deps (see perf_report docs)",
@@ -1081,13 +1393,15 @@ fn main() {
       "armed_ns_per_job": {armed_ns:.0},
       "fastpath_ns_per_job": {off_ns:.0},
       "reclaimed_us_per_job": {fastpath_reclaimed_us:.1}
-    }}
+    }},
+    "previous": {alloc_prev}
   }},
   "job_sweep_poisson": {{
     "description": "Poisson arrivals (mean gap 30 s virtual), tracing off",
     "jobs": {SWEEP_JOBS},
     "wall_ms": {sweep_wall_ms:.1},
-    "jobs_per_sec": {sweep_jobs_per_sec:.0}
+    "jobs_per_sec": {sweep_jobs_per_sec:.0},
+    "previous": {poisson_prev}
   }},
   "event_engine": {{
     "description": "steady-state pop/push churn over a {ENGINE_POPULATION}-event population, best of 3 interleaved rounds; before = the seed's boxed-closure binary heap (payload inside the heap entry), after = the arena-backed EventStore behind each queue kind",
@@ -1098,7 +1412,9 @@ fn main() {
     "after_arena_ladder_events_per_sec": {arena_lad_eps:.0},
     "arena_heap_vs_boxed_speedup": {arena_vs_boxed:.2},
     "arena_calendar_vs_boxed_speedup": {calendar_vs_boxed:.2},
-    "arena_ladder_vs_boxed_speedup": {ladder_vs_boxed:.2}
+    "arena_ladder_vs_boxed_speedup": {ladder_vs_boxed:.2},
+    "required_arena_heap_vs_boxed": {ARENA_HEAP_VS_BOXED_MIN},
+    "previous": {engine_prev}
   }},
   "modeled_collectives": {{
     "description": "LogGP analytical backend (p2pmpi_mpi::model) vs the executed thread-per-rank runtime on identical co-allocated placements; divergence = |modeled - executed| / executed of the virtual makespan",
@@ -1132,7 +1448,8 @@ fn main() {
     "heap_wall_ms": {sweep_heap_ms:.1},
     "calendar_wall_ms": {sweep_cal_ms:.1},
     "ladder_wall_ms": {sweep_lad_ms:.1},
-    "noise_margin": {SWEEP_ENGINE_NOISE_MARGIN}
+    "noise_margin": {SWEEP_ENGINE_NOISE_MARGIN},
+    "previous": {sweep_engine_prev}
   }},
   "timeout_timeline": {{
     "description": "the FULL paper_day() concentrate trace with per-reservation timeout events: every rs_request arms a timeout on the timeline that the simulated reply cancels, so the engine delivers ~80x more events than the analytical-timeout day did; the best queue must stay within limit_vs_baseline of the analytical day's wall time (measured at commit b805ba5, same machine/methodology) and the brokering bookkeeping must be allocation-free past its mid-trace high-water mark — either violation fails non-zero",
@@ -1157,7 +1474,8 @@ fn main() {
       "ladder_wall_ms": {skewed_lad_ms:.1},
       "ladder_vs_calendar_speedup": {skewed_ladder_vs_calendar:.3},
       "required_ladder_margin": {LADDER_VS_CALENDAR_MARGIN}
-    }}
+    }},
+    "previous": {timeline_prev}
   }},
   "scenario_matrix": {{
     "description": "fault-injection scenario matrix (p2pmpi_bench::scenario, the scenario_runner binary) at the CI scale: each scenario replays the compressed day with one named adversity (correlated site outage, 10x flash crowd, link degradation, supernode crash, grant-leak stress) and is judged against explicit graceful-degradation criteria; any failed verdict fails non-zero",
@@ -1168,7 +1486,29 @@ fn main() {
     "all_passed": {scenario_all_passed},
     "scenarios": [
 {scenario_rows_json}
-    ]
+    ],
+    "previous": {scenario_prev}
+  }},
+  "sustained_throughput": {{
+    "description": "sharded week-scale driver (p2pmpi_bench::shard, the week_sweep binary): the paper day tiled across 7 days, compressed 168x, replayed over {SUSTAINED_SHARDS} site-aligned shard timelines running on scoped threads between conservative cross-shard barriers, versus the bit-identical single-thread driver; the speedup gate is architecture-aware (hw_threads >= 2 requires {SUSTAINED_PARALLEL_EFFICIENCY} x min(shards, hw_threads); a single hardware thread only bounds thread/barrier overhead at {SUSTAINED_SINGLE_THREAD_FLOOR}x) and full runs fail non-zero when events_per_sec drops more than {SUSTAINED_DROP_LIMIT} below the previous block",
+    "shards": {sus_shards},
+    "hw_threads": {sus_hw},
+    "days": 7,
+    "compress": 168,
+    "rate_scale": {sus_rate},
+    "jobs": {sus_jobs},
+    "timeline_events": {sus_events},
+    "barriers": {sus_barriers},
+    "cross_jobs_submitted": {sus_cross_submitted},
+    "cross_jobs_placed": {sus_cross_succeeded},
+    "parallel_wall_ms": {sus_par_ms:.1},
+    "single_thread_wall_ms": {sus_seq_ms:.1},
+    "events_per_sec": {sus_eps:.0},
+    "jobs_per_sec": {sus_jps:.1},
+    "speedup": {sus_speedup:.2},
+    "target_speedup": 4.0,
+    "drop_limit": {SUSTAINED_DROP_LIMIT},
+    "previous": {sustained_prev}
   }},
   "placement_search": {{
     "description": "model-driven placement search (p2pmpi_bench::search annealing over p2pmpi_mpi::model::PlacementCost): delta evaluation re-costs a move in O(affected ranks) against cached per-segment clocks instead of a full model replay; gates (all fail non-zero): delta >= {PLACEMENT_DELTA_SPEEDUP_MIN}x cheaper per move than the ModelComm replay at EP@256, searched never worse than best-of(concentrate, spread) on the standard grids, > {PLACEMENT_SKEWED_IMPROVEMENT_MIN} better on the skewed grid, and the EP@1024 10k-move 4-chain search within {PLACEMENT_SEARCH_WALL_BUDGET_S}s wall",
@@ -1204,7 +1544,8 @@ fn main() {
       "searched_s": {budget_best:.6},
       "wall_s": {budget_wall_s:.2},
       "budget_s": {PLACEMENT_SEARCH_WALL_BUDGET_S}
-    }}
+    }},
+    "previous": {placement_prev}
   }}
 }}
 "#
@@ -1221,18 +1562,19 @@ fn main() {
     // Same for the event engine, gated per configuration: the calendar
     // queue — the sweep-scale configuration the arena store exists for —
     // must beat the seed's boxed-closure heap outright, and the binary-heap
-    // configuration (where the slab is pure overhead on top of a still-boxed
-    // closure; nothing outside these benches drives it today) must stay
-    // within a documented 15% of the baseline so the slab cost cannot creep.
+    // configuration must stay within ARENA_HEAP_VS_BOXED_MIN of the
+    // baseline — the packed-ticket sort key reclaimed the old slab-lookup
+    // churn regression, and this gate keeps it reclaimed.
     if arena_cal_eps < boxed_eps {
         eprintln!(
             "FAIL: arena calendar queue ({arena_cal_eps:.0} events/s) is slower than the boxed-closure baseline ({boxed_eps:.0} events/s)"
         );
         drifted = true;
     }
-    if arena_heap_eps < 0.85 * boxed_eps {
+    if arena_heap_eps < ARENA_HEAP_VS_BOXED_MIN * boxed_eps {
         eprintln!(
-            "FAIL: arena binary heap ({arena_heap_eps:.0} events/s) fell more than 15% below the boxed-closure baseline ({boxed_eps:.0} events/s)"
+            "FAIL: arena binary heap ({arena_heap_eps:.0} events/s) fell below \
+             {ARENA_HEAP_VS_BOXED_MIN}x the boxed-closure baseline ({boxed_eps:.0} events/s)"
         );
         drifted = true;
     }
@@ -1256,6 +1598,21 @@ fn main() {
     drifted |= check_placement_search_gates(&ps);
     // … the graceful-degradation verdicts of the fault-injection matrix …
     drifted |= check_scenario_gates(&scenario_verdicts);
+    // … the architecture-aware sharded-driver speedup …
+    drifted |= check_sustained_gates(&sus);
+    // … the trajectory gate: sustained events/s may not silently erode
+    // between consecutive full reports on the same machine …
+    if let Some(prev_eps) = prev_sustained_eps {
+        if sus.events_per_sec < prev_eps * (1.0 - SUSTAINED_DROP_LIMIT) {
+            eprintln!(
+                "FAIL: sustained sharded throughput ({:.0} events/s) dropped more than \
+                 {:.0}% below the previous report ({prev_eps:.0} events/s)",
+                sus.events_per_sec,
+                SUSTAINED_DROP_LIMIT * 100.0
+            );
+            drifted = true;
+        }
+    }
     // … plus the machine-absolute one only the full run can judge: putting
     // every reservation's timeout on the timeline must not cost more than
     // TIMEOUT_TIMELINE_LIMIT× the analytical-timeout day on the best queue.

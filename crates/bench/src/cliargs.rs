@@ -164,6 +164,52 @@ pub fn day_sweep_flags() -> DaySweepFlags {
     }
 }
 
+/// Flags of the `week_sweep` sharded-driver binary.
+pub struct WeekSweepFlags {
+    /// `--shards N`: number of site-aligned shards (default 4).
+    pub shards: usize,
+    /// `--days N`: how many paper days to tile into the trace (default 7).
+    pub days: usize,
+    /// `--cross-fraction F`: fraction of jobs brokered cross-shard at
+    /// synchronization barriers (default 0.05).
+    pub cross_fraction: f64,
+    /// `--strategy concentrate|spread`: allocation strategy (default
+    /// spread — cross-shard splits exercise more than one site).
+    pub strategy: String,
+    /// `--queue heap|calendar|ladder`: per-shard timeline structure
+    /// (default ladder).
+    pub queue: String,
+    /// `--seed N`: master seed (default 2008).
+    pub seed: u64,
+    /// `--compress F`: replay the trace's shape in `1/F` of the virtual
+    /// time.
+    pub compress: Option<f64>,
+    /// `--rate-scale F`: multiply every arrival rate (job count scales).
+    pub rate_scale: Option<f64>,
+    /// `--sequential`: run the shard timelines on one thread (the
+    /// bit-identical speedup baseline).
+    pub sequential: bool,
+    /// `--baseline`: additionally run the single-thread driver and report
+    /// the parallel speedup.
+    pub baseline: bool,
+}
+
+/// Parses the `week_sweep` flags.
+pub fn week_sweep_flags() -> WeekSweepFlags {
+    WeekSweepFlags {
+        shards: flag_u64("--shards").unwrap_or(4) as usize,
+        days: flag_u64("--days").unwrap_or(7) as usize,
+        cross_fraction: flag_f64("--cross-fraction").unwrap_or(0.05),
+        strategy: flag_value("--strategy").unwrap_or_else(|| "spread".to_string()),
+        queue: flag_value("--queue").unwrap_or_else(|| "ladder".to_string()),
+        seed: flag_u64("--seed").unwrap_or(2008),
+        compress: flag_f64("--compress"),
+        rate_scale: flag_f64("--rate-scale"),
+        sequential: flag_present("--sequential"),
+        baseline: flag_present("--baseline"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

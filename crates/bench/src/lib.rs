@@ -28,6 +28,7 @@ pub mod experiments;
 pub mod output;
 pub mod scenario;
 pub mod search;
+pub mod shard;
 pub mod workload;
 
 pub use experiments::{fig2_fig3_sweep, fig4_kernel_times, Fig4Kernel, Fig4Point, Fig4Settings};
@@ -36,6 +37,7 @@ pub use scenario::{
     run_matrix, run_scenario, Scenario, ScenarioParams, ScenarioVerdict, ALL_SCENARIOS,
 };
 pub use search::{search_placement, SearchParams, SearchReport};
+pub use shard::{run_shard_sweep, ShardSweepConfig, ShardSweepResult};
 pub use workload::{
     run_day_sweep, BurstyArrivals, DayProfile, DaySweepConfig, DaySweepResult, FaultSpec, JobMix,
     PoissonArrivals,

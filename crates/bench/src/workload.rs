@@ -23,7 +23,8 @@
 
 use crate::experiments::{run_kernel_on_placement, Fig4Kernel, Fig4Settings};
 use p2pmpi_core::prelude::*;
-use p2pmpi_grid5000::testbed::{grid5000_testbed_with_queue, Grid5000Testbed};
+use p2pmpi_grid5000::testbed::{testbed_from_specs_with_queue, Grid5000Testbed};
+use p2pmpi_grid5000::{ClusterSpec, TABLE1};
 use p2pmpi_mpi::placement::Placement;
 use p2pmpi_overlay::churn::flapping_churn;
 use p2pmpi_simgrid::event::QueueKind;
@@ -286,6 +287,35 @@ impl DayProfile {
         }
         self.horizon = SimDuration::from_secs_f64(self.horizon.as_secs_f64() / factor);
         self
+    }
+
+    /// Tiles the profile `times` times end to end: copy `i`'s segments are
+    /// offset by `i × horizon`, so a day profile becomes `times` identical
+    /// days and the expected job count scales by `times`.  Composes with
+    /// [`DayProfile::scaled`] (traffic multiplier) and
+    /// [`DayProfile::compressed`] — the week-scale sweep driver builds its
+    /// trace as `paper_day().repeated(7).scaled(10.0)` and compresses for
+    /// CI.  Offsets are computed in integer nanoseconds, so the tiling is
+    /// exact.
+    pub fn repeated(&self, times: usize) -> Self {
+        assert!(times >= 1, "repeating zero times would erase the profile");
+        let horizon_ns = self.horizon.as_nanos();
+        let mut segments = Vec::with_capacity(self.segments.len() * times);
+        for i in 0..times {
+            let offset = SimDuration::from_nanos(horizon_ns * i as u64);
+            segments.extend(self.segments.iter().map(|s| RateSegment {
+                start: s.start + offset,
+                rate_per_sec: s.rate_per_sec,
+            }));
+        }
+        Self::piecewise(segments, SimDuration::from_nanos(horizon_ns * times as u64))
+    }
+
+    /// A week of paper days: [`DayProfile::paper_day`] tiled seven times
+    /// (≈ 152k expected jobs at 1× traffic; the ROADMAP's production-scale
+    /// target runs it at 10×).
+    pub fn week() -> Self {
+        Self::paper_day().repeated(7)
     }
 
     /// Splices a flash crowd into the profile: between `at` and
@@ -572,6 +602,16 @@ pub struct DaySweepConfig {
     /// participant is freed).  Off by default: the baseline day pays zero
     /// tracking overhead.
     pub fail_jobs_on_crash: bool,
+    /// Tombstone-reap cadence: at each job boundary the driver compares the
+    /// timeline's queued-ticket count against its live count, and when the
+    /// difference (cancelled-but-unpopped tombstones) exceeds this
+    /// threshold it calls the queue's eager compaction
+    /// (`EventQueue::reap`).  This bounds the dead weight a cancel-heavy
+    /// trace (churn revoking completions, timeout losers) can accumulate:
+    /// dead tickets never exceed `reap_threshold` plus one job's worth of
+    /// cancellations.  Reaping is outcome-invariant — it only drops
+    /// tickets `pop` would have skipped.  `usize::MAX` disables it.
+    pub reap_threshold: usize,
 }
 
 impl DaySweepConfig {
@@ -591,6 +631,7 @@ impl DaySweepConfig {
             rs_timeout_fast_path: true,
             faults: Vec::new(),
             fail_jobs_on_crash: false,
+            reap_threshold: 8192,
         }
     }
 
@@ -694,6 +735,14 @@ pub struct DaySweepResult {
     pub leaked_grants: u64,
     /// High-water mark of simultaneously outstanding leaked grants.
     pub leaked_grant_hwm: u64,
+    /// Tombstones eagerly compacted by the reap cadence (see
+    /// [`DaySweepConfig::reap_threshold`]).  Zero when the trace never
+    /// crossed the threshold or reaping is disabled.
+    pub reaped_tickets: u64,
+    /// High-water mark of dead (cancelled-but-unpopped) tickets observed at
+    /// job boundaries.  With reaping on, bounded by `reap_threshold` plus
+    /// one inter-job interval's cancellations.
+    pub dead_ticket_hwm: usize,
 }
 
 impl DaySweepResult {
@@ -718,7 +767,7 @@ impl DaySweepResult {
 }
 
 /// Running processes per site, in site-id order.
-fn sample_running(tb: &Grid5000Testbed) -> Vec<u32> {
+pub(crate) fn sample_running(tb: &Grid5000Testbed) -> Vec<u32> {
     let mut running = vec![0u32; tb.topology.site_count()];
     for peer in tb.overlay.peer_ids() {
         let site = tb.topology.host(tb.overlay.host_of(peer)).site;
@@ -727,15 +776,12 @@ fn sample_running(tb: &Grid5000Testbed) -> Vec<u32> {
     running
 }
 
-/// Replays a [`DayProfile`] submission trace against a fresh Grid'5000
-/// testbed on the overlay's event timeline.  See the module docs for the
-/// driver-loop shape; the `fig23_sweep` binary renders the result.
-pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
-    // Flash crowds reshape the arrival process itself, so they apply to the
-    // profile before the trace is drawn; every other fault is an event on
-    // the overlay timeline.
-    let mut profile = cfg.profile.clone();
-    for fault in &cfg.faults {
+/// Applies the [`FaultSpec::FlashCrowd`] entries of `faults` to `profile`
+/// (flash crowds reshape the arrival process itself, so they act before the
+/// trace is drawn; every other fault is an event on the overlay timeline).
+pub(crate) fn burst_profile(profile: &DayProfile, faults: &[FaultSpec]) -> DayProfile {
+    let mut profile = profile.clone();
+    for fault in faults {
         if let FaultSpec::FlashCrowd {
             at,
             duration,
@@ -745,205 +791,347 @@ pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
             profile = profile.with_burst(*at, *duration, *factor);
         }
     }
-    let trace = day_trace(&profile, &cfg.mix, cfg.seed);
-    let mut tb = grid5000_testbed_with_queue(cfg.seed, NoiseModel::default(), cfg.queue);
-    tb.overlay.tracer().set_enabled(false);
-    tb.overlay
-        .set_rs_timeout_fast_path(cfg.rs_timeout_fast_path);
-    tb.overlay.set_fail_jobs_on_crash(cfg.fail_jobs_on_crash);
+    profile
+}
 
-    // Periodic behaviours share the timeline with submissions/completions.
-    tb.overlay.start_heartbeats();
-    tb.overlay
-        .start_reservation_expiry(SimDuration::from_secs(60), SimDuration::from_secs(120));
-    let submitter = tb.submitter;
-    tb.overlay.start_cache_refresh(submitter, cfg.cache_refresh);
+/// The reusable heart of a sweep: one testbed, one timeline, and the
+/// submit/sample/charge loop of [`run_day_sweep`] — factored out so the
+/// sharded driver (`crate::shard`) can run one `SweepCore` per shard over
+/// its own site subset while the sequential sweep runs a single core over
+/// all of Table 1.  Operation order inside [`SweepCore::submit`] and
+/// [`SweepCore::finish`] is exactly the historical sequential loop; the
+/// one addition, the tombstone-reap cadence, is outcome-invariant.
+pub(crate) struct SweepCore {
+    pub(crate) cfg: DaySweepConfig,
+    pub(crate) tb: Grid5000Testbed,
+    pub(crate) allocator: CoAllocator,
+    pub(crate) settings: Fig4Settings,
+    site_names: Vec<String>,
+    site_cores: Vec<usize>,
+    samples: Vec<UtilisationSample>,
+    next_sample: SimTime,
+    next_probe: Option<SimTime>,
+    core_seconds: Vec<f64>,
+    hold_secs_total: f64,
+    pub(crate) submitted: usize,
+    pub(crate) succeeded: usize,
+    pub(crate) failed: usize,
+    pub(crate) timeouts: u64,
+    mid_job: usize,
+    mid_caps: (usize, usize),
+    reaped_tickets: u64,
+    dead_ticket_hwm: usize,
+}
 
-    // Flapping churn rides the same timeline: booked-but-dead peers park a
-    // full rs_timeout each (the timeout-heavy skewed population).
-    if let Some(churn) = &cfg.churn {
-        let peers: Vec<_> = tb
-            .overlay
-            .peer_ids()
-            .into_iter()
-            .filter(|&p| p != submitter)
-            .collect();
-        let mut churn_rng = seeded(derive_seed(cfg.seed, 0xF1A9));
-        let schedule = flapping_churn(
-            &peers,
-            churn.fraction,
-            cfg.profile.horizon(),
-            churn.downtime,
-            churn.uptime,
-            &mut churn_rng,
-        );
-        tb.overlay.schedule_churn(schedule.finish());
-    }
+impl SweepCore {
+    /// Boots a testbed over `specs` and installs every periodic behaviour
+    /// and fault of `cfg`, exactly as the sequential sweep always has.
+    /// `seed` feeds the testbed, churn phases and kernel model (the
+    /// sequential sweep passes `cfg.seed`; shards > 0 pass derived
+    /// sub-seeds so their noise streams are independent).  `mid_job` is the
+    /// submission index at which steady-state capacities are sampled.
+    ///
+    /// Faults naming a site must name one present in `specs` — the sharded
+    /// driver routes site-scoped faults to the owning shard before
+    /// constructing cores.
+    pub(crate) fn new(
+        cfg: &DaySweepConfig,
+        specs: &[ClusterSpec],
+        seed: u64,
+        mid_job: usize,
+    ) -> Self {
+        let mut tb = testbed_from_specs_with_queue(specs, seed, NoiseModel::default(), cfg.queue);
+        tb.overlay.tracer().set_enabled(false);
+        tb.overlay
+            .set_rs_timeout_fast_path(cfg.rs_timeout_fast_path);
+        tb.overlay.set_fail_jobs_on_crash(cfg.fail_jobs_on_crash);
 
-    // Timeline faults: correlated site outages, link degradation windows
-    // and supernode crashes ride the same event queue as everything else.
-    let submitter_peer = tb.submitter;
-    for fault in &cfg.faults {
-        match fault {
-            FaultSpec::FlashCrowd { .. } => {} // applied to the profile above
-            FaultSpec::SiteOutage { site, at, duration } => {
-                let schedule = p2pmpi_grid5000::site_outage_schedule(
-                    &tb.overlay,
-                    site,
-                    SimTime::ZERO + *at,
-                    *duration,
-                    &[submitter_peer],
-                );
-                tb.overlay.schedule_churn(schedule.finish());
-            }
-            FaultSpec::SlowLinks {
-                site,
-                at,
-                duration,
-                latency_factor,
-            } => {
-                let site_id = tb
-                    .topology
-                    .site_by_name(site)
-                    .unwrap_or_else(|| panic!("unknown site '{site}'"))
-                    .id;
-                tb.overlay.schedule_link_degradation(
-                    site_id,
-                    SimTime::ZERO + *at,
-                    *duration,
-                    *latency_factor,
-                );
-            }
-            FaultSpec::SupernodeOutage { at, duration } => {
-                tb.overlay
-                    .schedule_supernode_outage(SimTime::ZERO + *at, *duration);
-            }
-        }
-    }
+        // Periodic behaviours share the timeline with submissions and
+        // completions.
+        tb.overlay.start_heartbeats();
+        tb.overlay
+            .start_reservation_expiry(SimDuration::from_secs(60), SimDuration::from_secs(120));
+        let submitter = tb.submitter;
+        tb.overlay.start_cache_refresh(submitter, cfg.cache_refresh);
 
-    let allocator = CoAllocator::new();
-    let settings = Fig4Settings {
-        seed: cfg.seed,
-        ..Fig4Settings::default()
-    }
-    .modeled();
-
-    let site_names: Vec<String> = tb.topology.sites().iter().map(|s| s.name.clone()).collect();
-    let site_cores: Vec<usize> = tb
-        .topology
-        .sites()
-        .iter()
-        .map(|s| tb.topology.cores_at_site(s.id))
-        .collect();
-
-    let horizon = SimTime::ZERO + cfg.profile.horizon();
-    let mut samples = Vec::new();
-    let mut next_sample = SimTime::ZERO;
-    let mut core_seconds = vec![0.0f64; site_names.len()];
-    let mut hold_secs_total = 0.0f64;
-    let mut succeeded = 0usize;
-    let mut failed = 0usize;
-    let mut timeouts = 0u64;
-
-    let sample_due = |tb: &mut Grid5000Testbed,
-                      upto: SimTime,
-                      next: &mut SimTime,
-                      samples: &mut Vec<UtilisationSample>| {
-        while *next <= upto {
-            tb.overlay.run_until(*next);
-            samples.push(UtilisationSample {
-                t: *next,
-                running: sample_running(tb),
-            });
-            *next += cfg.sample_period;
-        }
-    };
-
-    // Under churn the submitter re-probes on the refresh cadence, exactly
-    // like its bootstrap did: freshly (re-)learned peers re-enter the
-    // booking order by measured latency instead of parking unprobed at the
-    // back.  This is what keeps flapping peers *bookable* — and their dead
-    // phases parking rs_timeout events on the timeline.  Driven from the
-    // submission loop (not a scheduled event) so the probe RNG draws happen
-    // at job boundaries, identically for every queue kind.
-    let mut next_probe = if cfg.churn.is_some() || !cfg.faults.is_empty() {
-        Some(SimTime::ZERO + cfg.cache_refresh)
-    } else {
-        None
-    };
-
-    let mid_job = trace.len() / 2;
-    let mut mid_caps = (0usize, 0usize);
-    for (i, job) in trace.iter().enumerate() {
-        if i == mid_job {
-            mid_caps = (
-                tb.overlay.events_capacity(),
-                tb.overlay.rs_scratch_capacity(),
+        // Flapping churn rides the same timeline: booked-but-dead peers
+        // park a full rs_timeout each (the timeout-heavy skewed
+        // population).
+        if let Some(churn) = &cfg.churn {
+            let peers: Vec<_> = tb
+                .overlay
+                .peer_ids()
+                .into_iter()
+                .filter(|&p| p != submitter)
+                .collect();
+            let mut churn_rng = seeded(derive_seed(seed, 0xF1A9));
+            let schedule = flapping_churn(
+                &peers,
+                churn.fraction,
+                cfg.profile.horizon(),
+                churn.downtime,
+                churn.uptime,
+                &mut churn_rng,
             );
+            tb.overlay.schedule_churn(schedule.finish());
         }
-        sample_due(&mut tb, job.at, &mut next_sample, &mut samples);
-        tb.overlay.run_until(job.at);
-        if let Some(due) = &mut next_probe {
-            if tb.overlay.now() >= *due {
-                tb.overlay.probe_round(submitter);
-                while *due <= tb.overlay.now() {
-                    *due += cfg.cache_refresh;
+
+        // Timeline faults: correlated site outages, link degradation
+        // windows and supernode crashes ride the same event queue as
+        // everything else.
+        let submitter_peer = tb.submitter;
+        for fault in &cfg.faults {
+            match fault {
+                FaultSpec::FlashCrowd { .. } => {} // applied to the profile pre-trace
+                FaultSpec::SiteOutage { site, at, duration } => {
+                    let schedule = p2pmpi_grid5000::site_outage_schedule(
+                        &tb.overlay,
+                        site,
+                        SimTime::ZERO + *at,
+                        *duration,
+                        &[submitter_peer],
+                    );
+                    tb.overlay.schedule_churn(schedule.finish());
+                }
+                FaultSpec::SlowLinks {
+                    site,
+                    at,
+                    duration,
+                    latency_factor,
+                } => {
+                    let site_id = tb
+                        .topology
+                        .site_by_name(site)
+                        .unwrap_or_else(|| panic!("unknown site '{site}'"))
+                        .id;
+                    tb.overlay.schedule_link_degradation(
+                        site_id,
+                        SimTime::ZERO + *at,
+                        *duration,
+                        *latency_factor,
+                    );
+                }
+                FaultSpec::SupernodeOutage { at, duration } => {
+                    tb.overlay
+                        .schedule_supernode_outage(SimTime::ZERO + *at, *duration);
                 }
             }
         }
-        let request = JobRequest::new(job.ranks, cfg.strategy, job.kernel.program());
-        let report = allocator.allocate(&mut tb.overlay, tb.submitter, &request);
-        timeouts += report.dead as u64;
+
+        let allocator = CoAllocator::new();
+        let settings = Fig4Settings {
+            seed,
+            ..Fig4Settings::default()
+        }
+        .modeled();
+
+        let site_names: Vec<String> = tb.topology.sites().iter().map(|s| s.name.clone()).collect();
+        let site_cores: Vec<usize> = tb
+            .topology
+            .sites()
+            .iter()
+            .map(|s| tb.topology.cores_at_site(s.id))
+            .collect();
+        let core_seconds = vec![0.0f64; site_names.len()];
+
+        // Under churn the submitter re-probes on the refresh cadence,
+        // exactly like its bootstrap did: freshly (re-)learned peers
+        // re-enter the booking order by measured latency instead of parking
+        // unprobed at the back.  Driven from the submission loop (not a
+        // scheduled event) so the probe RNG draws happen at job
+        // boundaries, identically for every queue kind.
+        let next_probe = if cfg.churn.is_some() || !cfg.faults.is_empty() {
+            Some(SimTime::ZERO + cfg.cache_refresh)
+        } else {
+            None
+        };
+
+        SweepCore {
+            cfg: cfg.clone(),
+            tb,
+            allocator,
+            settings,
+            site_names,
+            site_cores,
+            samples: Vec::new(),
+            next_sample: SimTime::ZERO,
+            next_probe,
+            core_seconds,
+            hold_secs_total: 0.0,
+            submitted: 0,
+            succeeded: 0,
+            failed: 0,
+            timeouts: 0,
+            mid_job,
+            mid_caps: (0, 0),
+            reaped_tickets: 0,
+            dead_ticket_hwm: 0,
+        }
+    }
+
+    /// Takes every utilisation sample due at or before `upto`.
+    fn sample_due(&mut self, upto: SimTime) {
+        while self.next_sample <= upto {
+            self.tb.overlay.run_until(self.next_sample);
+            self.samples.push(UtilisationSample {
+                t: self.next_sample,
+                running: sample_running(&self.tb),
+            });
+            self.next_sample += self.cfg.sample_period;
+        }
+    }
+
+    /// Re-probes the supernode cache if a refresh period elapsed.
+    fn maybe_probe(&mut self) {
+        if let Some(due) = &mut self.next_probe {
+            if self.tb.overlay.now() >= *due {
+                self.tb.overlay.probe_round(self.tb.submitter);
+                while *due <= self.tb.overlay.now() {
+                    *due += self.cfg.cache_refresh;
+                }
+            }
+        }
+    }
+
+    /// The tombstone-reap cadence (see [`DaySweepConfig::reap_threshold`]):
+    /// tracks the dead-ticket high-water mark and eagerly compacts the
+    /// timeline when cancellations outrun pops.
+    fn maybe_reap(&mut self) {
+        let dead = self
+            .tb
+            .overlay
+            .events_queued()
+            .saturating_sub(self.tb.overlay.events_pending());
+        self.dead_ticket_hwm = self.dead_ticket_hwm.max(dead);
+        if dead > self.cfg.reap_threshold {
+            self.reaped_tickets += self.tb.overlay.reap_events() as u64;
+        }
+    }
+
+    /// Advances the timeline to `at` with samples, probe and reap cadence —
+    /// exactly what [`SweepCore::submit`] does before brokering.  The
+    /// sharded driver calls this to bring a shard to a synchronization
+    /// barrier.
+    pub(crate) fn advance_to(&mut self, at: SimTime) {
+        self.sample_due(at);
+        self.tb.overlay.run_until(at);
+        self.maybe_probe();
+        self.maybe_reap();
+    }
+
+    /// Charges `hold` on every booked host of `alloc` and schedules the
+    /// job's completion (releasing the hosts) `hold` after now.  The
+    /// counterpart, for cross-shard jobs whose hold was computed on the
+    /// merged view, is [`SweepCore::charge_remote`] plus the driver's
+    /// batched scatter-back.
+    pub(crate) fn record_success(
+        &mut self,
+        alloc: &p2pmpi_core::allocation::Allocation,
+        key: p2pmpi_overlay::ReservationKey,
+        hold: SimDuration,
+    ) {
+        self.succeeded += 1;
+        self.hold_secs_total += hold.as_secs_f64();
+        let done_at = self.tb.overlay.now() + hold;
+        self.charge_remote(alloc, hold);
+        let peers: Vec<_> = alloc.hosts.iter().map(|h| h.peer).collect();
+        self.tb.overlay.schedule_completion(done_at, key, peers);
+    }
+
+    /// Adds `hold`'s core-seconds for `alloc`'s hosts to this core's
+    /// per-site ledger without scheduling anything — the charging half of
+    /// [`SweepCore::record_success`], used on its own when the completion
+    /// is scattered back in a barrier batch.
+    pub(crate) fn charge_remote(
+        &mut self,
+        alloc: &p2pmpi_core::allocation::Allocation,
+        hold: SimDuration,
+    ) {
+        for h in &alloc.hosts {
+            let site = self.tb.topology.host(h.host).site;
+            self.core_seconds[site.0] += h.instances() as f64 * hold.as_secs_f64();
+        }
+    }
+
+    /// Submits one job: advance the timeline to its arrival, broker it,
+    /// and on success charge the modeled kernel time on the job's real
+    /// placement as a hold on its booked hosts.
+    pub(crate) fn submit(&mut self, job: &JobSpec) {
+        if self.submitted == self.mid_job {
+            self.mid_caps = (
+                self.tb.overlay.events_capacity(),
+                self.tb.overlay.rs_scratch_capacity(),
+            );
+        }
+        self.submitted += 1;
+        self.advance_to(job.at);
+        let request = JobRequest::new(job.ranks, self.cfg.strategy, job.kernel.program());
+        let report = self
+            .allocator
+            .allocate(&mut self.tb.overlay, self.tb.submitter, &request);
+        self.timeouts += report.dead as u64;
         match &report.outcome {
             Ok(alloc) => {
-                succeeded += 1;
-                // Charge the modeled kernel time on the job's real placement
-                // as a hold on its booked hosts.
                 let placement = Placement::from_allocation(alloc);
                 let point = run_kernel_on_placement(
                     job.kernel,
-                    cfg.strategy,
+                    self.cfg.strategy,
                     &placement,
-                    &tb.topology,
-                    &settings,
+                    &self.tb.topology,
+                    &self.settings,
                 );
-                let hold = point.makespan.mul_f64(cfg.duration_scale);
-                hold_secs_total += hold.as_secs_f64();
-                let done_at = tb.overlay.now() + hold;
-                for h in &alloc.hosts {
-                    let site = tb.topology.host(h.host).site;
-                    core_seconds[site.0] += h.instances() as f64 * hold.as_secs_f64();
-                }
-                let peers: Vec<_> = alloc.hosts.iter().map(|h| h.peer).collect();
-                tb.overlay.schedule_completion(done_at, report.key, peers);
+                let hold = point.makespan.mul_f64(self.cfg.duration_scale);
+                self.record_success(alloc, report.key, hold);
             }
-            Err(_) => failed += 1,
+            Err(_) => self.failed += 1,
         }
     }
-    // Drain the tail of the day: remaining samples, completions, heartbeats.
-    sample_due(&mut tb, horizon, &mut next_sample, &mut samples);
-    tb.overlay.run_until(horizon);
 
-    DaySweepResult {
-        site_names,
-        site_cores,
-        samples,
-        core_seconds,
-        submitted: trace.len(),
-        succeeded,
-        failed,
-        timeouts,
-        mean_hold_secs: hold_secs_total / succeeded.max(1) as f64,
-        events_processed: tb.overlay.events_processed(),
-        virtual_end: tb.overlay.now(),
-        events_capacity_mid: mid_caps.0,
-        events_capacity_end: tb.overlay.events_capacity(),
-        rs_scratch_capacity_mid: mid_caps.1,
-        rs_scratch_capacity_end: tb.overlay.rs_scratch_capacity(),
-        jobs_killed: tb.overlay.jobs_killed(),
-        leaked_grants: tb.overlay.leaked_grants(),
-        leaked_grant_hwm: tb.overlay.leaked_grant_hwm(),
+    /// Drains the tail of the trace (remaining samples, completions,
+    /// heartbeats) up to `horizon` and closes the books.
+    pub(crate) fn finish(mut self, horizon: SimTime) -> DaySweepResult {
+        self.sample_due(horizon);
+        self.tb.overlay.run_until(horizon);
+
+        DaySweepResult {
+            site_names: self.site_names,
+            site_cores: self.site_cores,
+            samples: self.samples,
+            core_seconds: self.core_seconds,
+            submitted: self.submitted,
+            succeeded: self.succeeded,
+            failed: self.failed,
+            timeouts: self.timeouts,
+            mean_hold_secs: self.hold_secs_total / self.succeeded.max(1) as f64,
+            events_processed: self.tb.overlay.events_processed(),
+            virtual_end: self.tb.overlay.now(),
+            events_capacity_mid: self.mid_caps.0,
+            events_capacity_end: self.tb.overlay.events_capacity(),
+            rs_scratch_capacity_mid: self.mid_caps.1,
+            rs_scratch_capacity_end: self.tb.overlay.rs_scratch_capacity(),
+            jobs_killed: self.tb.overlay.jobs_killed(),
+            leaked_grants: self.tb.overlay.leaked_grants(),
+            leaked_grant_hwm: self.tb.overlay.leaked_grant_hwm(),
+            reaped_tickets: self.reaped_tickets,
+            dead_ticket_hwm: self.dead_ticket_hwm,
+        }
     }
+}
+
+/// Replays a [`DayProfile`] submission trace against a fresh Grid'5000
+/// testbed on the overlay's event timeline.  See the module docs for the
+/// driver-loop shape; the `fig23_sweep` binary renders the result.  This
+/// is the sequential driver: one [`SweepCore`] over all of Table 1, every
+/// job shard-local.  `crate::shard::run_shard_sweep` runs the same loop
+/// split over per-site shards.
+pub fn run_day_sweep(cfg: &DaySweepConfig) -> DaySweepResult {
+    let profile = burst_profile(&cfg.profile, &cfg.faults);
+    let trace = day_trace(&profile, &cfg.mix, cfg.seed);
+    let mut core = SweepCore::new(cfg, TABLE1, cfg.seed, trace.len() / 2);
+    for job in &trace {
+        core.submit(job);
+    }
+    core.finish(SimTime::ZERO + cfg.profile.horizon())
 }
 
 #[cfg(test)]
@@ -1072,6 +1260,30 @@ mod tests {
         // Scaling then stacks on top for the ~1k-job CI smoke.
         let small = c.scaled(0.05);
         assert!((small.expected_jobs() - 0.05 * expected).abs() < 1e-6 * expected);
+    }
+
+    #[test]
+    fn repeated_tiles_the_day_exactly() {
+        let day = DayProfile::paper_day();
+        let week = DayProfile::week();
+        assert_eq!(week.horizon(), SimDuration::from_secs(7 * 86_400));
+        assert!(
+            (week.expected_jobs() - 7.0 * day.expected_jobs()).abs() < 1e-6 * day.expected_jobs()
+        );
+        // Every instant of day k sees day 0's rate: the tiling is exact.
+        for hour in [0u64, 3, 9, 12, 17, 23] {
+            let t = SimDuration::from_secs(hour * 3600);
+            for k in 1..7u64 {
+                let shifted = t + SimDuration::from_secs(k * 86_400);
+                assert_eq!(week.rate_at(shifted), day.rate_at(t), "day {k} hour {hour}");
+            }
+        }
+        // repeated(1) is the identity, and compression stacks on top.
+        assert_eq!(day.repeated(1).expected_jobs(), day.expected_jobs());
+        let week_jobs = week.expected_jobs();
+        let c = week.compressed(168.0);
+        assert_eq!(c.horizon(), SimDuration::from_secs(3600));
+        assert!((c.expected_jobs() - week_jobs).abs() < 1e-6 * week_jobs);
     }
 
     #[test]

@@ -206,6 +206,50 @@ fn dead_peer_day_parks_timeouts_on_the_timeline_identically_on_every_queue() {
 }
 
 #[test]
+fn reap_cadence_bounds_dead_tickets_on_a_cancel_heavy_week() {
+    // The cancel-heavy week: seven compressed dead-peer days with job-kill
+    // on crash and stretched holds, so churn keeps revoking far-future
+    // completions (cancel_batch) while armed timeouts keep losing races to
+    // millisecond replies — both leave tombstones parked on the timeline.
+    // With reaping disabled the dead weight grows past any fixed bound;
+    // with the cadence on, it must stay bounded by the threshold plus one
+    // inter-job interval — and reaping must not change a single outcome.
+    let run = |reap_threshold: usize| {
+        let mut cfg =
+            p2pmpi_bench::workload::DaySweepConfig::dead_peer_day(StrategyKind::Concentrate)
+                .compress(168.0);
+        cfg.profile = p2pmpi_bench::workload::DayProfile::week()
+            .scaled(0.02)
+            .compressed(168.0);
+        cfg.fail_jobs_on_crash = true;
+        cfg.duration_scale = 20.0;
+        cfg.reap_threshold = reap_threshold;
+        run_day_sweep(&cfg)
+    };
+    let off = run(usize::MAX);
+    let on = run(200);
+    assert_identical(&off, &on, "reap cadence off vs on");
+    // The scenario genuinely cancels: jobs died to crashes, timeouts fired,
+    // and without reaping the standing dead population grows to tens of
+    // thousands of tickets (observed ~24k at threshold ∞).
+    assert!(off.jobs_killed > 0, "churn never killed a running job");
+    assert_eq!(off.reaped_tickets, 0, "disabled cadence must never reap");
+    assert!(
+        off.dead_ticket_hwm > 10_000,
+        "unreaped dead weight only reached {} tickets — the trace is not cancel-heavy",
+        off.dead_ticket_hwm
+    );
+    // With the cadence on, dead weight stays bounded by the threshold plus
+    // one inter-job interval's cancellations (observed ~360 at 200).
+    assert!(on.reaped_tickets > 0, "cadence never fired");
+    assert!(
+        on.dead_ticket_hwm <= 1_000,
+        "reaped run still accumulated {} dead tickets",
+        on.dead_ticket_hwm
+    );
+}
+
+#[test]
 fn injected_faults_agree_bit_for_bit_on_every_queue() {
     // Injected faults ride the same timeline as everything else — churn
     // events, mass revocations (`cancel_batch`), link-degradation toggles,

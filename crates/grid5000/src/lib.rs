@@ -22,6 +22,7 @@
 
 pub mod capacity;
 pub mod scenario;
+pub mod shard;
 pub mod sites;
 pub mod testbed;
 
@@ -30,6 +31,7 @@ pub use scenario::{
     allocate_on, coallocation_sweep, paper_demand_steps, paper_ep_process_counts,
     paper_is_process_counts, probe_vs_icmp_ranking, site_outage_schedule, SweepRow,
 };
+pub use shard::ShardPlan;
 pub use sites::{ClusterSpec, RTT_TO_NANCY_MS, SITE_ORDER, TABLE1};
 pub use testbed::{
     grid5000_testbed, grid5000_topology, legend, testbed_from_specs, topology_from_specs,

@@ -547,6 +547,27 @@ impl Overlay {
         self.run_until(target);
     }
 
+    /// [`Overlay::run_until`] plus the shard-barrier report: returns the
+    /// number of events delivered and the timeline's *safe horizon* — the
+    /// firing time of the next pending event, a lower bound on when this
+    /// overlay's state can next change without outside input (`None` if the
+    /// timeline drained dry).  A conservatively synchronised parallel
+    /// driver collects this from every shard at a barrier; see the
+    /// `p2pmpi_simgrid::event` module docs' *Parallel shards* section for
+    /// the contract.
+    pub fn run_until_horizon(&mut self, deadline: SimTime) -> (u64, Option<SimTime>) {
+        let delivered = self.run_until(deadline);
+        (delivered, self.sim.safe_horizon())
+    }
+
+    /// Eagerly compacts cancelled events' tombstoned tickets out of the
+    /// timeline, recycling their payload slots (the dead weight
+    /// [`Overlay::events_queued`]` - `[`Overlay::events_pending`] reports).
+    /// Outcome-invariant; returns how many dead tickets were collected.
+    pub fn reap_events(&mut self) -> usize {
+        self.sim.reap_events()
+    }
+
     /// Delivers one due timeline event.
     fn dispatch(&mut self, event: OverlayEvent) {
         match event {
@@ -873,6 +894,37 @@ impl Overlay {
             self.running_jobs.insert(key, (ev, tracked));
         }
         ev
+    }
+
+    /// Schedules a batch of job completions in iteration order through the
+    /// event queue's bulk splice, appending each completion's event key to
+    /// `keys`.  Semantically identical to calling
+    /// [`Overlay::schedule_completion`] per job — the batch occupies
+    /// consecutive sequence numbers, so same-instant completions fire in
+    /// batch order — but the payload store reserves once.  This is the
+    /// scatter-back path of the sharded sweep driver: a barrier that
+    /// brokered a cross-shard job splices the completion events of all its
+    /// sub-allocations into each owning shard's timeline in one call.
+    pub fn schedule_completion_batch(
+        &mut self,
+        jobs: impl IntoIterator<Item = (SimTime, ReservationKey, Vec<PeerId>)>,
+        keys: &mut Vec<EventKey>,
+    ) {
+        let track = self.fail_jobs_on_crash;
+        let mut tracked: Vec<(ReservationKey, Vec<PeerId>)> = Vec::new();
+        let start = keys.len();
+        self.sim.schedule_batch(
+            jobs.into_iter().map(|(at, key, peers)| {
+                if track {
+                    tracked.push((key, peers.clone()));
+                }
+                (at, OverlayEvent::JobComplete { key, peers })
+            }),
+            keys,
+        );
+        for ((key, peers), ev) in tracked.into_iter().zip(&keys[start..]) {
+            self.running_jobs.insert(key, (*ev, peers));
+        }
     }
 
     /// Cancels a scheduled job completion (the hosts stay booked; the caller

@@ -333,6 +333,46 @@ impl<E> TypedEngine<E> {
         self.queue.peek_time()
     }
 
+    /// The timeline's *safe horizon*: once everything due at or before the
+    /// owner's barrier time has been drained, this is a lower bound on when
+    /// the timeline's state can next change — between barriers new work
+    /// only enters from the owner's own event handlers.  `None` means the
+    /// timeline is drained dry and cannot change state at all until
+    /// something is scheduled from outside.  This is the per-shard report a
+    /// conservatively synchronised parallel driver collects at each barrier
+    /// (see the `crate::event` module docs' *Parallel shards* section).
+    pub fn safe_horizon(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Eagerly compacts cancelled events' tombstoned tickets out of the
+    /// queue, recycling their payload slots (see [`EventQueue::reap`]).
+    /// Returns how many dead tickets were collected.
+    pub fn reap_events(&mut self) -> usize {
+        self.queue.reap()
+    }
+
+    /// Schedules a batch of events in iteration order (consecutive sequence
+    /// numbers, so same-instant events fire in batch order), appending each
+    /// event's key to `keys`.  Scheduling in the past panics, as in
+    /// [`TypedEngine::schedule_at`].
+    pub fn schedule_batch(
+        &mut self,
+        events: impl IntoIterator<Item = (SimTime, E)>,
+        keys: &mut Vec<EventKey>,
+    ) {
+        let now = self.now;
+        self.queue.push_batch(
+            events.into_iter().inspect(|(at, _)| {
+                assert!(
+                    *at >= now,
+                    "cannot schedule an event in the past ({at} < {now})"
+                );
+            }),
+            keys,
+        );
+    }
+
     /// Schedules `event` at absolute time `at`, returning its key for
     /// [`TypedEngine::cancel`].  Scheduling in the past panics.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {

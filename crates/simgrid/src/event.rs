@@ -87,6 +87,37 @@
 //! a newer event.  This is what makes "cancel the timeout when the reply
 //! arrives" races safe to express: the late cancel of an already-fired
 //! timeout cannot revoke an unrelated event.
+//!
+//! Cancellation-heavy *long* traces can also compact on demand:
+//! [`EventQueue::reap`] eagerly collects every tombstoned ticket (and
+//! recycles its slot) without waiting for firing times or bucket transfers,
+//! so a driver can bound `queued_len() - live_len()` on whatever cadence it
+//! documents.
+//!
+//! # Parallel shards
+//!
+//! A conservatively synchronised parallel simulation (see `bench::shard`)
+//! runs one `EventQueue`-backed timeline per shard and advances the shards
+//! on separate threads between barriers.  Two properties of this module make
+//! that sound:
+//!
+//! * **Safe horizon** — once a timeline has drained everything due at or
+//!   before its barrier time, the firing time of its next pending event
+//!   ([`EventQueue::peek_time`]) is a *lower bound* on when the shard's
+//!   state can next change: between barriers new work enters a shard's
+//!   timeline only from its own event handlers, never from another shard.
+//!   A coordinator may therefore inspect — or splice completions into —
+//!   every shard at a barrier instant `t` once each shard has drained to
+//!   `t`, and the merged view it brokers against is exactly the one a
+//!   sequential execution would see.
+//! * **Per-shard FIFO ties** — sequence numbers are per-queue, so each
+//!   shard's `(time, seq)` order is exactly the order *that shard*
+//!   scheduled its events, independent of thread interleaving; a parallel
+//!   run is bit-identical to a sequential execution of the same per-shard
+//!   schedules.  Cross-shard completions are scattered back through
+//!   [`EventQueue::push_batch`] at the barrier, in deterministic
+//!   (shard-index, job) order, so they too occupy reproducible sequence
+//!   numbers.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -395,26 +426,53 @@ pub enum QueueKind {
 }
 
 /// A queue ticket: when to fire, FIFO tie-break, and where the payload lives.
+///
+/// The firing time and sequence number are pre-packed into one `u128`
+/// (`time << 64 | seq`) at push time, so the comparison every hot path
+/// performs — heap sift, calendar sorted insert, ladder bottom sort — is a
+/// single wide-integer compare instead of a two-field lexicographic one,
+/// and the ticket stays 24 bytes.
 #[derive(Debug, Clone, Copy)]
 struct Ticket {
-    time: SimTime,
-    seq: u64,
+    /// `(time_ns << 64) | seq`: orders by time, FIFO among ties.
+    packed: u128,
     key: EventKey,
 }
 
 impl Ticket {
     #[inline]
-    fn sort_key(&self) -> (SimTime, u64) {
-        (self.time, self.seq)
+    fn new(time: SimTime, seq: u64, key: EventKey) -> Self {
+        Ticket {
+            packed: ((time.as_nanos() as u128) << 64) | seq as u128,
+            key,
+        }
+    }
+
+    /// The firing time, recovered from the high 64 bits.
+    #[inline]
+    fn time(&self) -> SimTime {
+        SimTime::from_nanos(self.time_ns())
+    }
+
+    /// The firing time in nanoseconds (what the bucket maths works in).
+    #[inline]
+    fn time_ns(&self) -> u64 {
+        (self.packed >> 64) as u64
+    }
+
+    #[inline]
+    fn sort_key(&self) -> u128 {
+        self.packed
     }
 }
 
-/// Wrapper giving `BinaryHeap` min-queue semantics over `(time, seq)`.
+/// Wrapper giving `BinaryHeap` min-queue semantics over the packed
+/// `(time, seq)` key.
 struct HeapTicket(Ticket);
 
 impl PartialEq for HeapTicket {
     fn eq(&self, other: &Self) -> bool {
-        self.0.sort_key() == other.0.sort_key()
+        self.0.packed == other.0.packed
     }
 }
 impl Eq for HeapTicket {}
@@ -427,8 +485,9 @@ impl Ord for HeapTicket {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (then lowest seq)
-        // ticket is popped first.
-        other.0.sort_key().cmp(&self.0.sort_key())
+        // ticket is popped first.  One u128 compare: this is the hottest
+        // instruction of the heap-backed engine's churn loop.
+        other.0.packed.cmp(&self.0.packed)
     }
 }
 
@@ -489,7 +548,7 @@ impl CalendarQueue {
 
     #[inline]
     fn push(&mut self, ticket: Ticket, reap: &mut dyn FnMut(EventKey) -> bool) {
-        let t = ticket.time.as_nanos();
+        let t = ticket.time_ns();
         let rewind = self.len == 0 || (t as u128) < self.year_end - self.width as u128;
         let b = self.bucket_of(t);
         let bucket = &mut self.buckets[b];
@@ -518,7 +577,7 @@ impl CalendarQueue {
         let n = self.buckets.len();
         for _ in 0..n {
             if let Some(min) = self.buckets[self.current].last() {
-                if (min.time.as_nanos() as u128) < self.year_end {
+                if (min.time_ns() as u128) < self.year_end {
                     return Some(self.current);
                 }
             }
@@ -532,7 +591,7 @@ impl CalendarQueue {
             .enumerate()
             .filter_map(|(i, bucket)| bucket.last().map(|f| (i, f.sort_key())))
             .min_by_key(|&(_, key)| key)
-            .map(|(i, (time, _))| (i, time.as_nanos()))
+            .map(|(i, key)| (i, (key >> 64) as u64))
             .expect("len > 0 means some bucket is non-empty");
         self.current = b;
         self.year_end = self.slot_end(t);
@@ -575,7 +634,7 @@ impl CalendarQueue {
         all.retain(|t| !reap(t.key));
         let (mut min_t, mut max_t) = (u64::MAX, 0u64);
         for t in &all {
-            let ns = t.time.as_nanos();
+            let ns = t.time_ns();
             min_t = min_t.min(ns);
             max_t = max_t.max(ns);
         }
@@ -586,11 +645,11 @@ impl CalendarQueue {
         self.width = (span / all.len().max(1) as u64).max(1);
         self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
         self.len = 0;
-        let cursor_floor = all.iter().map(|t| t.time.as_nanos()).min().unwrap_or(0);
+        let cursor_floor = all.iter().map(|t| t.time_ns()).min().unwrap_or(0);
         self.current = self.bucket_of(cursor_floor);
         self.year_end = self.slot_end(cursor_floor);
         for ticket in all {
-            let b = self.bucket_of(ticket.time.as_nanos());
+            let b = self.bucket_of(ticket.time_ns());
             let bucket = &mut self.buckets[b];
             let pos = bucket.partition_point(|other| other.sort_key() > ticket.sort_key());
             bucket.insert(pos, ticket);
@@ -724,7 +783,7 @@ impl LadderQueue {
 
     #[inline]
     fn push_top(&mut self, ticket: Ticket) {
-        let t = ticket.time.as_nanos();
+        let t = ticket.time_ns();
         if self.top.is_empty() {
             self.top_min = t;
             self.top_max = t;
@@ -744,7 +803,7 @@ impl LadderQueue {
     /// Routes one ticket to its tier (`push` without the length bump, so
     /// a bottom-spawn can re-route).
     fn route(&mut self, ticket: Ticket) {
-        let t = ticket.time.as_nanos();
+        let t = ticket.time_ns();
         // With no spawned structure everything accumulates in the top tier
         // (even below `top_start`: the next spawn re-derives its range from
         // the actual min/max, so rewinds are absorbed there).
@@ -807,7 +866,7 @@ impl LadderQueue {
         self.bottom.clear();
         self.bottom_cur = 0;
         // The live region is ascending, so its first ticket is the minimum.
-        let min = self.transfer[0].time.as_nanos();
+        let min = self.transfer[0].time_ns();
         let span = (floor - min as u128) as u64;
         let n = self.transfer.len() as u64;
         let width = span.div_ceil(n).max(1);
@@ -856,7 +915,7 @@ impl LadderQueue {
             count: self.transfer.len(),
         };
         for ticket in self.transfer.drain(..) {
-            let b = rung.bucket_of(ticket.time.as_nanos());
+            let b = rung.bucket_of(ticket.time_ns());
             rung.buckets[b].push(ticket);
         }
         self.rungs.push(rung);
@@ -941,6 +1000,40 @@ impl LadderQueue {
         Some(ticket)
     }
 
+    /// Eagerly drops tombstoned tickets from every tier.  Dropping a ticket
+    /// never reorders the survivors, so the FIFO contract is unaffected.
+    fn compact(&mut self, reap: &mut dyn FnMut(EventKey) -> bool) {
+        let mut dropped = 0usize;
+        let before = self.top.len();
+        self.top.retain(|t| !reap(t.key));
+        dropped += before - self.top.len();
+        if let (Some(min), Some(max)) = (
+            self.top.iter().map(Ticket::time_ns).min(),
+            self.top.iter().map(Ticket::time_ns).max(),
+        ) {
+            self.top_min = min;
+            self.top_max = max;
+        }
+        for rung in &mut self.rungs {
+            let cur = rung.cur;
+            for bucket in &mut rung.buckets[cur..] {
+                let before = bucket.len();
+                bucket.retain(|t| !reap(t.key));
+                let gone = before - bucket.len();
+                rung.count -= gone;
+                dropped += gone;
+            }
+        }
+        // The consumed prefix of `bottom` is spent tickets kept only so the
+        // cursor stays cheap; drop it so the retain sees the live region.
+        self.bottom.drain(..self.bottom_cur);
+        self.bottom_cur = 0;
+        let before = self.bottom.len();
+        self.bottom.retain(|t| !reap(t.key));
+        dropped += before - self.bottom.len();
+        self.len -= dropped;
+    }
+
     fn clear(&mut self) {
         self.top.clear();
         self.rungs.clear();
@@ -1017,6 +1110,27 @@ impl TicketQueue {
             TicketQueue::Heap(h) => h.clear(),
             TicketQueue::Calendar(c) => c.clear(),
             TicketQueue::Ladder(l) => l.clear(),
+        }
+    }
+
+    /// Eagerly compacts tombstoned tickets out of the structure (see
+    /// [`EventQueue::reap`]).  The heap is rebuilt from its retained
+    /// tickets (heapify is O(n), and pop order is a total order on the
+    /// packed key, so the rebuild cannot perturb delivery); the calendar
+    /// reuses its resize transfer at the current bucket count; the ladder
+    /// retains each tier in place.
+    fn compact(&mut self, reap: &mut dyn FnMut(EventKey) -> bool) {
+        match self {
+            TicketQueue::Heap(h) => {
+                let mut tickets = std::mem::take(h).into_vec();
+                tickets.retain(|t| !reap(t.0.key));
+                *h = BinaryHeap::from(tickets);
+            }
+            TicketQueue::Calendar(c) => {
+                let n = c.buckets.len();
+                c.resize(n, reap);
+            }
+            TicketQueue::Ladder(l) => l.compact(reap),
         }
     }
 
@@ -1119,8 +1233,31 @@ impl<E> EventQueue<E> {
         let key = self.store.insert(payload);
         let store = &mut self.store;
         self.tickets
-            .push(Ticket { time, seq, key }, &mut |k| store.reap(k));
+            .push(Ticket::new(time, seq, key), &mut |k| store.reap(k));
         key
+    }
+
+    /// Schedules a batch of events in iteration order, appending each
+    /// event's key to `keys`.  Equivalent to calling [`EventQueue::push`]
+    /// per item — the batch occupies consecutive sequence numbers, so FIFO
+    /// ties respect iteration order — but payload-store capacity is
+    /// reserved up front from the iterator's size hint.  This is the
+    /// scatter-back splice of a sharded simulation: a barrier that brokered
+    /// a cross-shard job pushes the job's completion events into each
+    /// owning shard's timeline in one call (see the module docs' *Parallel
+    /// shards* section).
+    pub fn push_batch(
+        &mut self,
+        events: impl IntoIterator<Item = (SimTime, E)>,
+        keys: &mut Vec<EventKey>,
+    ) {
+        let events = events.into_iter();
+        let (lower, _) = events.size_hint();
+        self.store.reserve(lower);
+        keys.reserve(lower);
+        for (time, payload) in events {
+            keys.push(self.push(time, payload));
+        }
     }
 
     /// Revokes a pending event, returning its payload.  Returns `None` if
@@ -1149,7 +1286,7 @@ impl<E> EventQueue<E> {
         while let Some(t) = self.tickets.pop(&mut |k| store.reap(k)) {
             if let Some(payload) = store.resolve(t.key) {
                 return Some(Scheduled {
-                    time: t.time,
+                    time: t.time(),
                     payload,
                 });
             }
@@ -1164,7 +1301,7 @@ impl<E> EventQueue<E> {
         let store = &mut self.store;
         while let Some(t) = self.tickets.peek(&mut |k| store.reap(k)) {
             if store.is_live(t.key) {
-                return Some(t.time);
+                return Some(t.time());
             }
             let t = self
                 .tickets
@@ -1201,6 +1338,26 @@ impl<E> EventQueue<E> {
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Eagerly compacts tombstones: every ticket whose event was cancelled
+    /// is dropped from the priority structure and its payload slot
+    /// recycled, without waiting for the ticket's nominal firing time (or
+    /// the next bucket transfer).  Returns the number of dead tickets
+    /// collected.
+    ///
+    /// Compaction is outcome-invariant — dropping a dead ticket can never
+    /// reorder the surviving events (see the module docs on cancellation) —
+    /// so a driver may call this on any cadence.  Long cancellation-heavy
+    /// traces call it when `queued_len() - live_len()` exceeds a documented
+    /// threshold, bounding the dead weight the structure carries.  Cost is
+    /// O(queued): the heap re-heapifies, the calendar resizes in place, the
+    /// ladder retains each tier.
+    pub fn reap(&mut self) -> usize {
+        let before = self.tickets.len();
+        let store = &mut self.store;
+        self.tickets.compact(&mut |k| store.reap(k));
+        before - self.tickets.len()
     }
 
     /// Discards all pending events.
@@ -1725,6 +1882,72 @@ mod tests {
             assert_eq!(q.pop().unwrap().payload, 40, "{kind:?}");
             assert_eq!(q.live_len(), 59, "{kind:?}");
             assert_eq!(q.queued_len(), 59, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn push_batch_preserves_fifo_and_returns_cancelable_keys() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_secs(1);
+            let mut keys = Vec::new();
+            q.push_batch((0..50u64).map(|i| (t, i)), &mut keys);
+            assert_eq!(keys.len(), 50, "{kind:?}");
+            assert_eq!(q.cancel(keys[10]), Some(10), "{kind:?}");
+            // The batch occupies consecutive sequence numbers: survivors of
+            // the tie group drain in batch order.
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+            let expected: Vec<u64> = (0..50).filter(|&i| i != 10).collect();
+            assert_eq!(order, expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn reap_collects_tombstones_eagerly_on_every_kind() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let keys: Vec<_> = (0..200u64)
+                .map(|i| q.push(SimTime::from_millis(10 + i), i))
+                .collect();
+            for k in keys.iter().step_by(2) {
+                q.cancel(*k);
+            }
+            assert_eq!(q.live_len(), 100, "{kind:?}");
+            let dead = q.queued_len() - q.live_len();
+            assert_eq!(q.reap(), dead, "{kind:?}");
+            assert_eq!(q.queued_len(), 100, "{kind:?}");
+            assert_eq!(q.live_len(), 100, "{kind:?}");
+            // Reaping again finds nothing; survivors drain in push order.
+            assert_eq!(q.reap(), 0, "{kind:?}");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+            let expected: Vec<u64> = (0..200).filter(|i| i % 2 == 1).collect();
+            assert_eq!(order, expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn reap_mid_drain_preserves_order_on_every_kind() {
+        // Reap while the structure is mid-consumption (the ladder has live
+        // rungs and a partially fired bottom chunk, the calendar a moved
+        // cursor): compaction must stay outcome-invariant.
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let keys: Vec<_> = (0..500u64)
+                .map(|i| q.push(SimTime::from_millis(i / 5), i))
+                .collect();
+            for expect in 0..100u64 {
+                assert_eq!(q.pop().unwrap().payload, expect, "{kind:?}");
+            }
+            for k in keys[100..].iter().step_by(3) {
+                q.cancel(*k);
+            }
+            let dead = q.queued_len() - q.live_len();
+            assert!(dead > 0);
+            assert_eq!(q.reap(), dead, "{kind:?}");
+            assert_eq!(q.queued_len(), q.live_len(), "{kind:?}");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+            let expected: Vec<u64> = (100..500).filter(|i| (i - 100) % 3 != 0).collect();
+            assert_eq!(order, expected, "{kind:?}");
         }
     }
 
