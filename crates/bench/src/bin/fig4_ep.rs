@@ -70,7 +70,7 @@ fn main() {
             &counts,
             &settings,
             flags.scale,
-            &flags.search_params(),
+            &flags.search_params(Fig4Kernel::Ep),
         )
     });
     let mut series: Vec<(&str, &[p2pmpi_bench::Fig4Point])> =

@@ -16,9 +16,11 @@
 //! the flags): IS at 1k+ ranks models the full ring alltoall(v) schedule in
 //! seconds instead of spawning thousands of threads.
 //!
-//! `--searched` adds the annealing-search curve (see `fig4_ep`); note the
-//! search's per-move ring caches grow with ranks², so keep searched IS
-//! counts to a few hundred ranks.
+//! `--searched` adds the annealing-search curve (see `fig4_ep`).  The
+//! search's incremental evaluator keeps its ring state in pooled transfer
+//! tables of O(ranks · sites) bytes, so searched IS runs at 1024+ ranks;
+//! the default move budget is IS's own (smaller than EP's — override with
+//! `--moves`).
 
 use p2pmpi_bench::cliargs as util;
 use p2pmpi_bench::experiments::{
@@ -66,7 +68,7 @@ fn main() {
             &counts,
             &settings,
             flags.scale,
-            &flags.search_params(),
+            &flags.search_params(Fig4Kernel::Is),
         )
     });
     let mut series: Vec<(&str, &[p2pmpi_bench::Fig4Point])> =

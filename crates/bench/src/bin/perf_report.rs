@@ -2,7 +2,7 @@
 //!
 //! Measures the co-allocation hot path on the warm Grid'5000 testbed and
 //! writes `BENCH_hotpath.json` so successive PRs accumulate a perf
-//! trajectory.  Eleven measurements:
+//! trajectory.  Twelve measurements:
 //!
 //! 1. **ranking** — walking the booking order of a warm 349-peer cache via
 //!    the incremental index versus the seed's naive sort-per-read.
@@ -54,21 +54,31 @@
 //!    1024-rank, 10k-move, 4-chain EP search must finish within
 //!    [`PLACEMENT_SEARCH_WALL_BUDGET_S`] seconds of wall time (full runs
 //!    only; `--test` runs (a)–(c) at reduced scale).
-//! 9. **scenario_matrix** — the fault-injection scenario matrix
-//!    (`p2pmpi_bench::scenario`) at the CI scale (compress 24, rate scale
-//!    0.05): every scenario's graceful-degradation verdict must pass —
-//!    zero leaked grants on the standard day, utilisation recovery after a
-//!    correlated site outage, stale-view brokering through a supernode
-//!    crash, eager reclamation under grant-leak stress — or the report
-//!    **exits non-zero**.
-//! 10. **skewed dead-peer trace** (inside `timeout_timeline`) — the
+//! 9. **is_search** — the ring-dominated IS schedule at 1024 ranks through
+//!    the same evaluator: delta evaluation must be at least
+//!    [`IS_SEARCH_DELTA_SPEEDUP_MIN`]× cheaper than a full replay (the
+//!    pooled integer transfer tables versus per-receive float costing),
+//!    the ring caches must stay under [`IS_SEARCH_RING_CACHE_BYTES_MAX`]
+//!    (O(ranks·sites) tables, not the O(steps·ranks²) rows they replaced),
+//!    the searched placement must not lose to best-of(concentrate,
+//!    spread), and the at-scale search must finish within
+//!    [`IS_SEARCH_WALL_BUDGET_S`] (full runs; `--test` runs the relative
+//!    gates at IS@128).  All **exit non-zero** when violated.
+//! 10. **scenario_matrix** — the fault-injection scenario matrix
+//!     (`p2pmpi_bench::scenario`) at the CI scale (compress 24, rate scale
+//!     0.05): every scenario's graceful-degradation verdict must pass —
+//!     zero leaked grants on the standard day, utilisation recovery after a
+//!     correlated site outage, stale-view brokering through a supernode
+//!     crash, eager reclamation under grant-leak stress — or the report
+//!     **exits non-zero**.
+//! 11. **skewed dead-peer trace** (inside `timeout_timeline`) — the
 //!     churn-heavy [`DaySweepConfig::dead_peer_day`] scenario compressed
 //!     12×: thousands of reservation timeouts whose 2 s windows ride on
 //!     millisecond replies and hour-scale completions, the trimodal skew
 //!     where the calendar queue's uniform bucket width degrades.
 //!     [`QueueKind::Ladder`] must beat [`QueueKind::Calendar`] by more than
 //!     [`LADDER_VS_CALENDAR_MARGIN`] here, or the report exits non-zero.
-//! 11. **sustained_throughput** — the sharded week-scale driver
+//! 12. **sustained_throughput** — the sharded week-scale driver
 //!     (`p2pmpi_bench::shard`, the `week_sweep` binary): the paper day
 //!     tiled across seven days and replayed over [`SUSTAINED_SHARDS`]
 //!     site-aligned shard timelines, parallel versus the bit-identical
@@ -87,15 +97,16 @@
 //! Usage:
 //! `cargo run --release -p p2pmpi-bench --bin perf_report [out.json] [--seed-allocate-ns N] [--test]`
 //!
-//! `--test` runs only the queue-sensitive sections (6–7, 10), the
-//! placement-search section (8) at reduced scale, the scenario matrix
-//! (9) and the sustained sharded-throughput section (11) at its CI-smoke
-//! scale, with the same *relative* gates (ladder-vs-calendar on the skewed
-//! trace, sweep default within noise of the best, allocation-free steady
-//! state, delta-vs-replay speedup, search quality, every scenario verdict,
-//! the architecture-aware shard speedup) — the CI smoke.
+//! `--test` runs only the queue-sensitive sections (6–7, 11), the
+//! placement-search and is-search sections (8–9) at reduced scale, the
+//! scenario matrix (10) and the sustained sharded-throughput section (12)
+//! at its CI-smoke scale, with the same *relative* gates
+//! (ladder-vs-calendar on the skewed trace, sweep default within noise of
+//! the best, allocation-free steady state, delta-vs-replay speedups, ring
+//! cache ceiling, search quality, every scenario verdict, the
+//! architecture-aware shard speedup) — the CI smoke.
 //! Machine-absolute gates (the analytical-day baseline, the search wall
-//! budget, the sustained-trajectory drop limit) only apply to the full
+//! budgets, the sustained-trajectory drop limit) only apply to the full
 //! run, and `--test` never writes the JSON report.
 //!
 //! Each JSON section carries a `"previous"` block holding the prior
@@ -860,13 +871,20 @@ struct PlacementSearchSection {
 }
 
 /// Times delta evaluation (apply + commit of a random move mix) against a
-/// full `ModelComm` replay of the same schedule at `ranks` EP ranks.
-fn measure_delta_vs_replay(ranks: u32, moves: usize, replays: usize) -> (f64, f64, f64, usize) {
+/// full `ModelComm` replay of the same schedule at `ranks` ranks of
+/// `kernel`.  Returns `(delta_ns, replay_ns, avg_delta_ops, schedule_ops,
+/// ring_cache_bytes)`.
+fn measure_delta_vs_replay(
+    kernel: Fig4Kernel,
+    ranks: u32,
+    moves: usize,
+    replays: usize,
+) -> (f64, f64, f64, usize, usize) {
     let topology = topology_from_specs(&scaled_table1(
         p2pmpi_grid5000::sites::scale_factor_for_cores(ranks as usize),
     ));
     let settings = Fig4Settings::default().modeled();
-    let schedule = Arc::new(kernel_schedule(Fig4Kernel::Ep, &settings, ranks));
+    let schedule = Arc::new(kernel_schedule(kernel, &settings, ranks));
     let schedule_ops = schedule.op_count();
     let hosts = placement_rank_hosts(&synthetic_placement(&topology, StrategyKind::Spread, ranks));
     let mut cost = PlacementCost::new(
@@ -920,6 +938,7 @@ fn measure_delta_vs_replay(ranks: u32, moves: usize, replays: usize) -> (f64, f6
         replay_ns,
         delta_ops as f64 / applied.max(1) as f64,
         schedule_ops,
+        cost.ring_cache_bytes(),
     )
 }
 
@@ -930,8 +949,8 @@ fn measure_placement_search(test_mode: bool) -> PlacementSearchSection {
     let delta_ranks = 256;
     eprintln!("measuring placement-search delta evaluation vs full replay (EP@{delta_ranks})...");
     let (timed_moves, replays) = if test_mode { (600, 60) } else { (2_000, 200) };
-    let (delta_ns_per_move, replay_ns, avg_delta_ops, schedule_ops) =
-        measure_delta_vs_replay(delta_ranks, timed_moves, replays);
+    let (delta_ns_per_move, replay_ns, avg_delta_ops, schedule_ops, _) =
+        measure_delta_vs_replay(Fig4Kernel::Ep, delta_ranks, timed_moves, replays);
 
     let standard_cases: &[(Fig4Kernel, u32, u64, u32)] = if test_mode {
         &[(Fig4Kernel::Ep, 64, 800, 2), (Fig4Kernel::Is, 16, 300, 2)]
@@ -1068,6 +1087,136 @@ fn check_placement_search_gates(p: &PlacementSearchSection) -> bool {
     drifted
 }
 
+// ---------------------------------------------------------------------------
+// is_search
+// ---------------------------------------------------------------------------
+
+/// Required per-move speedup of delta evaluation over a full `ModelComm`
+/// replay on the *ring-dominated* IS schedule at 1024 ranks.  A move still
+/// re-runs every ring's O(ranks²) wavefront, so this is a constant-factor
+/// gate, not an asymptotic one: the pooled integer transfer tables must
+/// keep beating the replay's per-receive float `transfer_time` + stats
+/// accounting by a healthy margin (observed well above the 5× floor).
+const IS_SEARCH_DELTA_SPEEDUP_MIN: f64 = 5.0;
+
+/// Ceiling on [`PlacementCost::ring_cache_bytes`] at IS@1024.  The pooled
+/// tables are O(ranks · sites); the per-(step, rank) rows they replaced
+/// were O(steps · ranks²) ≈ 168 MB at this shape.
+const IS_SEARCH_RING_CACHE_BYTES_MAX: usize = 1 << 20;
+
+/// Wall budget of the full-scale IS search shape (1024 ranks, 400 moves,
+/// 2 chains).  Ring moves are orders of magnitude costlier than EP's, so
+/// the shape is smaller than EP's 10k-move budget run; the point of the
+/// gate is that a searched `fig4_is` point at 1024 ranks is *minutes*, not
+/// hours.
+const IS_SEARCH_WALL_BUDGET_S: f64 = 90.0;
+
+/// Everything the IS-at-scale search section measures.
+struct IsSearchSection {
+    ranks: u32,
+    delta_ns_per_move: f64,
+    replay_ns: f64,
+    delta_speedup: f64,
+    avg_delta_ops: f64,
+    schedule_ops: usize,
+    ring_cache_bytes: usize,
+    search: SearchReport,
+    search_moves: u64,
+    search_chains: u32,
+    search_wall_s: f64,
+    test_mode: bool,
+}
+
+fn measure_is_search(test_mode: bool) -> IsSearchSection {
+    let settings = Fig4Settings::default().modeled();
+    // The tentpole gate is defined at 1024 ranks; --test shrinks the rank
+    // count (the ratio is a constant-factor property of the wavefront, so
+    // it holds at the reduced scale too) to keep the CI smoke fast.
+    let (ranks, timed_moves, replays) = if test_mode {
+        (128, 60, 20)
+    } else {
+        (1024, 30, 8)
+    };
+    eprintln!("measuring IS delta evaluation vs full replay (IS@{ranks})...");
+    let (delta_ns_per_move, replay_ns, avg_delta_ops, schedule_ops, ring_cache_bytes) =
+        measure_delta_vs_replay(Fig4Kernel::Is, ranks, timed_moves, replays);
+
+    let (search_moves, search_chains) = if test_mode { (120, 2) } else { (400, 2) };
+    eprintln!("measuring IS search at scale (IS@{ranks}, {search_moves} moves x {search_chains} chains)...");
+    let topology = topology_from_specs(&scaled_table1(
+        p2pmpi_grid5000::sites::scale_factor_for_cores(ranks as usize),
+    ));
+    let start = Instant::now();
+    let search = search_placement(
+        &topology,
+        Fig4Kernel::Is,
+        ranks,
+        &settings,
+        &SearchParams {
+            moves: search_moves,
+            chains: search_chains,
+            seed: 2008,
+        },
+    );
+    let search_wall_s = start.elapsed().as_secs_f64();
+
+    IsSearchSection {
+        ranks,
+        delta_ns_per_move,
+        replay_ns,
+        delta_speedup: replay_ns / delta_ns_per_move.max(1.0),
+        avg_delta_ops,
+        schedule_ops,
+        ring_cache_bytes,
+        search,
+        search_moves,
+        search_chains,
+        search_wall_s,
+        test_mode,
+    }
+}
+
+/// The IS-at-scale gates; returns true if anything failed.
+fn check_is_search_gates(s: &IsSearchSection) -> bool {
+    let mut drifted = false;
+    if s.delta_speedup < IS_SEARCH_DELTA_SPEEDUP_MIN {
+        eprintln!(
+            "FAIL: IS@{} delta evaluation ({:.0} ns/move) is only {:.1}x cheaper than a full \
+             replay ({:.0} ns) — the gate requires {IS_SEARCH_DELTA_SPEEDUP_MIN}x",
+            s.ranks, s.delta_ns_per_move, s.delta_speedup, s.replay_ns
+        );
+        drifted = true;
+    }
+    if s.ring_cache_bytes > IS_SEARCH_RING_CACHE_BYTES_MAX {
+        eprintln!(
+            "FAIL: the evaluator's ring caches hold {} bytes at IS@{}; the ceiling is {} \
+             (the compact-table contract of p2pmpi_mpi::model)",
+            s.ring_cache_bytes, s.ranks, IS_SEARCH_RING_CACHE_BYTES_MAX
+        );
+        drifted = true;
+    }
+    if s.search.best > s.search.baseline() {
+        eprintln!(
+            "FAIL: searched IS@{} placement is worse than best-of(concentrate, spread): \
+             {:.6}s vs {:.6}s",
+            s.ranks,
+            s.search.best.as_secs_f64(),
+            s.search.baseline().as_secs_f64()
+        );
+        drifted = true;
+    }
+    // The wall budget is machine-absolute, so full runs only.
+    if !s.test_mode && s.search_wall_s > IS_SEARCH_WALL_BUDGET_S {
+        eprintln!(
+            "FAIL: the IS@{} / {}-move / {}-chain search took {:.2}s; the documented budget \
+             is {IS_SEARCH_WALL_BUDGET_S}s",
+            s.ranks, s.search_moves, s.search_chains, s.search_wall_s
+        );
+        drifted = true;
+    }
+    drifted
+}
+
 fn main() {
     let mut out_path = "BENCH_hotpath.json".to_string();
     let mut seed_allocate_ns = SEED_ALLOCATE_NS_PER_JOB;
@@ -1137,6 +1286,17 @@ fn main() {
                 case.report.best.as_secs_f64()
             );
         }
+        let is_search = measure_is_search(true);
+        eprintln!(
+            "is_search (reduced, IS@{}): delta {:.0} ns/move vs replay {:.0} ns ({:.1}x), \
+             ring caches {} bytes, search {:.1}s wall",
+            is_search.ranks,
+            is_search.delta_ns_per_move,
+            is_search.replay_ns,
+            is_search.delta_speedup,
+            is_search.ring_cache_bytes,
+            is_search.search_wall_s
+        );
         let (verdicts, matrix_wall_s) = measure_scenario_matrix();
         for v in &verdicts {
             eprintln!(
@@ -1169,13 +1329,14 @@ fn main() {
         );
         let drifted = check_queue_gates(&q)
             | check_placement_search_gates(&ps)
+            | check_is_search_gates(&is_search)
             | check_scenario_gates(&verdicts)
             | check_sustained_gates(&sus);
         if drifted {
             std::process::exit(1);
         }
         eprintln!(
-            "perf_report --test: all queue, placement-search, scenario and sustained-throughput gates passed"
+            "perf_report --test: all queue, placement-search, is-search, scenario and sustained-throughput gates passed"
         );
         return;
     }
@@ -1218,6 +1379,7 @@ fn main() {
 
     let q = measure_queue_sections(false, 3);
     let ps = measure_placement_search(false);
+    let is_search = measure_is_search(false);
     let (scenario_verdicts, scenario_wall_s) = measure_scenario_matrix();
     eprintln!(
         "measuring sustained sharded throughput (week shape, {SUSTAINED_SHARDS} shards, parallel vs single-thread, best of 2)..."
@@ -1265,6 +1427,11 @@ fn main() {
     let scenario_prev = previous_block(prior, "scenario_matrix", &["wall_s"]);
     let placement_prev =
         previous_block(prior, "placement_search", &["delta_ns_per_move", "speedup"]);
+    let is_search_prev = previous_block(
+        prior,
+        "is_search",
+        &["delta_ns_per_move", "speedup", "ring_cache_bytes", "wall_s"],
+    );
     let sustained_prev = previous_block(
         prior,
         "sustained_throughput",
@@ -1324,6 +1491,21 @@ fn main() {
     let skewed_improvement = ps.skewed.improvement();
     let budget_best = budget_report.best.as_secs_f64();
     let budget_moves = budget_report.evaluated();
+    let is_ranks = is_search.ranks;
+    let is_delta_ns = is_search.delta_ns_per_move;
+    let is_replay_ns = is_search.replay_ns;
+    let is_speedup = is_search.delta_speedup;
+    let is_avg_ops = is_search.avg_delta_ops;
+    let is_schedule_ops = is_search.schedule_ops;
+    let is_ring_bytes = is_search.ring_cache_bytes;
+    let is_search_moves = is_search.search_moves;
+    let is_search_chains = is_search.search_chains;
+    let is_search_wall_s = is_search.search_wall_s;
+    let is_search_conc = is_search.search.concentrate.as_secs_f64();
+    let is_search_spread = is_search.search.spread.as_secs_f64();
+    let is_search_best = is_search.search.best.as_secs_f64();
+    let is_search_improvement = is_search.search.improvement();
+    let is_search_hosts = is_search.search.hosts_used();
     // One row per scenario verdict; check details live in the runner's own
     // JSON output, so the report keeps the headline numbers only.
     let scenario_rows_json = scenario_verdicts
@@ -1546,6 +1728,31 @@ fn main() {
       "budget_s": {PLACEMENT_SEARCH_WALL_BUDGET_S}
     }},
     "previous": {placement_prev}
+  }},
+  "is_search": {{
+    "description": "the ring-dominated IS schedule at 1024 ranks through the same incremental evaluator: the compact pooled transfer tables (p2pmpi_mpi::model, O(ranks x sites) bytes vs the O(steps x ranks^2) rows they replaced) must keep a delta move >= {IS_SEARCH_DELTA_SPEEDUP_MIN}x cheaper than a full ModelComm replay, hold the ring caches under ring_cache_bytes_max, never lose to best-of(concentrate, spread), and finish the at-scale search inside search_budget_s wall (full runs) — all fail non-zero",
+    "kernel": "Is",
+    "ranks": {is_ranks},
+    "schedule_ops": {is_schedule_ops},
+    "delta_ns_per_move": {is_delta_ns:.0},
+    "avg_delta_ops_per_move": {is_avg_ops:.1},
+    "full_replay_ns": {is_replay_ns:.0},
+    "speedup": {is_speedup:.1},
+    "required_speedup": {IS_SEARCH_DELTA_SPEEDUP_MIN},
+    "ring_cache_bytes": {is_ring_bytes},
+    "ring_cache_bytes_max": {IS_SEARCH_RING_CACHE_BYTES_MAX},
+    "search": {{
+      "moves_per_chain": {is_search_moves},
+      "chains": {is_search_chains},
+      "concentrate_s": {is_search_conc:.6},
+      "spread_s": {is_search_spread:.6},
+      "searched_s": {is_search_best:.6},
+      "improvement_vs_best_of": {is_search_improvement:.4},
+      "hosts_used": {is_search_hosts},
+      "wall_s": {is_search_wall_s:.2},
+      "search_budget_s": {IS_SEARCH_WALL_BUDGET_S}
+    }},
+    "previous": {is_search_prev}
   }}
 }}
 "#
@@ -1596,6 +1803,9 @@ fn main() {
     // … the placement-search gates (delta speedup, search quality, the
     // skewed-grid margin, the wall budget) …
     drifted |= check_placement_search_gates(&ps);
+    // … the IS-at-scale gates (ring-delta speedup, the ring-cache memory
+    // ceiling, search quality and wall budget at 1024 ranks) …
+    drifted |= check_is_search_gates(&is_search);
     // … the graceful-degradation verdicts of the fault-injection matrix …
     drifted |= check_scenario_gates(&scenario_verdicts);
     // … the architecture-aware sharded-driver speedup …

@@ -4,22 +4,24 @@
 //!
 //! ```text
 //! cargo run --release -p p2pmpi-bench --bin placement_search -- \
-//!     [--kernel ep|is] [--ranks N] [--scale K] [--skewed] \
+//!     [--kernel ep|is|ft] [--ranks N] [--scale K] [--skewed] \
 //!     [--moves M] [--chains C] [--seed S] [--class B] [--divisor D]
 //! ```
 //!
-//! Defaults: EP at 256 ranks, 10 000 moves on 4 chains, on a Table-1 grid
+//! Defaults: EP at 256 ranks, 10 000 moves (IS/FT: 2 000) on 4 chains, on a Table-1 grid
 //! scaled just large enough (`--skewed` swaps in the heterogeneity-skewed
 //! grid of `p2pmpi_grid5000::sites::skewed_table1`, where fixed strategies
 //! are provably poor).  The search itself lives in `p2pmpi_bench::search`;
 //! its hot path is the incremental evaluator of `p2pmpi_mpi::model`, which
-//! re-costs a candidate move in O(affected ranks) instead of a full model
-//! replay — `perf_report`'s `placement_search` section gates that speedup
-//! and the search quality.
+//! re-costs a candidate move against cached per-segment state instead of a
+//! full model replay — `perf_report`'s `placement_search` and `is_search`
+//! sections gate that speedup and the search quality.
 //!
-//! IS note: the evaluator's ring caches grow with ranks² (see the
-//! `p2pmpi_mpi::model` memory note), so IS searches are best kept to a few
-//! hundred ranks.
+//! Ring kernels (IS, FT): the evaluator's ring state is pooled transfer
+//! tables of O(ranks · sites) bytes (see the `p2pmpi_mpi::model` memory
+//! note), so alltoall-heavy searches run at 1024+ ranks; a move still
+//! replays each ring's wavefront, so their per-move cost is higher than
+//! EP's — budget moves accordingly (`SearchParams::default_for`).
 
 use p2pmpi_bench::cliargs as util;
 use p2pmpi_bench::experiments::{Fig4Kernel, Fig4Settings};
@@ -33,8 +35,9 @@ fn main() {
     let kernel = match util::flag_value("--kernel").as_deref() {
         None | Some("ep") => Fig4Kernel::Ep,
         Some("is") => Fig4Kernel::Is,
+        Some("ft") => Fig4Kernel::Ft,
         Some(other) => {
-            eprintln!("unknown kernel {other:?} (expected ep or is)");
+            eprintln!("unknown kernel {other:?} (expected ep, is or ft)");
             std::process::exit(2);
         }
     };
@@ -51,10 +54,18 @@ fn main() {
         match kernel {
             Fig4Kernel::Ep => settings.ep_sample_divisor = divisor,
             Fig4Kernel::Is => settings.is_sample_divisor = divisor,
+            Fig4Kernel::Ft => {
+                eprintln!("--divisor is ignored for FT (it always models the full class)")
+            }
         }
     }
+    let default_moves = match kernel {
+        Fig4Kernel::Ep => 10_000,
+        // Ring kernels pay a wavefront per ring segment per move.
+        Fig4Kernel::Is | Fig4Kernel::Ft => 2_000,
+    };
     let params = SearchParams {
-        moves: util::flag_u64("--moves").unwrap_or(10_000),
+        moves: util::flag_u64("--moves").unwrap_or(default_moves),
         chains: util::flag_u64("--chains").unwrap_or(4) as u32,
         seed: util::flag_u64("--seed").unwrap_or(2008),
     };

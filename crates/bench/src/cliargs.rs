@@ -59,9 +59,15 @@ impl SweepFlags {
         }
     }
 
-    /// The search parameters selected by `--moves`/`--chains`/`--seed`.
-    pub fn search_params(&self) -> crate::search::SearchParams {
-        let default = crate::search::SearchParams::default();
+    /// The search parameters selected by `--moves`/`--chains`/`--seed`,
+    /// starting from the kernel's own default move budget
+    /// ([`crate::search::SearchParams::default_for`]) — a `fig4_is
+    /// --searched` run must not inherit EP's 4 000-move sweep default.
+    pub fn search_params(
+        &self,
+        kernel: crate::experiments::Fig4Kernel,
+    ) -> crate::search::SearchParams {
+        let default = crate::search::SearchParams::default_for(kernel);
         crate::search::SearchParams {
             moves: self.moves.unwrap_or(default.moves),
             chains: self.chains.unwrap_or(default.chains),

@@ -10,6 +10,7 @@ use p2pmpi_mpi::placement::Placement;
 use p2pmpi_mpi::runtime::MpiRuntime;
 use p2pmpi_nas::classes::Class;
 use p2pmpi_nas::ep::{ep_kernel, ep_model, EpConfig};
+use p2pmpi_nas::ft::{ft_model, FtConfig};
 use p2pmpi_nas::is::{is_kernel, is_model, IsConfig};
 use p2pmpi_simgrid::memory::MemoryContentionModel;
 use p2pmpi_simgrid::noise::NoiseModel;
@@ -35,6 +36,10 @@ pub enum Fig4Kernel {
     Ep,
     /// Integer Sort (Figure 4, right).
     Is,
+    /// Fourier Transform (extension; model-only — the paper never ran FT,
+    /// but its global transpose is the alltoall-heavy pattern the placement
+    /// search targets at scale).
+    Ft,
 }
 
 impl Fig4Kernel {
@@ -43,6 +48,7 @@ impl Fig4Kernel {
         match self {
             Fig4Kernel::Ep => "NAS.EP",
             Fig4Kernel::Is => "NAS.IS",
+            Fig4Kernel::Ft => "NAS.FT",
         }
     }
 }
@@ -193,6 +199,14 @@ pub fn run_kernel_on_placement(
             let mut model = runtime.model_comm(placement);
             (is_model(&mut model, &config), true)
         }
+        (CollectiveBackend::Executed, Fig4Kernel::Ft) => {
+            panic!("FT is model-only (no executed kernel); run it with --modeled")
+        }
+        (CollectiveBackend::Modeled, Fig4Kernel::Ft) => {
+            let config = FtConfig::new(settings.class);
+            let mut model = runtime.model_comm(placement);
+            (ft_model(&mut model, &config), true)
+        }
     };
 
     Fig4Point {
@@ -332,6 +346,7 @@ mod tests {
     fn fig4_kernel_metadata() {
         assert_eq!(Fig4Kernel::Ep.program(), "NAS.EP");
         assert_eq!(Fig4Kernel::Is.program(), "NAS.IS");
+        assert_eq!(Fig4Kernel::Ft.program(), "NAS.FT");
         let d = Fig4Settings::default();
         assert_eq!(d.class, Class::B);
         assert!(d.ep_sample_divisor > 1);

@@ -58,6 +58,7 @@ use p2pmpi_grid5000::capacity::{host_capacities, IdleSlotIndex};
 use p2pmpi_mpi::model::{CompiledSchedule, Move, PlacementCost};
 use p2pmpi_mpi::placement::Placement;
 use p2pmpi_nas::ep::{ep_schedule, EpConfig};
+use p2pmpi_nas::ft::{ft_schedule, FtConfig};
 use p2pmpi_nas::is::{is_schedule, IsConfig};
 use p2pmpi_simgrid::compute::ComputeModel;
 use p2pmpi_simgrid::memory::MemoryContentionModel;
@@ -86,6 +87,26 @@ impl Default for SearchParams {
             moves: 4_000,
             chains: 4,
             seed: 2008,
+        }
+    }
+}
+
+impl SearchParams {
+    /// Per-kernel default move budget.  EP's delta moves are near-free
+    /// (frontier absorption kills most of the schedule), so it can afford
+    /// the full 4 000-move budget; IS and FT rings re-run an O(n²)
+    /// wavefront per ring segment per move, so their defaults trade moves
+    /// for wall-clock — the skewed-grid improvement saturates well before
+    /// 1 500 moves on the communication-bound kernels, whose landscape is
+    /// dominated by the site-count term rather than per-host speed.
+    pub fn default_for(kernel: Fig4Kernel) -> Self {
+        let moves = match kernel {
+            Fig4Kernel::Ep => 4_000,
+            Fig4Kernel::Is | Fig4Kernel::Ft => 1_500,
+        };
+        SearchParams {
+            moves,
+            ..SearchParams::default()
         }
     }
 }
@@ -220,6 +241,7 @@ pub fn kernel_schedule(kernel: Fig4Kernel, settings: &Fig4Settings, n: u32) -> C
             &IsConfig::sampled(settings.class, settings.is_sample_divisor),
             n,
         ),
+        Fig4Kernel::Ft => ft_schedule(&FtConfig::new(settings.class), n),
     }
 }
 
@@ -551,7 +573,7 @@ mod tests {
     fn search_never_loses_to_the_fixed_strategies() {
         let topology = topology_from_specs(&scaled_table1(1));
         let settings = Fig4Settings::test_sized();
-        for kernel in [Fig4Kernel::Ep, Fig4Kernel::Is] {
+        for kernel in [Fig4Kernel::Ep, Fig4Kernel::Is, Fig4Kernel::Ft] {
             let report = search_placement(&topology, kernel, 32, &settings, &quick_params(11));
             assert!(
                 report.best <= report.baseline(),
@@ -593,6 +615,16 @@ mod tests {
             "only {:.2}% better than best-of(concentrate, spread)",
             report.improvement() * 100.0
         );
+    }
+
+    #[test]
+    fn per_kernel_move_budgets() {
+        let ep = SearchParams::default_for(Fig4Kernel::Ep);
+        assert_eq!(ep.moves, SearchParams::default().moves);
+        assert_eq!(ep.chains, SearchParams::default().chains);
+        let is = SearchParams::default_for(Fig4Kernel::Is);
+        assert!(is.moves < ep.moves, "ring kernels get a smaller budget");
+        assert_eq!(is.moves, SearchParams::default_for(Fig4Kernel::Ft).moves);
     }
 
     #[test]

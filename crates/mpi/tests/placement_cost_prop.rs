@@ -78,6 +78,50 @@ fn random_program<P: CollectiveProgram>(p: &mut P, program_seed: u64) {
     }
 }
 
+/// A random *ring-dominated* program: several alltoall(v) segments back to
+/// back — uniform, per-source and genuinely per-pair byte structures — with
+/// the occasional compute or tree wedged between.  This is the shape that
+/// stresses the pooled ring transfer tables (and the per-pair fallback
+/// path) far harder than [`random_program`]'s one-in-eight ring draw.
+fn ring_heavy_program<P: CollectiveProgram>(p: &mut P, program_seed: u64) {
+    let mut rng = seeded(program_seed);
+    let rings = rng.gen_range(3usize..7);
+    for _ in 0..rings {
+        match rng.gen_range(0u32..4) {
+            // Uniform: every pair the same (compresses to one table row set).
+            0 => p.alltoall(rng.gen_range(1u64..4000)),
+            // Per-source: dst-independent rows, zero diagonal (FT-shaped).
+            1 => {
+                let scale = rng.gen_range(1u64..64);
+                p.alltoallv(move |src, dst| {
+                    if src == dst {
+                        0
+                    } else {
+                        (src as u64 % 7 + 1) * scale * 8
+                    }
+                });
+            }
+            // Per-pair: rows genuinely differ, so no table is built and the
+            // wavefront must fall back to per-receive transfer costing.
+            2 => {
+                let stride = rng.gen_range(1u64..29);
+                p.alltoallv(move |src, dst| (src as u64 * 13 + dst as u64 * stride) % 97 * 8);
+            }
+            // A wedge between rings, so ring exits feed non-ring segments.
+            _ => match rng.gen_range(0u32..3) {
+                0 => p.allreduce(rng.gen_range(1u64..500)),
+                1 => {
+                    let scale = rng.gen_range(1u64..20) as f64;
+                    p.compute(MemoryIntensity::CPU_BOUND, move |r| {
+                        1e5 * scale * (r % 5 + 1) as f64
+                    });
+                }
+                _ => p.barrier(),
+            },
+        }
+    }
+}
+
 /// Assigns `n` ranks to random hosts without exceeding any host's core
 /// capacity (migrates need somewhere to go, so capacity-feasible starts
 /// matter).
@@ -177,4 +221,173 @@ proptest! {
             prop_assert!(u <= topology.host(HostId(h)).cores as u32);
         }
     }
+
+    #[test]
+    fn ring_heavy_delta_equals_full_replay(
+        n in 8u32..21,
+        placement_seed in 0u64..1_000_000,
+        program_seed in 0u64..1_000_000,
+        move_seed in 0u64..1_000_000,
+    ) {
+        let topology = topology();
+        let mut b = ScheduleBuilder::new(n);
+        ring_heavy_program(&mut b, program_seed);
+        let schedule = Arc::new(b.finish());
+        let hosts = random_feasible_hosts(&topology, n, placement_seed);
+        let capacity: Vec<u32> = topology.hosts().iter().map(|h| h.cores as u32).collect();
+        let mut cost = PlacementCost::new(
+            schedule,
+            hosts,
+            capacity,
+            NetworkModel::new(topology.clone()),
+            ComputeModel::new(topology.clone()),
+        );
+        prop_assert_eq!(cost.clocks(), &cost.oracle_clocks()[..]);
+
+        let mut rng = seeded(move_seed);
+        let host_count = topology.host_count();
+        for _ in 0..10 {
+            let mv = if rng.gen_range(0u32..2) == 0 {
+                Move::Swap { a: rng.gen_range(0..n), b: rng.gen_range(0..n) }
+            } else {
+                Move::Migrate {
+                    rank: rng.gen_range(0..n),
+                    to: HostId(rng.gen_range(0..host_count)),
+                }
+            };
+            let before_cost = cost.cost();
+            if cost.apply(mv).is_err() {
+                prop_assert_eq!(cost.cost(), before_cost);
+                continue;
+            }
+            prop_assert_eq!(cost.clocks(), &cost.oracle_clocks()[..],
+                "ring-heavy delta diverged from the oracle after {:?}", mv);
+            if rng.gen_range(0u32..3) == 0 {
+                cost.undo();
+                prop_assert_eq!(cost.cost(), before_cost);
+                prop_assert_eq!(cost.clocks(), &cost.oracle_clocks()[..]);
+            } else {
+                cost.commit();
+            }
+        }
+    }
+}
+
+/// A 4-site, 80-host, 320-core grid — big enough to place 256 ranks, with
+/// distinct inter-site RTTs so moved ranks change transfer-table rows.
+fn soak_topology() -> Arc<Topology> {
+    let mut b = TopologyBuilder::new();
+    let sites: Vec<_> = (0..4).map(|i| b.add_site(format!("s{i}"))).collect();
+    for (i, &s) in sites.iter().enumerate() {
+        b.add_cluster(
+            s,
+            format!("c{i}"),
+            "cpu",
+            20,
+            NodeSpec {
+                cores: 4,
+                ops_per_sec: 1.0e9 + i as f64 * 2.5e8,
+                ..NodeSpec::default()
+            },
+        );
+    }
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            b.set_rtt(
+                sites[i],
+                sites[j],
+                p2pmpi_simgrid::time::SimDuration::from_millis(5 + 4 * (i + j) as u64),
+            );
+        }
+    }
+    b.set_bandwidth(sites[0], sites[3], 1e9);
+    Arc::new(b.build())
+}
+
+/// IS's per-iteration collective shape (allreduce + alltoall + balanced
+/// alltoallv + compute), inlined here so the `p2pmpi-mpi` test suite can
+/// soak the evaluator at IS scale without depending on `p2pmpi-nas`.  The
+/// balanced alltoallv compresses to a pooled transfer table; the trailing
+/// allgather keeps a non-ring segment downstream of every ring.
+fn is_shaped_program<P: CollectiveProgram>(p: &mut P, iterations: u32) {
+    let n = p.size();
+    let keys: u64 = 1 << 18;
+    let buckets: u64 = 1 << 10;
+    for _ in 0..iterations {
+        p.allreduce(buckets * 8);
+        p.alltoall(8);
+        p.alltoallv(move |src, _| {
+            let share = keys / n as u64 + u64::from((src as u64) < keys % n as u64);
+            (share / n as u64) * 4
+        });
+        p.compute(MemoryIntensity::MEMORY_BOUND, move |r| {
+            (keys / n as u64 + u64::from((r as u64) < keys % n as u64)) as f64 * 50.0
+        });
+    }
+    p.allgather(|_| 3 * 8);
+}
+
+/// Deterministic 256-rank soak: an IS-shaped schedule on an 80-host grid,
+/// a fixed swap/migrate walk with undo sprinkled in, and a full `ModelComm`
+/// replay after **every** accepted move.  This is the at-scale pin of the
+/// tentpole contract — the pooled-table wavefront must match the oracle bit
+/// for bit at the rank counts the search actually runs.
+#[test]
+fn is_shaped_soak_at_256_matches_oracle() {
+    let topology = soak_topology();
+    let n: u32 = 256;
+    let mut b = ScheduleBuilder::new(n);
+    is_shaped_program(&mut b, 3);
+    let schedule = Arc::new(b.finish());
+    let hosts = random_feasible_hosts(&topology, n, 0xC0FFEE);
+    let capacity: Vec<u32> = topology.hosts().iter().map(|h| h.cores as u32).collect();
+    let mut cost = PlacementCost::new(
+        schedule,
+        hosts,
+        capacity,
+        NetworkModel::new(topology.clone()),
+        ComputeModel::new(topology.clone()),
+    );
+    assert_eq!(cost.clocks(), &cost.oracle_clocks()[..]);
+
+    let mut rng = seeded(2008);
+    let host_count = topology.host_count();
+    let mut accepted = 0u32;
+    for step in 0..24 {
+        let mv = if rng.gen_range(0u32..2) == 0 {
+            Move::Swap {
+                a: rng.gen_range(0..n),
+                b: rng.gen_range(0..n),
+            }
+        } else {
+            Move::Migrate {
+                rank: rng.gen_range(0..n),
+                to: HostId(rng.gen_range(0..host_count)),
+            }
+        };
+        let before_cost = cost.cost();
+        let before_hosts = cost.hosts().to_vec();
+        if cost.apply(mv).is_err() {
+            assert_eq!(cost.cost(), before_cost);
+            assert_eq!(cost.hosts(), &before_hosts[..]);
+            continue;
+        }
+        accepted += 1;
+        assert_eq!(
+            cost.clocks(),
+            &cost.oracle_clocks()[..],
+            "soak step {step}: delta diverged from the oracle after {mv:?}"
+        );
+        if step % 3 == 0 {
+            cost.undo();
+            assert_eq!(cost.cost(), before_cost);
+            assert_eq!(cost.hosts(), &before_hosts[..]);
+            assert_eq!(cost.clocks(), &cost.oracle_clocks()[..]);
+        } else {
+            cost.commit();
+        }
+    }
+    // Most migrates land on full hosts (320 cores hold 256 ranks), so a
+    // third of the walk surviving is the realistic floor.
+    assert!(accepted >= 8, "the walk barely moved ({accepted} accepted)");
 }

@@ -66,6 +66,25 @@ impl Class {
         10
     }
 
+    /// FT grid dimensions `(nx, ny, nz)` (the NPB 3-D FFT problem sizes).
+    pub fn ft_grid(self) -> (u64, u64, u64) {
+        match self {
+            Class::S => (64, 64, 64),
+            Class::W => (128, 128, 32),
+            Class::A => (256, 256, 128),
+            Class::B => (512, 256, 256),
+            Class::C => (512, 512, 512),
+        }
+    }
+
+    /// Number of FT evolve/FFT/checksum iterations.
+    pub fn ft_iterations(self) -> u32 {
+        match self {
+            Class::S | Class::W | Class::A => 6,
+            Class::B | Class::C => 20,
+        }
+    }
+
     /// All classes, smallest first.
     pub fn all() -> [Class; 5] {
         [Class::S, Class::W, Class::A, Class::B, Class::C]

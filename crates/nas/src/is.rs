@@ -261,9 +261,10 @@ pub fn is_model(model: &mut ModelComm, config: &IsConfig) -> SimDuration {
 }
 
 /// Compiles [`is_program`] for `size` ranks — the schedule hook of the
-/// placement search.  The ring caches of the incremental evaluator cost
-/// ~`2·iterations·size²·8` bytes, so IS searches are best kept to a few
-/// hundred ranks (see `p2pmpi_mpi::model`'s memory note).
+/// placement search.  The incremental evaluator's ring state is pooled
+/// transfer tables of O(size · sites) bytes shared across all iterations
+/// (see `p2pmpi_mpi::model`'s memory note), so IS stays searchable at
+/// 1024+ ranks.
 pub fn is_schedule(config: &IsConfig, size: u32) -> CompiledSchedule {
     let mut b = ScheduleBuilder::new(size);
     is_program(&mut b, config);

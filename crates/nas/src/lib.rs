@@ -8,6 +8,9 @@
 //! * [`is`] — **IS**, Integer Sort: bucket-sort key redistribution with an
 //!   `Allreduce` + `Alltoall` + `Alltoallv` every iteration.
 //!   Communication-dominated.
+//! * [`ft`] — **FT**, the 3-D FFT's transpose-based cost structure
+//!   (model-only: the paper never executed FT, but its global transpose is
+//!   the alltoall-heavy pattern the placement search now handles at scale).
 //!
 //! plus the trivial [`hostname`] program used for the co-allocation
 //! experiment of Section 5.1, the [`classes`] table (S/W/A/B/C) and the NPB
@@ -38,12 +41,14 @@
 
 pub mod classes;
 pub mod ep;
+pub mod ft;
 pub mod hostname;
 pub mod is;
 pub mod rng;
 
 pub use classes::Class;
 pub use ep::{ep_kernel, ep_model, EpConfig, EpResult};
+pub use ft::{ft_model, ft_schedule, FtConfig};
 pub use hostname::{hostname_kernel, HostnameReport};
 pub use is::{is_kernel, is_model, IsConfig, IsResult};
 pub use rng::{jump, randlc, NasRng};
