@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! cargo run --release -p p2pmpi-bench --bin fig23_sweep -- \
-//!     [--strategy concentrate|spread|both] [--queue ladder|calendar|heap] \
-//!     [--seed N] [--compress F] [--rate-scale F] [--duration-scale F] \
-//!     [--sample-secs S] [--ranks a,b,c] [--churn F]
+//!     [--strategy concentrate|spread|searched|both|all] [--searched] \
+//!     [--queue ladder|calendar|heap] [--seed N] [--compress F] \
+//!     [--rate-scale F] [--duration-scale F] [--sample-secs S] \
+//!     [--ranks a,b,c] [--churn F] [--search-moves N] [--search-cold]
 //! ```
 //!
 //! Where the paper's Figures 2 and 3 submit one job at a time and plot where
@@ -112,6 +113,10 @@ fn config_for(strategy: StrategyKind, flags: &DaySweepFlags) -> DaySweepConfig {
             ..JobMix::default()
         };
     }
+    if let Some(moves) = flags.search_moves {
+        cfg.search_moves = moves;
+    }
+    cfg.search_cold = flags.search_cold;
     cfg
 }
 
@@ -155,19 +160,48 @@ fn print_result(name: &str, result: &DaySweepResult, wall_ms: f64) {
         result.events_processed,
         result.virtual_end.as_secs_f64(),
     );
+    if let Some(s) = &result.search {
+        eprintln!(
+            "# {name} online search: {} arrivals ({} searched, {} infeasible), \
+             {} warm rebases vs {} cold builds, {} moves, \
+             prepare {:.0}ms + anneal {:.0}ms wall",
+            s.arrivals,
+            s.searched,
+            s.infeasible,
+            s.warm_rebases,
+            s.cold_builds,
+            s.moves_evaluated,
+            s.prepare_nanos as f64 / 1e6,
+            s.anneal_nanos as f64 / 1e6,
+        );
+    }
 }
 
 fn main() {
     let flags = day_sweep_flags();
-    let strategies: Vec<(&str, StrategyKind)> = match flags.strategy.as_str() {
+    // `--searched` is shorthand for `--strategy searched`.
+    let selected = if flags.searched {
+        "searched"
+    } else {
+        flags.strategy.as_str()
+    };
+    let strategies: Vec<(&str, StrategyKind)> = match selected {
         "concentrate" => vec![("concentrate", StrategyKind::Concentrate)],
         "spread" => vec![("spread", StrategyKind::Spread)],
+        "searched" => vec![("searched", StrategyKind::Searched)],
         "both" => vec![
             ("concentrate", StrategyKind::Concentrate),
             ("spread", StrategyKind::Spread),
         ],
+        "all" => vec![
+            ("concentrate", StrategyKind::Concentrate),
+            ("spread", StrategyKind::Spread),
+            ("searched", StrategyKind::Searched),
+        ],
         other => {
-            eprintln!("unknown --strategy {other:?} (expected concentrate|spread|both)");
+            eprintln!(
+                "unknown --strategy {other:?} (expected concentrate|spread|searched|both|all)"
+            );
             std::process::exit(2);
         }
     };

@@ -2,7 +2,7 @@
 //!
 //! Measures the co-allocation hot path on the warm Grid'5000 testbed and
 //! writes `BENCH_hotpath.json` so successive PRs accumulate a perf
-//! trajectory.  Twelve measurements:
+//! trajectory.  Thirteen measurements:
 //!
 //! 1. **ranking** — walking the booking order of a warm 349-peer cache via
 //!    the incremental index versus the seed's naive sort-per-read.
@@ -10,7 +10,10 @@
 //!    start → complete) with tracing off and on, compared against the seed
 //!    tree's measured cost for the identical workload.
 //! 3. **job_sweep_poisson** — throughput of a Poisson-arriving sweep, the
-//!    workload the Figure 2–4 reproductions submit at scale.
+//!    workload the Figure 2–4 reproductions submit at scale; best of 3
+//!    rounds, with the machine's hardware-thread count recorded alongside
+//!    (the same discipline as `sustained_throughput`) so trajectory points
+//!    from different machines are distinguishable.
 //! 4. **event_engine** — steady-state events/s of the discrete-event queue:
 //!    the seed's boxed-closure binary heap (reconstructed inline here as the
 //!    baseline) versus the arena-backed store behind a binary heap, a
@@ -63,7 +66,12 @@
 //!    the searched placement must not lose to best-of(concentrate,
 //!    spread), and the at-scale search must finish within
 //!    [`IS_SEARCH_WALL_BUDGET_S`] (full runs; `--test` runs the relative
-//!    gates at IS@128).  All **exit non-zero** when violated.
+//!    gates at IS@128).  The section also pins the `Uniform` ring
+//!    specialisation: IS's uniform sample alltoall must stay on the
+//!    move-invariant site×site table form and save at least
+//!    [`IS_SEARCH_UNIFORM_SAVINGS_MIN`]× over the journaled `PerSrc`
+//!    layout it would otherwise occupy.  All **exit non-zero** when
+//!    violated.
 //! 10. **scenario_matrix** — the fault-injection scenario matrix
 //!     (`p2pmpi_bench::scenario`) at the CI scale (compress 24, rate scale
 //!     0.05): every scenario's graceful-degradation verdict must pass —
@@ -93,18 +101,41 @@
 //!     Full runs additionally compare sustained events/s against the
 //!     `previous` trajectory block of the existing report and **exit
 //!     non-zero** on a drop of more than [`SUSTAINED_DROP_LIMIT`].
+//! 13. **online_placement** — the day sweep's `searched` booking strategy
+//!     (`StrategyKind::Searched` through `SweepCore`): every arrival
+//!     re-runs the annealing search over the grid's current free cores,
+//!     reusing one pooled warm `PlacementCost` + Fenwick free-slot index
+//!     per kernel shape via `rebase` instead of rebuilding
+//!     (`p2pmpi_bench::search::SearchContext`).  Four relative gates, all
+//!     **exit non-zero**: in the steady-state churn benchmark (a few whole
+//!     hosts change hands between consecutive arrivals of the day-mix
+//!     shapes) the warm per-arrival prepare must be at least
+//!     [`ONLINE_WARM_PREPARE_SPEEDUP_MIN`]× cheaper than the cold
+//!     per-arrival build with bit-identical warm/cold plans, the warm and
+//!     cold searched *days* must produce bit-identical outcomes (the
+//!     rebase exactness contract of `p2pmpi_mpi::model` under the bursty
+//!     day's wholesale-heavy churn), and the searched compressed day's
+//!     mean job makespan must beat the best fixed strategy by at least
+//!     [`ONLINE_DAY_IMPROVEMENT_MIN`].  The day's own amortized prepare
+//!     numbers are reported as diagnostics (the bursty day displaces most
+//!     ranks on most arrivals, capping the warm prepare at the rebuild
+//!     cost — see [`ONLINE_WARM_PREPARE_SPEEDUP_MIN`]).  Full runs
+//!     additionally hold the searched day inside
+//!     [`ONLINE_DAY_WALL_BUDGET_S`] of wall time.
 //!
 //! Usage:
 //! `cargo run --release -p p2pmpi-bench --bin perf_report [out.json] [--seed-allocate-ns N] [--test]`
 //!
 //! `--test` runs only the queue-sensitive sections (6–7, 11), the
-//! placement-search and is-search sections (8–9) at reduced scale, the
-//! scenario matrix (10) and the sustained sharded-throughput section (12)
-//! at its CI-smoke scale, with the same *relative* gates
-//! (ladder-vs-calendar on the skewed trace, sweep default within noise of
-//! the best, allocation-free steady state, delta-vs-replay speedups, ring
-//! cache ceiling, search quality, every scenario verdict, the
-//! architecture-aware shard speedup) — the CI smoke.
+//! placement-search, is-search and online-placement sections (8–9, 13) at
+//! reduced scale, the scenario matrix (10) and the sustained
+//! sharded-throughput section (12) at its CI-smoke scale, with the same
+//! *relative* gates (ladder-vs-calendar on the skewed trace, sweep default
+//! within noise of the best, allocation-free steady state, delta-vs-replay
+//! speedups, ring cache ceiling and Uniform savings, search quality, the
+//! warm-prepare speedup and warm==cold exactness, the searched-day
+//! improvement, every scenario verdict, the architecture-aware shard
+//! speedup) — the CI smoke.
 //! Machine-absolute gates (the analytical-day baseline, the search wall
 //! budgets, the sustained-trajectory drop limit) only apply to the full
 //! run, and `--test` never writes the JSON report.
@@ -134,7 +165,8 @@ use p2pmpi_bench::experiments::{
 };
 use p2pmpi_bench::scenario::{run_matrix, ScenarioParams, ScenarioVerdict};
 use p2pmpi_bench::search::{
-    kernel_schedule, placement_rank_hosts, search_placement, SearchParams, SearchReport,
+    kernel_schedule, placement_rank_hosts, search_placement, OnlineSearchParams, OnlineSearchStats,
+    SearchContext, SearchParams, SearchReport,
 };
 use p2pmpi_bench::shard::{run_shard_sweep, ShardSweepConfig};
 use p2pmpi_bench::workload::{
@@ -263,21 +295,35 @@ fn measure_allocate(tb: &mut Grid5000Testbed) -> (f64, f64, f64) {
     (off_ns, on_ns, armed_ns)
 }
 
-fn measure_sweep(tb: &mut Grid5000Testbed) -> (f64, f64) {
+/// The machine's hardware-thread count, recorded next to every best-of
+/// wall-clock trajectory number so points from different machines stay
+/// distinguishable.
+fn hw_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Best-of-`rounds` Poisson sweep: each round continues the same arrival
+/// process on the shared warm testbed, so the rounds measure identical
+/// steady-state work and the minimum wall time strips scheduler noise —
+/// the same discipline `sustained_throughput` uses.
+fn measure_sweep(tb: &mut Grid5000Testbed, rounds: usize) -> (f64, f64) {
     let allocator = CoAllocator::new();
     let request = JobRequest::new(100, StrategyKind::Concentrate, "hostname");
     let mut arrivals = PoissonArrivals::new(1.0 / 30.0, 23);
     tb.overlay.tracer().set_enabled(false);
-    let start = Instant::now();
-    for _ in 0..SWEEP_JOBS {
-        let gap = arrivals.next_gap();
-        tb.overlay.advance(gap);
-        submit_one(tb, &allocator, &request);
+    let mut best_wall = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..SWEEP_JOBS {
+            let gap = arrivals.next_gap();
+            tb.overlay.advance(gap);
+            submit_one(tb, &allocator, &request);
+        }
+        best_wall = best_wall.min(start.elapsed().as_secs_f64());
     }
-    let wall = start.elapsed();
-    let wall_ms = wall.as_secs_f64() * 1e3;
-    let jobs_per_sec = SWEEP_JOBS as f64 / wall.as_secs_f64();
-    (wall_ms, jobs_per_sec)
+    (best_wall * 1e3, SWEEP_JOBS as f64 / best_wall)
 }
 
 /// One schedulable action for the engine benches, matching
@@ -722,9 +768,7 @@ fn measure_sustained(test_mode: bool, rounds: usize) -> SustainedSection {
         last = Some(par);
     }
     let par = last.expect("at least one round ran");
-    let hw_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hw_threads = hw_threads();
     SustainedSection {
         jobs: par.merged.submitted,
         events: par.merged.events_processed,
@@ -870,16 +914,26 @@ struct PlacementSearchSection {
     budget: Option<(f64, SearchReport)>,
 }
 
+/// Ring-cache byte accounting returned by [`measure_delta_vs_replay`]:
+/// the total the evaluator holds plus the `Uniform` specialisation's share
+/// and the `PerSrc` bytes those tables would otherwise occupy.
+struct RingCacheStats {
+    bytes: usize,
+    uniform_tables: usize,
+    uniform_bytes: usize,
+    uniform_per_src_bytes: usize,
+}
+
 /// Times delta evaluation (apply + commit of a random move mix) against a
 /// full `ModelComm` replay of the same schedule at `ranks` ranks of
 /// `kernel`.  Returns `(delta_ns, replay_ns, avg_delta_ops, schedule_ops,
-/// ring_cache_bytes)`.
+/// ring_cache_stats)`.
 fn measure_delta_vs_replay(
     kernel: Fig4Kernel,
     ranks: u32,
     moves: usize,
     replays: usize,
-) -> (f64, f64, f64, usize, usize) {
+) -> (f64, f64, f64, usize, RingCacheStats) {
     let topology = topology_from_specs(&scaled_table1(
         p2pmpi_grid5000::sites::scale_factor_for_cores(ranks as usize),
     ));
@@ -933,12 +987,18 @@ fn measure_delta_vs_replay(
         black_box(cost.oracle_cost());
     }
     let replay_ns = ns_per_iter(start.elapsed().as_nanos(), replays);
+    let (uniform_tables, uniform_bytes, uniform_per_src_bytes) = cost.uniform_ring_summary();
     (
         delta_ns,
         replay_ns,
         delta_ops as f64 / applied.max(1) as f64,
         schedule_ops,
-        cost.ring_cache_bytes(),
+        RingCacheStats {
+            bytes: cost.ring_cache_bytes(),
+            uniform_tables,
+            uniform_bytes,
+            uniform_per_src_bytes,
+        },
     )
 }
 
@@ -1104,6 +1164,14 @@ const IS_SEARCH_DELTA_SPEEDUP_MIN: f64 = 5.0;
 /// were O(steps · ranks²) ≈ 168 MB at this shape.
 const IS_SEARCH_RING_CACHE_BYTES_MAX: usize = 1 << 20;
 
+/// Floor on the compression of the move-invariant `Uniform` site×site ring
+/// tables versus the journaled `PerSrc` layout they would otherwise occupy
+/// (a `tsame` entry plus a site row per rank).  IS's sample alltoall is
+/// uniform, so at least one pooled table must hold the form — losing it
+/// (or its compression) regresses both the bytes and the no-journaling
+/// move fast path the specialisation buys.
+const IS_SEARCH_UNIFORM_SAVINGS_MIN: f64 = 8.0;
+
 /// Wall budget of the full-scale IS search shape (1024 ranks, 400 moves,
 /// 2 chains).  Ring moves are orders of magnitude costlier than EP's, so
 /// the shape is smaller than EP's 10k-move budget run; the point of the
@@ -1120,6 +1188,9 @@ struct IsSearchSection {
     avg_delta_ops: f64,
     schedule_ops: usize,
     ring_cache_bytes: usize,
+    uniform_tables: usize,
+    uniform_bytes: usize,
+    uniform_per_src_bytes: usize,
     search: SearchReport,
     search_moves: u64,
     search_chains: u32,
@@ -1138,7 +1209,7 @@ fn measure_is_search(test_mode: bool) -> IsSearchSection {
         (1024, 30, 8)
     };
     eprintln!("measuring IS delta evaluation vs full replay (IS@{ranks})...");
-    let (delta_ns_per_move, replay_ns, avg_delta_ops, schedule_ops, ring_cache_bytes) =
+    let (delta_ns_per_move, replay_ns, avg_delta_ops, schedule_ops, ring) =
         measure_delta_vs_replay(Fig4Kernel::Is, ranks, timed_moves, replays);
 
     let (search_moves, search_chains) = if test_mode { (120, 2) } else { (400, 2) };
@@ -1167,7 +1238,10 @@ fn measure_is_search(test_mode: bool) -> IsSearchSection {
         delta_speedup: replay_ns / delta_ns_per_move.max(1.0),
         avg_delta_ops,
         schedule_ops,
-        ring_cache_bytes,
+        ring_cache_bytes: ring.bytes,
+        uniform_tables: ring.uniform_tables,
+        uniform_bytes: ring.uniform_bytes,
+        uniform_per_src_bytes: ring.uniform_per_src_bytes,
         search,
         search_moves,
         search_chains,
@@ -1195,6 +1269,17 @@ fn check_is_search_gates(s: &IsSearchSection) -> bool {
         );
         drifted = true;
     }
+    if s.uniform_tables == 0
+        || (s.uniform_per_src_bytes as f64) < IS_SEARCH_UNIFORM_SAVINGS_MIN * s.uniform_bytes as f64
+    {
+        eprintln!(
+            "FAIL: IS@{} holds {} Uniform ring tables at {} bytes (PerSrc equivalent {} bytes); \
+             the move-invariant site x site specialisation must exist and save at least \
+             {IS_SEARCH_UNIFORM_SAVINGS_MIN}x",
+            s.ranks, s.uniform_tables, s.uniform_bytes, s.uniform_per_src_bytes
+        );
+        drifted = true;
+    }
     if s.search.best > s.search.baseline() {
         eprintln!(
             "FAIL: searched IS@{} placement is worse than best-of(concentrate, spread): \
@@ -1211,6 +1296,302 @@ fn check_is_search_gates(s: &IsSearchSection) -> bool {
             "FAIL: the IS@{} / {}-move / {}-chain search took {:.2}s; the documented budget \
              is {IS_SEARCH_WALL_BUDGET_S}s",
             s.ranks, s.search_moves, s.search_chains, s.search_wall_s
+        );
+        drifted = true;
+    }
+    drifted
+}
+
+// ---------------------------------------------------------------------------
+// online_placement
+// ---------------------------------------------------------------------------
+
+/// Required speedup of the warm per-arrival prepare phase (a
+/// [`PlacementCost::rebase`] resync of the pooled kernel shape plus the
+/// Fenwick free-slot resync) over the cold one (schedule compile + full
+/// evaluator build), measured in the steady-state regime the pool
+/// targets: light host-granular occupancy churn between consecutive
+/// arrivals of the day-mix shapes, where the repaired seed
+/// (`SearchContext::seed_for`) displaces only the ranks whose hosts
+/// changed hands and the rebase stays on the delta path.  The annealing
+/// walk after prepare is common to both paths, so the gate isolates
+/// exactly what the cross-job cache pool saves per arrival.
+///
+/// The compressed paper day is the adversarial regime, not the gated
+/// one: its arrival-weighted contention is extreme (bursts dominate the
+/// arrival count, hosts are all-or-nothing under one-app-per-MPD, and
+/// every plan chases the same fastest hosts), so most arrivals displace
+/// most ranks and the wholesale rebase fallback caps the warm prepare at
+/// the rebuild cost — roughly 2x the cold build, not 5x.  The day's
+/// amortized prepare numbers are therefore reported as diagnostics in
+/// the `day` block but held only to the bit-exactness gate, not to this
+/// floor.
+const ONLINE_WARM_PREPARE_SPEEDUP_MIN: f64 = 5.0;
+
+/// Hosts toggled busy<->free between consecutive arrivals of the
+/// steady-state prepare benchmark (each churn step frees this many busy
+/// hosts and occupies as many free ones, whole hosts at a time — the
+/// day's one-application-per-MPD granularity).  One pair per arrival:
+/// consecutive arrivals of the compressed day are seconds apart, so in
+/// steady state roughly one neighbouring job starts or finishes — a
+/// couple of hosts changing hands — between them.
+const ONLINE_BENCH_CHURN_HOSTS: usize = 1;
+
+/// Hosts busy at the start of the steady-state prepare benchmark (~9% of
+/// the 350-host grid — a handful of neighbouring jobs in flight).
+const ONLINE_BENCH_BUSY_HOSTS: usize = 30;
+
+/// Identical-sequence passes of the steady-state prepare benchmark; each
+/// arm reports its fastest pass (additive scheduler noise only slows a
+/// pass down, so the minimum is the noise-robust estimate).
+const ONLINE_BENCH_PASSES: usize = 3;
+
+/// Required improvement of the searched day's mean job makespan over the
+/// best fixed strategy (concentrate or spread) on the compressed day.
+const ONLINE_DAY_IMPROVEMENT_MIN: f64 = 0.05;
+
+/// Wall budget of the searched compressed day (full runs only; observed
+/// ~6 s release at the CI shape, so this leaves generous headroom for
+/// slower machines).
+const ONLINE_DAY_WALL_BUDGET_S: f64 = 120.0;
+
+/// The steady-state prepare benchmark: warm rebase vs cold build per
+/// arrival under light host-granular churn (see
+/// [`ONLINE_WARM_PREPARE_SPEEDUP_MIN`] for why this regime, not the
+/// bursty day, carries the speedup gate).
+struct OnlinePrepareBench {
+    arrivals: u64,
+    warm_prepare_us: f64,
+    cold_prepare_us: f64,
+    speedup: f64,
+    plans_equal: bool,
+}
+
+fn measure_online_prepare(test_mode: bool) -> OnlinePrepareBench {
+    eprintln!(
+        "measuring steady-state warm-vs-cold prepare (host-granular churn, day-mix shapes, \
+         best of {ONLINE_BENCH_PASSES})..."
+    );
+    let rounds = if test_mode { 15 } else { 40 };
+    let topology = topology_from_specs(&scaled_table1(1));
+    let settings = Fig4Settings::default().modeled();
+    let params = OnlineSearchParams::default();
+    let full = host_capacities(&topology);
+    let hosts = full.len();
+    let shapes = [
+        (Fig4Kernel::Ep, 8u32),
+        (Fig4Kernel::Ep, 32),
+        (Fig4Kernel::Ep, 64),
+        (Fig4Kernel::Ep, 128),
+        (Fig4Kernel::Is, 8),
+        (Fig4Kernel::Is, 32),
+    ];
+    // Every pass replays the identical arrival/churn sequence on fresh
+    // contexts; the reported cost of each arm is its fastest pass —
+    // additive scheduler noise only ever slows a pass down, so the
+    // minimum is the noise-robust estimate (same idiom as the best-of
+    // rounds of the sweep sections).
+    let mut arrivals = 0;
+    let mut warm_prepare_us = f64::INFINITY;
+    let mut cold_prepare_us = f64::INFINITY;
+    let mut plans_equal = true;
+    for _ in 0..ONLINE_BENCH_PASSES {
+        let mut warm = SearchContext::new(topology.clone(), settings, params);
+        let mut cold = SearchContext::new(topology.clone(), settings, params);
+        cold.cold = true;
+        let mut busy = vec![false; hosts];
+        let mut caps = full.clone();
+        let mut rng = seeded(0x5EED_DA11);
+        let flip = |want_busy: bool,
+                    busy: &mut [bool],
+                    caps: &mut [u32],
+                    rng: &mut dyn FnMut(usize) -> usize| loop {
+            let h = rng(hosts);
+            if busy[h] != want_busy {
+                busy[h] = want_busy;
+                caps[h] = if want_busy { 0 } else { full[h] };
+                break;
+            }
+        };
+        let mut draw = move |n: usize| rng.gen_range(0..n);
+        for _ in 0..ONLINE_BENCH_BUSY_HOSTS {
+            flip(true, &mut busy, &mut caps, &mut draw);
+        }
+        // Round 0 is the warm-up lap: every shape's first sighting is a
+        // cold build in both contexts, so its prepare nanos are
+        // snapshotted and subtracted — the comparison is steady-state
+        // arrivals only.
+        let mut warm_base = warm.stats();
+        let mut cold_base = cold.stats();
+        for round in 0..rounds {
+            for (i, &(kernel, n)) in shapes.iter().enumerate() {
+                for _ in 0..ONLINE_BENCH_CHURN_HOSTS {
+                    flip(false, &mut busy, &mut caps, &mut draw);
+                    flip(true, &mut busy, &mut caps, &mut draw);
+                }
+                let arrival = (round * shapes.len() + i) as u64;
+                let w = warm.searched_hosts(kernel, n, &caps, arrival);
+                let c = cold.searched_hosts(kernel, n, &caps, arrival);
+                plans_equal &= w == c;
+            }
+            if round == 0 {
+                warm_base = warm.stats();
+                cold_base = cold.stats();
+            }
+        }
+        let (ws, cs) = (warm.stats(), cold.stats());
+        arrivals = ws.searched - warm_base.searched;
+        warm_prepare_us = warm_prepare_us.min(
+            (ws.prepare_nanos - warm_base.prepare_nanos) as f64 / arrivals.max(1) as f64 / 1e3,
+        );
+        cold_prepare_us = cold_prepare_us.min(
+            (cs.prepare_nanos - cold_base.prepare_nanos) as f64
+                / (cs.searched - cold_base.searched).max(1) as f64
+                / 1e3,
+        );
+    }
+    OnlinePrepareBench {
+        arrivals,
+        warm_prepare_us,
+        cold_prepare_us,
+        speedup: cold_prepare_us / warm_prepare_us.max(1e-9),
+        plans_equal,
+    }
+}
+
+/// Everything the online-placement section measures.
+struct OnlinePlacementSection {
+    bench: OnlinePrepareBench,
+    day_warm_prepare_us: f64,
+    day_cold_prepare_us: f64,
+    day_prepare_speedup: f64,
+    warm_equals_cold: bool,
+    concentrate: DaySweepResult,
+    spread: DaySweepResult,
+    searched: DaySweepResult,
+    cold_stats: OnlineSearchStats,
+    searched_wall_s: f64,
+    search_moves: u64,
+    improvement: f64,
+    test_mode: bool,
+}
+
+/// Deterministic-outcome equality of two searched day runs: every job
+/// count, the timeline event count, the bit-exact mean hold and the
+/// search decision counters must match.  The wall-clock nanoseconds in
+/// [`OnlineSearchStats`] are diagnostics, not outcomes, and stay out.
+fn same_searched_day(a: &DaySweepResult, b: &DaySweepResult) -> bool {
+    let sa = a.search.expect("the searched day records its stats");
+    let sb = b.search.expect("the searched day records its stats");
+    a.submitted == b.submitted
+        && a.succeeded == b.succeeded
+        && a.failed == b.failed
+        && a.timeouts == b.timeouts
+        && a.events_processed == b.events_processed
+        && a.mean_hold_secs.to_bits() == b.mean_hold_secs.to_bits()
+        && sa.arrivals == sb.arrivals
+        && sa.searched == sb.searched
+        && sa.infeasible == sb.infeasible
+        && sa.moves_evaluated == sb.moves_evaluated
+}
+
+/// The day every strategy replays for the online comparison: the paper-day
+/// shape compressed 24× at 5% of the arrival rates (~1.1k jobs) — the same
+/// shape `fig23_sweep --searched --compress 24 --rate-scale 0.05` smokes.
+fn online_day_config(strategy: StrategyKind) -> DaySweepConfig {
+    let mut cfg = DaySweepConfig::new(strategy).compress(24.0);
+    cfg.profile = cfg.profile.scaled(0.05);
+    cfg
+}
+
+fn measure_online_placement(test_mode: bool) -> OnlinePlacementSection {
+    let bench = measure_online_prepare(test_mode);
+    eprintln!(
+        "measuring the searched day vs the fixed strategies (compress 24, rate scale 0.05)..."
+    );
+    let concentrate = run_day_sweep(&online_day_config(StrategyKind::Concentrate));
+    let spread = run_day_sweep(&online_day_config(StrategyKind::Spread));
+    let searched_cfg = online_day_config(StrategyKind::Searched);
+    let start = Instant::now();
+    let searched = run_day_sweep(&searched_cfg);
+    let searched_wall_s = start.elapsed().as_secs_f64();
+    eprintln!("replaying the searched day with cold per-arrival builds (cache pool disabled)...");
+    let mut cold_cfg = online_day_config(StrategyKind::Searched);
+    cold_cfg.search_cold = true;
+    let cold_day = run_day_sweep(&cold_cfg);
+    let warm_stats = searched.search.expect("the searched day records its stats");
+    let cold_stats = cold_day.search.expect("the searched day records its stats");
+    // Amortized day prepare cost per arrival that actually searched
+    // (diagnostics — the speedup gate runs on the steady-state bench
+    // above; see ONLINE_WARM_PREPARE_SPEEDUP_MIN).  The cold replay pays
+    // a schedule compile + full evaluator build on every arrival, the
+    // warm day only on first-sighted shapes.
+    let day_warm_prepare_us =
+        warm_stats.prepare_nanos as f64 / warm_stats.searched.max(1) as f64 / 1e3;
+    let day_cold_prepare_us =
+        cold_stats.prepare_nanos as f64 / cold_stats.searched.max(1) as f64 / 1e3;
+    let best_fixed = concentrate.mean_hold_secs.min(spread.mean_hold_secs);
+    let improvement = 1.0 - searched.mean_hold_secs / best_fixed.max(1e-9);
+    OnlinePlacementSection {
+        bench,
+        day_warm_prepare_us,
+        day_cold_prepare_us,
+        day_prepare_speedup: day_cold_prepare_us / day_warm_prepare_us.max(1e-9),
+        warm_equals_cold: same_searched_day(&searched, &cold_day),
+        concentrate,
+        spread,
+        searched,
+        cold_stats,
+        searched_wall_s,
+        search_moves: searched_cfg.search_moves,
+        improvement,
+        test_mode,
+    }
+}
+
+/// The online-placement gates; returns true if anything failed.
+fn check_online_placement_gates(o: &OnlinePlacementSection) -> bool {
+    let mut drifted = false;
+    if o.bench.speedup < ONLINE_WARM_PREPARE_SPEEDUP_MIN {
+        eprintln!(
+            "FAIL: the warm per-arrival prepare ({:.1} us over {} steady-state arrivals) is \
+             only {:.1}x cheaper than the cold per-arrival build ({:.1} us) — the cross-job \
+             cache gate requires {ONLINE_WARM_PREPARE_SPEEDUP_MIN}x",
+            o.bench.warm_prepare_us, o.bench.arrivals, o.bench.speedup, o.bench.cold_prepare_us
+        );
+        drifted = true;
+    }
+    if !o.bench.plans_equal {
+        eprintln!(
+            "FAIL: the warm (rebased) and cold (fresh-build) steady-state searches diverged — \
+             the rebase exactness contract of p2pmpi_mpi::model is broken"
+        );
+        drifted = true;
+    }
+    if !o.warm_equals_cold {
+        eprintln!(
+            "FAIL: the warm (rebased) searched day diverged from the cold fresh-build replay — \
+             the rebase exactness contract of p2pmpi_mpi::model is broken"
+        );
+        drifted = true;
+    }
+    if o.improvement < ONLINE_DAY_IMPROVEMENT_MIN {
+        eprintln!(
+            "FAIL: the searched day's mean job makespan ({:.2}s) is only {:.1}% better than the \
+             best fixed strategy (concentrate {:.2}s, spread {:.2}s); the gate requires {:.0}%",
+            o.searched.mean_hold_secs,
+            o.improvement * 100.0,
+            o.concentrate.mean_hold_secs,
+            o.spread.mean_hold_secs,
+            ONLINE_DAY_IMPROVEMENT_MIN * 100.0
+        );
+        drifted = true;
+    }
+    if !o.test_mode && o.searched_wall_s > ONLINE_DAY_WALL_BUDGET_S {
+        eprintln!(
+            "FAIL: the searched compressed day took {:.1}s wall; the documented budget is \
+             {ONLINE_DAY_WALL_BUDGET_S}s",
+            o.searched_wall_s
         );
         drifted = true;
     }
@@ -1289,13 +1670,51 @@ fn main() {
         let is_search = measure_is_search(true);
         eprintln!(
             "is_search (reduced, IS@{}): delta {:.0} ns/move vs replay {:.0} ns ({:.1}x), \
-             ring caches {} bytes, search {:.1}s wall",
+             ring caches {} bytes ({} Uniform tables: {} bytes vs {} PerSrc-equivalent), \
+             search {:.1}s wall",
             is_search.ranks,
             is_search.delta_ns_per_move,
             is_search.replay_ns,
             is_search.delta_speedup,
             is_search.ring_cache_bytes,
+            is_search.uniform_tables,
+            is_search.uniform_bytes,
+            is_search.uniform_per_src_bytes,
             is_search.search_wall_s
+        );
+        let op = measure_online_placement(true);
+        let op_stats = op
+            .searched
+            .search
+            .expect("the searched day records its stats");
+        eprintln!(
+            "online_placement (reduced): steady-state warm prepare {:.1} us vs cold {:.1} us \
+             ({:.1}x over {} arrivals, plans {}), day-amortized {:.1} us vs {:.1} us ({:.1}x, \
+             days {}), searched day mean hold {:.2}s vs concentrate {:.2}s / spread {:.2}s \
+             ({:+.1}%), {} warm rebases vs {} cold builds",
+            op.bench.warm_prepare_us,
+            op.bench.cold_prepare_us,
+            op.bench.speedup,
+            op.bench.arrivals,
+            if op.bench.plans_equal {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+            op.day_warm_prepare_us,
+            op.day_cold_prepare_us,
+            op.day_prepare_speedup,
+            if op.warm_equals_cold {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+            op.searched.mean_hold_secs,
+            op.concentrate.mean_hold_secs,
+            op.spread.mean_hold_secs,
+            op.improvement * 100.0,
+            op_stats.warm_rebases,
+            op_stats.cold_builds
         );
         let (verdicts, matrix_wall_s) = measure_scenario_matrix();
         for v in &verdicts {
@@ -1330,13 +1749,15 @@ fn main() {
         let drifted = check_queue_gates(&q)
             | check_placement_search_gates(&ps)
             | check_is_search_gates(&is_search)
+            | check_online_placement_gates(&op)
             | check_scenario_gates(&verdicts)
             | check_sustained_gates(&sus);
         if drifted {
             std::process::exit(1);
         }
         eprintln!(
-            "perf_report --test: all queue, placement-search, is-search, scenario and sustained-throughput gates passed"
+            "perf_report --test: all queue, placement-search, is-search, online-placement, \
+             scenario and sustained-throughput gates passed"
         );
         return;
     }
@@ -1352,8 +1773,8 @@ fn main() {
     eprintln!("measuring warm allocate ({ALLOC_JOBS} jobs per variant)...");
     let (off_ns, on_ns, armed_ns) = measure_allocate(&mut tb);
 
-    eprintln!("measuring Poisson job sweep ({SWEEP_JOBS} jobs)...");
-    let (sweep_wall_ms, sweep_jobs_per_sec) = measure_sweep(&mut tb);
+    eprintln!("measuring Poisson job sweep ({SWEEP_JOBS} jobs, best of 3 rounds)...");
+    let (sweep_wall_ms, sweep_jobs_per_sec) = measure_sweep(&mut tb, 3);
 
     eprintln!(
         "measuring event-engine throughput ({ENGINE_CHURN} pop/push cycles per variant, best of 3 interleaved rounds)..."
@@ -1380,6 +1801,7 @@ fn main() {
     let q = measure_queue_sections(false, 3);
     let ps = measure_placement_search(false);
     let is_search = measure_is_search(false);
+    let op = measure_online_placement(false);
     let (scenario_verdicts, scenario_wall_s) = measure_scenario_matrix();
     eprintln!(
         "measuring sustained sharded throughput (week shape, {SUSTAINED_SHARDS} shards, parallel vs single-thread, best of 2)..."
@@ -1430,7 +1852,23 @@ fn main() {
     let is_search_prev = previous_block(
         prior,
         "is_search",
-        &["delta_ns_per_move", "speedup", "ring_cache_bytes", "wall_s"],
+        &[
+            "delta_ns_per_move",
+            "speedup",
+            "ring_cache_bytes",
+            "uniform_ring_bytes",
+            "wall_s",
+        ],
+    );
+    let online_prev = previous_block(
+        prior,
+        "online_placement",
+        &[
+            "warm_prepare_us",
+            "prepare_speedup",
+            "searched_mean_hold_s",
+            "improvement_vs_best_fixed",
+        ],
     );
     let sustained_prev = previous_block(
         prior,
@@ -1506,6 +1944,47 @@ fn main() {
     let is_search_best = is_search.search.best.as_secs_f64();
     let is_search_improvement = is_search.search.improvement();
     let is_search_hosts = is_search.search.hosts_used();
+    let is_uniform_tables = is_search.uniform_tables;
+    let is_uniform_bytes = is_search.uniform_bytes;
+    let is_uniform_per_src = is_search.uniform_per_src_bytes;
+    let poisson_hw = hw_threads();
+    let op_stats = op
+        .searched
+        .search
+        .expect("the searched day records its stats");
+    let op_cold_prepare_ms = op.cold_stats.prepare_nanos as f64 / 1e6;
+    let op_warm_us = op.bench.warm_prepare_us;
+    let op_cold_us = op.bench.cold_prepare_us;
+    let op_speedup = op.bench.speedup;
+    let op_bench_arrivals = op.bench.arrivals;
+    let op_plans_equal = op.bench.plans_equal;
+    let op_day_warm_us = op.day_warm_prepare_us;
+    let op_day_cold_us = op.day_cold_prepare_us;
+    let op_day_speedup = op.day_prepare_speedup;
+    let op_exact = op.warm_equals_cold;
+    let op_moves = op.search_moves;
+    let op_conc_sub = op.concentrate.submitted;
+    let op_conc_suc = op.concentrate.succeeded;
+    let op_conc_hold = op.concentrate.mean_hold_secs;
+    let op_spread_sub = op.spread.submitted;
+    let op_spread_suc = op.spread.succeeded;
+    let op_spread_hold = op.spread.mean_hold_secs;
+    let op_sea_sub = op.searched.submitted;
+    let op_sea_suc = op.searched.succeeded;
+    let op_sea_hold = op.searched.mean_hold_secs;
+    let op_sea_wall_s = op.searched_wall_s;
+    let op_arrivals = op_stats.arrivals;
+    let op_planned = op_stats.searched;
+    let op_infeasible = op_stats.infeasible;
+    let op_warm_rebases = op_stats.warm_rebases;
+    let op_cold_builds = op_stats.cold_builds;
+    let op_moves_evaluated = op_stats.moves_evaluated;
+    let op_prepare_ms = op_stats.prepare_nanos as f64 / 1e6;
+    let op_anneal_ms = op_stats.anneal_nanos as f64 / 1e6;
+    let op_amortized_us = (op_stats.prepare_nanos + op_stats.anneal_nanos) as f64
+        / op_stats.arrivals.max(1) as f64
+        / 1e3;
+    let op_improvement = op.improvement;
     // One row per scenario verdict; check details live in the runner's own
     // JSON output, so the report keeps the headline numbers only.
     let scenario_rows_json = scenario_verdicts
@@ -1579,8 +2058,10 @@ fn main() {
     "previous": {alloc_prev}
   }},
   "job_sweep_poisson": {{
-    "description": "Poisson arrivals (mean gap 30 s virtual), tracing off",
+    "description": "Poisson arrivals (mean gap 30 s virtual), tracing off, best of 3 rounds; hw_threads recorded like sustained_throughput so trajectory points from different machines stay distinguishable",
     "jobs": {SWEEP_JOBS},
+    "rounds": 3,
+    "hw_threads": {poisson_hw},
     "wall_ms": {sweep_wall_ms:.1},
     "jobs_per_sec": {sweep_jobs_per_sec:.0},
     "previous": {poisson_prev}
@@ -1741,6 +2222,13 @@ fn main() {
     "required_speedup": {IS_SEARCH_DELTA_SPEEDUP_MIN},
     "ring_cache_bytes": {is_ring_bytes},
     "ring_cache_bytes_max": {IS_SEARCH_RING_CACHE_BYTES_MAX},
+    "uniform_rings": {{
+      "description": "the move-invariant Uniform specialisation (p2pmpi_mpi::model::RingTable::Uniform): a uniform ring's transfer table is a site x site matrix keyed by static topology data only — never journaled by a move — versus the per-rank tsame + site-row PerSrc layout it would otherwise occupy; the savings floor fails non-zero",
+      "uniform_ring_tables": {is_uniform_tables},
+      "uniform_ring_bytes": {is_uniform_bytes},
+      "per_src_equivalent_bytes": {is_uniform_per_src},
+      "required_savings": {IS_SEARCH_UNIFORM_SAVINGS_MIN}
+    }},
     "search": {{
       "moves_per_chain": {is_search_moves},
       "chains": {is_search_chains},
@@ -1753,6 +2241,55 @@ fn main() {
       "search_budget_s": {IS_SEARCH_WALL_BUDGET_S}
     }},
     "previous": {is_search_prev}
+  }},
+  "online_placement": {{
+    "description": "the day sweep's searched booking strategy (StrategyKind::Searched through SweepCore): every arrival re-runs the annealing search over the grid's current free cores, reusing one pooled warm PlacementCost + Fenwick free-slot index per kernel shape via rebase instead of rebuilding (p2pmpi_bench::search::SearchContext; warm-reuse contract in p2pmpi_mpi::model); gates (all fail non-zero): the warm per-arrival prepare >= {ONLINE_WARM_PREPARE_SPEEDUP_MIN}x cheaper than the cold one in the steady-state churn benchmark with bit-identical warm/cold plans, the warm and cold searched days bit-identical, the searched day's mean job makespan >= required_improvement better than the best fixed strategy, and (full runs) the searched day inside day_wall_budget_s",
+    "prepare": {{
+      "description": "per-arrival phase 1 in the steady-state regime the pool targets: {ONLINE_BENCH_CHURN_HOSTS} whole hosts change hands between consecutive arrivals of the day-mix shapes ({ONLINE_BENCH_BUSY_HOSTS} busy at start), so the repaired seed displaces only a handful of ranks and the warm PlacementCost::rebase stays on the delta path; warm = rebase + free-slot resync of the pooled shape, cold = the same arrival sequence with the pool dropped every time, paying a schedule compile + full evaluator build; the annealing walk after prepare is common to both paths and the two must produce bit-identical plans",
+      "steady_state_arrivals": {op_bench_arrivals},
+      "churn_hosts_per_arrival": {ONLINE_BENCH_CHURN_HOSTS},
+      "warm_prepare_us": {op_warm_us:.1},
+      "cold_prepare_us": {op_cold_us:.1},
+      "prepare_speedup": {op_speedup:.1},
+      "required_speedup": {ONLINE_WARM_PREPARE_SPEEDUP_MIN},
+      "warm_equals_cold_plans": {op_plans_equal}
+    }},
+    "day": {{
+      "description": "the CI-smoke day (paper-day shape compressed 24x at 5% arrival rates, ~1.1k jobs) under each booking strategy; mean_hold_s is the mean modeled kernel makespan of the placed jobs",
+      "compress": 24,
+      "rate_scale": 0.05,
+      "search_moves_per_arrival": {op_moves},
+      "concentrate": {{ "submitted": {op_conc_sub}, "succeeded": {op_conc_suc}, "mean_hold_s": {op_conc_hold:.3} }},
+      "spread": {{ "submitted": {op_spread_sub}, "succeeded": {op_spread_suc}, "mean_hold_s": {op_spread_hold:.3} }},
+      "searched": {{
+        "submitted": {op_sea_sub},
+        "succeeded": {op_sea_suc},
+        "mean_hold_s": {op_sea_hold:.3},
+        "wall_s": {op_sea_wall_s:.2},
+        "arrivals": {op_arrivals},
+        "planned": {op_planned},
+        "infeasible": {op_infeasible},
+        "warm_rebases": {op_warm_rebases},
+        "cold_builds": {op_cold_builds},
+        "moves_evaluated": {op_moves_evaluated},
+        "prepare_wall_ms": {op_prepare_ms:.1},
+        "anneal_wall_ms": {op_anneal_ms:.1},
+        "amortized_search_us_per_arrival": {op_amortized_us:.1}
+      }},
+      "amortized_prepare": {{
+        "description": "day-amortized prepare diagnostics (not gated on the speedup floor — the bursty day's arrival-weighted contention displaces most ranks on most arrivals, so the wholesale rebase fallback caps the warm prepare at the rebuild cost; see the prepare block for the gated steady-state regime): warm = the searched day's prepare nanos per searching arrival, cold = the same day replayed with the pool disabled",
+        "warm_prepare_us": {op_day_warm_us:.1},
+        "cold_prepare_us": {op_day_cold_us:.1},
+        "cold_prepare_wall_ms": {op_cold_prepare_ms:.1},
+        "prepare_speedup": {op_day_speedup:.1},
+        "warm_equals_cold_days": {op_exact}
+      }},
+      "searched_mean_hold_s": {op_sea_hold:.3},
+      "improvement_vs_best_fixed": {op_improvement:.4},
+      "required_improvement": {ONLINE_DAY_IMPROVEMENT_MIN},
+      "day_wall_budget_s": {ONLINE_DAY_WALL_BUDGET_S}
+    }},
+    "previous": {online_prev}
   }}
 }}
 "#
@@ -1804,8 +2341,12 @@ fn main() {
     // skewed-grid margin, the wall budget) …
     drifted |= check_placement_search_gates(&ps);
     // … the IS-at-scale gates (ring-delta speedup, the ring-cache memory
-    // ceiling, search quality and wall budget at 1024 ranks) …
+    // ceiling, the Uniform savings floor, search quality and wall budget
+    // at 1024 ranks) …
     drifted |= check_is_search_gates(&is_search);
+    // … the online-placement gates (warm-prepare speedup, warm == cold
+    // exactness, the searched day's improvement and wall budget) …
+    drifted |= check_online_placement_gates(&op);
     // … the graceful-degradation verdicts of the fault-injection matrix …
     drifted |= check_scenario_gates(&scenario_verdicts);
     // … the architecture-aware sharded-driver speedup …

@@ -4,7 +4,8 @@
 //! ```text
 //! cargo run --release -p p2pmpi-bench --bin scenario_runner -- \
 //!     (--all | --scenario NAME) [--compress F] [--rate-scale F] \
-//!     [--seed N] [--queue ladder|calendar|heap]
+//!     [--seed N] [--queue ladder|calendar|heap] \
+//!     [--strategy spread|concentrate|searched|balanced:<k>]
 //! ```
 //!
 //! Each scenario replays a day-scale submission trace with one named
@@ -28,7 +29,7 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: scenario_runner (--all | --scenario NAME) [--compress F] [--rate-scale F] \
-         [--seed N] [--queue ladder|calendar|heap]\n\nscenarios:"
+         [--seed N] [--queue ladder|calendar|heap] [--strategy NAME]\n\nscenarios:"
     );
     for s in ALL_SCENARIOS {
         eprintln!("  {:<18} {}", s.name(), s.summary());
@@ -75,6 +76,15 @@ fn main() {
                 std::process::exit(2);
             }
         };
+    }
+    if let Some(s) = flag_value("--strategy") {
+        match s.parse() {
+            Ok(strategy) => params.strategy = Some(strategy),
+            Err(e) => {
+                eprintln!("bad --strategy: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     let mut failures = 0usize;

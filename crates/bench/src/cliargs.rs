@@ -130,9 +130,18 @@ pub fn ablation_flags() -> AblationFlags {
 
 /// Flags of the `fig23_sweep` day-trace binary.
 pub struct DaySweepFlags {
-    /// `--strategy concentrate|spread|both`: which runs to perform
-    /// (default both, like Figures 2 and 3 side by side).
+    /// `--strategy concentrate|spread|searched|both|all`: which runs to
+    /// perform (default both, like Figures 2 and 3 side by side; `all`
+    /// adds the search-guided run to the pair).
     pub strategy: String,
+    /// `--searched`: shorthand for `--strategy searched` — one run with
+    /// the online per-arrival placement search.
+    pub searched: bool,
+    /// `--search-moves N`: annealing move budget per arrival (default 300).
+    pub search_moves: Option<u64>,
+    /// `--search-cold`: disable the warm cross-job evaluator pool (every
+    /// arrival rebuilds from scratch; the warm-vs-cold control arm).
+    pub search_cold: bool,
     /// `--queue heap|calendar|ladder`: event-queue kind (default ladder,
     /// the sweep default for the timeout-heavy timeline).
     pub queue: String,
@@ -159,6 +168,9 @@ pub struct DaySweepFlags {
 pub fn day_sweep_flags() -> DaySweepFlags {
     DaySweepFlags {
         strategy: flag_value("--strategy").unwrap_or_else(|| "both".to_string()),
+        searched: flag_present("--searched"),
+        search_moves: flag_u64("--search-moves"),
+        search_cold: flag_present("--search-cold"),
         queue: flag_value("--queue").unwrap_or_else(|| "ladder".to_string()),
         seed: flag_u64("--seed").unwrap_or(2008),
         compress: flag_f64("--compress"),

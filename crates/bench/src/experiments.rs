@@ -280,7 +280,7 @@ pub fn synthetic_placement(topology: &Topology, strategy: StrategyKind, n: u32) 
                 }
             }
         }
-        StrategyKind::Balanced { .. } => {
+        StrategyKind::Balanced { .. } | StrategyKind::Searched => {
             panic!("synthetic placements support concentrate and spread only")
         }
     }

@@ -91,6 +91,12 @@ pub struct ScenarioParams {
     /// across kinds (pinned by `tests/day_sweep.rs`); this only matters for
     /// wall time.
     pub queue: QueueKind,
+    /// Optional allocation-strategy override applied to every scenario
+    /// (and its no-fault twin).  `None` keeps each scenario's authored
+    /// strategy.  [`StrategyKind::Searched`] puts the online placement
+    /// search under fault pressure: the graceful-degradation gates must
+    /// hold there exactly as they do for the fixed strategies.
+    pub strategy: Option<StrategyKind>,
 }
 
 impl Default for ScenarioParams {
@@ -100,6 +106,7 @@ impl Default for ScenarioParams {
             rate_scale: 0.05,
             seed: 2008,
             queue: QueueKind::Ladder,
+            strategy: None,
         }
     }
 }
@@ -300,6 +307,9 @@ impl Scenario {
         };
         cfg.seed = params.seed;
         cfg.queue = params.queue;
+        if let Some(strategy) = params.strategy {
+            cfg.strategy = strategy;
+        }
         if params.compress > 1.0 {
             cfg = cfg.compress(params.compress);
         }

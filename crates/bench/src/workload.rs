@@ -22,6 +22,7 @@
 //!   sampled on a fixed period, reproducing Figures 2–3 at sweep scale.
 
 use crate::experiments::{run_kernel_on_placement, Fig4Kernel, Fig4Settings};
+use crate::search::{OnlineSearchParams, OnlineSearchStats, SearchContext};
 use p2pmpi_core::prelude::*;
 use p2pmpi_grid5000::testbed::{testbed_from_specs_with_queue, Grid5000Testbed};
 use p2pmpi_grid5000::{ClusterSpec, TABLE1};
@@ -31,8 +32,10 @@ use p2pmpi_simgrid::event::QueueKind;
 use p2pmpi_simgrid::noise::NoiseModel;
 use p2pmpi_simgrid::rngutil::{derive_seed, seeded};
 use p2pmpi_simgrid::time::{SimDuration, SimTime};
+use p2pmpi_simgrid::topology::HostId;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Arrival generators
@@ -612,6 +615,14 @@ pub struct DaySweepConfig {
     /// cancellations.  Reaping is outcome-invariant — it only drops
     /// tickets `pop` would have skipped.  `usize::MAX` disables it.
     pub reap_threshold: usize,
+    /// Per-arrival annealing move budget of the online search (only read
+    /// when `strategy` is [`StrategyKind::Searched`]).
+    pub search_moves: u64,
+    /// Test/benchmark knob: force every online search to rebuild its
+    /// evaluator from scratch instead of rebasing the warm pool — the
+    /// control arm of the warm == cold exactness pins in
+    /// `tests/day_sweep.rs` and the prepare-speedup gate in `perf_report`.
+    pub search_cold: bool,
 }
 
 impl DaySweepConfig {
@@ -632,6 +643,8 @@ impl DaySweepConfig {
             faults: Vec::new(),
             fail_jobs_on_crash: false,
             reap_threshold: 8192,
+            search_moves: 300,
+            search_cold: false,
         }
     }
 
@@ -743,6 +756,10 @@ pub struct DaySweepResult {
     /// job boundaries.  With reaping on, bounded by `reap_threshold` plus
     /// one inter-job interval's cancellations.
     pub dead_ticket_hwm: usize,
+    /// Counters of the online search (`Some` only when the sweep ran with
+    /// [`StrategyKind::Searched`]): warm-rebase vs cold-build split, moves
+    /// evaluated and wall-clock phase timings.
+    pub search: Option<OnlineSearchStats>,
 }
 
 impl DaySweepResult {
@@ -821,6 +838,11 @@ pub(crate) struct SweepCore {
     mid_caps: (usize, usize),
     reaped_tickets: u64,
     dead_ticket_hwm: usize,
+    /// The persistent cross-job search state (warm `PlacementCost` pool +
+    /// idle-slot indexes), present only under [`StrategyKind::Searched`].
+    search: Option<SearchContext>,
+    /// Reused per-arrival free-capacity scratch for the online search.
+    search_caps: Vec<u32>,
 }
 
 impl SweepCore {
@@ -925,6 +947,19 @@ impl SweepCore {
         }
         .modeled();
 
+        // Under the searched strategy every arrival re-anneals against the
+        // grid's current free cores, reusing one warm evaluator per kernel
+        // shape across jobs (see `crate::search::SearchContext`).
+        let search = (cfg.strategy == StrategyKind::Searched).then(|| {
+            let params = OnlineSearchParams {
+                moves: cfg.search_moves,
+                seed: derive_seed(seed, 0x0A11),
+            };
+            let mut ctx = SearchContext::new(tb.topology.clone(), settings, params);
+            ctx.cold = cfg.search_cold;
+            ctx
+        });
+
         let site_names: Vec<String> = tb.topology.sites().iter().map(|s| s.name.clone()).collect();
         let site_cores: Vec<usize> = tb
             .topology
@@ -966,7 +1001,64 @@ impl SweepCore {
             mid_caps: (0, 0),
             reaped_tickets: 0,
             dead_ticket_hwm: 0,
+            search,
+            search_caps: Vec::new(),
         }
+    }
+
+    /// Builds the request for `job`, running the online placement search
+    /// first when the sweep's strategy is [`StrategyKind::Searched`]: the
+    /// annealed per-rank host map rides the request as a plan the
+    /// co-allocator books and pins verbatim (falling back to the fixed
+    /// distribution when brokering invalidates it).  Any other strategy —
+    /// or an infeasible instant (free cores cannot hold the job) — submits
+    /// the plain request.
+    fn request_for(&mut self, job: &JobSpec) -> JobRequest {
+        let request = JobRequest::new(job.ranks, self.cfg.strategy, job.kernel.program());
+        let Some(ctx) = self.search.as_mut() else {
+            return request;
+        };
+
+        // Effective free capacity right now: the runtime admits one
+        // application per MPD (`max_apps` = 1), so a host is wholly free
+        // when its peer is alive and idle, wholly busy otherwise.  The
+        // timeline was advanced to the arrival instant before this, so the
+        // view matches what brokering will see.
+        self.search_caps.clear();
+        self.search_caps.resize(self.tb.topology.host_count(), 0u32);
+        for (h, cap) in self.search_caps.iter_mut().enumerate() {
+            if let Some(peer) = self.tb.overlay.peer_on_host(HostId(h)) {
+                let node = self.tb.overlay.node(peer);
+                if node.is_alive() && node.rs.active_applications() == 0 {
+                    *cap = self.tb.topology.host(HostId(h)).cores as u32;
+                }
+            }
+        }
+
+        let arrival = (self.submitted - 1) as u64;
+        let Some(hosts) = ctx.searched_hosts(job.kernel, job.ranks, &self.search_caps, arrival)
+        else {
+            return request;
+        };
+
+        // Fold the per-rank host map into per-host rank lists, hosts in
+        // first-occurrence (rank) order.
+        let mut plan: Vec<PlannedHost> = Vec::new();
+        for (rank, &host) in hosts.iter().enumerate() {
+            let peer = self
+                .tb
+                .overlay
+                .peer_on_host(host)
+                .expect("searched placements only use hosts with live peers");
+            match plan.iter_mut().find(|ph| ph.peer == peer) {
+                Some(ph) => ph.ranks.push(rank as u32),
+                None => plan.push(PlannedHost {
+                    peer,
+                    ranks: vec![rank as u32],
+                }),
+            }
+        }
+        request.with_plan(Arc::from(plan))
     }
 
     /// Takes every utilisation sample due at or before `upto`.
@@ -1065,7 +1157,7 @@ impl SweepCore {
         }
         self.submitted += 1;
         self.advance_to(job.at);
-        let request = JobRequest::new(job.ranks, self.cfg.strategy, job.kernel.program());
+        let request = self.request_for(job);
         let report = self
             .allocator
             .allocate(&mut self.tb.overlay, self.tb.submitter, &request);
@@ -1114,6 +1206,7 @@ impl SweepCore {
             leaked_grant_hwm: self.tb.overlay.leaked_grant_hwm(),
             reaped_tickets: self.reaped_tickets,
             dead_ticket_hwm: self.dead_ticket_hwm,
+            search: self.search.as_ref().map(|c| c.stats()),
         }
     }
 }

@@ -250,6 +250,55 @@ fn reap_cadence_bounds_dead_tickets_on_a_cancel_heavy_week() {
 }
 
 #[test]
+fn searched_day_sweep_is_bit_identical_across_queues_and_warm_vs_cold() {
+    // The online search rides the sweep deterministically: per-arrival RNG
+    // streams derive from the config seed, never from the queue structure
+    // or from whether the evaluator pool ran warm.  So (a) the three queue
+    // kinds must agree bit-for-bit, exactly like the fixed strategies, and
+    // (b) forcing every arrival down the cold rebuild path (`search_cold`)
+    // must reproduce the warm run's outcomes — the day-scale face of the
+    // `PlacementCost::rebase` exactness contract.
+    let run = |kind: QueueKind, cold: bool| {
+        let mut cfg = DaySweepConfig::new(StrategyKind::Searched).compress(24.0);
+        cfg.profile = cfg.profile.scaled(0.01);
+        cfg.sample_period = SimDuration::from_secs(60);
+        cfg.search_moves = 80;
+        cfg.queue = kind;
+        cfg.search_cold = cold;
+        run_day_sweep(&cfg)
+    };
+    let ladder = run(QueueKind::Ladder, false);
+    assert!(
+        ladder.submitted > 150,
+        "only {} jobs arrived",
+        ladder.submitted
+    );
+    assert!(
+        ladder.succeeded > ladder.submitted / 2,
+        "{}/{} searched jobs succeeded",
+        ladder.succeeded,
+        ladder.submitted
+    );
+    // The warm pool genuinely carried the day: one cold build per kernel
+    // shape in the mix, everything else a rebase.
+    let warm_stats = ladder.search.expect("searched sweeps report search stats");
+    assert!(warm_stats.warm_rebases > warm_stats.cold_builds * 10);
+    assert!(warm_stats.cold_builds >= 1);
+
+    let heap = run(QueueKind::BinaryHeap, false);
+    let cal = run(QueueKind::Calendar, false);
+    assert_identical(&ladder, &heap, "searched: ladder vs heap");
+    assert_identical(&ladder, &cal, "searched: ladder vs calendar");
+
+    let cold = run(QueueKind::Ladder, true);
+    assert_identical(&ladder, &cold, "searched: warm vs cold evaluator pool");
+    let cold_stats = cold.search.expect("searched sweeps report search stats");
+    assert_eq!(cold_stats.warm_rebases, 0, "cold runs must never rebase");
+    assert_eq!(cold_stats.searched, warm_stats.searched);
+    assert_eq!(cold_stats.moves_evaluated, warm_stats.moves_evaluated);
+}
+
+#[test]
 fn injected_faults_agree_bit_for_bit_on_every_queue() {
     // Injected faults ride the same timeline as everything else — churn
     // events, mass revocations (`cancel_batch`), link-degradation toggles,

@@ -86,7 +86,7 @@ pub use strategy::{AllocationStrategy, StrategyKind};
 pub mod prelude {
     pub use crate::allocation::Allocation;
     pub use crate::overbooking::OverbookingPolicy;
-    pub use crate::request::JobRequest;
+    pub use crate::request::{JobRequest, PlannedHost};
     pub use crate::reservation::{allocate, CoAllocator, CoAllocatorParams};
     pub use crate::stats::{usage_by_site, SiteUsage};
     pub use crate::strategy::{AllocationStrategy, StrategyKind};

@@ -6,7 +6,21 @@
 //! allocation strategy.
 
 use crate::strategy::StrategyKind;
+use p2pmpi_overlay::peer::PeerId;
 use std::fmt;
+use std::sync::Arc;
+
+/// One host of a search-produced placement plan: the peer to book and the
+/// exact MPI ranks to pin there.  Ranks are explicit (not contiguous
+/// blocks) because the annealed rank→host map is what the model priced —
+/// permuting ranks changes ring/tree transfer costs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedHost {
+    /// The MPD peer managing the planned host.
+    pub peer: PeerId,
+    /// The MPI ranks to place on that host, in rank order.
+    pub ranks: Vec<u32>,
+}
 
 /// A request to co-allocate and launch one MPI application.
 #[derive(Debug, Clone)]
@@ -19,6 +33,13 @@ pub struct JobRequest {
     pub strategy: StrategyKind,
     /// Program name (informational; the MPI runtime decides what to run).
     pub program: String,
+    /// Search-produced placement plan ([`StrategyKind::Searched`] only).
+    /// The co-allocator books the planned peers first and pins the planned
+    /// ranks when every planned peer grants with enough capacity; any
+    /// shortfall (refusal, death, lost capacity, replication > 1) falls
+    /// back to the strategy's distribution function over whatever was
+    /// granted.  Shared, not cloned, per brokering attempt.
+    pub plan: Option<Arc<[PlannedHost]>>,
 }
 
 /// Errors detected before any network interaction.
@@ -49,6 +70,7 @@ impl JobRequest {
             replication: 1,
             strategy,
             program: program.into(),
+            plan: None,
         }
     }
 
@@ -64,7 +86,14 @@ impl JobRequest {
             replication,
             strategy,
             program: program.into(),
+            plan: None,
         }
+    }
+
+    /// Attaches a search-produced placement plan (see [`JobRequest::plan`]).
+    pub fn with_plan(mut self, plan: Arc<[PlannedHost]>) -> Self {
+        self.plan = Some(plan);
+        self
     }
 
     /// Total number of process instances to place: `n × r`.

@@ -27,9 +27,9 @@ use crate::allocation::{AllocatedHost, Allocation};
 use crate::capacity::host_capacity;
 use crate::feasibility::{check_feasibility, Infeasibility};
 use crate::overbooking::OverbookingPolicy;
-use crate::rank::assign_ranks;
-use crate::request::{JobRequest, RequestError};
-use p2pmpi_overlay::messages::{ReservationKey, ReservationReply, StartReply};
+use crate::rank::{assign_ranks, HostRanks};
+use crate::request::{JobRequest, PlannedHost, RequestError};
+use p2pmpi_overlay::messages::{RankAssignment, ReservationKey, ReservationReply, StartReply};
 use p2pmpi_overlay::overlay::{Overlay, RsOutcome};
 use p2pmpi_overlay::peer::PeerId;
 use p2pmpi_simgrid::time::SimDuration;
@@ -274,14 +274,28 @@ impl CoAllocator {
             .overbooking
             .booking_target(total as usize, candidate_count);
         booked.clear();
-        if self.params.include_submitter && booking_target > 0 {
+        if let Some(plan) = request.plan.as_deref() {
+            // A search plan books its peers first, in plan order, so a full
+            // round of grants puts them at the head of the slist.
+            for ph in plan.iter() {
+                if !booked.contains(&ph.peer) {
+                    booked.push(ph.peer);
+                }
+            }
+        }
+        let plan_prefix = booked.len();
+        if self.params.include_submitter && booking_target > 0 && !booked.contains(&submitter) {
             booked.push(submitter);
         }
-        booked.extend(
-            overlay
-                .ranking_iter(submitter)
-                .take(booking_target - booked.len()),
-        );
+        for peer in overlay.ranking_iter(submitter) {
+            if booked.len() >= booking_target.max(plan_prefix) {
+                break;
+            }
+            if booked[..plan_prefix].contains(&peer) {
+                continue;
+            }
+            booked.push(peer);
+        }
         stats.booked = booked.len();
 
         // Steps 3–5 — RS brokering, fully event-driven: every outbound
@@ -342,9 +356,23 @@ impl CoAllocator {
             return Err(AllocationError::Infeasible(inf));
         }
 
-        // Strategy distribution and rank assignment.
-        request.strategy.distribute_into(capacities, total, counts);
-        let assignment = assign_ranks(counts, n);
+        // Strategy distribution and rank assignment.  A search plan that
+        // survived brokering intact overrides both, pinning the exact
+        // annealed rank→host map (the contiguous blocks of `assign_ranks`
+        // would re-permute ranks and change the modeled collective costs);
+        // any shortfall falls back to the strategy's distribution function.
+        let assignment = match request
+            .plan
+            .as_deref()
+            .filter(|_| r == 1)
+            .and_then(|plan| plan_assignment(plan, slist, capacities, counts, total))
+        {
+            Some(a) => a,
+            None => {
+                request.strategy.distribute_into(capacities, total, counts);
+                assign_ranks(counts, n)
+            }
+        };
 
         // Hosts that ended up with zero processes lose their reservation.
         for (i, &(peer, _)) in slist.iter().enumerate() {
@@ -416,6 +444,46 @@ impl CoAllocator {
             });
         Ok(allocation)
     }
+}
+
+/// Attempts to honor a search plan over the granted `slist`: writes the
+/// per-host counts and returns the explicit rank pinning iff every planned
+/// peer was granted with enough capacity and the plan covers the job
+/// exactly.  `None` sends the caller to the strategy's distribution
+/// function (a planned peer refused, timed out, or lost capacity since the
+/// search ran).
+fn plan_assignment(
+    plan: &[PlannedHost],
+    slist: &[(PeerId, u32)],
+    capacities: &[u32],
+    counts: &mut Vec<u32>,
+    total: u32,
+) -> Option<Vec<HostRanks>> {
+    counts.clear();
+    counts.resize(slist.len(), 0);
+    let mut assignment = Vec::with_capacity(plan.len());
+    let mut placed = 0u32;
+    for ph in plan {
+        let i = slist.iter().position(|&(p, _)| p == ph.peer)?;
+        let u = ph.ranks.len() as u32;
+        if u == 0 || u > capacities[i] || counts[i] != 0 {
+            return None;
+        }
+        counts[i] = u;
+        placed += u;
+        assignment.push(HostRanks {
+            slist_index: i,
+            ranks: ph
+                .ranks
+                .iter()
+                .map(|&rank| RankAssignment { rank, replica: 0 })
+                .collect(),
+        });
+    }
+    if placed != total {
+        return None;
+    }
+    Some(assignment)
 }
 
 /// Convenience wrapper: allocate with default parameters.

@@ -60,6 +60,13 @@ pub enum StrategyKind {
         /// Per-host cap applied before falling back to round-robin.
         max_per_host: u32,
     },
+    /// Model-driven placement: an upstream searcher (the day sweep's
+    /// `SearchContext`) attaches an explicit host plan to the request,
+    /// which the co-allocator honors verbatim.  As a *distribution
+    /// function* this delegates to [`Concentrate`](crate::concentrate) —
+    /// the fallback whenever a plan is absent or invalidated by brokering
+    /// (a planned peer refused, died, or lost capacity).
+    Searched,
 }
 
 impl StrategyKind {
@@ -69,6 +76,7 @@ impl StrategyKind {
             StrategyKind::Spread => "spread",
             StrategyKind::Concentrate => "concentrate",
             StrategyKind::Balanced { .. } => "balanced",
+            StrategyKind::Searched => "searched",
         }
     }
 
@@ -80,6 +88,7 @@ impl StrategyKind {
             StrategyKind::Balanced { max_per_host } => {
                 Box::new(crate::balanced::Balanced::new(max_per_host))
             }
+            StrategyKind::Searched => Box::new(crate::concentrate::Concentrate),
         }
     }
 
@@ -93,6 +102,9 @@ impl StrategyKind {
             }
             StrategyKind::Balanced { max_per_host } => {
                 crate::balanced::Balanced::new(max_per_host).distribute_into(capacities, total, out)
+            }
+            StrategyKind::Searched => {
+                crate::concentrate::Concentrate.distribute_into(capacities, total, out)
             }
         }
     }
@@ -122,6 +134,7 @@ impl FromStr for StrategyKind {
         match s.to_ascii_lowercase().as_str() {
             "spread" => Ok(StrategyKind::Spread),
             "concentrate" => Ok(StrategyKind::Concentrate),
+            "searched" => Ok(StrategyKind::Searched),
             other => {
                 if let Some(rest) = other.strip_prefix("balanced:") {
                     let k: u32 = rest
@@ -133,7 +146,8 @@ impl FromStr for StrategyKind {
                     Ok(StrategyKind::Balanced { max_per_host: k })
                 } else {
                     Err(format!(
-                        "unknown strategy '{other}' (expected spread, concentrate or balanced:<k>)"
+                        "unknown strategy '{other}' (expected spread, concentrate, \
+                         searched or balanced:<k>)"
                     ))
                 }
             }
@@ -176,6 +190,11 @@ mod tests {
             "balanced:3".parse::<StrategyKind>().unwrap(),
             StrategyKind::Balanced { max_per_host: 3 }
         );
+        assert_eq!(
+            "searched".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Searched
+        );
+        assert_eq!(StrategyKind::Searched.to_string(), "searched");
         assert!("balanced:0".parse::<StrategyKind>().is_err());
         assert!("balanced:x".parse::<StrategyKind>().is_err());
         assert!("random".parse::<StrategyKind>().is_err());
@@ -189,6 +208,8 @@ mod tests {
             StrategyKind::Balanced { max_per_host: 2 }.build().name(),
             "balanced"
         );
+        // Searched's distribution function is the concentrate fallback.
+        assert_eq!(StrategyKind::Searched.build().name(), "concentrate");
     }
 
     /// The three strategy invariants hold for every built-in strategy on
@@ -213,6 +234,7 @@ mod tests {
             let total = (cap_sum as f64 * frac).floor() as u32;
             strategy_invariants(StrategyKind::Spread, caps.clone(), total);
             strategy_invariants(StrategyKind::Concentrate, caps.clone(), total);
+            strategy_invariants(StrategyKind::Searched, caps.clone(), total);
             strategy_invariants(
                 StrategyKind::Balanced { max_per_host: balanced_cap },
                 caps,

@@ -92,10 +92,14 @@
 //! class meaning same-host / directed site pair, the only thing the
 //! transfer cost depends on.  Ring segments keep no per-step clocks at all:
 //! they share *pooled transfer tables*, one per distinct `Uniform`/`PerSrc`
-//! byte structure among the schedule's rings, holding each source rank's
-//! precomputed transfer nanoseconds to a co-resident (`tsame[src]`) and to
-//! a host at every destination site (`tsite[src · sites + site]`) —
-//! O(ranks · sites) bytes total, independent of the step count.
+//! byte structure among the schedule's rings.  A `Uniform` ring (same byte
+//! count on every edge) collapses to one loopback scalar plus a
+//! *site×site* matrix (`site[src_site · sites + dst_site]`) keyed by static
+//! topology data only — O(sites²) bytes and **move-invariant**.  A
+//! `PerSrc` ring keeps each source rank's transfer nanoseconds to a
+//! co-resident (`tsame[src]`) and to a host at every destination site
+//! (`tsite[src · sites + site]`) — O(ranks · sites) bytes, independent of
+//! the step count.
 //!
 //! **What a move invalidates.**  A move changes (a) the transfer cost of
 //! every message whose *endpoint rank* moved, and (b) the compute cost of
@@ -108,8 +112,9 @@
 //! immediately (the `max()` in the receive rule absorbs most perturbations),
 //! which is what bounds the affected set in practice.  A moved rank whose
 //! *site* changed additionally rewrites its `tsite` row in every pooled
-//! table (journaled as `RingRow` entries); `tsame` is host-independent and
-//! never changes.  A ring segment is then re-run as a two-row integer
+//! `PerSrc` table (journaled as `RingRow` entries); `tsame` is
+//! host-independent and `Uniform` tables are site-keyed, so neither ever
+//! changes.  A ring segment is then re-run as a two-row integer
 //! *wavefront* over the tables — `C[d] = max(C'[d], C'[src] + t) + o` per
 //! step, pure u64 nanosecond arithmetic, no float math and no hashing — and
 //! only the exit clocks that differ from the segment boundary are journaled
@@ -138,6 +143,35 @@
 //! IS at 1024 ranks holds a few tables of ~64 KB — versus the ≈168 MB of
 //! per-(step, rank) clock rows this design replaced — so IS and other
 //! alltoall-heavy kernels stay searchable at 1024+ ranks.
+//!
+//! # The cross-job warm-reuse contract
+//!
+//! An online placement searcher (the day sweep's `searched` strategy) keeps
+//! one warm `PlacementCost` per *kernel shape* — (program, rank count) —
+//! across arrivals, because the job mix repeats a handful of shapes and the
+//! grid state drifts by only a few occupy/release events between them.
+//! [`PlacementCost::rebase`] is the resync point, and its invalidation
+//! rules are deliberately narrow:
+//!
+//! * **Host diffs** are replayed as one wholesale multi-rank move: every
+//!   rank whose host differs re-derives exactly what a migrate would
+//!   (messages touching it, compute on touched hosts, `PerSrc` ring rows on
+//!   site changes), through the same delta pass ordinary moves use.
+//! * **Capacity changes invalidate nothing.**  The compute model's
+//!   contention term keys on `residents` — ranks of *this* schedule — so
+//!   other jobs occupying or releasing slots shifts only where future moves
+//!   may go, never any cached clock.  The new capacities take effect
+//!   immediately for subsequent `apply` feasibility checks.
+//! * **Everything topology-keyed survives forever**: the (link class,
+//!   bytes) transfer memo, `Uniform` ring tables, site representatives.
+//!
+//! `rebase` has commit semantics (the undo journal is cleared; no move can
+//! be undone across it) and is exact: a rebased warm evaluator is
+//! bit-identical to a fresh [`PlacementCost::new`] over the same arguments,
+//! pinned by proptest over random occupy/release interleavings in
+//! `tests/placement_cost_prop.rs`.  That exactness is what lets the online
+//! search run warm by default and prove itself against a cold rebuild only
+//! in tests and `perf_report`.
 //!
 //! # Fidelity
 //!
@@ -820,16 +854,33 @@ enum SegCache {
 /// `Uniform`/`PerSrc` byte structure among the schedule's ring segments.
 /// Entries are `NetworkModel::transfer_time` values in nanoseconds — the
 /// transfer cost depends only on same-host-ness / the directed site pair
-/// and the byte count, so per source rank a same-host entry plus one entry
-/// per destination site covers every receive exactly.
-struct RingTable {
-    /// Same-host transfer per source rank (`tsame[src]`).  Loopback cost is
-    /// host-independent, so a move never invalidates this half.
-    tsame: Box<[u64]>,
-    /// Transfer from each source rank's current host to a host at each
-    /// destination site (`tsite[src * site_count + site]`).  A moved rank's
-    /// row changes only when its *site* changes.
-    tsite: Box<[u64]>,
+/// and the byte count.
+enum RingTable {
+    /// A `Uniform` ring sends the same byte count on every edge, so the
+    /// whole table collapses to one scalar plus a site×site matrix — both
+    /// keyed by static topology data only.  **No move ever invalidates a
+    /// `Uniform` table**: `refresh_ring_rows` skips it and the undo journal
+    /// never records a row for it.
+    Uniform {
+        /// Same-host transfer (host-independent loopback cost).
+        tsame: u64,
+        /// Directed site-pair transfer (`site[src_site * site_count +
+        /// dst_site]`).  The diagonal holds the distinct-host intra-site
+        /// cost; same-host pairs are patched with `tsame` by the colo list.
+        site: Box<[u64]>,
+    },
+    /// A `PerSrc` ring sends a source-rank-dependent byte count, so the
+    /// table keeps per-rank rows that must be re-derived when a rank
+    /// changes site.
+    PerSrc {
+        /// Same-host transfer per source rank (`tsame[src]`).  Loopback
+        /// cost is host-independent, so a move never invalidates this half.
+        tsame: Box<[u64]>,
+        /// Transfer from each source rank's current host to a host at each
+        /// destination site (`tsite[src * site_count + site]`).  A moved
+        /// rank's row changes only when its *site* changes.
+        tsite: Box<[u64]>,
+    },
 }
 
 /// One journaled cache mutation (reverted in reverse order by `undo`).
@@ -923,6 +974,10 @@ pub struct PlacementCost {
     /// Per-rank host index / site of one wavefront run.
     host_of: Vec<u32>,
     site_of: Vec<u32>,
+    /// Per-rank row expansion of a `Uniform` site×site table, rebuilt from
+    /// `site_of` at the start of each wavefront over one — scratch, never
+    /// journaled — so the hot loop keeps the sequential `PerSrc` row shape.
+    uniform_rows: Vec<u64>,
     moved: Vec<u32>,
     /// Old host of each moved rank (parallel to `moved`).
     moved_old_host: Vec<HostId>,
@@ -1038,6 +1093,7 @@ impl PlacementCost {
             wf_cur: vec![0; n],
             host_of: vec![0; n],
             site_of: vec![0; n],
+            uniform_rows: Vec::new(),
             moved: Vec::new(),
             moved_old_host: Vec::new(),
             compute_affected: Vec::new(),
@@ -1245,8 +1301,11 @@ impl PlacementCost {
                 }
                 UndoEntry::RingRow { table, rank, old } => {
                     let s = self.site_count;
-                    self.ring_tables[table as usize].tsite[rank as usize * s..][..s]
-                        .copy_from_slice(&old);
+                    let RingTable::PerSrc { tsite, .. } = &mut self.ring_tables[table as usize]
+                    else {
+                        unreachable!("Uniform ring tables are never journaled")
+                    };
+                    tsite[rank as usize * s..][..s].copy_from_slice(&old);
                 }
             }
         }
@@ -1271,6 +1330,115 @@ impl PlacementCost {
                     self.ranks_on_host[p.old_host.0].push(rank);
                 }
             }
+        }
+    }
+
+    /// Re-parks the evaluator on `new_hosts` under its *current*
+    /// capacities: [`Self::rebase`] with the capacity vector unchanged.
+    ///
+    /// The online searcher parks each pooled evaluator on the annealed
+    /// best placement after a walk — the walk itself ends wherever its
+    /// last accepted move left it, typically dozens of ranks away from
+    /// the best.  Without the re-park, the next arrival's rebase diff is
+    /// churn *plus* that annealing drift, which degenerates into the
+    /// wholesale path on every arrival; with it, the diff is the
+    /// occupancy churn alone.
+    pub fn rehome(&mut self, new_hosts: &[HostId]) -> SimDuration {
+        let caps = self.capacity.clone();
+        self.rebase(new_hosts, &caps)
+    }
+
+    /// Re-synchronizes a *warm* evaluator with the grid state of a new
+    /// arrival: adopts `new_hosts` as the rank assignment and
+    /// `new_capacity` as the per-host slot capacities.  This is the
+    /// cross-job half of the warm-reuse story (see the module docs):
+    /// between two arrivals of the same kernel shape only a handful of
+    /// occupy/release events happened, so the diff against the cached
+    /// assignment is usually empty — the O(hosts) capacity-resync early
+    /// return — and otherwise small enough that a segment re-run over the
+    /// warm caches (no schedule compile, no allocations, no ring-table
+    /// build) is the cheapest way to absorb it.
+    ///
+    /// Capacity changes alone dirty no clocks — the memory-contention model
+    /// keys on `residents`, which counts only this schedule's own ranks —
+    /// so a pure capacity resync is O(hosts).  The rebase has commit
+    /// semantics: the undo journal is cleared, no move can be undone across
+    /// it.  The resulting caches are bit-identical to a fresh
+    /// [`PlacementCost::new`] with the same arguments, which is what makes
+    /// the warm online-search path exact (pinned by proptest).
+    ///
+    /// Returns the re-evaluated makespan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a move is in flight, if the slice lengths do not match the
+    /// schedule/topology, or if the new assignment oversubscribes a host
+    /// under the new capacities.
+    pub fn rebase(&mut self, new_hosts: &[HostId], new_capacity: &[u32]) -> SimDuration {
+        assert!(
+            self.pending.is_none(),
+            "commit or undo the in-flight move before rebasing"
+        );
+        assert_eq!(
+            new_hosts.len(),
+            self.hosts.len(),
+            "rebase changes hosts, not the rank count"
+        );
+        assert_eq!(
+            new_capacity.len(),
+            self.capacity.len(),
+            "one capacity per host"
+        );
+        self.capacity.copy_from_slice(new_capacity);
+        self.moved.clear();
+        self.moved_old_host.clear();
+        self.compute_affected.clear();
+        let n = self.hosts.len();
+        let moved_count = new_hosts
+            .iter()
+            .zip(&self.hosts)
+            .filter(|(new_h, old_h)| new_h != old_h)
+            .count();
+        if moved_count == 0 {
+            self.assert_within_capacity();
+            self.last_delta_ops = 0;
+            return self.makespan;
+        }
+        // Any moved rank goes wholesale: a collective segment touches
+        // every rank, so even a one-rank diff dirties essentially the
+        // whole schedule and the journaled delta machinery (per-receive
+        // patches, ring re-runs from the earliest touched step) costs
+        // *more* than re-running every segment once over the warm caches
+        // — measured at every day-mix shape from EP@64 up, and within a
+        // microsecond of break-even below that.  Adopt the assignment and
+        // rebuild in place: the caches end bit-identical to a fresh
+        // [`PlacementCost::new`] either way, and the rebuild skips what
+        // actually dominates a cold arrival — the schedule compile, the
+        // allocations and the ring-table build.  The zero-diff early
+        // return above is the warm fast path the steady-state regime
+        // lives on.
+        self.resync_ring_rows(new_hosts);
+        self.hosts.copy_from_slice(new_hosts);
+        self.residents.iter_mut().for_each(|r| *r = 0);
+        self.ranks_on_host.iter_mut().for_each(Vec::clear);
+        for (r, &h) in self.hosts.iter().enumerate() {
+            self.residents[h.0] += 1;
+            self.ranks_on_host[h.0].push(r as u32);
+        }
+        self.assert_within_capacity();
+        self.rebuild();
+        self.journal.clear();
+        self.last_delta_ops = n * self.schedule.segments.len();
+        self.makespan
+    }
+
+    fn assert_within_capacity(&self) {
+        for (h, (&used, &cap)) in self.residents.iter().zip(&self.capacity).enumerate() {
+            assert!(
+                used <= cap,
+                "rebase puts {used} ranks on {} (capacity {cap})",
+                HostId(h)
+            );
         }
     }
 
@@ -1695,12 +1863,36 @@ impl PlacementCost {
                 None
             } else if let Some(i) = keys.iter().position(|k| k == bytes) {
                 Some(i as u32)
+            } else if let RingBytes::Uniform(b) = bytes {
+                // Uniform rings send the same byte count on every edge, so
+                // the table is a site×site matrix keyed by static topology
+                // data only — fully move-invariant, no journaling ever.
+                let b = *b;
+                let s_count = self.site_count;
+                let mut site = vec![0u64; s_count * s_count].into_boxed_slice();
+                for sa in 0..s_count {
+                    let src = self.site_rep[sa][0];
+                    for sb in 0..s_count {
+                        let rep = self.site_rep[sb];
+                        // The diagonal wants the distinct-host intra-site
+                        // cost; same-host pairs are patched by the colo
+                        // list, so a single-host site's loopback entry here
+                        // is unreachable (but harmless).
+                        let dst = if rep[0] != src { rep[0] } else { rep[1] };
+                        site[sa * s_count + sb] = self.transfer(src, dst, b).as_nanos();
+                    }
+                }
+                let rep = self.site_rep[0][0];
+                let tsame = self.transfer(rep, rep, b).as_nanos();
+                keys.push(bytes.clone());
+                tables.push(RingTable::Uniform { tsame, site });
+                Some((tables.len() - 1) as u32)
             } else {
                 let mut tsame = vec![0u64; n].into_boxed_slice();
                 let mut tsite = vec![0u64; n * self.site_count].into_boxed_slice();
                 for src in 0..n {
-                    // For Uniform/PerSrc the byte count is destination-
-                    // independent; the dst argument is arbitrary.
+                    // For PerSrc the byte count is destination-independent;
+                    // the dst argument is arbitrary.
                     let b = bytes.get(n, src, 0);
                     let h = self.hosts[src];
                     tsame[src] = self.transfer(h, h, b).as_nanos();
@@ -1712,7 +1904,7 @@ impl PlacementCost {
                     }
                 }
                 keys.push(bytes.clone());
-                tables.push(RingTable { tsame, tsite });
+                tables.push(RingTable::PerSrc { tsame, tsite });
                 Some((tables.len() - 1) as u32)
             };
             self.caches[seg] = SegCache::Ring { table: idx };
@@ -1722,9 +1914,10 @@ impl PlacementCost {
     }
 
     /// Rewrites the `tsite` row of every moved rank whose site changed, in
-    /// every pooled table, journaling the old rows.  `tsame` never changes
-    /// (loopback cost is host-independent) and a same-site move keeps the
-    /// rank's site-pair classes, so most moves touch nothing here.
+    /// every pooled `PerSrc` table, journaling the old rows.  `Uniform`
+    /// tables are move-invariant and skipped entirely; `tsame` never
+    /// changes (loopback cost is host-independent) and a same-site move
+    /// keeps the rank's site-pair classes, so most moves touch nothing.
     fn refresh_ring_rows(&mut self, moved: &[u32], old_hosts: &[HostId]) -> usize {
         if self.ring_tables.is_empty() {
             return 0;
@@ -1740,8 +1933,11 @@ impl PlacementCost {
                 continue;
             }
             for (ti, (table, key)) in tables.iter_mut().zip(&keys).enumerate() {
+                let RingTable::PerSrc { tsite, .. } = table else {
+                    continue;
+                };
                 let b = key.get(n, r as usize, 0);
-                let row = &mut table.tsite[r as usize * s_count..][..s_count];
+                let row = &mut tsite[r as usize * s_count..][..s_count];
                 self.journal.push(UndoEntry::RingRow {
                     table: ti as u32,
                     rank: r,
@@ -1758,6 +1954,41 @@ impl PlacementCost {
         self.ring_tables = tables;
         self.ring_table_keys = keys;
         ops
+    }
+
+    /// The wholesale-rebase counterpart of [`Self::refresh_ring_rows`]:
+    /// rewrites the `tsite` row of every rank whose site changes between
+    /// the current assignment and `new_hosts`, without journaling (the
+    /// rebase clears the undo journal anyway).  Must run *before* the new
+    /// hosts are adopted, while the old assignment is still readable.
+    fn resync_ring_rows(&mut self, new_hosts: &[HostId]) {
+        if self.ring_tables.is_empty() {
+            return;
+        }
+        let mut tables = std::mem::take(&mut self.ring_tables);
+        let keys = std::mem::take(&mut self.ring_table_keys);
+        let n = self.hosts.len();
+        let s_count = self.site_count;
+        for r in 0..n {
+            let (old_h, new_h) = (self.hosts[r], new_hosts[r]);
+            if self.host_site[old_h.0] == self.host_site[new_h.0] {
+                continue;
+            }
+            for (table, key) in tables.iter_mut().zip(&keys) {
+                let RingTable::PerSrc { tsite, .. } = table else {
+                    continue;
+                };
+                let b = key.get(n, r, 0);
+                let row = &mut tsite[r * s_count..][..s_count];
+                for (s, slot) in row.iter_mut().enumerate() {
+                    let rep = self.site_rep[s];
+                    let dst = if rep[0] != new_h { rep[0] } else { rep[1] };
+                    *slot = self.transfer(new_h, dst, b).as_nanos();
+                }
+            }
+        }
+        self.ring_tables = tables;
+        self.ring_table_keys = keys;
     }
 
     /// Runs one ring segment's full wavefront.  `wf_prev` holds the
@@ -1780,6 +2011,7 @@ impl PlacementCost {
         let o = self.overhead.as_nanos();
         match table {
             Some(ti) => {
+                let mut urows = std::mem::take(&mut self.uniform_rows);
                 let t = &self.ring_tables[ti as usize];
                 let s_count = self.site_count;
                 // Same-host (src, dst) pairs are rare — at most cores per
@@ -1809,6 +2041,24 @@ impl PlacementCost {
                 }
                 colo.sort_unstable();
                 let mut pi = 0usize;
+                // Per-src site rows for the hot loop: a `PerSrc` table
+                // holds them directly; a `Uniform` table is expanded from
+                // `site_of` into scratch once per wavefront (O(ranks·sites),
+                // dwarfed by the O(ranks²) recurrence) so the inner loops
+                // keep the sequential row iteration — a per-receive
+                // `site[ss·s + sd]` gather here measured ~2× slower on the
+                // ring-dominated IS schedule.
+                let rows: &[u64] = match t {
+                    RingTable::Uniform { site, .. } => {
+                        urows.clear();
+                        urows.reserve(n * s_count);
+                        for &s in &site_of[..n] {
+                            urows.extend_from_slice(&site[s as usize * s_count..][..s_count]);
+                        }
+                        &urows
+                    }
+                    RingTable::PerSrc { tsite, .. } => tsite,
+                };
                 // The wrap in `src = d − step (mod n)` splits each step into
                 // two linear runs, so the whole row is zipped slices: no
                 // index arithmetic, no bounds checks, no per-cell branch.
@@ -1819,7 +2069,7 @@ impl PlacementCost {
                         .zip(&prev[step..])
                         .zip(&prev[..n - step])
                         .zip(&site_of[step..])
-                        .zip(t.tsite.chunks_exact(s_count))
+                        .zip(rows.chunks_exact(s_count))
                     {
                         *c = pd
                             .max(ps.saturating_add(row[sd as usize]))
@@ -1831,7 +2081,7 @@ impl PlacementCost {
                         .zip(&prev[..step])
                         .zip(&prev[n - step..])
                         .zip(&site_of[..step])
-                        .zip(t.tsite[(n - step) * s_count..].chunks_exact(s_count))
+                        .zip(rows[(n - step) * s_count..].chunks_exact(s_count))
                     {
                         *c = pd
                             .max(ps.saturating_add(row[sd as usize]))
@@ -1839,13 +2089,18 @@ impl PlacementCost {
                     }
                     while pi < colo.len() && colo[pi].0 as usize == step {
                         let (_, d, src) = colo[pi];
+                        let ts = match t {
+                            RingTable::Uniform { tsame, .. } => *tsame,
+                            RingTable::PerSrc { tsame, .. } => tsame[src as usize],
+                        };
                         cur[d as usize] = prev[d as usize]
-                            .max(prev[src as usize].saturating_add(t.tsame[src as usize]))
+                            .max(prev[src as usize].saturating_add(ts))
                             .saturating_add(o);
                         pi += 1;
                     }
                     std::mem::swap(&mut prev, &mut cur);
                 }
+                self.uniform_rows = urows;
             }
             None => {
                 // PerPair fallback: per-receive byte counts, costed through
@@ -1881,11 +2136,38 @@ impl PlacementCost {
         let tables: usize = self
             .ring_tables
             .iter()
-            .map(|t| (t.tsame.len() + t.tsite.len()) * std::mem::size_of::<u64>())
+            .map(|t| match t {
+                RingTable::Uniform { site, .. } => (site.len() + 1) * std::mem::size_of::<u64>(),
+                RingTable::PerSrc { tsame, tsite } => {
+                    (tsame.len() + tsite.len()) * std::mem::size_of::<u64>()
+                }
+            })
             .sum();
         tables
-            + (self.wf_prev.len() + self.wf_cur.len()) * std::mem::size_of::<u64>()
+            + (self.wf_prev.len() + self.wf_cur.len() + self.uniform_rows.len())
+                * std::mem::size_of::<u64>()
             + (self.host_of.len() + self.site_of.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Byte accounting of the `Uniform` specialisation: `(tables,
+    /// uniform_bytes, per_src_equivalent_bytes)` — how many pooled transfer
+    /// tables compressed to the move-invariant site×site form, the bytes
+    /// they hold, and what the same tables would occupy in the journaled
+    /// `PerSrc` layout (a `tsame` entry plus a site row per rank).
+    pub fn uniform_ring_summary(&self) -> (usize, usize, usize) {
+        let n = self.hosts.len();
+        let word = std::mem::size_of::<u64>();
+        let mut tables = 0usize;
+        let mut bytes = 0usize;
+        let mut per_src = 0usize;
+        for t in &self.ring_tables {
+            if let RingTable::Uniform { site, .. } = t {
+                tables += 1;
+                bytes += (site.len() + 1) * word;
+                per_src += (n + n * self.site_count) * word;
+            }
+        }
+        (tables, bytes, per_src)
     }
 }
 

@@ -271,6 +271,111 @@ proptest! {
             }
         }
     }
+
+    /// The cross-job warm-reuse contract (`PlacementCost::rebase`): after
+    /// any interleaving of occupancy churn — other jobs occupying and
+    /// releasing cores between arrivals — and committed local moves, a
+    /// rebased warm evaluator must be indistinguishable from a fresh build
+    /// at the same placement and capacities: same makespan, same per-rank
+    /// clocks, and the same answer to every subsequent move.
+    #[test]
+    fn rebased_warm_cache_equals_fresh_build_after_occupancy_churn(
+        n in 2u32..11,
+        program_seed in 0u64..1_000_000,
+        churn_seed in 0u64..1_000_000,
+    ) {
+        let topology = topology();
+        let mut b = ScheduleBuilder::new(n);
+        random_program(&mut b, program_seed);
+        let schedule = Arc::new(b.finish());
+        let full: Vec<u32> = topology.hosts().iter().map(|h| h.cores as u32).collect();
+        let host_count = topology.host_count();
+        let mut rng = seeded(churn_seed);
+
+        // Boot the warm evaluator once, on the unconstrained grid.
+        let boot_seed = rng.gen::<u64>();
+        let mut warm = PlacementCost::new(
+            schedule.clone(),
+            random_feasible_hosts(&topology, n, boot_seed),
+            full.clone(),
+            NetworkModel::new(topology.clone()),
+            ComputeModel::new(topology.clone()),
+        );
+
+        for _round in 0..4 {
+            // New arrival: every host's free capacity has moved anywhere
+            // from wholly busy to wholly free since last time, re-rolled
+            // until the grid can still hold the job.
+            let caps: Vec<u32> = loop {
+                let caps: Vec<u32> = full.iter().map(|&c| rng.gen_range(0..=c)).collect();
+                if caps.iter().map(|&c| u64::from(c)).sum::<u64>() >= u64::from(n) {
+                    break caps;
+                }
+            };
+            // A feasible placement under the new occupancy.
+            let mut free = caps.clone();
+            let hosts: Vec<HostId> = (0..n)
+                .map(|_| loop {
+                    let h = rng.gen_range(0..free.len());
+                    if free[h] > 0 {
+                        free[h] -= 1;
+                        break HostId(h);
+                    }
+                })
+                .collect();
+
+            let warm_makespan = warm.rebase(&hosts, &caps);
+            let mut fresh = PlacementCost::new(
+                schedule.clone(),
+                hosts.clone(),
+                caps.clone(),
+                NetworkModel::new(topology.clone()),
+                ComputeModel::new(topology.clone()),
+            );
+            prop_assert_eq!(warm_makespan, fresh.cost());
+            prop_assert_eq!(warm.cost(), fresh.cost());
+            prop_assert_eq!(warm.hosts(), fresh.hosts());
+            prop_assert_eq!(warm.clocks(), fresh.clocks());
+
+            // Not just numerically right at rest: the warm cache must be
+            // the same evaluator state, agreeing move for move (accepted,
+            // rejected, undone or committed) until the next arrival.
+            for _ in 0..4 {
+                let mv = if rng.gen_range(0u32..2) == 0 {
+                    Move::Swap {
+                        a: rng.gen_range(0..n),
+                        b: rng.gen_range(0..n),
+                    }
+                } else {
+                    Move::Migrate {
+                        rank: rng.gen_range(0..n),
+                        to: HostId(rng.gen_range(0..host_count)),
+                    }
+                };
+                match (warm.apply(mv), fresh.apply(mv)) {
+                    (Ok(wc), Ok(fc)) => {
+                        prop_assert_eq!(wc, fc, "accepted {:?} priced differently", mv);
+                        prop_assert_eq!(warm.clocks(), fresh.clocks());
+                        if rng.gen_range(0u32..3) == 0 {
+                            warm.undo();
+                            fresh.undo();
+                        } else {
+                            warm.commit();
+                            fresh.commit();
+                        }
+                    }
+                    (Err(_), Err(_)) => {}
+                    (w, f) => prop_assert!(
+                        false,
+                        "warm {:?} vs fresh {:?} disagreed on {:?}",
+                        w,
+                        f,
+                        mv
+                    ),
+                }
+            }
+        }
+    }
 }
 
 /// A 4-site, 80-host, 320-core grid — big enough to place 256 ranks, with
