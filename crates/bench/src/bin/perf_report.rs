@@ -163,7 +163,7 @@
 use p2pmpi_bench::experiments::{
     modeled_kernel_times, run_kernel_once, synthetic_placement, Fig4Kernel, Fig4Settings,
 };
-use p2pmpi_bench::scenario::{run_matrix, ScenarioParams, ScenarioVerdict};
+use p2pmpi_bench::scenario::{run_matrix, ScenarioParams, ScenarioVerdict, ALL_SCENARIOS};
 use p2pmpi_bench::search::{
     kernel_schedule, placement_rank_hosts, search_placement, OnlineSearchParams, OnlineSearchStats,
     SearchContext, SearchParams, SearchReport,
@@ -654,7 +654,10 @@ fn check_queue_gates(q: &QueueSections) -> bool {
 /// configuration `scenario_runner --all --compress 24` replays) and returns
 /// every verdict with the wall time of the whole matrix.
 fn measure_scenario_matrix() -> (Vec<ScenarioVerdict>, f64) {
-    eprintln!("running the fault-injection scenario matrix (7 scenarios, compress 24)...");
+    eprintln!(
+        "running the fault-injection scenario matrix ({} scenarios, compress 24)...",
+        ALL_SCENARIOS.len()
+    );
     let params = ScenarioParams {
         compress: 24.0,
         ..ScenarioParams::default()
@@ -680,6 +683,52 @@ fn check_scenario_gates(verdicts: &[ScenarioVerdict]) -> bool {
                 check.name,
                 check.detail
             );
+        }
+    }
+    drifted
+}
+
+/// Allowed relative growth of a scenario's recovery time between
+/// consecutive reports before the trajectory gate fails.
+const RECOVERY_REGRESSION_LIMIT: f64 = 0.20;
+
+/// Absolute slack on the recovery trend (seconds).  Recovery is read off
+/// the binned utilisation timeline, so at the CI scale it is quantized to
+/// 12.5 s bins — without at least one bin of slack, a single-bin wobble on
+/// a small recovery (25 s → 37.5 s) would trip the 20% gate.
+const RECOVERY_TREND_EPSILON_S: f64 = 15.0;
+
+/// The recovery-time trajectory gate: a scenario whose recovery time grew
+/// more than [`RECOVERY_REGRESSION_LIMIT`] (plus one bin of slack) over
+/// the previous report's fails loudly, even while it still meets its SLO —
+/// quiet erosion toward the SLO is exactly what a trend gate is for.
+/// Returns true if anything drifted.
+fn check_recovery_trend(verdicts: &[ScenarioVerdict], prior: Option<&str>) -> bool {
+    let Some(slice) = prior.and_then(|p| section_slice(p, "scenario_matrix")) else {
+        return false;
+    };
+    let mut drifted = false;
+    for v in verdicts {
+        if v.scenario.recovery_slo_secs().is_none() {
+            continue;
+        }
+        // A never-recovered run already fails its own recovery_observed
+        // criterion; the trend gate only judges measured values.
+        let Some(now) = v.recovery_secs else { continue };
+        let key = format!("{}_recovery_s", v.scenario.name());
+        let Some(prev) = scan_f64(slice, &key) else {
+            continue;
+        };
+        let bound = prev * (1.0 + RECOVERY_REGRESSION_LIMIT) + RECOVERY_TREND_EPSILON_S;
+        if now > bound {
+            eprintln!(
+                "FAIL: scenario {} recovery time {now:.1}s regressed past the trend bound \
+                 {bound:.1}s (previous report {prev:.1}s + {:.0}% + {RECOVERY_TREND_EPSILON_S}s \
+                 quantization slack)",
+                v.scenario.name(),
+                RECOVERY_REGRESSION_LIMIT * 100.0
+            );
+            drifted = true;
         }
     }
     drifted
@@ -1746,11 +1795,16 @@ fn main() {
             sus.speedup,
             sus.hw_threads
         );
+        // The trend gate compares against the last written report, so the
+        // smoke run also catches recovery-time regressions vs the tracked
+        // trajectory (silently skipped when no prior report exists).
+        let prior = std::fs::read_to_string(&out_path).ok();
         let drifted = check_queue_gates(&q)
             | check_placement_search_gates(&ps)
             | check_is_search_gates(&is_search)
             | check_online_placement_gates(&op)
             | check_scenario_gates(&verdicts)
+            | check_recovery_trend(&verdicts, prior.as_deref())
             | check_sustained_gates(&sus);
         if drifted {
             std::process::exit(1);
@@ -1846,7 +1900,25 @@ fn main() {
         "timeout_timeline",
         &["best_wall_ms", "ladder_wall_ms", "best_vs_baseline"],
     );
-    let scenario_prev = previous_block(prior, "scenario_matrix", &["wall_s"]);
+    let scenario_prev = previous_block(
+        prior,
+        "scenario_matrix",
+        &[
+            "wall_s",
+            "site_outage_recovery_s",
+            "supernode_crash_recovery_s",
+            "rack_outage_recovery_s",
+            "outage_in_crowd_recovery_s",
+            "outage_in_crowd_worst_recovery_s",
+            "site_outage_degradation",
+            "flash_crowd_degradation",
+            "slow_links_degradation",
+            "supernode_crash_degradation",
+            "rack_outage_degradation",
+            "outage_in_crowd_degradation",
+            "outage_in_crowd_worst_degradation",
+        ],
+    );
     let placement_prev =
         previous_block(prior, "placement_search", &["delta_ns_per_move", "speedup"]);
     let is_search_prev = previous_block(
@@ -1990,8 +2062,17 @@ fn main() {
     let scenario_rows_json = scenario_verdicts
         .iter()
         .map(|v| {
+            let recovery = v
+                .recovery_secs
+                .map(|s| format!("{s:.1}"))
+                .unwrap_or_else(|| "null".to_string());
+            let degradation = v
+                .baseline
+                .as_ref()
+                .map(|b| format!("{:.3}", v.result.succeeded as f64 / b.succeeded.max(1) as f64))
+                .unwrap_or_else(|| "null".to_string());
             format!(
-                r#"      {{ "scenario": "{}", "passed": {}, "submitted": {}, "succeeded": {}, "timeouts": {}, "jobs_killed": {}, "leaked_grants": {}, "leaked_grant_hwm": {}, "checks_passed": {}, "checks_total": {} }}"#,
+                r#"      {{ "scenario": "{}", "passed": {}, "submitted": {}, "succeeded": {}, "timeouts": {}, "jobs_killed": {}, "leaked_grants": {}, "leaked_grant_hwm": {}, "recovery_secs": {recovery}, "degradation_ratio": {degradation}, "checks_passed": {}, "checks_total": {} }}"#,
                 v.scenario.name(),
                 v.passed(),
                 v.result.submitted,
@@ -2006,6 +2087,33 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    // Flat per-scenario trajectory keys (recovery times of the SLO-gated
+    // scenarios, degradation ratios of the twin-judged ones): the shape
+    // `previous_block`/`scan_f64` can track across reports, feeding the
+    // recovery-trend gate.
+    let scenario_trend_json = scenario_verdicts
+        .iter()
+        .flat_map(|v| {
+            let mut keys = Vec::new();
+            if v.scenario.recovery_slo_secs().is_some() {
+                if let Some(s) = v.recovery_secs {
+                    keys.push(format!(
+                        r#"    "{}_recovery_s": {s:.1},"#,
+                        v.scenario.name()
+                    ));
+                }
+            }
+            if let Some(b) = &v.baseline {
+                keys.push(format!(
+                    r#"    "{}_degradation": {:.3},"#,
+                    v.scenario.name(),
+                    v.result.succeeded as f64 / b.succeeded.max(1) as f64
+                ));
+            }
+            keys
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
     let scenario_all_passed = scenario_verdicts.iter().all(|v| v.passed());
     let arena_vs_boxed = arena_heap_eps / boxed_eps.max(1.0);
     let calendar_vs_boxed = arena_cal_eps / boxed_eps.max(1.0);
@@ -2141,12 +2249,13 @@ fn main() {
     "previous": {timeline_prev}
   }},
   "scenario_matrix": {{
-    "description": "fault-injection scenario matrix (p2pmpi_bench::scenario, the scenario_runner binary) at the CI scale: each scenario replays the compressed day with one named adversity (correlated site outage, 10x flash crowd, link degradation, supernode crash, grant-leak stress) and is judged against explicit graceful-degradation criteria; any failed verdict fails non-zero",
+    "description": "fault-injection scenario matrix (p2pmpi_bench::scenario, the scenario_runner binary) at the CI scale: each scenario replays the compressed day with one named adversity (correlated site or rack outage, 10x flash crowd, link degradation, supernode crash, grant-leak stress, composed outage-in-crowd at the nominal and adversarially-searched phase) and is judged against explicit graceful-degradation criteria plus per-scenario recovery-time SLOs; any failed verdict fails non-zero, and a recovery time more than 20% past the previous block's trips the trend gate",
     "compress": 24,
     "rate_scale": 0.05,
     "seed": 2008,
     "wall_s": {scenario_wall_s:.1},
     "all_passed": {scenario_all_passed},
+{scenario_trend_json}
     "scenarios": [
 {scenario_rows_json}
     ],
@@ -2347,8 +2456,10 @@ fn main() {
     // … the online-placement gates (warm-prepare speedup, warm == cold
     // exactness, the searched day's improvement and wall budget) …
     drifted |= check_online_placement_gates(&op);
-    // … the graceful-degradation verdicts of the fault-injection matrix …
+    // … the graceful-degradation verdicts of the fault-injection matrix,
+    // plus the recovery-time trajectory against the previous report …
     drifted |= check_scenario_gates(&scenario_verdicts);
+    drifted |= check_recovery_trend(&scenario_verdicts, prior);
     // … the architecture-aware sharded-driver speedup …
     drifted |= check_sustained_gates(&sus);
     // … the trajectory gate: sustained events/s may not silently erode

@@ -42,9 +42,9 @@ fn main() {
         ALL_SCENARIOS.to_vec()
     } else if let Some(name) = flag_value("--scenario") {
         match Scenario::from_name(&name) {
-            Some(s) => vec![s],
-            None => {
-                eprintln!("unknown scenario {name:?}");
+            Ok(s) => vec![s],
+            Err(e) => {
+                eprintln!("{e}");
                 usage();
             }
         }

@@ -102,6 +102,18 @@ pub fn parse_u32_list(value: &str, flag: &str) -> Vec<u32> {
         .collect()
 }
 
+/// Parses a comma-separated list of `f64`s, panicking with the flag name on
+/// malformed input (the `fault_search` `--offsets` list).
+pub fn parse_f64_list(value: &str, flag: &str) -> Vec<f64> {
+    value
+        .split(',')
+        .map(|n| {
+            n.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes comma-separated numbers, got {n:?}"))
+        })
+        .collect()
+}
+
 /// Flags of the `sweep` ablation subcommands (`latency-ranking`,
 /// `overbooking`, `contention`), parsed once like [`sweep_flags`] is for the
 /// Figure 4 binaries.

@@ -17,14 +17,17 @@
 //!
 //! Beyond the paper: `placement_search` anneals host assignments under the
 //! LogGP model (the [`search`] module) — the third, *searched* curve of
-//! `fig4_ep`/`fig4_is --searched` — and `scenario_runner` sweeps the
+//! `fig4_ep`/`fig4_is --searched` — `scenario_runner` sweeps the
 //! fault-injection scenario matrix (the [`scenario`] module), judging each
-//! named adversity replay against its graceful-degradation criteria.
+//! named adversity replay against its graceful-degradation criteria, and
+//! `fault_search` (the [`faultsearch`] module) hunts the adversarial
+//! fault phase that maximises recovery time.
 
 #![warn(missing_docs)]
 
 pub mod cliargs;
 pub mod experiments;
+pub mod faultsearch;
 pub mod output;
 pub mod scenario;
 pub mod search;
@@ -32,13 +35,15 @@ pub mod shard;
 pub mod workload;
 
 pub use experiments::{fig2_fig3_sweep, fig4_kernel_times, Fig4Kernel, Fig4Point, Fig4Settings};
+pub use faultsearch::{search_worst_phase, PhasePoint, PhaseSearchParams, PhaseSearchReport};
 pub use output::{print_fig4_table, print_legend, print_sweep_tables};
 pub use scenario::{
-    run_matrix, run_scenario, Scenario, ScenarioParams, ScenarioVerdict, ALL_SCENARIOS,
+    outage_in_crowd_config, outage_in_crowd_faults, recovery_to_twin, run_matrix, run_scenario,
+    Scenario, ScenarioParams, ScenarioVerdict, ALL_SCENARIOS, OUTAGE_IN_CROWD_WORST_OFFSET_SECS,
 };
 pub use search::{search_placement, SearchParams, SearchReport};
 pub use shard::{run_shard_sweep, ShardSweepConfig, ShardSweepResult};
 pub use workload::{
-    run_day_sweep, BurstyArrivals, DayProfile, DaySweepConfig, DaySweepResult, FaultSpec, JobMix,
-    PoissonArrivals,
+    flatten_faults, run_day_sweep, BurstyArrivals, DayProfile, DaySweepConfig, DaySweepResult,
+    FaultSpec, JobMix, PoissonArrivals,
 };

@@ -358,19 +358,26 @@ pub fn run_shard_sweep(cfg: &ShardSweepConfig) -> ShardSweepResult {
 
     // One SweepCore per shard: shard 0 keeps the base seed (with one shard
     // it *is* the sequential sweep), the rest derive independent noise and
-    // churn substreams.  Site-scoped faults route to the owning shard.
+    // churn substreams.  Combinator trees are flattened up front so each
+    // primitive routes independently; site-scoped faults go to the owning
+    // shard.
+    let flat_faults = crate::workload::flatten_faults(&base.faults);
     let mut cores: Vec<SweepCore> = (0..shards)
         .map(|s| {
             let mut shard_cfg = base.clone();
-            shard_cfg.faults = base
-                .faults
+            shard_cfg.faults = flat_faults
                 .iter()
                 .filter(|f| match f {
                     FaultSpec::FlashCrowd { .. } | FaultSpec::SupernodeOutage { .. } => true,
-                    FaultSpec::SiteOutage { site, .. } | FaultSpec::SlowLinks { site, .. } => {
+                    FaultSpec::SiteOutage { site, .. }
+                    | FaultSpec::SlowLinks { site, .. }
+                    | FaultSpec::PartialSite { site, .. } => {
                         plan.shard_of_site(site)
                             .unwrap_or_else(|| panic!("fault names unknown site '{site}'"))
                             == s
+                    }
+                    FaultSpec::Compose(_) | FaultSpec::PhaseShift { .. } => {
+                        unreachable!("flatten_faults only yields primitives")
                     }
                 })
                 .cloned()
@@ -510,6 +517,25 @@ fn merge_results(
         }
     }
 
+    // Binned core-second timelines merge like `core_seconds`, element-wise
+    // on the shared bin grid (shards share the sample period; a shard that
+    // charged less far into the tail just pads with zeros).
+    let bin_secs = per_shard[0].bin_secs;
+    let bin_count = per_shard
+        .iter()
+        .map(|r| r.site_core_bins.first().map_or(0, |s| s.len()))
+        .max()
+        .unwrap_or(0);
+    let mut site_core_bins = vec![vec![0.0f64; bin_count]; site_names.len()];
+    for (r, map) in per_shard.iter().zip(&maps) {
+        debug_assert_eq!(r.bin_secs, bin_secs, "shard bin widths diverged");
+        for (j, series) in r.site_core_bins.iter().enumerate() {
+            for (b, &v) in series.iter().enumerate() {
+                site_core_bins[map[j]][b] += v;
+            }
+        }
+    }
+
     let succeeded = per_shard.iter().map(|r| r.succeeded).sum::<usize>() + stats.succeeded;
     let hold_total: f64 = per_shard
         .iter()
@@ -520,6 +546,8 @@ fn merge_results(
         site_names,
         site_cores,
         samples,
+        bin_secs,
+        site_core_bins,
         core_seconds,
         submitted: per_shard.iter().map(|r| r.submitted).sum::<usize>() + stats.submitted,
         succeeded,

@@ -543,23 +543,178 @@ pub enum FaultSpec {
         /// Downtime before the restart.
         duration: SimDuration,
     },
+    /// A rack browns out: the first `hosts` hosts of `site` (topology
+    /// order — racks are contiguous in the host list) crash together at
+    /// `at` and recover `duration` later.  The site itself stays up, so
+    /// brokering keeps landing work on the surviving racks instead of
+    /// writing the whole site off.
+    PartialSite {
+        /// Site name as in the topology.
+        site: String,
+        /// How many of the site's hosts go down (clamped to the site size).
+        hosts: usize,
+        /// Brown-out onset.
+        at: SimDuration,
+        /// Brown-out length.
+        duration: SimDuration,
+    },
+    /// Combinator: every child fault runs on the same timeline (an outage
+    /// *during* a flash crowd, a rack loss *while* links crawl).  Children
+    /// are independent — composition is concatenation of their event
+    /// schedules, and [`FaultSpec::flattened`] unfolds the tree back into
+    /// the primitive list the sweep installs.
+    Compose(Vec<FaultSpec>),
+    /// Combinator: slides the inner fault's onset by `offset_secs`
+    /// (positive = later) against the day profile, clamping at the start
+    /// of the day.  This is the knob the adversarial timing search
+    /// (`fault_search`) turns to hunt the worst-case phase of an outage
+    /// relative to a burst.
+    PhaseShift {
+        /// Signed onset shift in seconds (applied to every primitive
+        /// inside `inner`).
+        offset_secs: f64,
+        /// The fault whose onset slides.
+        inner: Box<FaultSpec>,
+    },
 }
 
 impl FaultSpec {
     /// Scales the fault's times for a compressed day (rates and factors are
-    /// dimensionless and stay put).
-    fn compressed(mut self, shrink: &impl Fn(SimDuration) -> SimDuration) -> Self {
-        match &mut self {
-            FaultSpec::SiteOutage { at, duration, .. }
-            | FaultSpec::FlashCrowd { at, duration, .. }
-            | FaultSpec::SlowLinks { at, duration, .. }
-            | FaultSpec::SupernodeOutage { at, duration } => {
-                *at = shrink(*at);
-                *duration = shrink(*duration);
+    /// dimensionless and stay put).  Combinators recurse: `Compose` maps
+    /// its children and `PhaseShift` shrinks its offset's magnitude with
+    /// the same rule before recursing into the shifted fault.
+    fn compressed(self, shrink: &impl Fn(SimDuration) -> SimDuration) -> Self {
+        match self {
+            FaultSpec::SiteOutage { site, at, duration } => FaultSpec::SiteOutage {
+                site,
+                at: shrink(at),
+                duration: shrink(duration),
+            },
+            FaultSpec::FlashCrowd {
+                at,
+                duration,
+                factor,
+            } => FaultSpec::FlashCrowd {
+                at: shrink(at),
+                duration: shrink(duration),
+                factor,
+            },
+            FaultSpec::SlowLinks {
+                site,
+                at,
+                duration,
+                latency_factor,
+            } => FaultSpec::SlowLinks {
+                site,
+                at: shrink(at),
+                duration: shrink(duration),
+                latency_factor,
+            },
+            FaultSpec::SupernodeOutage { at, duration } => FaultSpec::SupernodeOutage {
+                at: shrink(at),
+                duration: shrink(duration),
+            },
+            FaultSpec::PartialSite {
+                site,
+                hosts,
+                at,
+                duration,
+            } => FaultSpec::PartialSite {
+                site,
+                hosts,
+                at: shrink(at),
+                duration: shrink(duration),
+            },
+            FaultSpec::Compose(children) => {
+                FaultSpec::Compose(children.into_iter().map(|f| f.compressed(shrink)).collect())
             }
+            FaultSpec::PhaseShift { offset_secs, inner } => FaultSpec::PhaseShift {
+                offset_secs: if offset_secs == 0.0 {
+                    0.0
+                } else {
+                    offset_secs.signum()
+                        * shrink(SimDuration::from_secs_f64(offset_secs.abs())).as_secs_f64()
+                },
+                inner: Box::new(inner.compressed(shrink)),
+            },
         }
-        self
     }
+
+    /// Unfolds the fault tree into the primitive faults the sweep installs:
+    /// `Compose` concatenates its children's primitives, `PhaseShift` adds
+    /// its offset to every primitive onset underneath it (offsets nest
+    /// additively), and a shifted onset clamps at the start of the day.
+    pub fn flattened(&self) -> Vec<FaultSpec> {
+        let mut out = Vec::new();
+        self.flatten_into(0.0, &mut out);
+        out
+    }
+
+    fn flatten_into(&self, offset_secs: f64, out: &mut Vec<FaultSpec>) {
+        let shift =
+            |at: SimDuration| SimDuration::from_secs_f64((at.as_secs_f64() + offset_secs).max(0.0));
+        match self {
+            FaultSpec::Compose(children) => {
+                for child in children {
+                    child.flatten_into(offset_secs, out);
+                }
+            }
+            FaultSpec::PhaseShift {
+                offset_secs: more,
+                inner,
+            } => inner.flatten_into(offset_secs + more, out),
+            FaultSpec::SiteOutage { site, at, duration } => out.push(FaultSpec::SiteOutage {
+                site: site.clone(),
+                at: shift(*at),
+                duration: *duration,
+            }),
+            FaultSpec::FlashCrowd {
+                at,
+                duration,
+                factor,
+            } => out.push(FaultSpec::FlashCrowd {
+                at: shift(*at),
+                duration: *duration,
+                factor: *factor,
+            }),
+            FaultSpec::SlowLinks {
+                site,
+                at,
+                duration,
+                latency_factor,
+            } => out.push(FaultSpec::SlowLinks {
+                site: site.clone(),
+                at: shift(*at),
+                duration: *duration,
+                latency_factor: *latency_factor,
+            }),
+            FaultSpec::SupernodeOutage { at, duration } => out.push(FaultSpec::SupernodeOutage {
+                at: shift(*at),
+                duration: *duration,
+            }),
+            FaultSpec::PartialSite {
+                site,
+                hosts,
+                at,
+                duration,
+            } => out.push(FaultSpec::PartialSite {
+                site: site.clone(),
+                hosts: *hosts,
+                at: shift(*at),
+                duration: *duration,
+            }),
+        }
+    }
+}
+
+/// Flattens a fault list's combinator trees into the primitive faults the
+/// sweep installs, in declaration order.
+pub fn flatten_faults(faults: &[FaultSpec]) -> Vec<FaultSpec> {
+    let mut out = Vec::new();
+    for fault in faults {
+        fault.flatten_into(0.0, &mut out);
+    }
+    out
 }
 
 /// Configuration of one [`run_day_sweep`] run.
@@ -713,6 +868,16 @@ pub struct DaySweepResult {
     pub samples: Vec<UtilisationSample>,
     /// Core-seconds of work charged per site over the whole trace.
     pub core_seconds: Vec<f64>,
+    /// Width of the [`DaySweepResult::site_core_bins`] bins, in seconds
+    /// (the configured sample period).
+    pub bin_secs: f64,
+    /// Per-site core-seconds timeline: `site_core_bins[site][b]` is the
+    /// work charged to `site` inside virtual-time bin
+    /// `[b·bin_secs, (b+1)·bin_secs)`.  Each hold is spread across the
+    /// bins it overlaps at charge time, so the series is exact (its sum
+    /// equals `core_seconds`) and deterministic across queue kinds — this
+    /// is what the recovery-time-to-95% gates measure against.
+    pub site_core_bins: Vec<Vec<f64>>,
     /// Jobs submitted.
     pub submitted: usize,
     /// Jobs that allocated and ran.
@@ -773,6 +938,30 @@ impl DaySweepResult {
 }
 
 impl DaySweepResult {
+    /// Grid-total core-seconds per time bin (sites summed), the utilisation
+    /// timeline the recovery metric compares against its twin's.
+    pub fn total_core_bins(&self) -> Vec<f64> {
+        let bins = self.site_core_bins.first().map_or(0, |s| s.len());
+        let mut total = vec![0.0f64; bins];
+        for series in &self.site_core_bins {
+            for (t, v) in total.iter_mut().zip(series) {
+                *t += v;
+            }
+        }
+        total
+    }
+
+    /// Core-seconds `site` was charged inside `[start_secs, end_secs)`,
+    /// read off the binned timeline (bins partially overlapping the window
+    /// count in full — callers align windows on bin edges for exactness).
+    pub fn site_core_seconds_between(&self, site: usize, start_secs: f64, end_secs: f64) -> f64 {
+        let w = self.bin_secs;
+        let series = &self.site_core_bins[site];
+        let first = (start_secs / w).floor().max(0.0) as usize;
+        let last = ((end_secs / w).ceil() as usize).min(series.len());
+        series[first.min(last)..last].iter().sum()
+    }
+
     /// Share of the total charged work each site carried, in site order.
     pub fn site_work_share(&self) -> Vec<f64> {
         let total: f64 = self.core_seconds.iter().sum();
@@ -796,16 +985,18 @@ pub(crate) fn sample_running(tb: &Grid5000Testbed) -> Vec<u32> {
 /// Applies the [`FaultSpec::FlashCrowd`] entries of `faults` to `profile`
 /// (flash crowds reshape the arrival process itself, so they act before the
 /// trace is drawn; every other fault is an event on the overlay timeline).
+/// Combinators are flattened first, so a crowd inside a `Compose` or under
+/// a `PhaseShift` splices at its effective onset.
 pub(crate) fn burst_profile(profile: &DayProfile, faults: &[FaultSpec]) -> DayProfile {
     let mut profile = profile.clone();
-    for fault in faults {
+    for fault in flatten_faults(faults) {
         if let FaultSpec::FlashCrowd {
             at,
             duration,
             factor,
         } = fault
         {
-            profile = profile.with_burst(*at, *duration, *factor);
+            profile = profile.with_burst(at, duration, factor);
         }
     }
     profile
@@ -829,6 +1020,9 @@ pub(crate) struct SweepCore {
     next_sample: SimTime,
     next_probe: Option<SimTime>,
     core_seconds: Vec<f64>,
+    site_core_bins: Vec<Vec<f64>>,
+    /// Reused per-job per-site core-count scratch for the bin charging.
+    charge_scratch: Vec<f64>,
     hold_secs_total: f64,
     pub(crate) submitted: usize,
     pub(crate) succeeded: usize,
@@ -898,12 +1092,14 @@ impl SweepCore {
             tb.overlay.schedule_churn(schedule.finish());
         }
 
-        // Timeline faults: correlated site outages, link degradation
-        // windows and supernode crashes ride the same event queue as
-        // everything else.
+        // Timeline faults: correlated site outages, rack brown-outs, link
+        // degradation windows and supernode crashes ride the same event
+        // queue as everything else.  Combinator trees (`Compose`,
+        // `PhaseShift`) unfold into primitives first, so a composed
+        // scenario installs exactly the schedule its flattened parts would.
         let submitter_peer = tb.submitter;
-        for fault in &cfg.faults {
-            match fault {
+        for fault in flatten_faults(&cfg.faults) {
+            match &fault {
                 FaultSpec::FlashCrowd { .. } => {} // applied to the profile pre-trace
                 FaultSpec::SiteOutage { site, at, duration } => {
                     let schedule = p2pmpi_grid5000::site_outage_schedule(
@@ -914,6 +1110,21 @@ impl SweepCore {
                         &[submitter_peer],
                     );
                     tb.overlay.schedule_churn(schedule.finish());
+                }
+                FaultSpec::PartialSite {
+                    site,
+                    hosts,
+                    at,
+                    duration,
+                } => {
+                    let subset = p2pmpi_grid5000::site_host_subset(
+                        &tb.overlay,
+                        site,
+                        *hosts,
+                        &[submitter_peer],
+                    );
+                    tb.overlay
+                        .schedule_host_outage(&subset, SimTime::ZERO + *at, *duration);
                 }
                 FaultSpec::SlowLinks {
                     site,
@@ -936,6 +1147,9 @@ impl SweepCore {
                 FaultSpec::SupernodeOutage { at, duration } => {
                     tb.overlay
                         .schedule_supernode_outage(SimTime::ZERO + *at, *duration);
+                }
+                FaultSpec::Compose(_) | FaultSpec::PhaseShift { .. } => {
+                    unreachable!("flatten_faults only yields primitives")
                 }
             }
         }
@@ -991,6 +1205,8 @@ impl SweepCore {
             samples: Vec::new(),
             next_sample: SimTime::ZERO,
             next_probe,
+            site_core_bins: vec![Vec::new(); core_seconds.len()],
+            charge_scratch: vec![0.0; core_seconds.len()],
             core_seconds,
             hold_secs_total: 0.0,
             submitted: 0,
@@ -1139,9 +1355,35 @@ impl SweepCore {
         alloc: &p2pmpi_core::allocation::Allocation,
         hold: SimDuration,
     ) {
+        // Per-site cores this job holds, summed before the bin spread so
+        // each site walks its bins once per job, not once per host.
+        self.charge_scratch.fill(0.0);
         for h in &alloc.hosts {
             let site = self.tb.topology.host(h.host).site;
-            self.core_seconds[site.0] += h.instances() as f64 * hold.as_secs_f64();
+            self.charge_scratch[site.0] += h.instances() as f64;
+        }
+        let start = self.tb.overlay.now().as_secs_f64();
+        let end = start + hold.as_secs_f64();
+        let w = self.cfg.sample_period.as_secs_f64();
+        let first = (start / w).floor() as usize;
+        let last = ((end / w).ceil() as usize).max(first + 1);
+        if self.site_core_bins[0].len() < last {
+            for series in &mut self.site_core_bins {
+                series.resize(last, 0.0);
+            }
+        }
+        for (site, &c) in self.charge_scratch.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            self.core_seconds[site] += c * hold.as_secs_f64();
+            for b in first..last {
+                let bin_start = b as f64 * w;
+                let overlap = (end.min(bin_start + w) - start.max(bin_start)).max(0.0);
+                if overlap > 0.0 {
+                    self.site_core_bins[site][b] += c * overlap;
+                }
+            }
         }
     }
 
@@ -1189,6 +1431,8 @@ impl SweepCore {
             site_names: self.site_names,
             site_cores: self.site_cores,
             samples: self.samples,
+            bin_secs: self.cfg.sample_period.as_secs_f64(),
+            site_core_bins: self.site_core_bins,
             core_seconds: self.core_seconds,
             submitted: self.submitted,
             succeeded: self.succeeded,

@@ -95,6 +95,13 @@ fn assert_identical(a: &DaySweepResult, b: &DaySweepResult, what: &str) {
     let sa: Vec<_> = a.samples.iter().map(|s| &s.running).collect();
     let sb: Vec<_> = b.samples.iter().map(|s| &s.running).collect();
     assert_eq!(sa, sb, "{what}");
+    // The binned core-seconds timelines feed the recovery-time metric, so
+    // they are part of the outcome contract too.
+    assert_eq!(a.bin_secs, b.bin_secs, "{what}: bin width");
+    assert_eq!(
+        a.site_core_bins, b.site_core_bins,
+        "{what}: core-second bins"
+    );
 }
 
 #[test]

@@ -29,7 +29,8 @@ pub mod testbed;
 pub use capacity::{host_capacities, IdleSlotIndex};
 pub use scenario::{
     allocate_on, coallocation_sweep, paper_demand_steps, paper_ep_process_counts,
-    paper_is_process_counts, probe_vs_icmp_ranking, site_outage_schedule, SweepRow,
+    paper_is_process_counts, probe_vs_icmp_ranking, site_host_subset, site_outage_schedule,
+    SweepRow,
 };
 pub use shard::ShardPlan;
 pub use sites::{ClusterSpec, RTT_TO_NANCY_MS, SITE_ORDER, TABLE1};

@@ -11,6 +11,7 @@ use p2pmpi_core::reservation::CoAllocationReport;
 use p2pmpi_overlay::{ChurnSchedule, Overlay, PeerId};
 use p2pmpi_simgrid::noise::NoiseModel;
 use p2pmpi_simgrid::time::{SimDuration, SimTime};
+use p2pmpi_simgrid::topology::HostId;
 
 /// One point of a Figure 2/3 style sweep.
 #[derive(Debug, Clone)]
@@ -128,6 +129,40 @@ pub fn site_outage_schedule(
         schedule.recover(peer, at + duration);
     }
     schedule
+}
+
+/// The first `count` hosts of `site_name` (topology order — clusters lay
+/// racks out contiguously, so a prefix of the host list is a rack-shaped
+/// subset) that have a registered peer not in `exclude`.  Returns fewer
+/// than `count` hosts when the site is smaller.  This is the host-subset
+/// half of a partial-site fault: pass the result to
+/// `Overlay::schedule_host_outage` to brown the rack out.  Panics if the
+/// site is unknown.
+pub fn site_host_subset(
+    overlay: &Overlay,
+    site_name: &str,
+    count: usize,
+    exclude: &[PeerId],
+) -> Vec<HostId> {
+    let topology = overlay.topology().clone();
+    let site = topology
+        .site_by_name(site_name)
+        .unwrap_or_else(|| panic!("unknown site '{site_name}'"))
+        .id;
+    let mut subset = Vec::with_capacity(count);
+    for host in topology.hosts_at_site(site) {
+        if subset.len() == count {
+            break;
+        }
+        let Some(peer) = overlay.peer_on_host(host.id) else {
+            continue;
+        };
+        if exclude.contains(&peer) {
+            continue;
+        }
+        subset.push(host.id);
+    }
+    subset
 }
 
 /// Compares the application-level latency ranking measured by the submitter

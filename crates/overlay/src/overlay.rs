@@ -119,7 +119,7 @@
 //! drives this type.
 
 use crate::cache::CacheEntry;
-use crate::churn::{ChurnEvent, ChurnKind};
+use crate::churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 use crate::messages::{
     RankAssignment, ReservationKey, ReservationReply, ReservationRequest, StartReply,
 };
@@ -1490,6 +1490,34 @@ impl Overlay {
             .record(self.sim.now(), TraceCategory::Fault, || {
                 "supernode recovered; awaiting re-registrations".to_string()
             });
+    }
+
+    /// Schedules a correlated outage of the peers running on `hosts`: each
+    /// crashes at `at` and recovers `duration` later, riding the churn
+    /// machinery (so `fail_jobs_on_crash` revocation, heartbeat expiry and
+    /// supernode re-registration all apply).  This is the rack-level
+    /// fault path — callers pass a host subset (a rack) rather than a
+    /// whole site.  Hosts without a registered peer are skipped; returns
+    /// how many peers were scheduled.
+    pub fn schedule_host_outage(
+        &mut self,
+        hosts: &[HostId],
+        at: SimTime,
+        duration: SimDuration,
+    ) -> usize {
+        assert!(at >= self.sim.now(), "outage must be in the future");
+        assert!(!duration.is_zero(), "outage needs a non-zero duration");
+        let mut schedule = ChurnSchedule::with_capacity(hosts.len() * 2);
+        let mut peers = 0usize;
+        for &host in hosts {
+            if let Some(peer) = self.peer_on_host(host) {
+                schedule.crash(peer, at);
+                schedule.recover(peer, at + duration);
+                peers += 1;
+            }
+        }
+        self.schedule_churn(schedule.finish());
+        peers
     }
 
     /// Schedules a supernode outage window `[at, at + duration)` on the
